@@ -1,0 +1,152 @@
+(* rthv_certify: check a sufficient-temporal-independence certificate from
+   the command line.
+
+   Example — two partitions with tasks, one interposition grant:
+     rthv_certify --cycle-us 14000 --ctx-us 50 \
+       --partition 'ctl:6000:attitude,12000,800;actuator,24000,1200' \
+       --partition 'io:6000:' \
+       --partition 'hk:2000:' \
+       --grant 'nic:1544:154'
+
+   Partition syntax:  NAME:SLOT_US:TASK(;TASK)*  with TASK = name,period_us,wcet_us
+   Grant syntax:      NAME:DMIN_US:CBH_EFF_US *)
+
+module Cycles = Rthv_engine.Cycles
+module C = Rthv_analysis.Certificate
+module GS = Rthv_analysis.Guest_sched
+module DF = Rthv_analysis.Distance_fn
+
+let parse_task spec =
+  match String.split_on_char ',' spec with
+  | [ name; period; wcet ] -> (
+      match (int_of_string_opt period, int_of_string_opt wcet) with
+      | Some period_us, Some wcet_us when period_us > 0 && wcet_us > 0 ->
+          Ok
+            {
+              GS.name;
+              period = Cycles.of_us period_us;
+              wcet = Cycles.of_us wcet_us;
+              priority = 0;
+            }
+      | _ -> Error (Printf.sprintf "bad task %S" spec))
+  | _ -> Error (Printf.sprintf "bad task %S (want name,period_us,wcet_us)" spec)
+
+let parse_partition index spec =
+  match String.split_on_char ':' spec with
+  | [ name; slot; tasks ] -> (
+      match int_of_string_opt slot with
+      | Some slot_us when slot_us > 0 ->
+          let task_specs =
+            List.filter (fun s -> s <> "") (String.split_on_char ';' tasks)
+          in
+          let rec parse_all acc = function
+            | [] -> Ok (List.rev acc)
+            | t :: rest -> (
+                match parse_task t with
+                | Ok task -> parse_all (task :: acc) rest
+                | Error _ as e -> e)
+          in
+          (match parse_all [] task_specs with
+          | Ok tasks ->
+              Ok
+                {
+                  C.p_index = index;
+                  p_name = name;
+                  slot = Cycles.of_us slot_us;
+                  tasks;
+                }
+          | Error msg -> Error msg)
+      | _ -> Error (Printf.sprintf "bad slot in %S" spec))
+  | _ ->
+      Error (Printf.sprintf "bad partition %S (want name:slot_us:tasks)" spec)
+
+let parse_grant spec =
+  match String.split_on_char ':' spec with
+  | [ name; d_min; c_bh_eff ] -> (
+      match (int_of_string_opt d_min, int_of_string_opt c_bh_eff) with
+      | Some d_min_us, Some c_bh_eff_us when d_min_us > 0 && c_bh_eff_us > 0 ->
+          Ok
+            {
+              C.source_name = name;
+              monitor = DF.d_min (Cycles.of_us d_min_us);
+              c_bh_eff = Cycles.of_us c_bh_eff_us;
+              subscriber = 0;
+            }
+      | _ -> Error (Printf.sprintf "bad grant %S" spec))
+  | _ ->
+      Error (Printf.sprintf "bad grant %S (want name:dmin_us:cbh_eff_us)" spec)
+
+let main cycle_us ctx_us partition_specs grant_specs =
+  let rec parse_list f i acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest -> (
+        match f i spec with
+        | Ok v -> parse_list f (i + 1) (v :: acc) rest
+        | Error msg -> Error msg)
+  in
+  match
+    ( parse_list parse_partition 0 [] partition_specs,
+      parse_list (fun _ s -> parse_grant s) 0 [] grant_specs )
+  with
+  | Error msg, _ | _, Error msg ->
+      Format.eprintf "%s@." msg;
+      1
+  | Ok [], _ ->
+      Format.eprintf "need at least one --partition@.";
+      1
+  | Ok partitions, Ok grants ->
+      let declared =
+        List.fold_left (fun acc p -> acc + p.C.slot) 0 partitions
+      in
+      let cycle = Cycles.of_us cycle_us in
+      if declared <> cycle then begin
+        Format.eprintf
+          "slot lengths sum to %a but --cycle-us says %a@." Cycles.pp declared
+          Cycles.pp cycle;
+        1
+      end
+      else begin
+        let cert =
+          C.check ~cycle ~c_ctx:(Cycles.of_us ctx_us) ~partitions ~grants
+        in
+        C.pp Format.std_formatter cert;
+        if cert.C.holds then 0 else 2
+      end
+
+open Cmdliner
+
+let cycle_us =
+  Arg.(
+    value & opt int 14_000
+    & info [ "cycle-us" ] ~docv:"US" ~doc:"TDMA cycle length.")
+
+let ctx_us =
+  Arg.(
+    value & opt int 50
+    & info [ "ctx-us" ] ~docv:"US" ~doc:"Partition context-switch cost.")
+
+let partitions =
+  Arg.(
+    value & opt_all string []
+    & info [ "partition"; "p" ] ~docv:"NAME:SLOT_US:TASKS"
+        ~doc:
+          "Partition with its slot and ';'-separated tasks \
+           (name,period_us,wcet_us).  Repeatable, in TDMA order.")
+
+let grants =
+  Arg.(
+    value & opt_all string []
+    & info [ "grant"; "g" ] ~docv:"NAME:DMIN_US:CBH_EFF_US"
+        ~doc:"Interposition grant to audit.  Repeatable.")
+
+let cmd =
+  let doc =
+    "audit sufficient temporal independence for a set of interposition \
+     grants (Beckert et al., DAC 2014, equations (2) and (14))"
+  in
+  Cmd.v
+    (Cmd.info "rthv_certify" ~doc ~exits:
+       (Cmd.Exit.info 2 ~doc:"the certificate does not hold" :: Cmd.Exit.defaults))
+    Term.(const main $ cycle_us $ ctx_us $ partitions $ grants)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,292 @@
+(* rthv_sim: run a configurable hypervisor simulation from the command line.
+
+   Examples:
+     rthv_sim --slots 6000,6000,2000 --subscriber 1 --mean-us 1544 \
+              --monitor dmin --count 5000
+     rthv_sim --monitor off --histogram
+     rthv_sim --monitor learn --trace ecu --count 0         # ECU trace replay
+     rthv_sim --experiment fig6b                            # paper experiment *)
+
+module Cycles = Rthv_engine.Cycles
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+module Irq_record = Rthv_core.Irq_record
+module DF = Rthv_analysis.Distance_fn
+module Gen = Rthv_workload.Gen
+module Ecu_trace = Rthv_workload.Ecu_trace
+module Histogram = Rthv_stats.Histogram
+module Summary = Rthv_stats.Summary
+
+type monitor_kind = Monitor_off | Monitor_dmin | Monitor_learn
+
+let monitor_kind_conv =
+  let parse = function
+    | "off" -> Ok Monitor_off
+    | "dmin" -> Ok Monitor_dmin
+    | "learn" -> Ok Monitor_learn
+    | s -> Error (`Msg (Printf.sprintf "unknown monitor kind %S" s))
+  in
+  let print ppf = function
+    | Monitor_off -> Format.fprintf ppf "off"
+    | Monitor_dmin -> Format.fprintf ppf "dmin"
+    | Monitor_learn -> Format.fprintf ppf "learn"
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let build_interarrivals ~trace ~seed ~mean_us ~d_min_us ~count =
+  match trace with
+  | Some "ecu" ->
+      Ecu_trace.to_distances
+        (Ecu_trace.generate ~seed Ecu_trace.default_profile)
+  | Some other -> failwith (Printf.sprintf "unknown trace %S (try: ecu)" other)
+  | None ->
+      let mean = Cycles.of_us mean_us in
+      if d_min_us > 0 then
+        Gen.exponential_clamped ~seed ~mean ~d_min:(Cycles.of_us d_min_us)
+          ~count
+      else Gen.exponential ~seed ~mean ~count
+
+let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
+    monitor strict_tdma show_histogram csv_out vcd_out trace =
+  let partitions =
+    List.mapi
+      (fun i slot_us ->
+        Config.partition ~name:(Printf.sprintf "P%d" i) ~slot_us ())
+      slots
+  in
+  let effective_d_min_us = if d_min_us > 0 then d_min_us else mean_us in
+  let interarrivals =
+    build_interarrivals ~trace ~seed ~mean_us ~d_min_us ~count
+  in
+  let shaping =
+    match monitor with
+    | Monitor_off -> Config.No_shaping
+    | Monitor_dmin ->
+        Config.Fixed_monitor (DF.d_min (Cycles.of_us effective_d_min_us))
+    | Monitor_learn ->
+        let activations =
+          if Array.length interarrivals > 0 then Array.length interarrivals
+          else count
+        in
+        Config.Self_learning
+          { l = 5; learn_events = activations / 10; bound = None }
+  in
+  let source =
+    Config.source ~name:"irq0" ~line:0 ~subscriber ~c_th_us ~c_bh_us
+      ~interarrivals ~shaping ()
+  in
+  let config =
+    Config.make ~finish_bh_at_boundary:(not strict_tdma) ~partitions
+      ~sources:[ source ] ()
+  in
+  let trace =
+    match vcd_out with
+    | Some _ -> Some (Rthv_core.Hyp_trace.create ())
+    | None -> None
+  in
+  let sim = Hyp_sim.create ?trace config in
+  Hyp_sim.run sim;
+  let records = Hyp_sim.records sim in
+  let stats = Hyp_sim.stats sim in
+  let latencies = List.map Irq_record.latency_us records in
+  let s = Summary.of_list latencies in
+  Format.printf "IRQs completed: %d over %a simulated@."
+    stats.Hyp_sim.completed_irqs Cycles.pp stats.Hyp_sim.sim_time;
+  Format.printf "classes: %d direct, %d interposed, %d delayed@."
+    stats.Hyp_sim.direct stats.Hyp_sim.interposed stats.Hyp_sim.delayed;
+  Format.printf
+    "latency: avg %.1fus, p50 %.1fus, p95 %.1fus, p99 %.1fus, worst %.1fus@."
+    s.Summary.mean s.Summary.p50 s.Summary.p95 s.Summary.p99 s.Summary.max;
+  Format.printf
+    "context switches: %d slot, %d interposition (%d interpositions, %d \
+     crossed a boundary, %d deferred switches)@."
+    stats.Hyp_sim.slot_switches stats.Hyp_sim.interposition_switches
+    stats.Hyp_sim.interpositions_started stats.Hyp_sim.boundary_crossings
+    stats.Hyp_sim.bh_boundary_deferrals;
+  Array.iteri
+    (fun i stolen ->
+      if stolen > 0 then
+        Format.printf
+          "partition %d: %a stolen by interposition (max %a per slot)@." i
+          Cycles.pp stolen Cycles.pp stats.Hyp_sim.stolen_slot_max.(i))
+    stats.Hyp_sim.stolen_total;
+  if show_histogram then begin
+    let h = Histogram.create ~bin_width_us:250. ~max_us:9000. in
+    List.iter (Histogram.add h) latencies;
+    Histogram.render ~log_scale:true Format.std_formatter h
+  end;
+  (match csv_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "irq,source,arrival_us,latency_us,classification\n";
+      List.iter
+        (fun r ->
+          Printf.fprintf oc "%d,%s,%.3f,%.3f,%s\n" r.Irq_record.irq
+            r.Irq_record.source
+            (Cycles.to_us r.Irq_record.arrival)
+            (Irq_record.latency_us r)
+            (Irq_record.classification_name r.Irq_record.classification))
+        records;
+      close_out oc;
+      Format.printf "wrote %d records to %s@." (List.length records) path);
+  (match (vcd_out, trace) with
+  | Some path, Some trace ->
+      Rthv_core.Vcd_export.save ~path trace;
+      Format.printf "wrote %d trace events to %s@."
+        (Rthv_core.Hyp_trace.length trace)
+        path
+  | _ -> ());
+  0
+
+let run_experiment name =
+  let module Fig6 = Rthv_experiments.Fig6 in
+  let ppf = Format.std_formatter in
+  match name with
+  | "fig6a" -> Fig6.print ppf (Fig6.run Fig6.Unmonitored); 0
+  | "fig6b" -> Fig6.print ppf (Fig6.run Fig6.Monitored); 0
+  | "fig6c" -> Fig6.print ppf (Fig6.run Fig6.Monitored_conforming); 0
+  | "fig7" ->
+      let results = Rthv_experiments.Fig7.run_all () in
+      List.iter (Rthv_experiments.Fig7.print ppf) results;
+      0
+  | "overhead" ->
+      Rthv_experiments.Overhead.print ppf (Rthv_experiments.Overhead.run ());
+      0
+  | "analysis" ->
+      Rthv_experiments.Analysis_tables.print ppf
+        (Rthv_experiments.Analysis_tables.compute_all ());
+      0
+  | other ->
+      Format.eprintf
+        "unknown experiment %S (fig6a fig6b fig6c fig7 overhead analysis)@."
+        other;
+      1
+
+let main experiment slots subscriber c_th_us c_bh_us mean_us d_min_us count
+    seed monitor strict_tdma histogram csv_out vcd_out trace =
+  match experiment with
+  | Some name -> run_experiment name
+  | None ->
+      if subscriber < 0 || subscriber >= List.length slots then begin
+        Format.eprintf "subscriber %d out of range for %d partitions@."
+          subscriber (List.length slots);
+        1
+      end
+      else
+        run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count
+          seed monitor strict_tdma histogram csv_out vcd_out trace
+
+open Cmdliner
+
+let experiment =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "experiment"; "e" ] ~docv:"NAME"
+        ~doc:
+          "Run a canned paper experiment (fig6a, fig6b, fig6c, fig7, \
+           overhead, analysis) instead of a custom simulation.")
+
+let slots =
+  Arg.(
+    value
+    & opt (list int) [ 6000; 6000; 2000 ]
+    & info [ "slots" ] ~docv:"US,US,..."
+        ~doc:"TDMA slot lengths in microseconds, in cycle order.")
+
+let subscriber =
+  Arg.(
+    value & opt int 1
+    & info [ "subscriber" ] ~docv:"IDX"
+        ~doc:"Partition index subscribing the IRQ source.")
+
+let c_th_us =
+  Arg.(
+    value & opt int 5
+    & info [ "cth-us" ] ~docv:"US" ~doc:"Top handler WCET in microseconds.")
+
+let c_bh_us =
+  Arg.(
+    value & opt int 50
+    & info [ "cbh-us" ] ~docv:"US" ~doc:"Bottom handler WCET in microseconds.")
+
+let mean_us =
+  Arg.(
+    value & opt int 1544
+    & info [ "mean-us" ] ~docv:"US"
+        ~doc:"Mean exponential interarrival time in microseconds.")
+
+let d_min_us =
+  Arg.(
+    value & opt int 0
+    & info [ "dmin-us" ] ~docv:"US"
+        ~doc:
+          "Clamp interarrivals to at least this distance (0: no clamping). \
+           Also the monitor's d_min; when 0, the monitor uses the mean.")
+
+let count =
+  Arg.(
+    value & opt int 5000
+    & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of IRQs to generate.")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let monitor =
+  Arg.(
+    value
+    & opt monitor_kind_conv Monitor_off
+    & info [ "monitor"; "m" ] ~docv:"off|dmin|learn"
+        ~doc:"Interrupt shaping mode.")
+
+let strict_tdma =
+  Arg.(
+    value & flag
+    & info [ "strict-tdma" ]
+        ~doc:
+          "Cut bottom handlers at slot boundaries instead of letting them \
+           finish with a bounded overrun.")
+
+let histogram =
+  Arg.(
+    value & flag
+    & info [ "histogram" ] ~doc:"Print an ASCII latency histogram.")
+
+let csv_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"PATH" ~doc:"Write per-IRQ records as CSV.")
+
+let vcd_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "vcd" ] ~docv:"PATH"
+        ~doc:
+          "Write the hypervisor scheduling timeline as a VCD waveform \
+           (viewable in GTKWave).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"NAME"
+        ~doc:
+          "Drive the IRQ source from a named activation trace instead of \
+           exponential arrivals (available: ecu).")
+
+let cmd =
+  let doc =
+    "simulate a TDMA real-time hypervisor with monitored interposed \
+     interrupt handling (Beckert et al., DAC 2014)"
+  in
+  Cmd.v
+    (Cmd.info "rthv_sim" ~doc)
+    Term.(
+      const main $ experiment $ slots $ subscriber $ c_th_us $ c_bh_us
+      $ mean_us $ d_min_us $ count $ seed $ monitor $ strict_tdma $ histogram
+      $ csv_out $ vcd_out $ trace_arg)
+
+let () = exit (Cmd.eval' cmd)

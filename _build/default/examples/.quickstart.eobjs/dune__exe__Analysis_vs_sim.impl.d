@@ -1,0 +1,1 @@
+examples/analysis_vs_sim.ml: Float Format List Rthv_analysis Rthv_core Rthv_engine Rthv_hw Rthv_workload

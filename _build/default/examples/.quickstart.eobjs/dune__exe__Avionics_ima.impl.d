@@ -1,0 +1,1 @@
+examples/avionics_ima.ml: Array Format List Rthv_analysis Rthv_core Rthv_engine Rthv_rtos Rthv_stats Rthv_workload

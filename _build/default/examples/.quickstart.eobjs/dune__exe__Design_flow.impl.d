@@ -1,0 +1,1 @@
+examples/design_flow.ml: Array Format List Option Rthv_analysis Rthv_core Rthv_engine Rthv_hw Rthv_rtos Rthv_workload

@@ -1,0 +1,1 @@
+examples/ipc_pipeline.mli:

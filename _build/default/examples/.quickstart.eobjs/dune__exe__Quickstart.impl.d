@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Rthv_analysis Rthv_core Rthv_engine Rthv_stats Rthv_workload

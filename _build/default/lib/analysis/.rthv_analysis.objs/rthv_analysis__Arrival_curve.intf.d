@@ -1,0 +1,1 @@
+lib/analysis/arrival_curve.mli: Distance_fn Format Rthv_engine

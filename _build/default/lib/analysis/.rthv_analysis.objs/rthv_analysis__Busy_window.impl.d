@@ -1,0 +1,1 @@
+lib/analysis/busy_window.ml: List Printf Rthv_engine

@@ -1,0 +1,1 @@
+lib/analysis/busy_window.mli: Rthv_engine Stdlib

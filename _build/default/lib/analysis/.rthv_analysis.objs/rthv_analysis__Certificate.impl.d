@@ -1,0 +1,1 @@
+lib/analysis/certificate.ml: Busy_window Distance_fn Format Guest_sched Independence List Rthv_engine Tdma_interference

@@ -1,0 +1,1 @@
+lib/analysis/certificate.mli: Busy_window Distance_fn Format Guest_sched Rthv_engine

@@ -1,0 +1,1 @@
+lib/analysis/distance_fn.ml: Array Float Format List Rthv_engine Stdlib

@@ -1,0 +1,1 @@
+lib/analysis/distance_fn.mli: Format Rthv_engine

@@ -1,0 +1,1 @@
+lib/analysis/edf_sched.ml: Busy_window Guest_sched Independence List Rthv_engine Stdlib Tdma_interference

@@ -1,0 +1,1 @@
+lib/analysis/edf_sched.mli: Guest_sched Independence Rthv_engine Tdma_interference

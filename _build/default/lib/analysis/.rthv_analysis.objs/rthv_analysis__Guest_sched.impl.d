@@ -1,0 +1,1 @@
+lib/analysis/guest_sched.ml: Busy_window Independence List Rthv_engine Rthv_rtos Stdlib Tdma_interference

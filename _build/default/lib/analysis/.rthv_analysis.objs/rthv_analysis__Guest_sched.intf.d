@@ -1,0 +1,1 @@
+lib/analysis/guest_sched.mli: Busy_window Independence Rthv_engine Rthv_rtos Tdma_interference

@@ -1,0 +1,1 @@
+lib/analysis/independence.ml: Distance_fn Float List Rthv_engine

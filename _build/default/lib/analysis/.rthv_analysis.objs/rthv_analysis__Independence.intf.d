@@ -1,0 +1,1 @@
+lib/analysis/independence.mli: Distance_fn Rthv_engine

@@ -1,0 +1,1 @@
+lib/analysis/irq_latency.ml: Arrival_curve Busy_window List Rthv_engine Rthv_hw Tdma_interference

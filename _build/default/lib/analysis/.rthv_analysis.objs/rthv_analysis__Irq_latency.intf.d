@@ -1,0 +1,1 @@
+lib/analysis/irq_latency.mli: Arrival_curve Busy_window Rthv_engine Rthv_hw Tdma_interference

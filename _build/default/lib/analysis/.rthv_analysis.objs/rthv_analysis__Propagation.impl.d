@@ -1,0 +1,1 @@
+lib/analysis/propagation.ml: Array Arrival_curve Distance_fn Irq_latency Rthv_engine Stdlib

@@ -1,0 +1,1 @@
+lib/analysis/propagation.mli: Arrival_curve Irq_latency Rthv_engine

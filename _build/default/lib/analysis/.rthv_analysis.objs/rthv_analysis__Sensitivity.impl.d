@@ -1,0 +1,1 @@
+lib/analysis/sensitivity.ml: Arrival_curve Busy_window Float Irq_latency Option Rthv_engine Stdlib Tdma_interference

@@ -1,0 +1,1 @@
+lib/analysis/sensitivity.mli: Irq_latency Rthv_engine Tdma_interference

@@ -1,0 +1,1 @@
+lib/analysis/tdma_interference.ml: Rthv_engine Stdlib

@@ -1,0 +1,1 @@
+lib/analysis/tdma_interference.mli: Rthv_engine

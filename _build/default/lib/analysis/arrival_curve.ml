@@ -1,0 +1,84 @@
+module Cycles = Rthv_engine.Cycles
+
+type t =
+  | Periodic of { period : Cycles.t }
+  | Periodic_jitter of {
+      period : Cycles.t;
+      jitter : Cycles.t;
+      d_min : Cycles.t;
+    }
+  | Sporadic of { d_min : Cycles.t }
+  | Distances of Distance_fn.t
+
+let periodic ~period_us = Periodic { period = Cycles.of_us period_us }
+let sporadic ~d_min_us = Sporadic { d_min = Cycles.of_us d_min_us }
+
+let periodic_jitter ~period_us ~jitter_us ?(d_min_us = 1) () =
+  Periodic_jitter
+    {
+      period = Cycles.of_us period_us;
+      jitter = Cycles.of_us jitter_us;
+      d_min = Cycles.of_us d_min_us;
+    }
+
+let of_distance_fn fn = Distances fn
+let of_trace ~l timestamps = Distances (Distance_fn.of_trace ~l timestamps)
+
+(* ceil(a / b) for positive b. *)
+let ceil_div a b = (a + b - 1) / b
+
+let eta_plus t dt =
+  if dt <= 0 then 0
+  else
+    match t with
+    | Periodic { period } ->
+        if period <= 0 then failwith "Arrival_curve: non-positive period";
+        ceil_div dt period
+    | Periodic_jitter { period; jitter; d_min } ->
+        if period <= 0 || d_min <= 0 then
+          failwith "Arrival_curve: non-positive period or d_min";
+        Stdlib.min (ceil_div (dt + jitter) period) (ceil_div dt d_min)
+    | Sporadic { d_min } ->
+        if d_min <= 0 then failwith "Arrival_curve: non-positive d_min";
+        ceil_div dt d_min
+    | Distances fn -> Distance_fn.eta_plus fn dt
+
+let delta_min t q =
+  if q <= 1 then 0
+  else
+    match t with
+    | Periodic { period } -> (q - 1) * period
+    | Periodic_jitter { period; jitter; d_min } ->
+        Stdlib.max (((q - 1) * period) - jitter) ((q - 1) * d_min)
+    | Sporadic { d_min } -> (q - 1) * d_min
+    | Distances fn -> Distance_fn.delta fn q
+
+let rate = function
+  | Periodic { period } | Periodic_jitter { period; _ } ->
+      if period <= 0 then infinity else 1. /. float_of_int period
+  | Sporadic { d_min } ->
+      if d_min <= 0 then infinity else 1. /. float_of_int d_min
+  | Distances fn -> Distance_fn.long_term_rate fn
+
+let validate = function
+  | Periodic { period } ->
+      if period > 0 then Ok () else Error "period must be positive"
+  | Periodic_jitter { period; jitter; d_min } ->
+      if period <= 0 then Error "period must be positive"
+      else if jitter < 0 then Error "jitter must be non-negative"
+      else if d_min <= 0 then Error "d_min must be positive"
+      else if d_min > period then Error "d_min must not exceed period"
+      else Ok ()
+  | Sporadic { d_min } ->
+      if d_min > 0 then Ok () else Error "d_min must be positive"
+  | Distances fn ->
+      if Distance_fn.length fn > 0 then Ok ()
+      else Error "distance function must have entries"
+
+let pp ppf = function
+  | Periodic { period } -> Format.fprintf ppf "periodic(%a)" Cycles.pp period
+  | Periodic_jitter { period; jitter; d_min } ->
+      Format.fprintf ppf "periodic(%a) + jitter(%a), d_min=%a" Cycles.pp
+        period Cycles.pp jitter Cycles.pp d_min
+  | Sporadic { d_min } -> Format.fprintf ppf "sporadic(d_min=%a)" Cycles.pp d_min
+  | Distances fn -> Distance_fn.pp ppf fn

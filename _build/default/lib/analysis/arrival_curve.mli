@@ -1,0 +1,54 @@
+(** Event models: upper arrival functions eta^+ and their minimum-distance
+    duals delta^-.
+
+    The busy-window analysis of the paper (Section 4) describes activation
+    patterns by arrival functions eta^+(dt) — the maximum number of events in
+    any time window of size dt (Le Boudec & Thiran's network calculus) — and
+    uses the dual minimum-distance representation delta^-(q) (Richter 2004)
+    for the analysed source itself.  This module provides the standard event
+    models plus trace-derived models. *)
+
+type t =
+  | Periodic of { period : Rthv_engine.Cycles.t }
+      (** Strictly periodic activations. *)
+  | Periodic_jitter of {
+      period : Rthv_engine.Cycles.t;
+      jitter : Rthv_engine.Cycles.t;
+      d_min : Rthv_engine.Cycles.t;
+    }
+      (** Periodic with release jitter and a minimum inter-event distance.
+          [d_min] must be positive and at most [period]. *)
+  | Sporadic of { d_min : Rthv_engine.Cycles.t }
+      (** Only a minimum distance between consecutive events is known. *)
+  | Distances of Distance_fn.t
+      (** Explicit l-entry minimum-distance function (e.g. a monitoring
+          condition, or a function learned from a trace). *)
+
+val periodic : period_us:int -> t
+val sporadic : d_min_us:int -> t
+
+val periodic_jitter :
+  period_us:int -> jitter_us:int -> ?d_min_us:int -> unit -> t
+(** [d_min_us] defaults to 1 us (events cannot be simultaneous). *)
+
+val of_distance_fn : Distance_fn.t -> t
+
+val of_trace : l:int -> Rthv_engine.Cycles.t list -> t
+(** Distance model learned from a sorted activation trace. *)
+
+val eta_plus : t -> Rthv_engine.Cycles.t -> int
+(** [eta_plus t dt]: maximum events in any half-open window of length [dt].
+    0 for non-positive [dt].
+    @raise Failure on degenerate models admitting unbounded load. *)
+
+val delta_min : t -> int -> Rthv_engine.Cycles.t
+(** [delta_min t q]: minimum span of [q] consecutive events; 0 for
+    [q <= 1]. *)
+
+val rate : t -> float
+(** Long-term event rate, events per cycle. *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity of the parameters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+module Cycles = Rthv_engine.Cycles
+
+type outcome = Converged of Cycles.t | Diverged
+
+type result = {
+  response_time : Cycles.t;
+  q_max : int;
+  busy_windows : (int * Cycles.t) list;
+  critical_q : int;
+}
+
+(* A few simulated hours at 200 MHz; any busy window that long means the
+   resource is overloaded for every practical configuration in this repo. *)
+let ceiling = 1_000_000 * Cycles.of_ms 1
+
+(* Iteration cap: every genuine schedulability fixed point jumps to the next
+   activation boundary per step, so well-formed systems converge in far
+   fewer steps; a slow linear crawl towards the ceiling is an overload. *)
+let max_iterations = 100_000
+
+let fixed_point ~q ~wcet ~interference =
+  if q < 1 then invalid_arg "Busy_window.fixed_point: q < 1";
+  if wcet < 0 then invalid_arg "Busy_window.fixed_point: negative wcet";
+  let base = q * wcet in
+  let rec iterate steps w =
+    if w > ceiling || steps > max_iterations then Diverged
+    else begin
+      let w' = Cycles.( + ) base (interference w) in
+      if w' = w then Converged w
+      else if w' < w then
+        (* A non-monotone interference function shrank the window; the least
+           fixed point is still bounded by w, so accept w. *)
+        Converged w
+      else iterate (steps + 1) w'
+    end
+  in
+  iterate 0 base
+
+let response_time ~wcet ~delta ~interference ?(max_q = 4096) () =
+  let rec explore q acc =
+    if q > max_q then
+      Error
+        (Printf.sprintf
+           "busy period still open after %d activations (overload?)" max_q)
+    else
+      match fixed_point ~q ~wcet ~interference with
+      | Diverged -> Error "busy window diverged: resource overloaded"
+      | Converged w ->
+          let acc = (q, w) :: acc in
+          (* Equation (4): the (q+1)-th activation belongs to the same busy
+             period iff it arrives no later than the q-event busy time. *)
+          if delta (q + 1) <= w then explore (q + 1) acc
+          else Ok (List.rev acc)
+  in
+  match explore 1 [] with
+  | Error _ as e -> e
+  | Ok busy_windows ->
+      let response_time, critical_q =
+        List.fold_left
+          (fun (best, best_q) (q, w) ->
+            let r = Cycles.( - ) w (delta q) in
+            if r > best then (r, q) else (best, best_q))
+          (0, 1) busy_windows
+      in
+      let q_max = List.length busy_windows in
+      Ok { response_time; q_max; busy_windows; critical_q }
+
+let utilisation ~contributions =
+  List.fold_left (fun acc (rate, wcet) -> acc +. (rate *. wcet)) 0. contributions

@@ -1,0 +1,65 @@
+(** Sufficient-temporal-independence certificate.
+
+    Packages the paper's certification argument into one checkable object:
+    given the TDMA schedule, each partition's task set, and the set of
+    interposition grants (monitored IRQ sources with their effective
+    bottom-handler costs), verify for {e every} partition that
+
+    + the interference it can suffer from all granted sources together is
+      bounded (equation (14), summed, plus one carry-in), and
+    + its task set remains schedulable under that bound (equation (2) with
+      b_Ip instantiated, checked through {!Guest_sched}).
+
+    The result is a per-partition verdict with the numbers a reviewer needs;
+    [holds] is the conjunction.  This is what an ARINC653-style integrator
+    would attach to a change request that enables interposition. *)
+
+type grant = {
+  source_name : string;
+  monitor : Distance_fn.t;  (** The monitoring condition enforced. *)
+  c_bh_eff : Rthv_engine.Cycles.t;  (** Equation (13) for that source. *)
+  subscriber : int;  (** Interpositions never steal from the subscriber's
+                         own slot budget in this model, but its top handlers
+                         still run; the subscriber is reported, not
+                         special-cased. *)
+}
+
+type partition_input = {
+  p_index : int;
+  p_name : string;
+  slot : Rthv_engine.Cycles.t;
+  tasks : Guest_sched.task list;
+}
+
+type verdict = {
+  v_index : int;
+  v_name : string;
+  interference_budget : Rthv_engine.Cycles.t;
+      (** b_Ip: worst interference in one slot window (sum of grants'
+          eq.-(14) curves over the slot, plus one carry-in). *)
+  utilisation_loss : float;
+      (** Long-term processor share taken by the grants. *)
+  task_results : (Guest_sched.task * (Busy_window.result, string) result) list;
+  schedulable : bool;
+}
+
+type t = {
+  cycle : Rthv_engine.Cycles.t;
+  c_ctx : Rthv_engine.Cycles.t;
+  grants : grant list;
+  verdicts : verdict list;
+  holds : bool;  (** Every partition schedulable under its budget. *)
+}
+
+val check :
+  cycle:Rthv_engine.Cycles.t ->
+  c_ctx:Rthv_engine.Cycles.t ->
+  partitions:partition_input list ->
+  grants:grant list ->
+  t
+(** Analyse every partition against the sum of all grants.  Each partition
+    is analysed with its slot shortened by [c_ctx] (the slot-entry switch)
+    and a blocking term of one largest [c_bh_eff] (carry-in). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable certificate. *)

@@ -1,0 +1,80 @@
+module Cycles = Rthv_engine.Cycles
+
+type task = Guest_sched.task
+
+let demand_bound tasks t =
+  List.fold_left
+    (fun acc (task : task) ->
+      if t < task.Guest_sched.period then acc
+      else begin
+        let jobs = ((t - task.Guest_sched.period) / task.Guest_sched.period) + 1 in
+        Cycles.( + ) acc (Cycles.( * ) task.Guest_sched.wcet jobs)
+      end)
+    0 tasks
+
+let supply_bound ~tdma ?(interference = Independence.isolated) ?(blocking = 0)
+    t =
+  if t <= 0 then 0
+  else
+    Stdlib.max 0
+      (t - Tdma_interference.interference tdma t - interference t - blocking)
+
+let default_horizon tasks =
+  let max_period =
+    List.fold_left
+      (fun acc (task : task) -> Cycles.max acc task.Guest_sched.period)
+      1 tasks
+  in
+  Stdlib.min Busy_window.ceiling (16 * max_period)
+
+let check_points tasks ~horizon =
+  (* dbf only steps at multiples of the periods (implicit deadlines). *)
+  let points = ref [] in
+  List.iter
+    (fun (task : task) ->
+      let rec walk k =
+        let t = Cycles.( * ) task.Guest_sched.period k in
+        if t <= horizon then begin
+          points := t :: !points;
+          walk (k + 1)
+        end
+      in
+      walk 1)
+    tasks;
+  List.sort_uniq compare !points
+
+let schedulable ~tdma ?interference ?blocking ?horizon tasks =
+  match tasks with
+  | [] -> true
+  | _ ->
+      let horizon =
+        match horizon with
+        | Some h -> h
+        | None -> default_horizon tasks
+      in
+      List.for_all
+        (fun t ->
+          demand_bound tasks t <= supply_bound ~tdma ?interference ?blocking t)
+        (check_points tasks ~horizon)
+
+let margin ~tdma ?interference ?blocking ?horizon tasks =
+  match tasks with
+  | [] -> Some Busy_window.ceiling
+  | _ ->
+      let horizon =
+        match horizon with
+        | Some h -> h
+        | None -> default_horizon tasks
+      in
+      let slack =
+        List.fold_left
+          (fun acc t ->
+            let s =
+              supply_bound ~tdma ?interference ?blocking t
+              - demand_bound tasks t
+            in
+            Cycles.min acc s)
+          Busy_window.ceiling
+          (check_points tasks ~horizon)
+      in
+      if slack < 0 then None else Some slack

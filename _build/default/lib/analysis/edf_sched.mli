@@ -1,0 +1,53 @@
+(** EDF schedulability inside a TDMA partition, demand-bound style.
+
+    Guests may schedule their tasks EDF instead of fixed-priority
+    ({!Rthv_rtos.Guest.policy}).  Schedulability inside a TDMA slot with
+    bounded foreign interference follows the classic supply/demand argument
+    (Baruah et al. for the demand side; hierarchical-scheduling supply
+    functions for the TDMA side):
+
+    - demand: [dbf(t) = sum_i (floor((t - D_i)/T_i) + 1)^+ * C_i] with
+      implicit deadlines D = T;
+    - supply: the partition's guaranteed service in any window of length t,
+      [sbf(t) = t - I_TDMA(t) - I_interposed(t) - blocking];
+    - the set is schedulable iff [dbf(t) <= sbf(t)] for all t up to a
+      bounded horizon (checked at the demand step points, which is exact for
+      step demand against our superadditively-decreasing supply). *)
+
+type task = Guest_sched.task
+(** Reuses the task record; [priority] is ignored under EDF. *)
+
+val demand_bound : task list -> Rthv_engine.Cycles.t -> Rthv_engine.Cycles.t
+(** [dbf] for implicit deadlines. *)
+
+val supply_bound :
+  tdma:Tdma_interference.t ->
+  ?interference:Independence.interference_curve ->
+  ?blocking:Rthv_engine.Cycles.t ->
+  Rthv_engine.Cycles.t ->
+  Rthv_engine.Cycles.t
+(** Guaranteed service in a window (never negative). *)
+
+val schedulable :
+  tdma:Tdma_interference.t ->
+  ?interference:Independence.interference_curve ->
+  ?blocking:Rthv_engine.Cycles.t ->
+  ?horizon:Rthv_engine.Cycles.t ->
+  task list ->
+  bool
+(** Checks [dbf <= sbf] at every deadline step point up to [horizon]
+    (default: 16x the largest period, capped at {!Busy_window.ceiling}).
+    Checking only step points is exact — dbf is constant between them and
+    sbf is non-decreasing.  The finite horizon is sufficient for the
+    configurations in this repository; over-utilised sets diverge linearly
+    and are caught well inside it. *)
+
+val margin :
+  tdma:Tdma_interference.t ->
+  ?interference:Independence.interference_curve ->
+  ?blocking:Rthv_engine.Cycles.t ->
+  ?horizon:Rthv_engine.Cycles.t ->
+  task list ->
+  Rthv_engine.Cycles.t option
+(** Worst-case slack [min_t (sbf t - dbf t)] over the checked points; [None]
+    if the set is unschedulable (negative slack somewhere). *)

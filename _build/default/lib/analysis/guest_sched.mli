@@ -1,0 +1,74 @@
+(** Guest-task schedulability inside a TDMA partition.
+
+    This closes the loop on equation (2): a partition's own fixed-priority
+    task set must remain schedulable given (a) its TDMA service (equation
+    (8)), and (b) the bounded interference b_Ip that interposed bottom
+    handlers of other partitions may inject (equation (14)).  A system
+    integrator grants a d_min to an IRQ source only if every other
+    partition's task set passes this analysis with the corresponding
+    interference curve.
+
+    Tasks follow the fixed-priority preemptive model of
+    {!Rthv_rtos.Guest}: lower [priority] value = higher priority; implicit
+    deadlines (deadline = period) unless stated otherwise. *)
+
+type task = {
+  name : string;
+  period : Rthv_engine.Cycles.t;
+  wcet : Rthv_engine.Cycles.t;
+  priority : int;
+}
+
+val of_spec : Rthv_rtos.Task.spec -> task
+(** Forget the offset (critical-instant analysis is offset-free). *)
+
+val utilisation : task list -> float
+
+val response_time :
+  tdma:Tdma_interference.t ->
+  ?interference:Independence.interference_curve ->
+  ?blocking:Rthv_engine.Cycles.t ->
+  task:task ->
+  higher_priority:task list ->
+  unit ->
+  (Busy_window.result, string) result
+(** Busy-window response time of [task] within its partition:
+    [W(q) = q*C + I_TDMA(W) + interference(W) + blocking
+            + sum_hp ceil-eta(W)*C_hp].
+
+    [interference] is the foreign-interposition curve (default
+    {!Independence.isolated}); [blocking] is a constant carry-in term
+    (default 0) — pass one C'_BH when interpositions may spill across the
+    partition's slot start.  The TDMA object should already account for the
+    slot-entry context switch (slot := T_i − C_ctx). *)
+
+val analyse :
+  tdma:Tdma_interference.t ->
+  ?interference:Independence.interference_curve ->
+  ?blocking:Rthv_engine.Cycles.t ->
+  task list ->
+  (task * (Busy_window.result, string) result) list
+(** Response times for the whole set, each against its higher-priority
+    subset.  Priority ties interfere with each other (conservative). *)
+
+val schedulable :
+  tdma:Tdma_interference.t ->
+  ?interference:Independence.interference_curve ->
+  ?blocking:Rthv_engine.Cycles.t ->
+  task list ->
+  bool
+(** All response times converge and meet implicit deadlines. *)
+
+val min_tolerated_d_min :
+  tdma:Tdma_interference.t ->
+  ?blocking:Rthv_engine.Cycles.t ->
+  c_bh_eff:Rthv_engine.Cycles.t ->
+  task list ->
+  Rthv_engine.Cycles.t option
+(** The smallest monitor [d_min] under which this task set stays
+    schedulable when foreign interpositions of effective cost [c_bh_eff]
+    are shaped by [Independence.d_min_bound ~d_min ~c_bh_eff] — i.e. the
+    tightest grant a system integrator may hand to another partition's IRQ
+    source without breaking this partition.  [None] if the set is
+    unschedulable even in complete isolation.  Found by doubling plus
+    binary search (the schedulability predicate is monotone in d_min). *)

@@ -1,0 +1,44 @@
+module Cycles = Rthv_engine.Cycles
+
+type t = {
+  input : Arrival_curve.t;
+  r_min : Cycles.t;
+  r_max : Cycles.t;
+}
+
+let output_jitter t =
+  if t.r_max < t.r_min then
+    invalid_arg "Propagation: r_max must be at least r_min";
+  Cycles.( - ) t.r_max t.r_min
+
+let output_model t =
+  let jitter = output_jitter t in
+  match t.input with
+  | Arrival_curve.Periodic { period } ->
+      Arrival_curve.Periodic_jitter { period; jitter; d_min = 1 }
+  | Arrival_curve.Periodic_jitter { period; jitter = j; d_min } ->
+      Arrival_curve.Periodic_jitter
+        {
+          period;
+          jitter = Cycles.( + ) j jitter;
+          d_min = Stdlib.max 1 (Cycles.( - ) d_min jitter);
+        }
+  | Arrival_curve.Sporadic { d_min } ->
+      (* Sporadic in, sporadic out, with distances compressed by the jitter
+         but never below one cycle. *)
+      Arrival_curve.Sporadic { d_min = Stdlib.max 1 (Cycles.( - ) d_min jitter) }
+  | Arrival_curve.Distances fn ->
+      let entries =
+        Array.map
+          (fun d -> Stdlib.max 1 (Cycles.( - ) d jitter))
+          (Distance_fn.entries fn)
+      in
+      Arrival_curve.Distances (Distance_fn.of_entries entries)
+
+let best_case_interposed ~costs ~c_th ~c_bh =
+  Cycles.( + ) c_th
+    (Cycles.( + ) costs.Irq_latency.c_mon
+       (Cycles.( + ) costs.Irq_latency.c_sched
+          (Cycles.( + ) costs.Irq_latency.c_ctx c_bh)))
+
+let best_case_direct ~c_th ~c_bh = Cycles.( + ) c_th c_bh

@@ -1,0 +1,39 @@
+(** Output event models: what a downstream consumer sees.
+
+    Compositional performance analysis (Richter 2004, Schliecker et al.
+    2008) propagates event models through processing elements: a stream with
+    input model eta^+ processed with best-case latency R_min and worst-case
+    latency R_max produces completions whose arrival model is the input
+    shifted by a response-time {e jitter} of [R_max - R_min].
+
+    Here: the completions of an IRQ's bottom handler form the activation
+    stream of whatever consumes its results (a guest task, an IPC port, a
+    downstream partition).  Interposed handling shrinks R_max dramatically,
+    so it shrinks the output jitter too — a second benefit of the paper's
+    mechanism beyond the latency itself. *)
+
+type t = {
+  input : Arrival_curve.t;
+  r_min : Rthv_engine.Cycles.t;  (** Best-case processing latency. *)
+  r_max : Rthv_engine.Cycles.t;  (** Worst-case processing latency. *)
+}
+
+val output_jitter : t -> Rthv_engine.Cycles.t
+(** [r_max - r_min]. *)
+
+val output_model : t -> Arrival_curve.t
+(** The completion stream's arrival model.  For a periodic or sporadic input
+    with period/distance p this is periodic-with-jitter
+    [(p, r_max - r_min)] with a conservative 1-cycle d_min floor; for
+    already-jittered inputs the jitters add; explicit distance-function
+    inputs are widened entry-wise (each distance shrunk by the jitter, with
+    the same floor). *)
+
+val best_case_interposed :
+  costs:Irq_latency.costs -> c_th:Rthv_engine.Cycles.t -> c_bh:Rthv_engine.Cycles.t -> Rthv_engine.Cycles.t
+(** Best-case end-to-end latency of an interposed IRQ: every stage at its
+    cost with no interference (C'_TH + C_sched + C_ctx + C_BH). *)
+
+val best_case_direct :
+  c_th:Rthv_engine.Cycles.t -> c_bh:Rthv_engine.Cycles.t -> Rthv_engine.Cycles.t
+(** Best case for direct handling: C_TH + C_BH. *)

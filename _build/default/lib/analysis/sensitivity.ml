@@ -1,0 +1,110 @@
+module Cycles = Rthv_engine.Cycles
+
+type query = {
+  tdma : Tdma_interference.t;
+  costs : Irq_latency.costs;
+  c_th : Cycles.t;
+  interferers : Irq_latency.source list;
+}
+
+let make ?(interferers = []) ~tdma ~costs ~c_th () =
+  { tdma; costs; c_th; interferers }
+
+let source query ~c_bh ~d_min =
+  {
+    Irq_latency.name = "query";
+    arrival = Arrival_curve.Sporadic { d_min };
+    c_th = query.c_th;
+    c_bh;
+  }
+
+let interposed_latency query ~c_bh ~d_min =
+  let self = source query ~c_bh ~d_min in
+  match
+    Irq_latency.interposed ~costs:query.costs ~self
+      ~interferers:query.interferers ()
+  with
+  | Ok r -> Some r.Busy_window.response_time
+  | Error _ -> None
+
+(* Generic search: largest x in [1, hi_limit] with (ok x), where ok is
+   downward-closed (monotone decreasing in x).  None if (ok 1) fails. *)
+let largest_satisfying ~hi_limit ok =
+  if not (ok 1) then None
+  else begin
+    let rec grow hi = if hi >= hi_limit || not (ok hi) then hi else grow (hi * 2) in
+    let hi = grow 2 in
+    if ok hi then Some (Stdlib.min hi hi_limit)
+    else begin
+      (* Invariant: ok lo, not (ok hi). *)
+      let rec bisect lo hi =
+        if hi - lo <= 1 then lo
+        else begin
+          let mid = lo + ((hi - lo) / 2) in
+          if ok mid then bisect mid hi else bisect lo mid
+        end
+      in
+      Some (bisect 1 hi)
+    end
+  end
+
+(* Smallest x in [1, hi_limit] with (ok x), ok upward-closed. *)
+let smallest_satisfying ~hi_limit ok =
+  let rec grow hi =
+    if ok hi then Some hi else if hi >= hi_limit then None else grow (hi * 2)
+  in
+  match grow 1 with
+  | None -> None
+  | Some hi ->
+      if hi = 1 then Some 1
+      else begin
+        (* Invariant: not (ok lo), ok hi. *)
+        let rec bisect lo hi =
+          if hi - lo <= 1 then hi
+          else begin
+            let mid = lo + ((hi - lo) / 2) in
+            if ok mid then bisect lo mid else bisect mid hi
+          end
+        in
+        Some (bisect (hi / 2) hi)
+      end
+
+let max_c_bh_for_latency query ~d_min ~budget =
+  let ok c_bh =
+    match interposed_latency query ~c_bh ~d_min with
+    | Some r -> r <= budget
+    | None -> false
+  in
+  largest_satisfying ~hi_limit:Busy_window.ceiling ok
+
+let min_d_min_for_latency query ~c_bh ~budget =
+  let ok d_min =
+    match interposed_latency query ~c_bh ~d_min with
+    | Some r -> r <= budget
+    | None -> false
+  in
+  smallest_satisfying ~hi_limit:Busy_window.ceiling ok
+
+let baseline_cycle_for_latency query ~c_bh ~d_min ~slot_fraction ~budget =
+  if slot_fraction <= 0. || slot_fraction >= 1. then
+    invalid_arg "Sensitivity.baseline_cycle_for_latency: slot_fraction in (0,1)";
+  let self = source query ~c_bh ~d_min in
+  (* Parameterise by the foreign-slot gap (T_TDMA - T_i): the latency is
+     monotone in the gap, whereas integer slot rounding at tiny cycle
+     lengths would break monotonicity in the cycle itself. *)
+  let cycle_of_gap gap =
+    Stdlib.max (gap + 1)
+      (int_of_float (Float.round (float_of_int gap /. (1. -. slot_fraction))))
+  in
+  let ok gap =
+    let cycle = cycle_of_gap gap in
+    let tdma = Tdma_interference.make ~cycle ~slot:(cycle - gap) in
+    match Irq_latency.baseline ~tdma ~self ~interferers:query.interferers () with
+    | Ok r -> r.Busy_window.response_time <= budget
+    | Error _ -> false
+  in
+  Option.map cycle_of_gap (largest_satisfying ~hi_limit:Busy_window.ceiling ok)
+
+let switch_rate_per_second ~cycle ~partitions =
+  if cycle <= 0 then invalid_arg "Sensitivity.switch_rate_per_second";
+  float_of_int partitions /. (float_of_int cycle /. 200e6)

@@ -1,0 +1,66 @@
+(** Sensitivity analysis: design-space queries over the worst-case IRQ
+    latency analysis.
+
+    System integrators rarely ask "what is R for these parameters" — they
+    ask the inverse questions: how slow may the bottom handler get before a
+    latency budget breaks, how much load can a source carry, how short must
+    the TDMA cycle be for the *baseline* scheme to match interposition.
+    Each query is a monotone predicate over one parameter, answered by
+    doubling plus binary search on the equations of Sections 4-5. *)
+
+type query = {
+  tdma : Tdma_interference.t;
+  costs : Irq_latency.costs;
+  c_th : Rthv_engine.Cycles.t;
+  interferers : Irq_latency.source list;
+}
+
+val make :
+  ?interferers:Irq_latency.source list ->
+  tdma:Tdma_interference.t ->
+  costs:Irq_latency.costs ->
+  c_th:Rthv_engine.Cycles.t ->
+  unit ->
+  query
+
+val interposed_latency :
+  query -> c_bh:Rthv_engine.Cycles.t -> d_min:Rthv_engine.Cycles.t ->
+  Rthv_engine.Cycles.t option
+(** Equation (16) worst case, [None] on overload. *)
+
+val max_c_bh_for_latency :
+  query ->
+  d_min:Rthv_engine.Cycles.t ->
+  budget:Rthv_engine.Cycles.t ->
+  Rthv_engine.Cycles.t option
+(** Largest bottom-handler WCET whose interposed worst-case latency stays at
+    or below [budget].  [None] if even C_BH = 1 cycle misses the budget. *)
+
+val min_d_min_for_latency :
+  query ->
+  c_bh:Rthv_engine.Cycles.t ->
+  budget:Rthv_engine.Cycles.t ->
+  Rthv_engine.Cycles.t option
+(** Smallest monitor distance that keeps the interposed worst case within
+    [budget] (shorter distances queue more activations in one busy period).
+    [None] if no distance achieves it. *)
+
+val baseline_cycle_for_latency :
+  query ->
+  c_bh:Rthv_engine.Cycles.t ->
+  d_min:Rthv_engine.Cycles.t ->
+  slot_fraction:float ->
+  budget:Rthv_engine.Cycles.t ->
+  Rthv_engine.Cycles.t option
+(** The TDMA cycle length at which the {e baseline} (delayed) scheme would
+    meet the same latency budget, keeping the subscriber's slot at
+    [slot_fraction] of the cycle — i.e. how much faster the hypervisor would
+    have to cycle to buy the latency that interposition gives for free.
+    [None] if no cycle length suffices.  This quantifies the paper's
+    introduction argument that shrinking T_TDMA is not a real alternative
+    (the returned cycles are typically tiny, implying pathological
+    context-switch rates). *)
+
+val switch_rate_per_second : cycle:Rthv_engine.Cycles.t -> partitions:int -> float
+(** Context switches per second a TDMA cycle implies — the overhead price of
+    a [baseline_cycle_for_latency] answer. *)

@@ -1,0 +1,17 @@
+module Cycles = Rthv_engine.Cycles
+
+type t = { cycle : Cycles.t; slot : Cycles.t }
+
+let make ~cycle ~slot =
+  if slot <= 0 || slot > cycle then
+    invalid_arg "Tdma_interference.make: need 0 < slot <= cycle";
+  { cycle; slot }
+
+let ceil_div a b = (a + b - 1) / b
+
+let interference t dt =
+  if dt <= 0 then 0 else ceil_div dt t.cycle * Cycles.( - ) t.cycle t.slot
+
+let worst_case_gap t = Cycles.( - ) t.cycle t.slot
+
+let service t dt = Stdlib.max 0 (Cycles.( - ) dt (interference t dt))

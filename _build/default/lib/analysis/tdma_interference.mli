@@ -1,0 +1,26 @@
+(** Interference from TDMA time partitioning (equation (8) of the paper,
+    after Tindell & Clark's holistic analysis).
+
+    A task that may only execute inside its partition's slot of length [slot]
+    within a TDMA cycle of length [cycle] loses, in any window of size [dt],
+    at most [ceil(dt / cycle) * (cycle - slot)] time to the other slots
+    (context-switch overhead included in the slot accounting). *)
+
+type t = {
+  cycle : Rthv_engine.Cycles.t;  (** T_TDMA: sum of all slot lengths. *)
+  slot : Rthv_engine.Cycles.t;  (** T_i: the analysed partition's slot. *)
+}
+
+val make : cycle:Rthv_engine.Cycles.t -> slot:Rthv_engine.Cycles.t -> t
+(** @raise Invalid_argument unless [0 < slot <= cycle]. *)
+
+val interference : t -> Rthv_engine.Cycles.t -> Rthv_engine.Cycles.t
+(** [interference t dt] is equation (8): I_TDMA(dt). *)
+
+val worst_case_gap : t -> Rthv_engine.Cycles.t
+(** [cycle - slot]: the longest contiguous foreign-slot stretch, which
+    dominates delayed-IRQ latency in the baseline scheme. *)
+
+val service : t -> Rthv_engine.Cycles.t -> Rthv_engine.Cycles.t
+(** Guaranteed service in a window: [max 0 (dt - interference t dt)].
+    A lower bound on execution time available to the partition. *)

@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Fun List Printf Rthv_analysis Rthv_engine Rthv_hw Rthv_rtos Tdma

@@ -1,0 +1,1 @@
+lib/core/config.mli: Rthv_analysis Rthv_engine Rthv_hw Rthv_rtos Tdma

@@ -1,0 +1,1 @@
+lib/core/delta_learner.ml: Array Rthv_analysis Rthv_engine

@@ -1,0 +1,1 @@
+lib/core/delta_learner.mli: Rthv_analysis Rthv_engine

@@ -1,0 +1,1 @@
+lib/core/hyp_sim.ml: Array Config Hashtbl Hyp_trace Irq_record List Monitor Option Queue Rthv_engine Rthv_hw Rthv_rtos Stdlib Tdma Throttle

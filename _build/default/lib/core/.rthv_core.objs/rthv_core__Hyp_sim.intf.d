@@ -1,0 +1,1 @@
+lib/core/hyp_sim.mli: Config Hyp_trace Irq_record Monitor Rthv_engine Rthv_rtos

@@ -1,0 +1,1 @@
+lib/core/hyp_trace.ml: Array Format List Rthv_engine Stdlib

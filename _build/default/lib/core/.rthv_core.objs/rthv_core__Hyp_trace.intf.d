@@ -1,0 +1,1 @@
+lib/core/hyp_trace.mli: Format Rthv_engine

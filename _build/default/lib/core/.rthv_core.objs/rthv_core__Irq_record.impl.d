@@ -1,0 +1,1 @@
+lib/core/irq_record.ml: Format Rthv_engine

@@ -1,0 +1,1 @@
+lib/core/irq_record.mli: Format Rthv_engine

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Array Delta_learner Rthv_analysis Rthv_engine Stdlib

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Rthv_analysis Rthv_engine

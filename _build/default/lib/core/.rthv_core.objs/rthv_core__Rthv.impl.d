@@ -1,0 +1,1 @@
+lib/core/rthv.ml: Config Delta_learner Hyp_sim Hyp_trace Irq_record Monitor Rthv_analysis Rthv_engine Rthv_hw Rthv_rtos Tdma Throttle Vcd_export

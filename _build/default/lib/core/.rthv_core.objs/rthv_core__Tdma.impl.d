@@ -1,0 +1,1 @@
+lib/core/tdma.ml: Array Format Rthv_analysis Rthv_engine

@@ -1,0 +1,1 @@
+lib/core/tdma.mli: Format Rthv_analysis Rthv_engine

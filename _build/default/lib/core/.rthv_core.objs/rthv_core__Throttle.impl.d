@@ -1,0 +1,1 @@
+lib/core/throttle.ml: Rthv_engine Stdlib

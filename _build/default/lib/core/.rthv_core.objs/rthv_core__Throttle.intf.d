@@ -1,0 +1,1 @@
+lib/core/throttle.mli: Rthv_engine

@@ -1,0 +1,1 @@
+lib/core/vcd_export.ml: Buffer Bytes Fun Hyp_trace List Printf Rthv_engine

@@ -1,0 +1,1 @@
+lib/core/vcd_export.mli: Hyp_trace

@@ -1,0 +1,152 @@
+module Cycles = Rthv_engine.Cycles
+module Distance_fn = Rthv_analysis.Distance_fn
+
+type shaping =
+  | No_shaping
+  | Fixed_monitor of Distance_fn.t
+  | Self_learning of {
+      l : int;
+      learn_events : int;
+      bound : Distance_fn.t option;
+    }
+  | Token_bucket of { capacity : int; refill : Cycles.t }
+
+type arrival_mode = Reprogram | Absolute
+
+type source = {
+  name : string;
+  line : int;
+  subscriber : int;
+  c_th : Cycles.t;
+  c_bh : Cycles.t;
+  interarrivals : Cycles.t array;
+  arrival_mode : arrival_mode;
+  shaping : shaping;
+  activates : Rthv_rtos.Task.spec option;
+}
+
+type partition = {
+  pname : string;
+  slot : Cycles.t;
+  tasks : Rthv_rtos.Task.spec list;
+  busy_loop : bool;
+  policy : Rthv_rtos.Guest.policy;
+}
+
+type t = {
+  platform : Rthv_hw.Platform.t;
+  partitions : partition list;
+  sources : source list;
+  ports : (string * int) list;
+  finish_bh_at_boundary : bool;
+}
+
+let partition ~name ~slot_us ?(tasks = []) ?(busy_loop = true)
+    ?(policy = Rthv_rtos.Guest.Fixed_priority) () =
+  if slot_us <= 0 then invalid_arg "Config.partition: slot must be positive";
+  { pname = name; slot = Cycles.of_us slot_us; tasks; busy_loop; policy }
+
+let source ~name ~line ~subscriber ~c_th_us ~c_bh_us ~interarrivals
+    ?(arrival_mode = Reprogram) ?(shaping = No_shaping) ?activates () =
+  if c_th_us <= 0 || c_bh_us <= 0 then
+    invalid_arg "Config.source: handler WCETs must be positive";
+  {
+    name;
+    line;
+    subscriber;
+    c_th = Cycles.of_us c_th_us;
+    c_bh = Cycles.of_us c_bh_us;
+    interarrivals;
+    arrival_mode;
+    shaping;
+    activates;
+  }
+
+let make ?(platform = Rthv_hw.Platform.arm926ejs_200mhz)
+    ?(finish_bh_at_boundary = true) ?(ports = []) ~partitions ~sources () =
+  { platform; partitions; sources; ports; finish_bh_at_boundary }
+
+let validate t =
+  let n_partitions = List.length t.partitions in
+  let check_source acc source =
+    match acc with
+    | Error _ as e -> e
+    | Ok lines ->
+        if source.subscriber < 0 || source.subscriber >= n_partitions then
+          Error (Printf.sprintf "source %s: bad subscriber" source.name)
+        else if source.line < 0 || source.line >= t.platform.Rthv_hw.Platform.intc_lines
+        then Error (Printf.sprintf "source %s: line out of range" source.name)
+        else if List.mem source.line lines then
+          Error (Printf.sprintf "source %s: duplicate line %d" source.name source.line)
+        else if source.c_th <= 0 || source.c_bh <= 0 then
+          Error (Printf.sprintf "source %s: non-positive WCET" source.name)
+        else if Array.exists (fun d -> d < 0) source.interarrivals then
+          Error (Printf.sprintf "source %s: negative interarrival" source.name)
+        else
+          let shaping_ok =
+            match source.shaping with
+            | No_shaping | Fixed_monitor _ -> Ok ()
+            | Token_bucket { capacity; refill } ->
+                if capacity < 1 then Error "bucket capacity must be >= 1"
+                else if refill < 1 then Error "bucket refill must be >= 1"
+                else Ok ()
+            | Self_learning { l; learn_events; bound } ->
+                if l <= 0 then Error "l must be positive"
+                else if learn_events < 0 then Error "negative learn_events"
+                else (
+                  match bound with
+                  | Some b when Distance_fn.length b <> l ->
+                      Error "bound length mismatch"
+                  | Some _ | None -> Ok ())
+          in
+          (match shaping_ok with
+          | Error msg ->
+              Error (Printf.sprintf "source %s: %s" source.name msg)
+          | Ok () -> Ok (source.line :: lines))
+  in
+  let check_ports () =
+    let rec unique = function
+      | [] -> Ok ()
+      | (name, capacity) :: rest ->
+          if capacity <= 0 then
+            Error (Printf.sprintf "port %S: capacity must be positive" name)
+          else if List.mem_assoc name rest then
+            Error (Printf.sprintf "duplicate port %S" name)
+          else unique rest
+    in
+    match unique t.ports with
+    | Error _ as e -> e
+    | Ok () ->
+        let declared = List.map fst t.ports in
+        let missing =
+          List.concat_map
+            (fun p ->
+              List.concat_map
+                (fun (task : Rthv_rtos.Task.spec) ->
+                  List.filter
+                    (fun port -> not (List.mem port declared))
+                    (List.filter_map Fun.id
+                       [ task.Rthv_rtos.Task.produces; task.Rthv_rtos.Task.consumes ]))
+                p.tasks)
+            t.partitions
+        in
+        (match missing with
+        | [] -> Ok ()
+        | port :: _ -> Error (Printf.sprintf "undeclared port %S" port))
+  in
+  if n_partitions = 0 then Error "no partitions"
+  else
+    match List.fold_left check_source (Ok []) t.sources with
+    | Error _ as e -> e
+    | Ok _ -> check_ports ()
+
+let tdma t =
+  Tdma.make (Array.of_list (List.map (fun p -> p.slot) t.partitions))
+
+let monitoring_enabled t =
+  List.exists
+    (fun source ->
+      match source.shaping with
+      | No_shaping -> false
+      | Fixed_monitor _ | Self_learning _ | Token_bucket _ -> true)
+    t.sources

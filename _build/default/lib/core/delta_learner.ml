@@ -1,0 +1,39 @@
+module Cycles = Rthv_engine.Cycles
+module Distance_fn = Rthv_analysis.Distance_fn
+
+type t = {
+  entries : Cycles.t array;
+  tracebuffer : Cycles.t option array;
+  mutable count : int;
+}
+
+let huge = max_int / 4
+
+let create ~l =
+  if l <= 0 then invalid_arg "Delta_learner.create: l must be positive";
+  { entries = Array.make l huge; tracebuffer = Array.make l None; count = 0 }
+
+let l t = Array.length t.entries
+let observed t = t.count
+
+let observe t timestamp =
+  let len = Array.length t.entries in
+  (* Algorithm 1: tighten each entry against the distance to the (i+1)-th
+     most recent activation, then right-shift the trace buffer. *)
+  for i = 0 to len - 1 do
+    match t.tracebuffer.(i) with
+    | None -> ()
+    | Some previous ->
+        let distance = Cycles.( - ) timestamp previous in
+        if distance < t.entries.(i) then t.entries.(i) <- distance
+  done;
+  for i = len - 1 downto 1 do
+    t.tracebuffer.(i) <- t.tracebuffer.(i - 1)
+  done;
+  t.tracebuffer.(0) <- Some timestamp;
+  t.count <- t.count + 1
+
+let learned t = Distance_fn.of_entries (Array.copy t.entries)
+
+let learned_bounded t ~bound =
+  Distance_fn.adjust_to_bound ~learned:(learned t) ~bound

@@ -1,0 +1,30 @@
+(** Self-learning minimum-distance function — Algorithm 1 of the paper.
+
+    Maintains a trace buffer of the last [l] activation timestamps and, for
+    each new activation, tightens the recorded delta^-_Ip entries to the
+    smallest observed distances.  This is the hypervisor-side incremental
+    counterpart of {!Rthv_analysis.Distance_fn.of_trace} (the two must agree;
+    tests check it). *)
+
+type t
+
+val create : l:int -> t
+(** @raise Invalid_argument if [l <= 0]. *)
+
+val l : t -> int
+
+val observe : t -> Rthv_engine.Cycles.t -> unit
+(** Feed one activation timestamp (non-decreasing order expected; the
+    algorithm itself has no ordering requirement but learned distances from
+    an unsorted feed are meaningless). *)
+
+val observed : t -> int
+(** Number of activations fed so far. *)
+
+val learned : t -> Rthv_analysis.Distance_fn.t
+(** Current delta^-_Ip[l].  Entries never observed remain at the "huge"
+    sentinel, i.e. effectively unconstrained from above. *)
+
+val learned_bounded : t -> bound:Rthv_analysis.Distance_fn.t -> Rthv_analysis.Distance_fn.t
+(** Algorithm 2: the learned function adjusted so it never admits more load
+    than [bound]. *)

@@ -1,0 +1,657 @@
+module Cycles = Rthv_engine.Cycles
+module Event_queue = Rthv_engine.Event_queue
+module Guest = Rthv_rtos.Guest
+module Ipc = Rthv_rtos.Ipc
+module Irq_queue = Rthv_rtos.Irq_queue
+module Platform = Rthv_hw.Platform
+module Intc = Rthv_hw.Intc
+
+type stats = {
+  completed_irqs : int;
+  direct : int;
+  interposed : int;
+  delayed : int;
+  slot_switches : int;
+  interposition_switches : int;
+  interpositions_started : int;
+  boundary_crossings : int;
+  bh_boundary_deferrals : int;
+  monitor_checks : int;
+  admissions : int;
+  denials : int;
+  coalesced_irqs : int;
+  stolen_total : Cycles.t array;
+  stolen_slot_max : Cycles.t array;
+  sim_time : Cycles.t;
+}
+
+(* Hypervisor-context work item: highest priority, FIFO, non-preemptible. *)
+type hyp_item = {
+  label : string;
+  steals : bool;  (* counts towards eq.-(14) interference on the slot owner *)
+  mutable remaining : Cycles.t;
+  mutable started : bool;
+  on_start : Cycles.t -> unit;
+  on_done : unit -> unit;
+}
+
+type interposition = { target : int; mutable budget_left : Cycles.t }
+
+type shaper =
+  | No_shaper
+  | Delta_monitor of Monitor.t
+  | Bucket of Throttle.t
+
+type runtime_source = {
+  cfg : Config.source;
+  s_idx : int;
+  shaper : shaper;
+  mutable next_arrival : int;
+}
+
+type pending_irq = {
+  p_irq : int;
+  p_source : runtime_source;
+  p_arrival : Cycles.t;
+  mutable p_top_start : Cycles.t;
+  mutable p_top_end : Cycles.t;
+  mutable p_class : Irq_record.classification;
+}
+
+type event = Arrival of int | Boundary
+
+type t = {
+  platform : Platform.t;
+  finish_bh : bool;
+  trace : Hyp_trace.t option;
+  tdma : Tdma.t;
+  ipc : Ipc.t;
+  guests : Guest.t array;
+  sources : runtime_source array;
+  source_by_line : runtime_source option array;
+  intc : Intc.t;
+  events : event Event_queue.t;
+  hyp : hyp_item Queue.t;
+  pending : (int, pending_irq) Hashtbl.t;
+  c_mon : Cycles.t;
+  c_sched : Cycles.t;
+  c_ctx : Cycles.t;
+  mutable now : Cycles.t;
+  mutable interposition : interposition option;
+  mutable interposition_pending : bool;
+  mutable records : Irq_record.t list;  (* newest first *)
+  mutable next_irq_id : int;
+  mutable slot_owner : int;
+  mutable slot_end : Cycles.t;
+  mutable stolen_in_slot : Cycles.t;
+  stolen_total : Cycles.t array;
+  stolen_slot_max : Cycles.t array;
+  activation_specs : Rthv_rtos.Task.spec list;
+  mutable scheduled_arrivals : int;
+  mutable live_irqs : int;
+  mutable live_aperiodic : int;
+  mutable slot_switches : int;
+  mutable interposition_switches : int;
+  mutable interpositions_started : int;
+  mutable boundary_crossings : int;
+  mutable bh_boundary_deferrals : int;
+  mutable admissions : int;
+  mutable denials : int;
+  mutable n_direct : int;
+  mutable n_interposed : int;
+  mutable n_delayed : int;
+  mutable finished : bool;
+}
+
+let shaper_of_shaping = function
+  | Config.No_shaping -> No_shaper
+  | Config.Fixed_monitor fn -> Delta_monitor (Monitor.fixed fn)
+  | Config.Self_learning { l; learn_events; bound } ->
+      Delta_monitor (Monitor.self_learning ~l ~learn_events ?bound ())
+  | Config.Token_bucket { capacity; refill } ->
+      Bucket (Throttle.create ~capacity ~refill)
+
+let shaper_check shaper ts =
+  match shaper with
+  | No_shaper -> false
+  | Delta_monitor m -> Monitor.check m ts
+  | Bucket b -> Throttle.check b ts
+
+let shaper_admit shaper ts =
+  match shaper with
+  | No_shaper -> ()
+  | Delta_monitor m -> Monitor.admit m ts
+  | Bucket b -> Throttle.admit b ts
+
+let enqueue_hyp t ~label ~steals ~cost ~on_done =
+  if cost < 0 then invalid_arg "Hyp_sim: negative hypervisor work";
+  Queue.push
+    {
+      label;
+      steals;
+      remaining = cost;
+      started = false;
+      on_start = (fun _ -> ());
+      on_done;
+    }
+    t.hyp
+
+let enqueue_hyp_with_start t ~label ~steals ~cost ~on_start ~on_done =
+  Queue.push
+    { label; steals; remaining = cost; started = false; on_start; on_done }
+    t.hyp
+
+let trace_event t event =
+  match t.trace with
+  | Some trace -> Hyp_trace.record trace ~time:t.now event
+  | None -> ()
+
+let steal t elapsed =
+  t.stolen_in_slot <- Cycles.( + ) t.stolen_in_slot elapsed
+
+let close_slot_accounting t =
+  let owner = t.slot_owner in
+  t.stolen_total.(owner) <- Cycles.( + ) t.stolen_total.(owner) t.stolen_in_slot;
+  if t.stolen_in_slot > t.stolen_slot_max.(owner) then
+    t.stolen_slot_max.(owner) <- t.stolen_in_slot;
+  t.stolen_in_slot <- 0
+
+let finalize_completion t (item : Irq_queue.item) =
+  match Hashtbl.find_opt t.pending item.Irq_queue.irq with
+  | None ->
+      (* Completion must be unique: items are dropped from the queue the
+         moment their work reaches zero. *)
+      assert false
+  | Some p ->
+      let record =
+        {
+          Irq_record.irq = p.p_irq;
+          source = p.p_source.cfg.Config.name;
+          line = p.p_source.cfg.Config.line;
+          arrival = p.p_arrival;
+          top_start = p.p_top_start;
+          top_end = p.p_top_end;
+          classification = p.p_class;
+          completion = t.now;
+        }
+      in
+      t.records <- record :: t.records;
+      Hashtbl.remove t.pending p.p_irq;
+      t.live_irqs <- t.live_irqs - 1;
+      trace_event t
+        (Hyp_trace.Bottom_handler_done
+           { irq = p.p_irq; partition = p.p_source.cfg.Config.subscriber });
+      (* uC/OS pattern: the bottom handler posts to an application task. *)
+      match p.p_source.cfg.Config.activates with
+      | Some spec ->
+          t.live_aperiodic <- t.live_aperiodic + 1;
+          Guest.release_aperiodic
+            t.guests.(p.p_source.cfg.Config.subscriber)
+            ~spec ~now:t.now
+      | None -> ()
+
+let end_interposition t ~reason =
+  (match t.interposition with
+  | Some ip ->
+      trace_event t (Hyp_trace.Interposition_end { target = ip.target; reason })
+  | None -> ());
+  t.interposition <- None;
+  enqueue_hyp t ~label:"ctx_back" ~steals:true ~cost:t.c_ctx ~on_done:(fun () ->
+      t.interposition_switches <- t.interposition_switches + 1;
+      t.interposition_pending <- false)
+
+let schedule_next_arrival t src =
+  let distances = src.cfg.Config.interarrivals in
+  if src.cfg.Config.arrival_mode = Config.Reprogram
+     && src.next_arrival < Array.length distances
+  then begin
+    let d = distances.(src.next_arrival) in
+    src.next_arrival <- src.next_arrival + 1;
+    Event_queue.push t.events ~time:(Cycles.( + ) t.now d) (Arrival src.s_idx);
+    t.scheduled_arrivals <- t.scheduled_arrivals + 1
+  end
+
+(* Decision point of the modified top handler (Figure 4b), reached after the
+   monitoring function ran: admit the interposition or fall back to delayed
+   handling. *)
+let monitor_done t src p shaper =
+  let conforms = shaper_check shaper p.p_arrival in
+  let subscriber = src.cfg.Config.subscriber in
+  if t.slot_owner = subscriber then begin
+    (* The subscriber's slot opened between the arrival and the monitoring
+       decision: the queued event is processed right away in its own slot —
+       direct handling, no interposition machinery needed. *)
+    p.p_class <- Irq_record.Direct;
+    t.n_direct <- t.n_direct + 1
+  end
+  else if conforms && not t.interposition_pending then begin
+    shaper_admit shaper p.p_arrival;
+    t.admissions <- t.admissions + 1;
+    p.p_class <- Irq_record.Interposed;
+    t.n_interposed <- t.n_interposed + 1;
+    t.interposition_pending <- true;
+    trace_event t (Hyp_trace.Monitor_decision { irq = p.p_irq; admitted = true });
+    enqueue_hyp t ~label:"sched_manip" ~steals:true ~cost:t.c_sched
+      ~on_done:(fun () ->
+        enqueue_hyp t ~label:"ctx_to" ~steals:true ~cost:t.c_ctx
+          ~on_done:(fun () ->
+            t.interposition_switches <- t.interposition_switches + 1;
+            t.interpositions_started <- t.interpositions_started + 1;
+            trace_event t
+              (Hyp_trace.Interposition_start
+                 { irq = p.p_irq; target = subscriber });
+            t.interposition <-
+              Some { target = subscriber; budget_left = src.cfg.Config.c_bh }))
+  end
+  else begin
+    t.denials <- t.denials + 1;
+    p.p_class <- Irq_record.Delayed;
+    t.n_delayed <- t.n_delayed + 1;
+    trace_event t (Hyp_trace.Monitor_decision { irq = p.p_irq; admitted = false })
+  end
+
+let top_handler_done t src p =
+  p.p_top_end <- t.now;
+  trace_event t
+    (Hyp_trace.Top_handler_run { irq = p.p_irq; line = src.cfg.Config.line });
+  Intc.ack t.intc src.cfg.Config.line;
+  (* The paper's experiment setup: the trigger timer is reprogrammed with the
+     next pre-generated interarrival from within the top handler. *)
+  schedule_next_arrival t src;
+  (match src.shaper with
+  | Delta_monitor m -> Monitor.note_arrival m p.p_arrival
+  | Bucket _ | No_shaper -> ());
+  let subscriber = src.cfg.Config.subscriber in
+  let item =
+    Irq_queue.make_item ~irq:p.p_irq ~line:src.cfg.Config.line
+      ~arrival:p.p_arrival ~work:src.cfg.Config.c_bh
+  in
+  Irq_queue.push (Guest.queue t.guests.(subscriber)) item;
+  if t.slot_owner = subscriber then begin
+    p.p_class <- Irq_record.Direct;
+    t.n_direct <- t.n_direct + 1
+  end
+  else
+    match src.shaper with
+    | No_shaper ->
+        p.p_class <- Irq_record.Delayed;
+        t.n_delayed <- t.n_delayed + 1
+    | (Delta_monitor _ | Bucket _) as shaper ->
+        enqueue_hyp t ~label:"monitor" ~steals:false ~cost:t.c_mon
+          ~on_done:(fun () -> monitor_done t src p shaper)
+
+(* Interrupt-controller delivery: the hardware IRQ preempts partition code
+   and enters the hypervisor's top handler. *)
+let deliver t line =
+  match t.source_by_line.(line) with
+  | None -> ()
+  | Some src ->
+      let irq = t.next_irq_id in
+      t.next_irq_id <- t.next_irq_id + 1;
+      t.live_irqs <- t.live_irqs + 1;
+      let p =
+        {
+          p_irq = irq;
+          p_source = src;
+          p_arrival = t.now;
+          p_top_start = t.now;
+          p_top_end = t.now;
+          p_class = Irq_record.Delayed;
+        }
+      in
+      Hashtbl.add t.pending irq p;
+      enqueue_hyp_with_start t ~label:"top_handler" ~steals:false
+        ~cost:src.cfg.Config.c_th
+        ~on_start:(fun time -> p.p_top_start <- time)
+        ~on_done:(fun () -> top_handler_done t src p)
+
+let handle_arrival t s_idx =
+  t.scheduled_arrivals <- t.scheduled_arrivals - 1;
+  let src = t.sources.(s_idx) in
+  Intc.raise_line t.intc src.cfg.Config.line
+
+(* Defer the partition switch while the slot owner is in the middle of a
+   bottom handler: let it finish, bounded by the handler's remaining budget.
+   Returns the new deferred boundary time, or None to switch now. *)
+let boundary_deferral t =
+  if not t.finish_bh then None
+  else if Option.is_some t.interposition then None
+  else
+    match Irq_queue.peek (Guest.queue t.guests.(t.slot_owner)) with
+    | Some item
+      when item.Irq_queue.remaining > 0
+           && item.Irq_queue.remaining < item.Irq_queue.total ->
+        Some (Cycles.( + ) t.now item.Irq_queue.remaining)
+    | Some _ | None -> None
+
+let handle_boundary t =
+  match boundary_deferral t with
+  | Some deferred ->
+      t.bh_boundary_deferrals <- t.bh_boundary_deferrals + 1;
+      trace_event t
+        (Hyp_trace.Boundary_deferred { owner = t.slot_owner; until = deferred });
+      (* Keep the old owner in place; extend its slot to the deferred check
+         so execution can proceed, and re-examine then. *)
+      t.slot_end <- deferred;
+      Event_queue.push t.events ~time:deferred Boundary
+  | None ->
+      (* A running interposition is NOT cut at the boundary: its budget
+         bounds the overrun by C_BH, so worst-case latency of conforming
+         interrupts stays independent of the TDMA cycle (Section 5's
+         claim).  The spill is charged to the incoming slot's owner as
+         stolen time. *)
+      (match t.interposition with
+      | Some ip ->
+          t.boundary_crossings <- t.boundary_crossings + 1;
+          trace_event t
+            (Hyp_trace.Interposition_crossed_boundary { target = ip.target })
+      | None -> ());
+      close_slot_accounting t;
+      let previous_owner = t.slot_owner in
+      let owner, _slot_start, slot_end = Tdma.slot_bounds_at t.tdma t.now in
+      trace_event t
+        (Hyp_trace.Slot_switch
+           { from_partition = previous_owner; to_partition = owner });
+      t.slot_owner <- owner;
+      t.slot_end <- slot_end;
+      enqueue_hyp t ~label:"slot_switch" ~steals:false ~cost:t.c_ctx
+        ~on_done:(fun () -> t.slot_switches <- t.slot_switches + 1);
+      Event_queue.push t.events ~time:(Tdma.next_boundary t.tdma t.now)
+        Boundary
+
+let create ?trace config =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Hyp_sim.create: " ^ msg));
+  let platform = config.Config.platform in
+  let tdma = Config.tdma config in
+  let ipc = Ipc.create () in
+  List.iter
+    (fun (name, capacity) -> ignore (Ipc.declare ipc ~name ~capacity : Ipc.port))
+    config.Config.ports;
+  let guests =
+    Array.of_list
+      (List.map
+         (fun (p : Config.partition) ->
+           Guest.create ~tasks:p.Config.tasks ~busy_loop:p.Config.busy_loop
+             ~ipc ~policy:p.Config.policy ~name:p.Config.pname ())
+         config.Config.partitions)
+  in
+  let sources =
+    Array.of_list
+      (List.mapi
+         (fun s_idx (cfg : Config.source) ->
+           {
+             cfg;
+             s_idx;
+             shaper = shaper_of_shaping cfg.Config.shaping;
+             next_arrival = 0;
+           })
+         config.Config.sources)
+  in
+  let intc = Intc.create ~lines:platform.Platform.intc_lines in
+  let source_by_line = Array.make platform.Platform.intc_lines None in
+  Array.iter
+    (fun src -> source_by_line.(src.cfg.Config.line) <- Some src)
+    sources;
+  let activation_specs =
+    Array.to_list sources
+    |> List.filter_map (fun src -> src.cfg.Config.activates)
+  in
+  let n = Array.length guests in
+  let _, _, slot_end = Tdma.slot_bounds_at tdma 0 in
+  let t =
+    {
+      platform;
+      finish_bh = config.Config.finish_bh_at_boundary;
+      trace;
+      tdma;
+      ipc;
+      guests;
+      sources;
+      source_by_line;
+      intc;
+      events = Event_queue.create ();
+      hyp = Queue.create ();
+      pending = Hashtbl.create 64;
+      c_mon = Platform.monitor_cost platform;
+      c_sched = Platform.sched_manip_cost platform;
+      c_ctx = Platform.ctx_switch_cost platform;
+      now = 0;
+      interposition = None;
+      interposition_pending = false;
+      records = [];
+      next_irq_id = 0;
+      slot_owner = 0;
+      slot_end;
+      stolen_in_slot = 0;
+      stolen_total = Array.make n 0;
+      stolen_slot_max = Array.make n 0;
+      activation_specs;
+      scheduled_arrivals = 0;
+      live_irqs = 0;
+      live_aperiodic = 0;
+      slot_switches = 0;
+      interposition_switches = 0;
+      interpositions_started = 0;
+      boundary_crossings = 0;
+      bh_boundary_deferrals = 0;
+      admissions = 0;
+      denials = 0;
+      n_direct = 0;
+      n_interposed = 0;
+      n_delayed = 0;
+      finished = false;
+    }
+  in
+  Intc.set_handler intc (deliver t);
+  Event_queue.push t.events ~time:(Tdma.next_boundary tdma 0) Boundary;
+  Array.iter
+    (fun src ->
+      let distances = src.cfg.Config.interarrivals in
+      if Array.length distances > 0 then begin
+        match src.cfg.Config.arrival_mode with
+        | Config.Reprogram ->
+            src.next_arrival <- 1;
+            Event_queue.push t.events ~time:distances.(0) (Arrival src.s_idx);
+            t.scheduled_arrivals <- t.scheduled_arrivals + 1
+        | Config.Absolute ->
+            (* Trace replay: schedule every raise up front at its absolute
+               time; coalescing on a pending line is then possible. *)
+            let time = ref 0 in
+            Array.iter
+              (fun d ->
+                time := Cycles.( + ) !time d;
+                Event_queue.push t.events ~time:!time (Arrival src.s_idx);
+                t.scheduled_arrivals <- t.scheduled_arrivals + 1)
+              distances;
+            src.next_arrival <- Array.length distances
+      end)
+    sources;
+  t
+
+type runner =
+  | Hyp_work of hyp_item
+  | Interp_work of interposition * Irq_queue.item
+  | Part_work of int * Guest.demand
+
+let rec current_runner t =
+  if not (Queue.is_empty t.hyp) then Hyp_work (Queue.peek t.hyp)
+  else
+    match t.interposition with
+    | Some ip -> (
+        let guest = t.guests.(ip.target) in
+        match Irq_queue.peek (Guest.queue guest) with
+        | Some item when ip.budget_left > 0 -> Interp_work (ip, item)
+        | Some _ | None ->
+            (* Queue drained (or budget already zero): return to the slot
+               owner. *)
+            let reason =
+              if ip.budget_left > 0 then `Queue_empty else `Budget_exhausted
+            in
+            end_interposition t ~reason;
+            current_runner t)
+    | None ->
+        let owner = t.slot_owner in
+        let guest = t.guests.(owner) in
+        Guest.advance_to guest t.now;
+        Part_work (owner, Guest.demand guest)
+
+let segment_end t runner =
+  let next_event =
+    match Event_queue.peek_time t.events with
+    | Some time -> time
+    | None -> assert false (* a Boundary event is always scheduled *)
+  in
+  let candidate =
+    match runner with
+    | Hyp_work item -> Cycles.( + ) t.now item.remaining
+    | Interp_work (ip, item) ->
+        Cycles.( + ) t.now (Cycles.min item.Irq_queue.remaining ip.budget_left)
+    | Part_work (owner, demand) ->
+        let guest = t.guests.(owner) in
+        let release_bound =
+          match Guest.next_release guest with
+          | Some r -> Cycles.min r t.slot_end
+          | None -> t.slot_end
+        in
+        (match demand with
+        | Guest.Bottom_handler item ->
+            Cycles.min
+              (Cycles.( + ) t.now item.Irq_queue.remaining)
+              release_bound
+        | Guest.Task_job job ->
+            Cycles.min (Cycles.( + ) t.now job.Rthv_rtos.Task.remaining) release_bound
+        | Guest.Filler | Guest.Idle -> release_bound)
+  in
+  Cycles.min candidate next_event
+
+let attribute t runner elapsed =
+  match runner with
+  | Hyp_work item ->
+      if not item.started then begin
+        item.started <- true;
+        item.on_start (Cycles.( - ) t.now elapsed)
+      end;
+      item.remaining <- Cycles.( - ) item.remaining elapsed;
+      if item.steals then steal t elapsed
+  | Interp_work (ip, item) ->
+      ip.budget_left <- Cycles.( - ) ip.budget_left elapsed;
+      steal t elapsed;
+      Guest.consume t.guests.(ip.target) ~now:t.now ~elapsed
+        (Guest.Bottom_handler item)
+  | Part_work (owner, demand) ->
+      Guest.consume t.guests.(owner) ~now:t.now ~elapsed demand
+
+let post_attribution t runner =
+  (match runner with
+  | Hyp_work item ->
+      if item.remaining = 0 then begin
+        ignore (Queue.pop t.hyp : hyp_item);
+        item.on_done ()
+      end
+  | Interp_work (ip, item) ->
+      if item.Irq_queue.remaining = 0 then finalize_completion t item;
+      if ip.budget_left = 0 then begin
+        match t.interposition with
+        | Some active when active == ip ->
+            end_interposition t ~reason:`Budget_exhausted
+        | Some _ | None -> ()
+      end
+  | Part_work (_, Guest.Bottom_handler item) ->
+      if item.Irq_queue.remaining = 0 then finalize_completion t item
+  | Part_work (_, Guest.Task_job job) ->
+      if
+        job.Rthv_rtos.Task.remaining = 0
+        && List.memq job.Rthv_rtos.Task.task t.activation_specs
+      then t.live_aperiodic <- t.live_aperiodic - 1
+  | Part_work (_, (Guest.Filler | Guest.Idle)) -> ());
+  (* Deliver all external events due now, in schedule order. *)
+  let rec drain () =
+    match Event_queue.peek t.events with
+    | Some entry when entry.Event_queue.time <= t.now ->
+        assert (entry.Event_queue.time = t.now);
+        ignore (Event_queue.pop t.events : event Event_queue.entry option);
+        (match entry.Event_queue.payload with
+        | Arrival s_idx -> handle_arrival t s_idx
+        | Boundary -> handle_boundary t);
+        drain ()
+    | Some _ | None -> ()
+  in
+  drain ()
+
+let step t =
+  let runner = current_runner t in
+  let seg_end = segment_end t runner in
+  assert (seg_end >= t.now);
+  let elapsed = Cycles.( - ) seg_end t.now in
+  t.now <- seg_end;
+  attribute t runner elapsed;
+  post_attribution t runner
+
+let quiescent t =
+  t.scheduled_arrivals = 0 && t.live_irqs = 0 && t.live_aperiodic = 0
+  && Queue.is_empty t.hyp
+  && t.interposition = None
+  && not t.interposition_pending
+
+let default_horizon = Cycles.of_ms 3_600_000 (* one simulated hour *)
+
+let run ?(horizon = default_horizon) t =
+  if not t.finished then begin
+    while (not (quiescent t)) && t.now < horizon do
+      step t
+    done;
+    close_slot_accounting t;
+    t.finished <- true
+  end
+
+let records t =
+  List.sort
+    (fun a b -> Stdlib.compare a.Irq_record.irq b.Irq_record.irq)
+    t.records
+
+let stats t =
+  let monitor_checks =
+    Array.fold_left
+      (fun acc src ->
+        match src.shaper with
+        | Delta_monitor m -> acc + Monitor.checked_count m
+        | Bucket b -> acc + Throttle.checked_count b
+        | No_shaper -> acc)
+      0 t.sources
+  in
+  {
+    completed_irqs = List.length t.records;
+    direct = t.n_direct;
+    interposed = t.n_interposed;
+    delayed = t.n_delayed;
+    slot_switches = t.slot_switches;
+    interposition_switches = t.interposition_switches;
+    interpositions_started = t.interpositions_started;
+    boundary_crossings = t.boundary_crossings;
+    bh_boundary_deferrals = t.bh_boundary_deferrals;
+    monitor_checks;
+    admissions = t.admissions;
+    denials = t.denials;
+    coalesced_irqs = (Intc.stats t.intc).Intc.coalesced;
+    stolen_total = Array.copy t.stolen_total;
+    stolen_slot_max = Array.copy t.stolen_slot_max;
+    sim_time = t.now;
+  }
+
+let guest t i = t.guests.(i)
+let ipc t = t.ipc
+let port t name = Ipc.find t.ipc name
+
+let monitor t ~source =
+  Array.fold_left
+    (fun acc src ->
+      if src.cfg.Config.name = source then
+        match src.shaper with
+        | Delta_monitor m -> Some m
+        | Bucket _ | No_shaper -> None
+      else acc)
+    None t.sources
+
+let now t = t.now

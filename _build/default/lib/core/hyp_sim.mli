@@ -1,0 +1,89 @@
+(** The hypervisor simulation.
+
+    A cycle-accurate single-core model of the uC/OS-MMU-style hypervisor of
+    Section 3, with the original (Figure 4a) or modified (Figure 4b) top
+    handler depending on the configuration:
+
+    - partitions run under static TDMA; every slot begins with a context
+      switch of C_ctx paid from inside the slot;
+    - hypervisor work (top handlers, monitor checks, scheduler manipulation,
+      context switches) executes at the highest priority, FIFO,
+      non-preemptible by partition work;
+    - each IRQ raises an interrupt-controller line (non-counting pending
+      flag); the top handler costs C_TH, acks the line, pushes an event into
+      the subscriber's FIFO interrupt queue, reprograms the source's trigger
+      timer with the next pre-generated interarrival, and routes the event:
+      direct (subscriber owns the current slot), interposed (foreign slot,
+      monitor admits) or delayed;
+    - an interposed bottom handler executes in the subscriber's context for
+      at most C_BH of {e execution time} (budget paused while preempted by
+      top handlers), bracketed by C_sched + 2 * C_ctx (equation (13));
+    - admission additionally requires that no other interposition is in
+      flight (at most one at a time); an interposition still running at a
+      slot boundary completes its bounded budget, charged to the incoming
+      slot;
+    - a bottom handler executing when its own slot ends is allowed to finish
+      (switch deferred by at most its remaining budget) under the default
+      [finish_bh_at_boundary]; in strict mode it is cut, keeps its remaining
+      work at the queue head and resumes in its partition's next slot. *)
+
+type t
+
+type stats = {
+  completed_irqs : int;
+  direct : int;
+  interposed : int;
+  delayed : int;
+  slot_switches : int;  (** Context switches at TDMA slot boundaries. *)
+  interposition_switches : int;
+      (** Context switches caused by interposed handling (2 per complete
+          interposition). *)
+  interpositions_started : int;
+  boundary_crossings : int;
+      (** Interpositions still running when a slot boundary fired; the
+          bounded spill is charged to the incoming slot. *)
+  bh_boundary_deferrals : int;
+      (** Slot switches deferred (by at most the handler's remaining budget)
+          because the owner was mid-bottom-handler. *)
+  monitor_checks : int;
+  admissions : int;
+  denials : int;
+  coalesced_irqs : int;  (** IRQs lost to an already-pending line. *)
+  stolen_total : Rthv_engine.Cycles.t array;
+      (** Per partition: total foreign interposition time consumed during
+          its slots (the interference I_p of equation (2)). *)
+  stolen_slot_max : Rthv_engine.Cycles.t array;
+      (** Per partition: maximum stolen time in any single slot instance —
+          to compare against equation (14) over a window of T_i. *)
+  sim_time : Rthv_engine.Cycles.t;  (** Final simulated clock. *)
+}
+
+val create : ?trace:Hyp_trace.t -> Config.t -> t
+(** [?trace] attaches a hypervisor event trace buffer; every scheduling
+    decision (slot switches, deferrals, top handlers, monitor decisions,
+    interpositions, completions) is recorded into it.
+    @raise Invalid_argument if [Config.validate] fails. *)
+
+val run : ?horizon:Rthv_engine.Cycles.t -> t -> unit
+(** Run until every generated IRQ has completed its bottom handler (and all
+    interarrival arrays are exhausted), or until [horizon] (default: one
+    simulated hour).  Idempotent once finished. *)
+
+val records : t -> Irq_record.t list
+(** Completed IRQ records, in arrival order. *)
+
+val stats : t -> stats
+
+val guest : t -> int -> Rthv_rtos.Guest.t
+(** Partition [i]'s guest, for task-level inspection. *)
+
+val ipc : t -> Rthv_rtos.Ipc.t
+(** The hypervisor's IPC port registry. *)
+
+val port : t -> string -> Rthv_rtos.Ipc.port
+(** Look up a declared port.  @raise Not_found if undeclared. *)
+
+val monitor : t -> source:string -> Monitor.t option
+(** The monitor of the named source, if it is shaped. *)
+
+val now : t -> Rthv_engine.Cycles.t

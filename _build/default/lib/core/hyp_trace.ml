@@ -1,0 +1,85 @@
+module Cycles = Rthv_engine.Cycles
+
+type event =
+  | Slot_switch of { from_partition : int; to_partition : int }
+  | Boundary_deferred of { owner : int; until : Cycles.t }
+  | Top_handler_run of { irq : int; line : int }
+  | Monitor_decision of { irq : int; admitted : bool }
+  | Interposition_start of { irq : int; target : int }
+  | Interposition_end of {
+      target : int;
+      reason : [ `Budget_exhausted | `Queue_empty ];
+    }
+  | Interposition_crossed_boundary of { target : int }
+  | Bottom_handler_done of { irq : int; partition : int }
+
+type entry = { time : Cycles.t; event : event }
+
+type t = {
+  buffer : entry option array;
+  mutable next : int;  (* next write position *)
+  mutable total : int;  (* events ever recorded *)
+}
+
+let create ?(capacity = 65_536) () =
+  if capacity <= 0 then invalid_arg "Hyp_trace.create: capacity must be positive";
+  { buffer = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~time event =
+  t.buffer.(t.next) <- Some { time; event };
+  t.next <- (t.next + 1) mod Array.length t.buffer;
+  t.total <- t.total + 1
+
+let length t = Stdlib.min t.total (Array.length t.buffer)
+let recorded t = t.total
+let dropped t = Stdlib.max 0 (t.total - Array.length t.buffer)
+
+let to_list t =
+  let capacity = Array.length t.buffer in
+  let n = length t in
+  let start = if t.total <= capacity then 0 else t.next in
+  let rec collect i acc =
+    if i = n then List.rev acc
+    else
+      match t.buffer.((start + i) mod capacity) with
+      | Some entry -> collect (i + 1) (entry :: acc)
+      | None -> collect (i + 1) acc
+  in
+  collect 0 []
+
+let iter t f = List.iter f (to_list t)
+
+let find_all t predicate =
+  List.filter (fun entry -> predicate entry.event) (to_list t)
+
+let pp_event ppf = function
+  | Slot_switch { from_partition; to_partition } ->
+      Format.fprintf ppf "slot switch p%d -> p%d" from_partition to_partition
+  | Boundary_deferred { owner; until } ->
+      Format.fprintf ppf "boundary deferred for p%d until %a" owner Cycles.pp
+        until
+  | Top_handler_run { irq; line } ->
+      Format.fprintf ppf "top handler irq#%d (line %d)" irq line
+  | Monitor_decision { irq; admitted } ->
+      Format.fprintf ppf "monitor %s irq#%d"
+        (if admitted then "admitted" else "denied")
+        irq
+  | Interposition_start { irq; target } ->
+      Format.fprintf ppf "interposition into p%d for irq#%d" target irq
+  | Interposition_end { target; reason } ->
+      Format.fprintf ppf "interposition in p%d ended (%s)" target
+        (match reason with
+        | `Budget_exhausted -> "budget exhausted"
+        | `Queue_empty -> "queue empty")
+  | Interposition_crossed_boundary { target } ->
+      Format.fprintf ppf "interposition in p%d crossed a slot boundary" target
+  | Bottom_handler_done { irq; partition } ->
+      Format.fprintf ppf "bottom handler done irq#%d (p%d)" irq partition
+
+let pp_entry ppf { time; event } =
+  Format.fprintf ppf "[%a] %a" Cycles.pp time pp_event event
+
+let pp ppf t =
+  (if dropped t > 0 then
+     Format.fprintf ppf "(%d older entries dropped)@." (dropped t));
+  iter t (fun entry -> Format.fprintf ppf "%a@." pp_entry entry)

@@ -1,0 +1,52 @@
+(** Hypervisor event trace.
+
+    A bounded ring buffer of timestamped scheduling events, the moral
+    equivalent of the trace buffer a real hypervisor exposes for
+    certification evidence and debugging.  Recording is O(1); when the
+    buffer is full the oldest entries are dropped (and counted). *)
+
+type event =
+  | Slot_switch of { from_partition : int; to_partition : int }
+  | Boundary_deferred of { owner : int; until : Rthv_engine.Cycles.t }
+  | Top_handler_run of { irq : int; line : int }
+  | Monitor_decision of { irq : int; admitted : bool }
+  | Interposition_start of { irq : int; target : int }
+  | Interposition_end of {
+      target : int;
+      reason : [ `Budget_exhausted | `Queue_empty ];
+    }
+  | Interposition_crossed_boundary of { target : int }
+  | Bottom_handler_done of { irq : int; partition : int }
+
+type entry = { time : Rthv_engine.Cycles.t; event : event }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 65536 entries.  @raise Invalid_argument if
+    non-positive. *)
+
+val record : t -> time:Rthv_engine.Cycles.t -> event -> unit
+
+val length : t -> int
+(** Entries currently retained. *)
+
+val recorded : t -> int
+(** Total events ever recorded (retained + dropped). *)
+
+val dropped : t -> int
+
+val to_list : t -> entry list
+(** Oldest retained entry first. *)
+
+val iter : t -> (entry -> unit) -> unit
+
+val find_all : t -> (event -> bool) -> entry list
+(** Retained entries whose event satisfies the predicate, oldest first. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Render the retained timeline, one entry per line. *)

@@ -1,0 +1,28 @@
+module Cycles = Rthv_engine.Cycles
+
+type classification = Direct | Interposed | Delayed
+
+type t = {
+  irq : int;
+  source : string;
+  line : int;
+  arrival : Cycles.t;
+  top_start : Cycles.t;
+  top_end : Cycles.t;
+  classification : classification;
+  completion : Cycles.t;
+}
+
+let latency t = Cycles.( - ) t.completion t.arrival
+let latency_us t = Cycles.to_us (latency t)
+
+let classification_name = function
+  | Direct -> "direct"
+  | Interposed -> "interposed"
+  | Delayed -> "delayed"
+
+let pp ppf t =
+  Format.fprintf ppf "irq#%d %s@%a %s latency=%a" t.irq t.source Cycles.pp
+    t.arrival
+    (classification_name t.classification)
+    Cycles.pp (latency t)

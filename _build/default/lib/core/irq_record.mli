@@ -1,0 +1,33 @@
+(** Measurement record of one IRQ event, as gathered by the evaluation setup
+    of Section 6: the top handler and the bottom handler both read the
+    timestamp timer; their difference is the measured IRQ latency. *)
+
+type classification =
+  | Direct
+      (** Arrived during the subscriber partition's own slot. *)
+  | Interposed
+      (** Arrived in a foreign slot and was admitted by the monitor. *)
+  | Delayed
+      (** Arrived in a foreign slot and waits for the subscriber's slot
+          (monitoring off, learning phase, condition violated, or an
+          implementation-level admission guard). *)
+
+type t = {
+  irq : int;  (** Global event id, monotone in arrival order. *)
+  source : string;
+  line : int;
+  arrival : Rthv_engine.Cycles.t;  (** Hardware line raise = IRQ occurrence. *)
+  top_start : Rthv_engine.Cycles.t;  (** Top handler began executing. *)
+  top_end : Rthv_engine.Cycles.t;  (** Top handler finished. *)
+  classification : classification;
+  completion : Rthv_engine.Cycles.t;  (** Bottom handler finished. *)
+}
+
+val latency : t -> Rthv_engine.Cycles.t
+(** [completion - arrival]: the paper's IRQ latency. *)
+
+val latency_us : t -> float
+
+val classification_name : classification -> string
+
+val pp : Format.formatter -> t -> unit

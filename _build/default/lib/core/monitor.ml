@@ -1,0 +1,108 @@
+module Cycles = Rthv_engine.Cycles
+module Distance_fn = Rthv_analysis.Distance_fn
+
+type phase = Learning of int | Running
+
+type mode =
+  | Fixed
+  | Self_learning of {
+      learner : Delta_learner.t;
+      learn_events : int;
+      bound : Distance_fn.t option;
+    }
+
+type t = {
+  mode : mode;
+  mutable fn : Distance_fn.t option;  (* None while learning *)
+  mutable history : Cycles.t option array;  (* history.(i): (i+1)-th last admitted *)
+  mutable admitted : int;
+  mutable checked : int;
+}
+
+let fixed fn =
+  {
+    mode = Fixed;
+    fn = Some fn;
+    history = Array.make (Distance_fn.length fn) None;
+    admitted = 0;
+    checked = 0;
+  }
+
+let d_min d = fixed (Distance_fn.d_min d)
+
+let self_learning ~l ~learn_events ?bound () =
+  if l <= 0 then invalid_arg "Monitor.self_learning: l must be positive";
+  if learn_events < 0 then
+    invalid_arg "Monitor.self_learning: negative learn_events";
+  (match bound with
+  | Some b when Distance_fn.length b <> l ->
+      invalid_arg "Monitor.self_learning: bound length mismatch"
+  | Some _ | None -> ());
+  {
+    mode = Self_learning { learner = Delta_learner.create ~l; learn_events; bound };
+    fn = None;
+    history = Array.make l None;
+    admitted = 0;
+    checked = 0;
+  }
+
+let phase t =
+  match (t.mode, t.fn) with
+  | _, Some _ -> Running
+  | Self_learning { learner; learn_events; _ }, None ->
+      Learning (Stdlib.max 0 (learn_events - Delta_learner.observed learner))
+  | Fixed, None -> assert false
+
+let finish_learning t =
+  match t.mode with
+  | Fixed -> ()
+  | Self_learning { learner; bound; _ } ->
+      let fn =
+        match bound with
+        | None -> Delta_learner.learned learner
+        | Some bound -> Delta_learner.learned_bounded learner ~bound
+      in
+      t.fn <- Some fn
+
+let note_arrival t timestamp =
+  match (t.mode, t.fn) with
+  | Fixed, _ | Self_learning _, Some _ -> ()
+  | Self_learning { learner; learn_events; _ }, None ->
+      Delta_learner.observe learner timestamp;
+      if Delta_learner.observed learner >= learn_events then finish_learning t
+
+let check t timestamp =
+  t.checked <- t.checked + 1;
+  match t.fn with
+  | None -> false
+  | Some fn ->
+      let entries = Distance_fn.entries fn in
+      let ok = ref true in
+      Array.iteri
+        (fun i entry ->
+          match t.history.(i) with
+          | None -> ()
+          | Some previous ->
+              if Cycles.( - ) timestamp previous < entry then ok := false)
+        entries;
+      !ok
+
+let check_quietly t timestamp =
+  let before = t.checked in
+  let r = check t timestamp in
+  t.checked <- before;
+  r
+
+let admit t timestamp =
+  if not (check_quietly t timestamp) then
+    invalid_arg "Monitor.admit: activation violates the monitoring condition";
+  let n = Array.length t.history in
+  for i = n - 1 downto 1 do
+    t.history.(i) <- t.history.(i - 1)
+  done;
+  t.history.(0) <- Some timestamp;
+  t.admitted <- t.admitted + 1
+
+let condition t = t.fn
+let admitted_count t = t.admitted
+let checked_count t = t.checked

@@ -1,0 +1,35 @@
+(** Facade for the real-time hypervisor reproduction.
+
+    [Rthv_core.Rthv] re-exports the public surface so applications can write
+    [module R = Rthv_core.Rthv] and reach every piece through one name:
+
+    - {!Tdma}: the static partition schedule;
+    - {!Monitor} and {!Delta_learner}: the delta^- shaping mechanism;
+    - {!Config}, {!Hyp_sim}, {!Irq_record}: building and running systems;
+    - the substrate libraries are re-exported under their short names. *)
+
+module Cycles = Rthv_engine.Cycles
+module Prng = Rthv_engine.Prng
+module Platform = Rthv_hw.Platform
+module Guest = Rthv_rtos.Guest
+module Ipc = Rthv_rtos.Ipc
+module Task = Rthv_rtos.Task
+module Arrival_curve = Rthv_analysis.Arrival_curve
+module Distance_fn = Rthv_analysis.Distance_fn
+module Busy_window = Rthv_analysis.Busy_window
+module Irq_latency = Rthv_analysis.Irq_latency
+module Independence = Rthv_analysis.Independence
+module Guest_sched = Rthv_analysis.Guest_sched
+module Edf_sched = Rthv_analysis.Edf_sched
+module Propagation = Rthv_analysis.Propagation
+module Sensitivity = Rthv_analysis.Sensitivity
+module Certificate = Rthv_analysis.Certificate
+module Tdma = Tdma
+module Monitor = Monitor
+module Throttle = Throttle
+module Delta_learner = Delta_learner
+module Config = Config
+module Hyp_sim = Hyp_sim
+module Hyp_trace = Hyp_trace
+module Vcd_export = Vcd_export
+module Irq_record = Irq_record

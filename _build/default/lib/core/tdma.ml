@@ -1,0 +1,71 @@
+module Cycles = Rthv_engine.Cycles
+
+type t = {
+  slots : Cycles.t array;
+  starts : Cycles.t array;  (* start offset of each slot within the cycle *)
+  cycle : Cycles.t;
+}
+
+let make slots =
+  let n = Array.length slots in
+  if n = 0 then invalid_arg "Tdma.make: no partitions";
+  Array.iter
+    (fun s -> if s <= 0 then invalid_arg "Tdma.make: non-positive slot")
+    slots;
+  let starts = Array.make n 0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    starts.(i) <- !total;
+    total := Cycles.( + ) !total slots.(i)
+  done;
+  { slots; starts; cycle = !total }
+
+let of_us slots_us = make (Array.map Cycles.of_us slots_us)
+let partitions t = Array.length t.slots
+let cycle_length t = t.cycle
+let slot_length t i = t.slots.(i)
+
+let position_in_cycle t time =
+  if time < 0 then invalid_arg "Tdma: negative time";
+  time mod t.cycle
+
+let owner_at t time =
+  let pos = position_in_cycle t time in
+  let rec find i =
+    (* pos < cycle, so the last slot always catches. *)
+    if i = Array.length t.slots - 1 then i
+    else if pos < Cycles.( + ) t.starts.(i) t.slots.(i) then i
+    else find (i + 1)
+  in
+  find 0
+
+let slot_bounds_at t time =
+  let owner = owner_at t time in
+  let cycle_base = Cycles.( - ) time (position_in_cycle t time) in
+  let slot_start = Cycles.( + ) cycle_base t.starts.(owner) in
+  let slot_end = Cycles.( + ) slot_start t.slots.(owner) in
+  (owner, slot_start, slot_end)
+
+let next_boundary t time =
+  let _, _, slot_end = slot_bounds_at t time in
+  slot_end
+
+let next_slot_start t ~partition ~after =
+  if partition < 0 || partition >= Array.length t.slots then
+    invalid_arg "Tdma.next_slot_start: bad partition";
+  let cycle_base = Cycles.( - ) after (position_in_cycle t after) in
+  let candidate = Cycles.( + ) cycle_base t.starts.(partition) in
+  if candidate >= after then candidate else Cycles.( + ) candidate t.cycle
+
+let interference t ~partition =
+  Rthv_analysis.Tdma_interference.make ~cycle:t.cycle
+    ~slot:(slot_length t partition)
+
+let pp ppf t =
+  Format.fprintf ppf "TDMA[cycle=%a:" Cycles.pp t.cycle;
+  Array.iteri
+    (fun i s ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf " p%d=%a" i Cycles.pp s)
+    t.slots;
+  Format.fprintf ppf "]"

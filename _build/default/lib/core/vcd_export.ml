@@ -1,0 +1,119 @@
+module Cycles = Rthv_engine.Cycles
+
+(* Identifier codes (printable ASCII, VCD short ids). *)
+let id_active = "!"
+let id_interp = "\""
+let id_top = "#"
+let id_bh = "$"
+let id_admit = "%"
+let id_deny = "&"
+
+let header buf =
+  Buffer.add_string buf "$date rthv hypervisor trace $end\n";
+  Buffer.add_string buf "$version rthv vcd_export $end\n";
+  Buffer.add_string buf "$timescale 5 ns $end\n";
+  Buffer.add_string buf "$scope module hypervisor $end\n";
+  Buffer.add_string buf
+    (Printf.sprintf "$var wire 8 %s active_partition $end\n" id_active);
+  Buffer.add_string buf
+    (Printf.sprintf "$var wire 8 %s interposition $end\n" id_interp);
+  Buffer.add_string buf (Printf.sprintf "$var wire 1 %s irq_top $end\n" id_top);
+  Buffer.add_string buf (Printf.sprintf "$var wire 1 %s bh_done $end\n" id_bh);
+  Buffer.add_string buf
+    (Printf.sprintf "$var wire 1 %s monitor_admit $end\n" id_admit);
+  Buffer.add_string buf
+    (Printf.sprintf "$var wire 1 %s monitor_deny $end\n" id_deny);
+  Buffer.add_string buf "$upscope $end\n";
+  Buffer.add_string buf "$enddefinitions $end\n"
+
+let binary8 v =
+  let bits = Bytes.make 8 '0' in
+  for i = 0 to 7 do
+    if (v lsr (7 - i)) land 1 = 1 then Bytes.set bits i '1'
+  done;
+  Bytes.to_string bits
+
+let vector buf id v = Buffer.add_string buf (Printf.sprintf "b%s %s\n" (binary8 v) id)
+let scalar buf id v = Buffer.add_string buf (Printf.sprintf "%d%s\n" v id)
+
+(* A pulse is a 1 at the event time and a 0 one timestep later; pending
+   clears are flushed before the next later timestamp is emitted. *)
+type state = {
+  buf : Buffer.t;
+  mutable current_time : Cycles.t;
+  mutable time_emitted : bool;
+  mutable pending_clears : (Cycles.t * string) list;
+}
+
+let write_time st time =
+  if (not st.time_emitted) || time > st.current_time then begin
+    Buffer.add_string st.buf (Printf.sprintf "#%d\n" time);
+    st.current_time <- time;
+    st.time_emitted <- true
+  end
+
+let emit_time st time =
+  (* Flush clears due at or before [time]; a clear landing exactly on [time]
+     is emitted first within the same timestep. *)
+  let due, keep = List.partition (fun (t, _) -> t <= time) st.pending_clears in
+  List.iter
+    (fun (t, id) ->
+      write_time st t;
+      scalar st.buf id 0)
+    (List.sort compare due);
+  st.pending_clears <- keep;
+  write_time st time
+
+let pulse st time id =
+  emit_time st time;
+  scalar st.buf id 1;
+  st.pending_clears <- (Cycles.( + ) time 1, id) :: st.pending_clears
+
+let to_buffer trace =
+  let buf = Buffer.create 4096 in
+  header buf;
+  Buffer.add_string buf "$dumpvars\n";
+  vector buf id_active 0;
+  vector buf id_interp 0xff;
+  scalar buf id_top 0;
+  scalar buf id_bh 0;
+  scalar buf id_admit 0;
+  scalar buf id_deny 0;
+  Buffer.add_string buf "$end\n";
+  let st = { buf; current_time = 0; time_emitted = false; pending_clears = [] } in
+  Hyp_trace.iter trace (fun entry ->
+      let time = entry.Hyp_trace.time in
+      match entry.Hyp_trace.event with
+      | Hyp_trace.Slot_switch { to_partition; _ } ->
+          emit_time st time;
+          vector buf id_active to_partition
+      | Hyp_trace.Boundary_deferred _ -> ()
+      | Hyp_trace.Top_handler_run _ -> pulse st time id_top
+      | Hyp_trace.Monitor_decision { admitted = true; _ } ->
+          pulse st time id_admit
+      | Hyp_trace.Monitor_decision { admitted = false; _ } ->
+          pulse st time id_deny
+      | Hyp_trace.Interposition_start { target; _ } ->
+          emit_time st time;
+          vector buf id_interp target
+      | Hyp_trace.Interposition_end _ ->
+          emit_time st time;
+          vector buf id_interp 0xff
+      | Hyp_trace.Interposition_crossed_boundary _ ->
+          (* The interposition keeps running in the new slot. *)
+          ()
+      | Hyp_trace.Bottom_handler_done _ -> pulse st time id_bh);
+  (* Flush trailing pulse clears. *)
+  List.iter
+    (fun (t, id) ->
+      write_time st t;
+      scalar buf id 0)
+    (List.sort compare st.pending_clears);
+  buf
+
+let to_channel oc trace = Buffer.output_buffer oc (to_buffer trace)
+let to_string trace = Buffer.contents (to_buffer trace)
+
+let save ~path trace =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc trace)

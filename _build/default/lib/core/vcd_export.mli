@@ -1,0 +1,23 @@
+(** Value Change Dump (IEEE 1364) export of a hypervisor event trace.
+
+    Renders the scheduling timeline as a waveform viewable in GTKWave or any
+    EDA wave viewer:
+
+    - [active_partition] (8-bit vector): which partition's slot owns the
+      processor (updated at slot switches);
+    - [interposition] (8-bit vector): the partition an interposed bottom
+      handler is executing in, or [0xff] when none;
+    - [irq_top] (wire): pulses for one timestep on every top-handler run;
+    - [bh_done] (wire): pulses on every bottom-handler completion;
+    - [monitor_admit] / [monitor_deny] (wires): pulses per decision.
+
+    The timescale is 5 ns — one cycle of the 200 MHz clock, so VCD times are
+    exactly simulation cycle counts. *)
+
+val to_channel : out_channel -> Hyp_trace.t -> unit
+(** Write a complete VCD document for the retained trace entries. *)
+
+val to_string : Hyp_trace.t -> string
+
+val save : path:string -> Hyp_trace.t -> unit
+(** @raise Sys_error on I/O failure. *)

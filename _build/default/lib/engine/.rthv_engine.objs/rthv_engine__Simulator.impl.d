@@ -1,0 +1,1 @@
+lib/engine/simulator.ml: Cycles Event_queue Format

@@ -1,0 +1,21 @@
+type t = int
+
+let zero = 0
+let cycles_per_us = 200
+let of_us n = n * cycles_per_us
+
+let of_us_f x =
+  let c = x *. float_of_int cycles_per_us in
+  int_of_float (Float.round c)
+
+let of_ms n = n * 1000 * cycles_per_us
+let of_instr n = n
+let to_us t = float_of_int t /. float_of_int cycles_per_us
+let to_us_int t = t / cycles_per_us
+let ( + ) = Stdlib.( + )
+let ( - ) = Stdlib.( - )
+let ( * ) = Stdlib.( * )
+let min = Stdlib.min
+let max = Stdlib.max
+let compare = Stdlib.compare
+let pp ppf t = Format.fprintf ppf "%.2fus" (to_us t)

@@ -1,0 +1,89 @@
+type 'a entry = { time : Cycles.t; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let entry_lt a b =
+  a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let capacity = Array.length t.heap in
+  if t.size = capacity then begin
+    let new_capacity = if capacity = 0 then 16 else capacity * 2 in
+    (* The dummy cell is never read: [size] guards all accesses. *)
+    let dummy = t.heap.(0) in
+    let heap = Array.make new_capacity dummy in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest =
+    if left < t.size && entry_lt t.heap.(left) t.heap.(i) then left else i
+  in
+  let smallest =
+    if right < t.size && entry_lt t.heap.(right) t.heap.(smallest) then right
+    else smallest
+  in
+  if smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(smallest);
+    t.heap.(smallest) <- tmp;
+    sift_down t smallest
+  end
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 entry
+  else grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.heap.(0)
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let clear t = t.size <- 0
+
+let to_sorted_list t =
+  let entries = Array.sub t.heap 0 t.size in
+  let compare_entry a b =
+    match Cycles.compare a.time b.time with
+    | 0 -> Stdlib.compare a.seq b.seq
+    | c -> c
+  in
+  Array.sort compare_entry entries;
+  Array.to_list entries

@@ -1,0 +1,34 @@
+(** Priority queue of timed events.
+
+    A binary min-heap keyed by [(time, sequence)].  The sequence number is a
+    monotonically increasing insertion index, so events scheduled for the same
+    instant are delivered in insertion order — a property the hypervisor
+    simulation relies on (e.g. a slot boundary scheduled before an IRQ at the
+    same cycle is processed first). *)
+
+type 'a t
+
+type 'a entry = { time : Cycles.t; seq : int; payload : 'a }
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:Cycles.t -> 'a -> unit
+(** [push q ~time payload] schedules [payload] at [time].  [time] may be in
+    the past of previously pushed events; ordering is global. *)
+
+val peek : 'a t -> 'a entry option
+(** Earliest entry without removing it. *)
+
+val peek_time : 'a t -> Cycles.t option
+
+val pop : 'a t -> 'a entry option
+(** Remove and return the earliest entry. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a entry list
+(** Non-destructive snapshot in delivery order; O(n log n).  For tests. *)

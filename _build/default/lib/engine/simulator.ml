@@ -1,0 +1,59 @@
+type t = {
+  mutable clock : Cycles.t;
+  queue : event Event_queue.t;
+  mutable live : int;
+}
+
+and event = { callback : t -> unit; mutable cancelled : bool }
+
+type handle = event
+
+let create () = { clock = Cycles.zero; queue = Event_queue.create (); live = 0 }
+let now t = t.clock
+
+let schedule t ~at callback =
+  if at < t.clock then
+    invalid_arg
+      (Format.asprintf "Simulator.schedule: %a is before now (%a)" Cycles.pp at
+         Cycles.pp t.clock);
+  let event = { callback; cancelled = false } in
+  Event_queue.push t.queue ~time:at event;
+  t.live <- t.live + 1;
+  event
+
+let schedule_after t ~delay callback =
+  schedule t ~at:(Cycles.( + ) t.clock delay) callback
+
+let cancel t handle =
+  if not handle.cancelled then begin
+    handle.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let rec step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some { Event_queue.time; payload = event; _ } ->
+      if event.cancelled then step t
+      else begin
+        t.clock <- time;
+        t.live <- t.live - 1;
+        event.callback t;
+        true
+      end
+
+let run_until t horizon =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= horizon ->
+        ignore (step t : bool);
+        loop ()
+    | Some _ | None -> t.clock <- Cycles.max t.clock horizon
+  in
+  loop ()
+
+let run t =
+  let rec loop () = if step t then loop () in
+  loop ()

@@ -1,0 +1,41 @@
+(** Generic discrete-event simulation loop.
+
+    A simulator owns a clock and a queue of timed callbacks.  Callbacks
+    scheduled for the same instant run in scheduling order.  The hypervisor
+    model drives its own finer-grained segment loop on top of this for CPU
+    work attribution; the plain callback interface here serves the hardware
+    models (timers) and the tests. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+(** A fresh simulator with the clock at [Cycles.zero]. *)
+
+val now : t -> Cycles.t
+
+val schedule : t -> at:Cycles.t -> (t -> unit) -> handle
+(** [schedule t ~at f] runs [f t] when the clock reaches [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_after : t -> delay:Cycles.t -> (t -> unit) -> handle
+(** [schedule_after t ~delay f] is [schedule t ~at:(now t + delay) f]. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-fired, not-cancelled events. *)
+
+val step : t -> bool
+(** Fire the earliest pending event, advancing the clock to it.  Returns
+    [false] when the queue is empty (clock unchanged). *)
+
+val run_until : t -> Cycles.t -> unit
+(** Fire all events up to and including the given instant, then set the clock
+    to it. *)
+
+val run : t -> unit
+(** Fire events until the queue drains. *)

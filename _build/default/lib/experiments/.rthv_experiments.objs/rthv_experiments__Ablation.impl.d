@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Format List Params Printf Rthv_analysis Rthv_core Rthv_engine Rthv_hw Rthv_stats Rthv_workload Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/ablation.mli: Format Rthv_core Rthv_engine Rthv_hw

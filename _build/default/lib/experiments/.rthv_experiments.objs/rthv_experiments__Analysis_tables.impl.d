@@ -1,0 +1,1 @@
+lib/experiments/analysis_tables.ml: Array Format List Params Printf Rthv_analysis Rthv_core Rthv_engine Rthv_workload Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/analysis_tables.mli: Format Rthv_analysis Rthv_engine

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Buffer Format List Params Printf Rthv_analysis Rthv_core Rthv_engine Rthv_stats Rthv_workload

@@ -1,0 +1,1 @@
+lib/experiments/fig6.mli: Format Rthv_core Rthv_engine Rthv_stats

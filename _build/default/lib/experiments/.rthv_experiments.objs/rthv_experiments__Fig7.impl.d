@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Buffer Format List Params Printf Rthv_analysis Rthv_core Rthv_engine Rthv_stats Rthv_workload Stdlib String

@@ -1,0 +1,1 @@
+lib/experiments/fig7.mli: Format Rthv_core Rthv_engine Rthv_workload

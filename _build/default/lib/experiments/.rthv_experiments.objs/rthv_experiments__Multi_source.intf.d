@@ -1,0 +1,1 @@
+lib/experiments/multi_source.mli: Format Rthv_engine

@@ -1,0 +1,1 @@
+lib/experiments/overhead.ml: Format List Params Rthv_analysis Rthv_core Rthv_engine Rthv_hw Rthv_workload

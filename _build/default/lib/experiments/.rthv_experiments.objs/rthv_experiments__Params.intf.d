@@ -1,0 +1,1 @@
+lib/experiments/params.mli: Rthv_core Rthv_engine Rthv_hw

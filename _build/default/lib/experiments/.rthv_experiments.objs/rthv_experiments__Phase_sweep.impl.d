@@ -1,0 +1,1 @@
+lib/experiments/phase_sweep.ml: Array Float Format List Params Printf Rthv_analysis Rthv_core Rthv_engine Rthv_stats

@@ -1,0 +1,1 @@
+lib/experiments/phase_sweep.mli: Format Rthv_core Rthv_engine

@@ -1,0 +1,1 @@
+lib/experiments/robustness.ml: Fig6 Format List Rthv_stats

@@ -1,0 +1,1 @@
+lib/experiments/robustness.mli: Fig6 Format

@@ -1,0 +1,157 @@
+module Cycles = Rthv_engine.Cycles
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+module Irq_record = Rthv_core.Irq_record
+module DF = Rthv_analysis.Distance_fn
+module Gen = Rthv_workload.Gen
+module Summary = Rthv_stats.Summary
+module Platform = Rthv_hw.Platform
+
+type variant = {
+  label : string;
+  platform : Platform.t;
+  finish_bh : bool;
+  shaping : Config.shaping;
+}
+
+type measurement = {
+  m_label : string;
+  avg_us : float;
+  p95_us : float;
+  worst_us : float;
+  ctx_per_irq : float;
+  m_stats : Hyp_sim.stats;
+}
+
+let monitored d_min = Config.Fixed_monitor (DF.d_min d_min)
+
+let boundary_variants ~d_min =
+  [
+    {
+      label = "monitored (paper config)";
+      platform = Params.platform;
+      finish_bh = true;
+      shaping = monitored d_min;
+    };
+    {
+      label = "monitored, strict TDMA cut";
+      platform = Params.platform;
+      finish_bh = false;
+      shaping = monitored d_min;
+    };
+    {
+      label = "unmonitored baseline";
+      platform = Params.platform;
+      finish_bh = true;
+      shaping = Config.No_shaping;
+    };
+  ]
+
+let ctx_cost_variants ~d_min factors =
+  List.map
+    (fun factor ->
+      {
+        label = Printf.sprintf "C_ctx x %.1f" factor;
+        platform =
+          {
+            Params.platform with
+            Platform.ctx =
+              Rthv_hw.Ctx_cost.scaled Params.platform.Platform.ctx factor;
+          };
+        finish_bh = true;
+        shaping = monitored d_min;
+      })
+    factors
+
+let monitor_depth_variants ~d_min depths =
+  List.map
+    (fun l ->
+      let entries = Array.init l (fun i -> Cycles.( * ) d_min (i + 1)) in
+      {
+        label = Printf.sprintf "monitor l = %d" l;
+        platform = Params.platform;
+        finish_bh = true;
+        shaping = Config.Fixed_monitor (DF.of_entries entries);
+      })
+    depths
+
+let run_on_arrivals ~interarrivals variants =
+  List.map
+    (fun variant ->
+      let config =
+        Config.make ~platform:variant.platform
+          ~finish_bh_at_boundary:variant.finish_bh
+          ~partitions:Params.partitions
+          ~sources:[ Params.source ~interarrivals ~shaping:variant.shaping ]
+          ()
+      in
+      let sim = Hyp_sim.create config in
+      Hyp_sim.run sim;
+      let stats = Hyp_sim.stats sim in
+      let s =
+        Summary.of_list
+          (List.map Irq_record.latency_us (Hyp_sim.records sim))
+      in
+      {
+        m_label = variant.label;
+        avg_us = s.Summary.mean;
+        p95_us = s.Summary.p95;
+        worst_us = s.Summary.max;
+        ctx_per_irq =
+          float_of_int
+            (stats.Hyp_sim.slot_switches + stats.Hyp_sim.interposition_switches)
+          /. float_of_int (Stdlib.max 1 stats.Hyp_sim.completed_irqs);
+        m_stats = stats;
+      })
+    variants
+
+let run ?(seed = Params.default_seed) ?(count = 5000) ~d_min variants =
+  let interarrivals =
+    Gen.exponential_clamped ~seed ~mean:d_min ~d_min ~count
+  in
+  run_on_arrivals ~interarrivals variants
+
+let shaper_comparison ?(seed = Params.default_seed) ?(count = 5000) ~d_min () =
+  (* Bursts of 3 activations, inner distance d_min/8, burst gaps sized so
+     the long-term rate equals one activation per d_min. *)
+  let interarrivals =
+    Gen.bursty ~seed ~burst_len:3 ~inner:(d_min / 8)
+      ~gap_mean:(Cycles.( * ) d_min 3) ~count
+  in
+  let variants =
+    [
+      {
+        label = "unmonitored";
+        platform = Params.platform;
+        finish_bh = true;
+        shaping = Config.No_shaping;
+      };
+      {
+        label = "d_min monitor";
+        platform = Params.platform;
+        finish_bh = true;
+        shaping = monitored d_min;
+      };
+      {
+        label = "token bucket, capacity 1";
+        platform = Params.platform;
+        finish_bh = true;
+        shaping = Config.Token_bucket { capacity = 1; refill = d_min };
+      };
+      {
+        label = "token bucket, capacity 3";
+        platform = Params.platform;
+        finish_bh = true;
+        shaping = Config.Token_bucket { capacity = 3; refill = d_min };
+      };
+    ]
+  in
+  run_on_arrivals ~interarrivals variants
+
+let print ppf measurements =
+  List.iter
+    (fun m ->
+      Format.fprintf ppf
+        "  %-28s avg %8.1fus  p95 %8.1fus  worst %8.1fus  ctx/irq %.2f@."
+        m.m_label m.avg_us m.p95_us m.worst_us m.ctx_per_irq)
+    measurements

@@ -1,0 +1,54 @@
+(** Ablation study over the design choices documented in DESIGN.md §5.
+
+    Runs the conforming-arrival scenario (the regime where interposition's
+    worst case is supposed to be TDMA-independent) under controlled
+    variations: boundary semantics, context-switch cost, monitor depth, and
+    the unmonitored baseline. *)
+
+type variant = {
+  label : string;
+  platform : Rthv_hw.Platform.t;
+  finish_bh : bool;
+  shaping : Rthv_core.Config.shaping;
+}
+
+type measurement = {
+  m_label : string;
+  avg_us : float;
+  p95_us : float;
+  worst_us : float;
+  ctx_per_irq : float;  (** All context switches per completed IRQ. *)
+  m_stats : Rthv_core.Hyp_sim.stats;
+}
+
+val boundary_variants : d_min:Rthv_engine.Cycles.t -> variant list
+(** Paper semantics (bounded overrun), strict TDMA cut, unmonitored. *)
+
+val ctx_cost_variants : d_min:Rthv_engine.Cycles.t -> float list -> variant list
+(** Monitored runs with the context-switch cost scaled by each factor. *)
+
+val monitor_depth_variants : d_min:Rthv_engine.Cycles.t -> int list -> variant list
+(** Monitored runs with linear l-entry envelopes of the given depths. *)
+
+val run :
+  ?seed:int ->
+  ?count:int ->
+  d_min:Rthv_engine.Cycles.t ->
+  variant list ->
+  measurement list
+(** All variants on the same pre-generated conforming arrivals. *)
+
+val shaper_comparison :
+  ?seed:int ->
+  ?count:int ->
+  d_min:Rthv_engine.Cycles.t ->
+  unit ->
+  measurement list
+(** The paper's delta^- monitor against the related-work token-bucket
+    throttle (Regehr & Duongsaa) at equal long-term admission rate, on
+    bursty arrivals (3-activation bursts): the bucket interposes whole
+    bursts (lower average latency, burstier interference on other
+    partitions), the distance monitor spreads admissions out.  Variants:
+    unmonitored, d_min monitor, bucket capacity 1, bucket capacity 3. *)
+
+val print : Format.formatter -> measurement list -> unit

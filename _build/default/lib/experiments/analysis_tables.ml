@@ -1,0 +1,140 @@
+module Cycles = Rthv_engine.Cycles
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+module Irq_record = Rthv_core.Irq_record
+module Arrival_curve = Rthv_analysis.Arrival_curve
+module Busy_window = Rthv_analysis.Busy_window
+module Distance_fn = Rthv_analysis.Distance_fn
+module Independence = Rthv_analysis.Independence
+module Irq_latency = Rthv_analysis.Irq_latency
+module Tdma_interference = Rthv_analysis.Tdma_interference
+module Gen = Rthv_workload.Gen
+
+type row = {
+  load : float;
+  d_min : Cycles.t;
+  r_baseline_us : float;
+  r_baseline_monitored_us : float;
+  r_interposed_us : float;
+  dominant_term_us : float;
+  interference_bound_slot_us : float;
+  sim_worst_unmonitored_us : float option;
+  sim_worst_monitored_us : float option;
+  sim_stolen_slot_max_us : float option;
+}
+
+let costs = Irq_latency.costs_of_platform Params.platform
+
+let analysis_tdma =
+  let cycle = Rthv_core.Tdma.cycle_length Params.tdma in
+  let slot =
+    Cycles.( - )
+      (Rthv_core.Tdma.slot_length Params.tdma Params.subscriber)
+      costs.Irq_latency.c_ctx
+  in
+  Tdma_interference.make ~cycle ~slot
+
+let source_model ~d_min =
+  {
+    Irq_latency.name = "irq0";
+    arrival = Arrival_curve.Sporadic { d_min };
+    c_th = Cycles.of_us Params.c_th_us;
+    c_bh = Cycles.of_us Params.c_bh_us;
+  }
+
+let response_us = function
+  | Ok result ->
+      Cycles.to_us result.Busy_window.response_time
+  | Error msg -> failwith ("analysis failed: " ^ msg)
+
+let simulate ~seed ~count ~d_min ~shaping =
+  let interarrivals =
+    Gen.exponential_clamped ~seed ~mean:d_min ~d_min ~count
+  in
+  let sim = Hyp_sim.create (Params.config ~interarrivals ~shaping) in
+  Hyp_sim.run sim;
+  let records = Hyp_sim.records sim in
+  let worst =
+    List.fold_left
+      (fun acc r -> Stdlib.max acc (Irq_record.latency_us r))
+      0. records
+  in
+  (worst, Hyp_sim.stats sim)
+
+let compute ?(with_sim = true) ?(seed = Params.default_seed) ?(count = 2000)
+    ~load () =
+  let d_min = Params.mean_for_load load in
+  let self = source_model ~d_min in
+  let r_baseline =
+    response_us
+      (Irq_latency.baseline ~tdma:analysis_tdma ~self ~interferers:[] ())
+  in
+  let r_baseline_monitored =
+    response_us
+      (Irq_latency.baseline ~tdma:analysis_tdma ~self ~interferers:[]
+         ~monitoring:costs ())
+  in
+  let r_interposed =
+    response_us (Irq_latency.interposed ~costs ~self ~interferers:[] ())
+  in
+  let monitor = Distance_fn.d_min d_min in
+  let slot = Rthv_core.Tdma.slot_length Params.tdma 0 in
+  let bound_slot =
+    Independence.max_slot_loss ~monitor ~c_bh_eff:Params.c_bh_eff ~slot
+  in
+  let sim_unmonitored, sim_monitored, stolen_max =
+    if with_sim then begin
+      let worst_u, _ =
+        simulate ~seed ~count ~d_min ~shaping:Config.No_shaping
+      in
+      let worst_m, stats_m =
+        simulate ~seed ~count ~d_min
+          ~shaping:(Config.Fixed_monitor monitor)
+      in
+      let stolen =
+        Array.fold_left Stdlib.max 0 stats_m.Hyp_sim.stolen_slot_max
+      in
+      (Some worst_u, Some worst_m, Some (Cycles.to_us stolen))
+    end
+    else (None, None, None)
+  in
+  {
+    load;
+    d_min;
+    r_baseline_us = r_baseline;
+    r_baseline_monitored_us = r_baseline_monitored;
+    r_interposed_us = r_interposed;
+    dominant_term_us =
+      Cycles.to_us (Irq_latency.baseline_dominant_term ~tdma:analysis_tdma);
+    interference_bound_slot_us = Cycles.to_us bound_slot;
+    sim_worst_unmonitored_us = sim_unmonitored;
+    sim_worst_monitored_us = sim_monitored;
+    sim_stolen_slot_max_us = stolen_max;
+  }
+
+let compute_all ?with_sim ?seed ?count () =
+  List.map
+    (fun load -> compute ?with_sim ?seed ?count ~load ())
+    Params.loads
+
+let print ppf rows =
+  Format.fprintf ppf "== Worst-case analysis (eq. 11-16) vs simulation ==@.";
+  Format.fprintf ppf
+    "%6s %10s %12s %12s %12s | %12s %12s %14s %12s@." "load" "d_min"
+    "R_base" "R_base+mon" "R_interp" "sim_base" "sim_monit" "I_bound(slot)"
+    "I_measured";
+  List.iter
+    (fun r ->
+      let opt = function
+        | Some v -> Printf.sprintf "%10.0fus" v
+        | None -> "         -"
+      in
+      Format.fprintf ppf
+        "%5.1f%% %8.0fus %10.0fus %10.0fus %10.0fus | %12s %12s %12.0fus %12s@."
+        (100. *. r.load) (Cycles.to_us r.d_min) r.r_baseline_us
+        r.r_baseline_monitored_us r.r_interposed_us
+        (opt r.sim_worst_unmonitored_us)
+        (opt r.sim_worst_monitored_us)
+        r.interference_bound_slot_us
+        (opt r.sim_stolen_slot_max_us))
+    rows

@@ -1,0 +1,158 @@
+module Cycles = Rthv_engine.Cycles
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+module Irq_record = Rthv_core.Irq_record
+module Distance_fn = Rthv_analysis.Distance_fn
+module Gen = Rthv_workload.Gen
+module Histogram = Rthv_stats.Histogram
+module Summary = Rthv_stats.Summary
+
+type scenario = Unmonitored | Monitored | Monitored_conforming
+
+type load_run = {
+  load : float;
+  mean_interarrival : Cycles.t;
+  records : Irq_record.t list;
+  run_stats : Hyp_sim.stats;
+}
+
+type result = {
+  scenario : scenario;
+  per_load : load_run list;
+  histogram : Histogram.t;
+  latency : Summary.t;
+  n_direct : int;
+  n_interposed : int;
+  n_delayed : int;
+  by_class : (Irq_record.classification * Summary.t) list;
+}
+
+let scenario_name = function
+  | Unmonitored -> "fig6a: monitoring disabled"
+  | Monitored -> "fig6b: monitoring enabled (d_min = lambda, violations occur)"
+  | Monitored_conforming -> "fig6c: monitoring enabled, no violations"
+
+let run_load ~seed ~count scenario load =
+  let mean = Params.mean_for_load load in
+  let d_min = mean in
+  let interarrivals =
+    match scenario with
+    | Unmonitored | Monitored -> Gen.exponential ~seed ~mean ~count
+    | Monitored_conforming ->
+        Gen.exponential_clamped ~seed ~mean ~d_min ~count
+  in
+  let shaping =
+    match scenario with
+    | Unmonitored -> Config.No_shaping
+    | Monitored | Monitored_conforming ->
+        Config.Fixed_monitor (Distance_fn.d_min d_min)
+  in
+  let sim = Hyp_sim.create (Params.config ~interarrivals ~shaping) in
+  Hyp_sim.run sim;
+  {
+    load;
+    mean_interarrival = mean;
+    records = Hyp_sim.records sim;
+    run_stats = Hyp_sim.stats sim;
+  }
+
+let run ?(seed = Params.default_seed) ?(count_per_load = Params.irqs_per_load)
+    ?(loads = Params.loads) scenario =
+  let per_load =
+    List.mapi
+      (fun i load -> run_load ~seed:(seed + i) ~count:count_per_load scenario load)
+      loads
+  in
+  let histogram = Histogram.create ~bin_width_us:250. ~max_us:9000. in
+  let latencies = ref [] in
+  let direct = ref 0 and interposed = ref 0 and delayed = ref 0 in
+  List.iter
+    (fun lr ->
+      direct := !direct + lr.run_stats.Hyp_sim.direct;
+      interposed := !interposed + lr.run_stats.Hyp_sim.interposed;
+      delayed := !delayed + lr.run_stats.Hyp_sim.delayed;
+      List.iter
+        (fun record ->
+          let l = Irq_record.latency_us record in
+          Histogram.add histogram l;
+          latencies := l :: !latencies)
+        lr.records)
+    per_load;
+  let by_class =
+    List.filter_map
+      (fun classification ->
+        let of_class =
+          List.concat_map
+            (fun lr ->
+              List.filter_map
+                (fun r ->
+                  if r.Irq_record.classification = classification then
+                    Some (Irq_record.latency_us r)
+                  else None)
+                lr.records)
+            per_load
+        in
+        if of_class = [] then None
+        else Some (classification, Summary.of_list of_class))
+      [ Irq_record.Direct; Irq_record.Interposed; Irq_record.Delayed ]
+  in
+  {
+    scenario;
+    per_load;
+    histogram;
+    latency = Summary.of_list !latencies;
+    n_direct = !direct;
+    n_interposed = !interposed;
+    n_delayed = !delayed;
+    by_class;
+  }
+
+let run_all ?seed ?count_per_load () =
+  List.map
+    (fun scenario -> run ?seed ?count_per_load scenario)
+    [ Unmonitored; Monitored; Monitored_conforming ]
+
+let histogram_csv r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "bin_lo_us,bin_hi_us,count\n";
+  List.iter
+    (fun (lo, hi, count) ->
+      Buffer.add_string buf
+        (if hi = infinity then Printf.sprintf "%.0f,inf,%d\n" lo count
+         else Printf.sprintf "%.0f,%.0f,%d\n" lo hi count))
+    (Histogram.bins r.histogram);
+  Buffer.contents buf
+
+let print ppf r =
+  let total = r.n_direct + r.n_interposed + r.n_delayed in
+  let share n =
+    if total = 0 then 0. else 100. *. float_of_int n /. float_of_int total
+  in
+  Format.fprintf ppf "== %s ==@." (scenario_name r.scenario);
+  Format.fprintf ppf
+    "IRQs: %d (direct %d = %.0f%%, interposed %d = %.0f%%, delayed %d = %.0f%%)@."
+    total r.n_direct (share r.n_direct) r.n_interposed (share r.n_interposed)
+    r.n_delayed (share r.n_delayed);
+  Format.fprintf ppf
+    "latency: avg %.0fus, p50 %.0fus, p95 %.0fus, worst %.0fus@."
+    r.latency.Summary.mean r.latency.Summary.p50 r.latency.Summary.p95
+    r.latency.Summary.max;
+  List.iter
+    (fun (classification, s) ->
+      Format.fprintf ppf "  %-10s avg %7.0fus  worst %7.0fus@."
+        (Irq_record.classification_name classification)
+        s.Summary.mean s.Summary.max)
+    r.by_class;
+  List.iter
+    (fun lr ->
+      let s =
+        Summary.of_list (List.map Irq_record.latency_us lr.records)
+      in
+      Format.fprintf ppf
+        "  load %4.1f%%: lambda=%a avg=%.0fus worst=%.0fus ctx(slot=%d, interposition=%d)@."
+        (100. *. lr.load) Cycles.pp lr.mean_interarrival s.Summary.mean
+        s.Summary.max lr.run_stats.Hyp_sim.slot_switches
+        lr.run_stats.Hyp_sim.interposition_switches)
+    r.per_load;
+  Format.fprintf ppf "histogram (250us bins, # scaled to fullest bin, log scale):@.";
+  Histogram.render ~log_scale:true ppf r.histogram

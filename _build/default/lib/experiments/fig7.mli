@@ -1,0 +1,56 @@
+(** Figure 7 reproduction (Appendix A): self-learning monitor on an
+    automotive-ECU activation trace.
+
+    The trace (~11000 activations) feeds the IRQ trigger timer.  The first
+    10 % of activations train the l = 5 delta^-_Ip function (Algorithm 1,
+    learning phase: only direct/delayed handling), after which the learned
+    function — adjusted to a predefined upper bound delta^-_bIp via
+    Algorithm 2 — governs interposition for the rest of the run.
+
+    Four bounds are evaluated, as in the paper: (a) non-binding, and bounds
+    admitting (b) 25 %, (c) 12.5 % and (d) 6.25 % of the recorded load. *)
+
+type bound_spec =
+  | Unbounded  (** Graph a: delta^-_bIp never binds. *)
+  | Load_fraction of float
+      (** Graphs b-d: the bound admits this fraction of the load recorded in
+          the learning phase. *)
+
+type result = {
+  spec : bound_spec;
+  label : string;
+  activations : int;
+  learn_events : int;
+  learn_avg_us : float;  (** Average latency during the learning phase. *)
+  run_avg_us : float;  (** Average latency in the monitored run phase. *)
+  series : (int * float) list;
+      (** (event index, running-average latency in us) — the Figure-7
+          curve, downsampled. *)
+  run_stats : Rthv_core.Hyp_sim.stats;
+}
+
+val bound_label : bound_spec -> string
+
+val trace : seed:int -> Rthv_engine.Cycles.t list
+(** The synthetic ECU trace used by all four runs. *)
+
+val run :
+  ?seed:int ->
+  ?profile:Rthv_workload.Ecu_trace.profile ->
+  ?window:int ->
+  bound_spec ->
+  result
+(** [window] is the running-average window (default 500 events). *)
+
+val run_all : ?seed:int -> unit -> result list
+(** The paper's four graphs, a-d. *)
+
+val print : Format.formatter -> result -> unit
+
+val print_series : Format.formatter -> result list -> unit
+(** The four curves side by side, one row per sampled event index. *)
+
+val series_csv : result list -> string
+(** All running-average series as CSV ([event_index] plus one column per
+    bound), for external plotting.  Rows follow the first result's sampled
+    indices; a series missing a row prints an empty cell. *)

@@ -1,0 +1,93 @@
+module Cycles = Rthv_engine.Cycles
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+module Irq_record = Rthv_core.Irq_record
+module DF = Rthv_analysis.Distance_fn
+module Independence = Rthv_analysis.Independence
+module Gen = Rthv_workload.Gen
+module Summary = Rthv_stats.Summary
+
+type row = {
+  n_sources : int;
+  d_min_per_source : Cycles.t;
+  avg_latency_us : float;
+  worst_latency_us : float;
+  interposed_share : float;
+  denial_rate : float;
+  stolen_slot_max_us : float;
+  union_bound_us : float;
+}
+
+let run ?(seed = Params.default_seed) ?(count_per_source = 1000)
+    ?(total_load = 0.10) ~n_sources () =
+  if n_sources < 1 then invalid_arg "Multi_source.run: need >= 1 source";
+  let base = Params.mean_for_load total_load in
+  let d_min = Cycles.( * ) base n_sources in
+  let sources =
+    List.init n_sources (fun i ->
+        Config.source
+          ~name:(Printf.sprintf "src%d" i)
+          ~line:i
+          ~subscriber:(i mod 2) (* alternate between the two app partitions *)
+          ~c_th_us:Params.c_th_us ~c_bh_us:Params.c_bh_us
+          ~interarrivals:
+            (Gen.exponential_clamped ~seed:(seed + i) ~mean:d_min ~d_min
+               ~count:count_per_source)
+          ~shaping:(Config.Fixed_monitor (DF.d_min d_min))
+          ())
+  in
+  let config = Config.make ~partitions:Params.partitions ~sources () in
+  let sim = Hyp_sim.create config in
+  Hyp_sim.run sim;
+  let records = Hyp_sim.records sim in
+  let stats = Hyp_sim.stats sim in
+  let s = Summary.of_list (List.map Irq_record.latency_us records) in
+  let foreign = stats.Hyp_sim.interposed + stats.Hyp_sim.delayed in
+  let union_bound =
+    let curve =
+      Independence.sum
+        (List.init n_sources (fun _ ->
+             Independence.d_min_bound ~d_min ~c_bh_eff:Params.c_bh_eff))
+    in
+    Cycles.( + )
+      (curve (Cycles.of_us Params.slot_app_us))
+      Params.c_bh_eff
+  in
+  {
+    n_sources;
+    d_min_per_source = d_min;
+    avg_latency_us = s.Summary.mean;
+    worst_latency_us = s.Summary.max;
+    interposed_share =
+      (if foreign = 0 then 0.
+       else float_of_int stats.Hyp_sim.interposed /. float_of_int foreign);
+    denial_rate =
+      (if stats.Hyp_sim.monitor_checks = 0 then 0.
+       else
+         float_of_int stats.Hyp_sim.denials
+         /. float_of_int stats.Hyp_sim.monitor_checks);
+    stolen_slot_max_us =
+      Cycles.to_us (Array.fold_left Stdlib.max 0 stats.Hyp_sim.stolen_slot_max);
+    union_bound_us = Cycles.to_us union_bound;
+  }
+
+let sweep ?seed ?count_per_source ?total_load ns =
+  List.map
+    (fun n_sources -> run ?seed ?count_per_source ?total_load ~n_sources ())
+    ns
+
+let print ppf rows =
+  Format.fprintf ppf
+    "%8s %12s %10s %10s %12s %10s %14s %12s@." "sources" "d_min" "avg" "worst"
+    "interposed" "denials" "I_max/slot" "I_bound";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%8d %10.0fus %8.1fus %8.1fus %11.1f%% %9.2f%% %12.1fus %10.1fus@."
+        r.n_sources
+        (Cycles.to_us r.d_min_per_source)
+        r.avg_latency_us r.worst_latency_us
+        (100. *. r.interposed_share)
+        (100. *. r.denial_rate)
+        r.stolen_slot_max_us r.union_bound_us)
+    rows

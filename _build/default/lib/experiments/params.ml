@@ -1,0 +1,43 @@
+module Cycles = Rthv_engine.Cycles
+module Platform = Rthv_hw.Platform
+module Config = Rthv_core.Config
+
+let platform = Platform.arm926ejs_200mhz
+let slot_app_us = 6000
+let slot_housekeeping_us = 2000
+let c_th_us = 5
+let c_bh_us = 50
+let subscriber = 1
+let loads = [ 0.01; 0.05; 0.10 ]
+let irqs_per_load = 5000
+let default_seed = 42
+
+let c_bh_eff =
+  let costs = Rthv_analysis.Irq_latency.costs_of_platform platform in
+  Cycles.( + ) (Cycles.of_us c_bh_us)
+    (Cycles.( + ) costs.Rthv_analysis.Irq_latency.c_sched
+       (Cycles.( * ) costs.Rthv_analysis.Irq_latency.c_ctx 2))
+
+let c_th_eff =
+  let costs = Rthv_analysis.Irq_latency.costs_of_platform platform in
+  Cycles.( + ) (Cycles.of_us c_th_us) costs.Rthv_analysis.Irq_latency.c_mon
+
+let mean_for_load load = Rthv_workload.Gen.mean_for_load ~c_bh_eff ~load
+
+let partitions =
+  [
+    Config.partition ~name:"P1" ~slot_us:slot_app_us ();
+    Config.partition ~name:"P2" ~slot_us:slot_app_us ();
+    Config.partition ~name:"HK" ~slot_us:slot_housekeeping_us ();
+  ]
+
+let tdma =
+  Rthv_core.Tdma.of_us
+    [| slot_app_us; slot_app_us; slot_housekeeping_us |]
+
+let source ~interarrivals ~shaping =
+  Config.source ~name:"irq0" ~line:0 ~subscriber ~c_th_us ~c_bh_us
+    ~interarrivals ~shaping ()
+
+let config ~interarrivals ~shaping =
+  Config.make ~platform ~partitions ~sources:[ source ~interarrivals ~shaping ] ()

@@ -1,0 +1,59 @@
+(** Constants of the paper's evaluation setup (Section 6).
+
+    Two application partitions with 6000 us TDMA slots plus a 2000 us
+    housekeeping partition (T_TDMA = 14000 us); one monitored IRQ source
+    subscribed by the second application partition with C_TH = 5 us and
+    C_BH = 50 us; the ARM926ej-s \@200 MHz cost model for C_Mon, C_sched and
+    C_ctx; bottom-handler loads U_IRQ of 1 %, 5 % and 10 % with the mean
+    interarrival time set by equation (17). *)
+
+val platform : Rthv_hw.Platform.t
+
+val slot_app_us : int
+(** 6000 us per application partition. *)
+
+val slot_housekeeping_us : int
+(** 2000 us. *)
+
+val c_th_us : int
+(** 5 us top handler. *)
+
+val c_bh_us : int
+(** 50 us bottom handler. *)
+
+val subscriber : int
+(** Partition index subscribing the monitored source (1 = second
+    application partition, as in Figure 3). *)
+
+val loads : float list
+(** [0.01; 0.05; 0.10]. *)
+
+val irqs_per_load : int
+(** 5000, for the paper's 15000 total over three loads. *)
+
+val default_seed : int
+
+val c_bh_eff : Rthv_engine.Cycles.t
+(** Equation (13) with the platform costs: C'_BH. *)
+
+val c_th_eff : Rthv_engine.Cycles.t
+(** Equation (15): C'_TH. *)
+
+val mean_for_load : float -> Rthv_engine.Cycles.t
+(** Equation (17): lambda = C'_BH / U_IRQ. *)
+
+val partitions : Rthv_core.Config.partition list
+(** The three partitions, in TDMA order: P1, P2, HK. *)
+
+val tdma : Rthv_core.Tdma.t
+
+val source :
+  interarrivals:Rthv_engine.Cycles.t array ->
+  shaping:Rthv_core.Config.shaping ->
+  Rthv_core.Config.source
+(** The experiment's single monitored source on line 0. *)
+
+val config :
+  interarrivals:Rthv_engine.Cycles.t array ->
+  shaping:Rthv_core.Config.shaping ->
+  Rthv_core.Config.t

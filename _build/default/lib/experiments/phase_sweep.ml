@@ -1,0 +1,80 @@
+module Cycles = Rthv_engine.Cycles
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+module Irq_record = Rthv_core.Irq_record
+module DF = Rthv_analysis.Distance_fn
+
+type sample = {
+  phase : Cycles.t;
+  latency_us : float;
+  classification : Irq_record.classification;
+}
+
+type result = {
+  monitored : bool;
+  samples : sample list;
+  worst_us : float;
+  mean_us : float;
+}
+
+let probe ~monitored ~arrival =
+  let shaping =
+    if monitored then Config.Fixed_monitor (DF.d_min (Cycles.of_us 1))
+    else Config.No_shaping
+  in
+  let sim =
+    Hyp_sim.create (Params.config ~interarrivals:[| arrival |] ~shaping)
+  in
+  Hyp_sim.run sim;
+  match Hyp_sim.records sim with
+  | [ record ] ->
+      (Irq_record.latency_us record, record.Irq_record.classification)
+  | records ->
+      failwith
+        (Printf.sprintf "phase probe produced %d records" (List.length records))
+
+let run ?(samples = 140) ?(cycle_index = 3) ~monitored () =
+  if samples < 2 then invalid_arg "Phase_sweep.run: need >= 2 samples";
+  if cycle_index < 0 then invalid_arg "Phase_sweep.run: negative cycle index";
+  let cycle = Rthv_core.Tdma.cycle_length Params.tdma in
+  let base = Cycles.( * ) cycle cycle_index in
+  let step = cycle / samples in
+  let samples =
+    List.init samples (fun i ->
+        let phase = Cycles.( * ) step i in
+        let latency_us, classification =
+          probe ~monitored ~arrival:(Cycles.( + ) base phase)
+        in
+        { phase; latency_us; classification })
+  in
+  let worst_us =
+    List.fold_left (fun acc s -> Float.max acc s.latency_us) 0. samples
+  in
+  let mean_us =
+    List.fold_left (fun acc s -> acc +. s.latency_us) 0. samples
+    /. float_of_int (List.length samples)
+  in
+  { monitored; samples; worst_us; mean_us }
+
+let print ppf results =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%-12s mean %8.1fus  worst %8.1fus over one TDMA cycle@."
+        (if r.monitored then "monitored" else "unmonitored")
+        r.mean_us r.worst_us)
+    results;
+  let glyph_of index = [| 'u'; 'm'; '3'; '4' |].(index mod 4) in
+  let plots =
+    List.mapi
+      (fun index r ->
+        Rthv_stats.Ascii_plot.series
+          ~label:(if r.monitored then "monitored" else "unmonitored")
+          ~glyph:(glyph_of index)
+          (List.map
+             (fun s -> (Cycles.to_us s.phase, s.latency_us))
+             r.samples))
+      results
+  in
+  Rthv_stats.Ascii_plot.render ~x_label:"arrival phase in the TDMA cycle (us)"
+    ~y_label:"IRQ latency (us)" ppf plots

@@ -1,0 +1,50 @@
+module Summary = Rthv_stats.Summary
+
+type row = {
+  scenario : Fig6.scenario;
+  seeds : int list;
+  means_us : float list;
+  mean_of_means_us : float;
+  std_of_means_us : float;
+  min_mean_us : float;
+  max_mean_us : float;
+}
+
+let default_seeds = List.init 10 (fun i -> i + 1)
+
+let run ?(seeds = default_seeds) ?(count_per_load = 1000) scenario =
+  if seeds = [] then invalid_arg "Robustness.run: need at least one seed";
+  let means_us =
+    List.map
+      (fun seed ->
+        let result = Fig6.run ~seed ~count_per_load scenario in
+        result.Fig6.latency.Summary.mean)
+      seeds
+  in
+  let s = Summary.of_list means_us in
+  {
+    scenario;
+    seeds;
+    means_us;
+    mean_of_means_us = s.Summary.mean;
+    std_of_means_us = s.Summary.stddev;
+    min_mean_us = s.Summary.min;
+    max_mean_us = s.Summary.max;
+  }
+
+let run_all ?seeds ?count_per_load () =
+  List.map
+    (fun scenario -> run ?seeds ?count_per_load scenario)
+    [ Fig6.Unmonitored; Fig6.Monitored; Fig6.Monitored_conforming ]
+
+let print ppf rows =
+  Format.fprintf ppf "%-50s %10s %8s %10s %10s (%d seeds)@." "scenario"
+    "mean" "sd" "min" "max"
+    (match rows with row :: _ -> List.length row.seeds | [] -> 0);
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-50s %8.0fus %6.0fus %8.0fus %8.0fus@."
+        (Fig6.scenario_name row.scenario)
+        row.mean_of_means_us row.std_of_means_us row.min_mean_us
+        row.max_mean_us)
+    rows

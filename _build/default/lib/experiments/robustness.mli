@@ -1,0 +1,24 @@
+(** Seed-robustness of the headline numbers.
+
+    Every number in EXPERIMENTS.md comes from the default seed.  This module
+    repeats a Figure-6 scenario across independent seeds and reports the
+    spread of the per-seed average latencies, establishing that the headline
+    comparisons (6a vs 6b vs 6c) are far outside run-to-run noise. *)
+
+type row = {
+  scenario : Fig6.scenario;
+  seeds : int list;
+  means_us : float list;  (** Per-seed average latency, seed order. *)
+  mean_of_means_us : float;
+  std_of_means_us : float;
+  min_mean_us : float;
+  max_mean_us : float;
+}
+
+val run : ?seeds:int list -> ?count_per_load:int -> Fig6.scenario -> row
+(** Defaults: seeds 1..10 and 1000 IRQs per load (lighter than the headline
+    runs; the spread estimate does not need the full 5000). *)
+
+val run_all : ?seeds:int list -> ?count_per_load:int -> unit -> row list
+
+val print : Format.formatter -> row list -> unit

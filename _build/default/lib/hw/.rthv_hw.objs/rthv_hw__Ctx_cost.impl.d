@@ -1,0 +1,1 @@
+lib/hw/ctx_cost.ml: Cpu Float Format Rthv_engine

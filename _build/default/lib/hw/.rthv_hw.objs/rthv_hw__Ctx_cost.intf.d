@@ -1,0 +1,1 @@
+lib/hw/ctx_cost.mli: Cpu Format Rthv_engine

@@ -1,0 +1,1 @@
+lib/hw/intc.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/hw/platform.mli: Cpu Ctx_cost Format Rthv_engine

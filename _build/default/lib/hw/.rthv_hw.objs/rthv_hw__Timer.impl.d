@@ -1,0 +1,1 @@
+lib/hw/timer.ml: Intc Option Rthv_engine

@@ -1,0 +1,1 @@
+lib/hw/timer.mli: Intc Rthv_engine

@@ -1,0 +1,12 @@
+type t = { name : string; frequency_hz : int; cycles_per_instr : int }
+
+let arm926ejs =
+  { name = "ARM926ej-s"; frequency_hz = 200_000_000; cycles_per_instr = 1 }
+
+let instr_cost cpu n = n * cpu.cycles_per_instr
+
+let us_of_cycles cpu cycles =
+  float_of_int cycles *. 1e6 /. float_of_int cpu.frequency_hz
+
+let pp ppf cpu =
+  Format.fprintf ppf "%s@%dMHz" cpu.name (cpu.frequency_hz / 1_000_000)

@@ -1,0 +1,26 @@
+(** CPU cost model.
+
+    The paper reports all overheads of its ARM926ej-s \@200 MHz platform in
+    instructions or cycles (C_Mon = 128 instructions, C_sched = 877
+    instructions, context switch ~5000 instructions + ~5000 cycles of cache
+    writeback).  This module converts those units into simulated time for a
+    scalar in-order core where one instruction retires per cycle. *)
+
+type t = {
+  name : string;
+  frequency_hz : int;  (** Core clock; 200 MHz for the ARM926ej-s. *)
+  cycles_per_instr : int;
+      (** Average retired-instruction cost in cycles; 1 for the scalar ARM9
+          model used throughout the paper's overhead accounting. *)
+}
+
+val arm926ejs : t
+(** The paper's evaluation platform: ARM926ej-s at 200 MHz. *)
+
+val instr_cost : t -> int -> Rthv_engine.Cycles.t
+(** [instr_cost cpu n] is the execution time of [n] instructions. *)
+
+val us_of_cycles : t -> Rthv_engine.Cycles.t -> float
+(** Wall-clock microseconds of a cycle count on this CPU. *)
+
+val pp : Format.formatter -> t -> unit

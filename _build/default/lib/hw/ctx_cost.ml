@@ -1,0 +1,16 @@
+type t = { invalidate_instr : int; writeback_cycles : int }
+
+let arm926ejs_default = { invalidate_instr = 5000; writeback_cycles = 5000 }
+let zero = { invalidate_instr = 0; writeback_cycles = 0 }
+
+let cost ~cpu t =
+  Rthv_engine.Cycles.( + ) (Cpu.instr_cost cpu t.invalidate_instr) t.writeback_cycles
+
+let scaled t f =
+  let scale n = int_of_float (Float.round (float_of_int n *. f)) in
+  { invalidate_instr = scale t.invalidate_instr;
+    writeback_cycles = scale t.writeback_cycles }
+
+let pp ppf t =
+  Format.fprintf ppf "ctx{%d instr + %d cyc}" t.invalidate_instr
+    t.writeback_cycles

@@ -1,0 +1,26 @@
+(** Context-switch cost model.
+
+    On the ARMv5 platform of the paper a partition context switch costs
+    ~5000 instructions for cache and TLB invalidation plus ~5000 cycles of
+    cache writebacks caused by the particular memory layout.  The model keeps
+    the two components separate so ablations can vary them independently. *)
+
+type t = {
+  invalidate_instr : int;  (** Cache/TLB invalidation, in instructions. *)
+  writeback_cycles : int;  (** Dirty-line writebacks, in cycles. *)
+}
+
+val arm926ejs_default : t
+(** The paper's measured values: 5000 instructions + 5000 cycles. *)
+
+val zero : t
+(** Free context switches, for idealised ablation runs. *)
+
+val cost : cpu:Cpu.t -> t -> Rthv_engine.Cycles.t
+(** Total cost of one partition context switch. *)
+
+val scaled : t -> float -> t
+(** [scaled t f] multiplies both components by [f] (rounded), for
+    sensitivity sweeps. *)
+
+val pp : Format.formatter -> t -> unit

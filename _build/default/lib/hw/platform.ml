@@ -1,0 +1,33 @@
+type t = {
+  cpu : Cpu.t;
+  ctx : Ctx_cost.t;
+  monitor_instr : int;
+  sched_manip_instr : int;
+  intc_lines : int;
+}
+
+let arm926ejs_200mhz =
+  {
+    cpu = Cpu.arm926ejs;
+    ctx = Ctx_cost.arm926ejs_default;
+    monitor_instr = 128;
+    sched_manip_instr = 877;
+    intc_lines = 32;
+  }
+
+let ideal =
+  {
+    cpu = Cpu.arm926ejs;
+    ctx = Ctx_cost.zero;
+    monitor_instr = 0;
+    sched_manip_instr = 0;
+    intc_lines = 32;
+  }
+
+let monitor_cost t = Cpu.instr_cost t.cpu t.monitor_instr
+let sched_manip_cost t = Cpu.instr_cost t.cpu t.sched_manip_instr
+let ctx_switch_cost t = Ctx_cost.cost ~cpu:t.cpu t.ctx
+
+let pp ppf t =
+  Format.fprintf ppf "%a, %a, C_Mon=%d instr, C_sched=%d instr" Cpu.pp t.cpu
+    Ctx_cost.pp t.ctx t.monitor_instr t.sched_manip_instr

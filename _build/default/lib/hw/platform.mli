@@ -1,0 +1,34 @@
+(** Bundled platform configuration.
+
+    Collects the hardware cost parameters used across the hypervisor and the
+    analysis.  [arm926ejs_200mhz] reproduces the paper's evaluation platform
+    (Section 6.2): C_Mon = 128 instructions, C_sched = 877 instructions and a
+    context switch of ~5000 instructions + ~5000 cycles. *)
+
+type t = {
+  cpu : Cpu.t;
+  ctx : Ctx_cost.t;
+  monitor_instr : int;  (** C_Mon: the monitoring function. *)
+  sched_manip_instr : int;
+      (** C_sched: scheduler manipulation for an interposed bottom handler. *)
+  intc_lines : int;
+}
+
+val arm926ejs_200mhz : t
+(** The paper's platform. *)
+
+val ideal : t
+(** Zero-overhead platform: free context switches and hypervisor operations.
+    Used in ablation benchmarks to separate algorithmic from overhead
+    effects. *)
+
+val monitor_cost : t -> Rthv_engine.Cycles.t
+(** C_Mon in cycles. *)
+
+val sched_manip_cost : t -> Rthv_engine.Cycles.t
+(** C_sched in cycles. *)
+
+val ctx_switch_cost : t -> Rthv_engine.Cycles.t
+(** C_ctx in cycles. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+module Simulator = Rthv_engine.Simulator
+
+type t = {
+  sim : Simulator.t;
+  intc : Intc.t;
+  line : Intc.line;
+  mutable armed : (Simulator.handle * Rthv_engine.Cycles.t) option;
+}
+
+let create ~sim ~intc ~line =
+  ignore (Intc.lines intc > line || invalid_arg "Timer.create: bad line" : bool);
+  { sim; intc; line; armed = None }
+
+let cancel t =
+  match t.armed with
+  | None -> ()
+  | Some (handle, _) ->
+      Simulator.cancel t.sim handle;
+      t.armed <- None
+
+let program t ~delay =
+  cancel t;
+  let at = Rthv_engine.Cycles.( + ) (Simulator.now t.sim) delay in
+  let fire sim =
+    ignore (sim : Simulator.t);
+    t.armed <- None;
+    Intc.raise_line t.intc t.line
+  in
+  let handle = Simulator.schedule t.sim ~at fire in
+  t.armed <- Some (handle, at)
+
+let is_armed t = Option.is_some t.armed
+let deadline t = Option.map snd t.armed
+let timestamp ~sim = Simulator.now sim

@@ -1,0 +1,32 @@
+(** Programmable timer model.
+
+    The paper triggers experiment IRQs from one of the processor's timers,
+    reprogramming it inside the IRQ top handler with the next (pre-generated)
+    interarrival time, and reads timestamps from a second free-running timer.
+    This module provides both: a one-shot programmable timer bound to an
+    interrupt-controller line, and a timestamp counter which is just the
+    simulation clock. *)
+
+type t
+
+val create :
+  sim:Rthv_engine.Simulator.t -> intc:Intc.t -> line:Intc.line -> t
+(** A one-shot timer that raises [line] on [intc] when it expires. *)
+
+val program : t -> delay:Rthv_engine.Cycles.t -> unit
+(** Arm the timer to fire [delay] cycles from now.  Reprogramming an armed
+    timer replaces the previous deadline (one-shot semantics).
+    A [delay] of zero fires at the current instant, on the next simulator
+    step. *)
+
+val cancel : t -> unit
+
+val is_armed : t -> bool
+
+val deadline : t -> Rthv_engine.Cycles.t option
+(** Absolute expiry time of the armed timer, if armed. *)
+
+val timestamp : sim:Rthv_engine.Simulator.t -> Rthv_engine.Cycles.t
+(** Free-running timestamp counter: the current simulated time.  Matches the
+    paper's second timer used by top and bottom handlers to measure IRQ
+    latency. *)

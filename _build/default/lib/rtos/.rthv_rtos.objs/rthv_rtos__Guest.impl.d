@@ -1,0 +1,1 @@
+lib/rtos/guest.ml: Array Ipc Irq_queue List Printf Rthv_engine Task

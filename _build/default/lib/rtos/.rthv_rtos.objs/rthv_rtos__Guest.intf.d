@@ -1,0 +1,1 @@
+lib/rtos/guest.mli: Ipc Irq_queue Rthv_engine Task

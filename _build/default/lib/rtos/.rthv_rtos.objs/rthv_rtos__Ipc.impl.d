@@ -1,0 +1,1 @@
+lib/rtos/ipc.ml: List Printf Queue Rthv_engine

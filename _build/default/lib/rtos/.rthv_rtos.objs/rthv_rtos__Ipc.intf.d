@@ -1,0 +1,1 @@
+lib/rtos/ipc.mli: Rthv_engine

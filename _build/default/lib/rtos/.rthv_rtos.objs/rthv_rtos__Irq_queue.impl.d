@@ -1,0 +1,1 @@
+lib/rtos/irq_queue.ml: List Queue Rthv_engine

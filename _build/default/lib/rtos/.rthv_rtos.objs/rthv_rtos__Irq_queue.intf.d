@@ -1,0 +1,1 @@
+lib/rtos/irq_queue.mli: Rthv_engine

@@ -1,0 +1,1 @@
+lib/rtos/task.ml: Format List Rthv_engine

@@ -1,0 +1,1 @@
+lib/rtos/task.mli: Format Rthv_engine

@@ -1,0 +1,225 @@
+module Cycles = Rthv_engine.Cycles
+
+type policy = Fixed_priority | Edf
+
+type demand =
+  | Bottom_handler of Irq_queue.item
+  | Task_job of Task.job
+  | Filler
+  | Idle
+
+type task_state = {
+  spec : Task.spec;
+  mutable next_index : int;
+  out_port : Ipc.port option;
+  in_port : Ipc.port option;
+}
+
+type t = {
+  name : string;
+  queue : Irq_queue.t;
+  busy_loop : bool;
+  policy : policy;
+  tasks : task_state array;
+  mutable aperiodic_count : int;
+  mutable ready : Task.job list;
+  mutable completions : Task.completion list;  (* newest first *)
+  mutable completed_bottom : Irq_queue.item list;  (* newest first *)
+  mutable cpu_time : Cycles.t;
+  mutable idle_time : Cycles.t;
+  mutable horizon : Cycles.t;  (* last advance_to time, for monotonicity *)
+}
+
+let resolve_port ipc ~guest ~task = function
+  | None -> None
+  | Some port_name -> (
+      match ipc with
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Guest.create: task %s of %s uses port %S but no IPC registry \
+                was supplied"
+               task guest port_name)
+      | Some registry -> (
+          match Ipc.find registry port_name with
+          | port -> Some port
+          | exception Not_found ->
+              invalid_arg
+                (Printf.sprintf "Guest.create: port %S is not declared"
+                   port_name)))
+
+let create ?(tasks = []) ?(busy_loop = true) ?ipc ?(policy = Fixed_priority)
+    ~name () =
+  {
+    name;
+    queue = Irq_queue.create ();
+    busy_loop;
+    policy;
+    tasks =
+      Array.of_list
+        (List.map
+           (fun (spec : Task.spec) ->
+             {
+               spec;
+               next_index = 0;
+               out_port =
+                 resolve_port ipc ~guest:name ~task:spec.Task.name
+                   spec.Task.produces;
+               in_port =
+                 resolve_port ipc ~guest:name ~task:spec.Task.name
+                   spec.Task.consumes;
+             })
+           tasks);
+    aperiodic_count = 0;
+    ready = [];
+    completions = [];
+    completed_bottom = [];
+    cpu_time = 0;
+    idle_time = 0;
+    horizon = 0;
+  }
+
+let name t = t.name
+let queue t = t.queue
+
+let release_aperiodic t ~spec ~now =
+  let job =
+    {
+      Task.task = spec;
+      index = t.aperiodic_count;
+      release = now;
+      remaining = spec.Task.wcet;
+    }
+  in
+  t.aperiodic_count <- t.aperiodic_count + 1;
+  t.ready <- job :: t.ready
+
+let release_time state index =
+  Cycles.( + ) state.spec.Task.offset (Cycles.( * ) state.spec.Task.period index)
+
+let advance_to t time =
+  if time < t.horizon then
+    invalid_arg "Guest.advance_to: time must be non-decreasing";
+  t.horizon <- time;
+  Array.iter
+    (fun state ->
+      let rec release () =
+        let due = release_time state state.next_index in
+        if due <= time then begin
+          let job =
+            {
+              Task.task = state.spec;
+              index = state.next_index;
+              release = due;
+              remaining = state.spec.Task.wcet;
+            }
+          in
+          t.ready <- job :: t.ready;
+          state.next_index <- state.next_index + 1;
+          release ()
+        end
+      in
+      release ())
+    t.tasks
+
+let next_release t =
+  Array.fold_left
+    (fun acc state ->
+      let due = release_time state state.next_index in
+      match acc with
+      | None -> Some due
+      | Some best -> Some (Cycles.min best due))
+    None t.tasks
+
+(* Fixed priority: lowest priority number wins; EDF: earliest implicit
+   deadline (release + period) wins.  Ties broken by earliest release, then
+   by job index, for determinism. *)
+let job_precedes policy (a : Task.job) (b : Task.job) =
+  let primary =
+    match policy with
+    | Fixed_priority ->
+        compare a.Task.task.Task.priority b.Task.task.Task.priority
+    | Edf ->
+        compare
+          (Cycles.( + ) a.Task.release a.Task.task.Task.period)
+          (Cycles.( + ) b.Task.release b.Task.task.Task.period)
+  in
+  if primary <> 0 then primary < 0
+  else if a.Task.release <> b.Task.release then a.Task.release < b.Task.release
+  else a.Task.index < b.Task.index
+
+let pick_ready t =
+  match t.ready with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best job -> if job_precedes t.policy job best then job else best)
+           first rest)
+
+let demand t =
+  match Irq_queue.peek t.queue with
+  | Some item -> Bottom_handler item
+  | None -> (
+      match pick_ready t with
+      | Some job -> Task_job job
+      | None -> if t.busy_loop then Filler else Idle)
+
+let consume t ~now ~elapsed demand =
+  if elapsed < 0 then invalid_arg "Guest.consume: negative elapsed";
+  match demand with
+  | Bottom_handler item ->
+      if elapsed > item.Irq_queue.remaining then
+        invalid_arg "Guest.consume: over-attribution to bottom handler";
+      item.Irq_queue.remaining <- Cycles.( - ) item.Irq_queue.remaining elapsed;
+      t.cpu_time <- Cycles.( + ) t.cpu_time elapsed;
+      if item.Irq_queue.remaining = 0 then begin
+        let completed = Irq_queue.drop_head t.queue in
+        t.completed_bottom <- completed :: t.completed_bottom
+      end
+  | Task_job job ->
+      if elapsed > job.Task.remaining then
+        invalid_arg "Guest.consume: over-attribution to task job";
+      job.Task.remaining <- Cycles.( - ) job.Task.remaining elapsed;
+      t.cpu_time <- Cycles.( + ) t.cpu_time elapsed;
+      if job.Task.remaining = 0 then begin
+        t.ready <- List.filter (fun j -> j != job) t.ready;
+        let completion =
+          {
+            Task.job_task = job.Task.task.Task.name;
+            job_index = job.Task.index;
+            released = job.Task.release;
+            finished = now;
+          }
+        in
+        t.completions <- completion :: t.completions;
+        (* Hypervisor-mediated IPC: a completing job first drains its input
+           port, then publishes its own output. *)
+        let state =
+          Array.to_list t.tasks
+          |> List.find_opt (fun s -> s.spec == job.Task.task)
+        in
+        match state with
+        | None -> ()
+        | Some state ->
+            (match state.in_port with
+            | Some port -> ignore (Ipc.receive_all port ~now : Ipc.message list)
+            | None -> ());
+            (match state.out_port with
+            | Some port ->
+                ignore
+                  (Ipc.send port ~now ~sender:job.Task.task.Task.name : bool)
+            | None -> ())
+      end
+  | Filler -> t.cpu_time <- Cycles.( + ) t.cpu_time elapsed
+  | Idle -> t.idle_time <- Cycles.( + ) t.idle_time elapsed
+
+let take_completions t =
+  let out = List.rev t.completions in
+  t.completions <- [];
+  out
+
+let completed_bottom t = List.rev t.completed_bottom
+let cpu_time t = t.cpu_time
+let idle_time t = t.idle_time
+let backlog t = List.length t.ready

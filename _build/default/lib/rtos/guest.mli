@@ -1,0 +1,86 @@
+(** Para-virtualised guest operating system of one partition.
+
+    Models the guest-visible behaviour of uC/OS-MMU's partition runtime:
+    whenever the partition executes in unprivileged mode it first drains its
+    interrupt queue through the bottom handler (steps (5)-(7) in Figure 2),
+    then runs application tasks under fixed-priority preemptive scheduling,
+    then an optional busy loop standing in for best-effort background work.
+
+    The guest does not advance time itself; the hypervisor simulation
+    attributes CPU segments to it via {!consume} and informs it of the
+    passage of wall-clock time via {!advance_to} (job releases happen in
+    absolute time whether or not the partition is scheduled). *)
+
+type t
+
+type policy =
+  | Fixed_priority  (** Lower [Task.priority] value wins (default). *)
+  | Edf
+      (** Earliest deadline first, implicit deadlines (release + period);
+          ties broken by release then job index. *)
+
+type demand =
+  | Bottom_handler of Irq_queue.item
+      (** Head of the interrupt queue: always served first. *)
+  | Task_job of Task.job  (** Highest-priority ready application job. *)
+  | Filler  (** Busy-loop background work. *)
+  | Idle  (** Nothing to run; the slot time is wasted (TDMA leaves unused
+              capacity unused). *)
+
+val create :
+  ?tasks:Task.spec list ->
+  ?busy_loop:bool ->
+  ?ipc:Ipc.t ->
+  ?policy:policy ->
+  name:string ->
+  unit ->
+  t
+(** [busy_loop] defaults to [true] — the experiment guests are busy loops.
+    [ipc] is the system-wide port registry; required if any task produces or
+    consumes a port (@raise Invalid_argument otherwise, or if a named port
+    is not declared). *)
+
+val name : t -> string
+
+val queue : t -> Irq_queue.t
+(** The partition's interrupt event queue (the hypervisor pushes here). *)
+
+val release_aperiodic : t -> spec:Task.spec -> now:Rthv_engine.Cycles.t -> unit
+(** Release one job of an event-triggered task (e.g. signalled by a bottom
+    handler).  The spec's [period]/[offset] are ignored for releases — each
+    call creates exactly one job released [now]; [period] still serves as
+    the implicit deadline for reporting.  The job competes under the guest's
+    scheduling policy like any other. *)
+
+val advance_to : t -> Rthv_engine.Cycles.t -> unit
+(** Release all task jobs due at or before the given absolute time.  Must be
+    called with non-decreasing times. *)
+
+val next_release : t -> Rthv_engine.Cycles.t option
+(** Earliest future job release, used by the simulation to bound execution
+    segments.  [None] when the guest has no tasks. *)
+
+val demand : t -> demand
+(** What the guest would execute right now given its current state. *)
+
+val consume : t -> now:Rthv_engine.Cycles.t -> elapsed:Rthv_engine.Cycles.t -> demand -> unit
+(** Attribute [elapsed] cycles of CPU ending at absolute time [now] to the
+    given demand (which must be the one returned by {!demand} at segment
+    start).  Completing a bottom handler or a job records it; the caller
+    learns of completions via {!take_completions} / the queue head.
+    @raise Invalid_argument if more work is attributed than remained. *)
+
+val take_completions : t -> Task.completion list
+(** Task jobs completed since the last call, oldest first. *)
+
+val completed_bottom : t -> Irq_queue.item list
+(** All bottom-handler items completed so far, oldest first.  Items are
+    removed from the queue upon completion and retained here. *)
+
+val cpu_time : t -> Rthv_engine.Cycles.t
+(** Total CPU attributed to this guest (all demand kinds except [Idle]). *)
+
+val idle_time : t -> Rthv_engine.Cycles.t
+
+val backlog : t -> int
+(** Released-but-unfinished task jobs (diagnoses guest overload). *)

@@ -1,0 +1,67 @@
+module Cycles = Rthv_engine.Cycles
+
+type message = { sent : Cycles.t; sender : string; sequence : int }
+
+type port = {
+  name : string;
+  capacity : int;
+  queue : message Queue.t;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable received : int;
+  mutable latencies : Cycles.t list;  (* newest first *)
+}
+
+type t = { mutable ports : port list }
+
+let create () = { ports = [] }
+
+let declare t ~name ~capacity =
+  if capacity <= 0 then invalid_arg "Ipc.declare: capacity must be positive";
+  if List.exists (fun p -> p.name = name) t.ports then
+    invalid_arg (Printf.sprintf "Ipc.declare: duplicate port %S" name);
+  let port =
+    {
+      name;
+      capacity;
+      queue = Queue.create ();
+      sent = 0;
+      dropped = 0;
+      received = 0;
+      latencies = [];
+    }
+  in
+  t.ports <- port :: t.ports;
+  port
+
+let find t name = List.find (fun p -> p.name = name) t.ports
+let port_name port = port.name
+
+let send port ~now ~sender =
+  if Queue.length port.queue >= port.capacity then begin
+    port.dropped <- port.dropped + 1;
+    false
+  end
+  else begin
+    Queue.push { sent = now; sender; sequence = port.sent } port.queue;
+    port.sent <- port.sent + 1;
+    true
+  end
+
+let receive_all port ~now =
+  let drained = List.of_seq (Queue.to_seq port.queue) in
+  Queue.clear port.queue;
+  List.iter
+    (fun ({ sent = sent_at; _ } : message) ->
+      port.received <- port.received + 1;
+      port.latencies <- Cycles.( - ) now sent_at :: port.latencies)
+    drained;
+  drained
+
+let depth port = Queue.length port.queue
+let sent_count port = port.sent
+let dropped_count port = port.dropped
+let received_count port = port.received
+
+let latencies_us port =
+  List.rev_map Cycles.to_us port.latencies

@@ -1,0 +1,52 @@
+(** Hypervisor-mediated inter-partition communication (Figure 1's IPC).
+
+    ARINC653-style queuing ports: a sending partition's task enqueues a
+    message on job completion; the receiving partition's task drains the
+    port when one of its jobs completes.  The hypervisor owns the port
+    memory, so a send is visible immediately — but the {e temporal} cost is
+    the TDMA wait until the receiver is scheduled and its task runs, which
+    is exactly what the recorded end-to-end latencies expose.
+
+    Ports are bounded; a send to a full port is dropped and counted (the
+    ARINC653 overflow semantic for queuing ports with [DISCARD]). *)
+
+type message = {
+  sent : Rthv_engine.Cycles.t;
+  sender : string;  (** Producing task name. *)
+  sequence : int;  (** Per-port sequence number of accepted messages. *)
+}
+
+type port
+
+type t
+(** A registry of named ports, shared by all guests of one system. *)
+
+val create : unit -> t
+
+val declare : t -> name:string -> capacity:int -> port
+(** @raise Invalid_argument on a duplicate name or non-positive capacity. *)
+
+val find : t -> string -> port
+(** @raise Not_found for undeclared ports. *)
+
+val port_name : port -> string
+
+val send : port -> now:Rthv_engine.Cycles.t -> sender:string -> bool
+(** Enqueue a message; [false] if the port was full (message dropped). *)
+
+val receive_all : port -> now:Rthv_engine.Cycles.t -> message list
+(** Drain the port, oldest first, recording the end-to-end latency
+    [now - sent] of every drained message. *)
+
+val depth : port -> int
+(** Messages currently queued. *)
+
+val sent_count : port -> int
+(** Accepted sends. *)
+
+val dropped_count : port -> int
+
+val received_count : port -> int
+
+val latencies_us : port -> float list
+(** End-to-end latencies of all received messages, in receive order. *)

@@ -1,0 +1,40 @@
+module Cycles = Rthv_engine.Cycles
+
+type item = {
+  irq : int;
+  line : int;
+  arrival : Cycles.t;
+  total : Cycles.t;
+  mutable remaining : Cycles.t;
+}
+
+type t = { queue : item Queue.t; mutable high_water : int }
+
+let create () = { queue = Queue.create (); high_water = 0 }
+
+let make_item ~irq ~line ~arrival ~work =
+  if work <= 0 then invalid_arg "Irq_queue.make_item: work must be positive";
+  { irq; line; arrival; total = work; remaining = work }
+
+let push t item =
+  Queue.push item t.queue;
+  let n = Queue.length t.queue in
+  if n > t.high_water then t.high_water <- n
+
+let peek t = Queue.peek_opt t.queue
+
+let drop_head t =
+  match Queue.peek_opt t.queue with
+  | None -> invalid_arg "Irq_queue.drop_head: empty queue"
+  | Some item when item.remaining > 0 ->
+      invalid_arg "Irq_queue.drop_head: head still has remaining work"
+  | Some _ -> Queue.pop t.queue
+
+let is_empty t = Queue.is_empty t.queue
+let length t = Queue.length t.queue
+
+let pending_work t =
+  Queue.fold (fun acc item -> Cycles.( + ) acc item.remaining) 0 t.queue
+
+let max_observed_length t = t.high_water
+let to_list t = List.of_seq (Queue.to_seq t.queue)

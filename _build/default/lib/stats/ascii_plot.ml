@@ -1,0 +1,53 @@
+type series = { s_label : string; glyph : char; points : (float * float) list }
+
+let series ~label ~glyph points = { s_label = label; glyph; points }
+
+let render ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y") ppf
+    all_series =
+  let points = List.concat_map (fun s -> s.points) all_series in
+  if points = [] then
+    Format.fprintf ppf "(no data to plot)@."
+  else begin
+    let xs = List.map fst points and ys = List.map snd points in
+    let fold f = function
+      | [] -> 0.
+      | first :: rest -> List.fold_left f first rest
+    in
+    let x_min = fold Float.min xs and x_max = fold Float.max xs in
+    let y_min = fold Float.min ys and y_max = fold Float.max ys in
+    let y_pad = Float.max 1e-9 (0.05 *. (y_max -. y_min)) in
+    let y_lo = y_min -. y_pad and y_hi = y_max +. y_pad in
+    let x_span = Float.max 1e-9 (x_max -. x_min) in
+    let y_span = y_hi -. y_lo in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (x, y) ->
+            let col =
+              int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+            in
+            let row =
+              (height - 1)
+              - int_of_float ((y -. y_lo) /. y_span *. float_of_int (height - 1))
+            in
+            if row >= 0 && row < height && col >= 0 && col < width then
+              grid.(row).(col) <- s.glyph)
+          s.points)
+      all_series;
+    Format.fprintf ppf "%s@." y_label;
+    Array.iteri
+      (fun row line ->
+        let y_value =
+          y_hi -. (float_of_int row /. float_of_int (height - 1) *. y_span)
+        in
+        Format.fprintf ppf "%10.1f |%s@." y_value
+          (String.init width (fun col -> line.(col))))
+      grid;
+    Format.fprintf ppf "%10s +%s@." "" (String.make width '-');
+    Format.fprintf ppf "%10s  %-*.1f%*.1f  (%s)@." "" (width - 8) x_min 8
+      x_max x_label;
+    List.iter
+      (fun s -> Format.fprintf ppf "%10s  %c = %s@." "" s.glyph s.s_label)
+      all_series
+  end

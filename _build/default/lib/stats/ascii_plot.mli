@@ -1,0 +1,26 @@
+(** Minimal ASCII line plots for terminal reports.
+
+    Renders one or more (x, y) series into a character grid — enough to eyeball
+    the Figure-7 curves in `bench/main.exe` output without leaving the
+    terminal.  Each series is drawn with its own glyph; overlapping points
+    show the glyph of the later series. *)
+
+type series = {
+  s_label : string;
+  glyph : char;
+  points : (float * float) list;
+}
+
+val series : label:string -> glyph:char -> (float * float) list -> series
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  Format.formatter ->
+  series list ->
+  unit
+(** Plot all series on shared axes ([width] x [height] interior, defaults
+    72x20).  Axis ranges are the unions of the series' ranges; y is padded
+    by 5 %.  Empty input renders a note instead of a plot. *)

@@ -1,0 +1,46 @@
+let running_mean ~window values =
+  if window <= 0 then invalid_arg "Series.running_mean: window must be positive";
+  let n = Array.length values in
+  let out = Array.make n 0. in
+  let sum = ref 0. in
+  for i = 0 to n - 1 do
+    sum := !sum +. values.(i);
+    if i >= window then sum := !sum -. values.(i - window);
+    let len = Stdlib.min (i + 1) window in
+    out.(i) <- !sum /. float_of_int len
+  done;
+  out
+
+let cumulative_mean values =
+  let n = Array.length values in
+  let out = Array.make n 0. in
+  let sum = ref 0. in
+  for i = 0 to n - 1 do
+    sum := !sum +. values.(i);
+    out.(i) <- !sum /. float_of_int (i + 1)
+  done;
+  out
+
+let downsample ~every values =
+  if every <= 0 then invalid_arg "Series.downsample: every must be positive";
+  let n = Array.length values in
+  let rec collect i acc =
+    if i >= n then List.rev acc else collect (i + every) ((i, values.(i)) :: acc)
+  in
+  let samples = collect 0 [] in
+  if n = 0 then []
+  else begin
+    let last = (n - 1, values.(n - 1)) in
+    match List.rev samples with
+    | (i, _) :: _ when i = n - 1 -> samples
+    | _ -> samples @ [ last ]
+  end
+
+let segment_mean values ~lo ~hi =
+  if lo < 0 || hi > Array.length values || lo >= hi then
+    invalid_arg "Series.segment_mean: bad segment";
+  let sum = ref 0. in
+  for i = lo to hi - 1 do
+    sum := !sum +. values.(i)
+  done;
+  !sum /. float_of_int (hi - lo)

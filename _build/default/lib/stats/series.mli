@@ -1,0 +1,18 @@
+(** Index-ordered series utilities — the Figure-7 view of an experiment:
+    average IRQ latency plotted over the IRQ event index. *)
+
+val running_mean : window:int -> float array -> float array
+(** [running_mean ~window values]: element [i] is the mean of the last
+    [window] values ending at [i] (fewer at the start).
+    @raise Invalid_argument if [window <= 0]. *)
+
+val cumulative_mean : float array -> float array
+(** Element [i] is the mean of values [0..i]. *)
+
+val downsample : every:int -> 'a array -> (int * 'a) list
+(** Every [every]-th element with its index (plus the last element), for
+    compact series printing.  @raise Invalid_argument if [every <= 0]. *)
+
+val segment_mean : float array -> lo:int -> hi:int -> float
+(** Mean of [values.(lo) .. values.(hi-1)].
+    @raise Invalid_argument on an empty or out-of-range segment. *)

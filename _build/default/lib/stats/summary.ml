@@ -1,0 +1,46 @@
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let percentile sorted p =
+  if p < 0. || p > 100. then invalid_arg "Summary.percentile: p outside [0,100]";
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.percentile: empty sample";
+  let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+  sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let of_array values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Summary.of_array: empty sample";
+  let sorted = Array.copy values in
+  Array.sort Float.compare sorted;
+  let sum = Array.fold_left ( +. ) 0. values in
+  let mean = sum /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.)) 0. values
+    /. float_of_int n
+  in
+  {
+    n;
+    mean;
+    stddev = sqrt var;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = percentile sorted 50.;
+    p95 = percentile sorted 95.;
+    p99 = percentile sorted 99.;
+  }
+
+let of_list values = of_array (Array.of_list values)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d mean=%.1f sd=%.1f min=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f" t.n
+    t.mean t.stddev t.min t.p50 t.p95 t.p99 t.max

@@ -1,0 +1,23 @@
+(** Descriptive statistics of a sample. *)
+
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;  (** Population standard deviation. *)
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val of_list : float list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val of_array : float array -> t
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] by nearest-rank on a {e sorted} array,
+    [0 <= p <= 100]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/ecu_trace.ml: Array Format List Rthv_engine Stdlib

@@ -1,0 +1,1 @@
+lib/workload/ecu_trace.mli: Format Rthv_engine

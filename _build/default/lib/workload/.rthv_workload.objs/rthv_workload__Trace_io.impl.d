@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Array Fun List Printf Rthv_engine String

@@ -1,0 +1,93 @@
+module Cycles = Rthv_engine.Cycles
+module Prng = Rthv_engine.Prng
+
+type profile = {
+  periodic_streams : (int * int) list;
+  burst_count : int;
+  burst_len : int;
+  burst_inner_us : int;
+  duration_us : int;
+}
+
+let default_profile =
+  {
+    periodic_streams = [ (5_000, 400); (10_000, 800); (20_000, 1_500) ];
+    burst_count = 250;
+    burst_len = 3;
+    burst_inner_us = 1_000;
+    duration_us = 28_000_000;
+  }
+
+let generate ~seed profile =
+  let rng = Prng.create ~seed in
+  let duration = Cycles.of_us profile.duration_us in
+  let events = ref [] in
+  let add ts = if ts >= 0 && ts < duration then events := ts :: !events in
+  List.iter
+    (fun (period_us, jitter_us) ->
+      let period = Cycles.of_us period_us in
+      let jitter = Cycles.of_us jitter_us in
+      let phase = Prng.int rng period in
+      let rec emit k =
+        let base = Cycles.( + ) phase (Cycles.( * ) period k) in
+        if base < duration then begin
+          let j = if jitter > 0 then Prng.int rng (jitter + 1) else 0 in
+          add (Cycles.( + ) base j);
+          emit (k + 1)
+        end
+      in
+      emit 0)
+    profile.periodic_streams;
+  let inner = Cycles.of_us profile.burst_inner_us in
+  for _ = 1 to profile.burst_count do
+    let start = Prng.int rng duration in
+    for k = 0 to profile.burst_len - 1 do
+      add (Cycles.( + ) start (Cycles.( * ) inner k))
+    done
+  done;
+  List.sort Cycles.compare !events
+
+let to_distances timestamps =
+  let rec build previous acc = function
+    | [] -> List.rev acc
+    | ts :: rest ->
+        let d = Stdlib.max 1 (Cycles.( - ) ts previous) in
+        build ts (d :: acc) rest
+  in
+  Array.of_list (build 0 [] timestamps)
+
+type trace_stats = {
+  activations : int;
+  duration : Cycles.t;
+  min_distance : Cycles.t;
+  mean_distance : float;
+  max_distance : Cycles.t;
+}
+
+let stats timestamps =
+  match timestamps with
+  | [] | [ _ ] -> invalid_arg "Ecu_trace.stats: need at least two activations"
+  | first :: _ ->
+      let arr = Array.of_list timestamps in
+      let n = Array.length arr in
+      let min_d = ref max_int and max_d = ref 0 and sum = ref 0 in
+      for i = 1 to n - 1 do
+        let d = Cycles.( - ) arr.(i) arr.(i - 1) in
+        if d < !min_d then min_d := d;
+        if d > !max_d then max_d := d;
+        sum := Cycles.( + ) !sum d
+      done;
+      {
+        activations = n;
+        duration = Cycles.( - ) arr.(n - 1) first;
+        min_distance = !min_d;
+        mean_distance = float_of_int !sum /. float_of_int (n - 1);
+        max_distance = !max_d;
+      }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d activations over %a (distances: min %a, mean %.1fus, max %a)"
+    s.activations Cycles.pp s.duration Cycles.pp s.min_distance
+    (s.mean_distance /. float_of_int Cycles.cycles_per_us)
+    Cycles.pp s.max_distance

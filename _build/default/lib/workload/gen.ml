@@ -1,0 +1,61 @@
+module Cycles = Rthv_engine.Cycles
+module Prng = Rthv_engine.Prng
+
+let check_count count =
+  if count < 0 then invalid_arg "Gen: negative count"
+
+let exponential ~seed ~mean ~count =
+  check_count count;
+  if mean <= 0 then invalid_arg "Gen.exponential: mean must be positive";
+  let rng = Prng.create ~seed in
+  Array.init count (fun _ ->
+      let d = Prng.exponential rng ~mean:(float_of_int mean) in
+      Stdlib.max 1 (int_of_float (Float.round d)))
+
+let exponential_clamped ~seed ~mean ~d_min ~count =
+  if d_min <= 0 then invalid_arg "Gen.exponential_clamped: d_min must be positive";
+  let distances = exponential ~seed ~mean ~count in
+  Array.map (fun d -> Stdlib.max d d_min) distances
+
+let uniform ~seed ~lo ~hi ~count =
+  check_count count;
+  if lo <= 0 || hi < lo then invalid_arg "Gen.uniform: need 0 < lo <= hi";
+  let rng = Prng.create ~seed in
+  Array.init count (fun _ -> lo + Prng.int rng (hi - lo + 1))
+
+let constant ~period ~count =
+  check_count count;
+  if period <= 0 then invalid_arg "Gen.constant: period must be positive";
+  Array.make count period
+
+let bursty ~seed ~burst_len ~inner ~gap_mean ~count =
+  check_count count;
+  if burst_len <= 0 then invalid_arg "Gen.bursty: burst_len must be positive";
+  if inner <= 0 || gap_mean <= 0 then
+    invalid_arg "Gen.bursty: distances must be positive";
+  let rng = Prng.create ~seed in
+  Array.init count (fun i ->
+      if i mod burst_len = 0 then
+        let gap = Prng.exponential rng ~mean:(float_of_int gap_mean) in
+        Stdlib.max inner (int_of_float (Float.round gap))
+      else inner)
+
+let mean_for_load ~c_bh_eff ~load =
+  if load <= 0. || load > 1. then
+    invalid_arg "Gen.mean_for_load: load must be in (0, 1]";
+  int_of_float (Float.round (float_of_int c_bh_eff /. load))
+
+let mean distances =
+  if Array.length distances = 0 then 0.
+  else
+    float_of_int (Array.fold_left Cycles.( + ) 0 distances)
+    /. float_of_int (Array.length distances)
+
+let to_timestamps ?(start = 0) distances =
+  let acc = ref start in
+  Array.to_list
+    (Array.map
+       (fun d ->
+         acc := Cycles.( + ) !acc d;
+         !acc)
+       distances)

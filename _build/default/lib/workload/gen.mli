@@ -1,0 +1,57 @@
+(** Interarrival-time generators for the Section-6.1 experiments.
+
+    The paper triggers IRQs from a timer reprogrammed in the top handler so
+    that "the temporal distances between successive IRQs follow an
+    exponential distribution with mean interarrival time lambda"; for the
+    conforming scenario "the pseudo-random interarrival time is set at least
+    to d_min".  All arrays are pre-generated (as in the paper) from a seeded
+    PRNG. *)
+
+val exponential :
+  seed:int -> mean:Rthv_engine.Cycles.t -> count:int -> Rthv_engine.Cycles.t array
+(** [count] exponential interarrival distances with the given mean, rounded
+    to whole cycles (minimum 1 cycle — events cannot be simultaneous).
+    @raise Invalid_argument on non-positive mean or negative count. *)
+
+val exponential_clamped :
+  seed:int ->
+  mean:Rthv_engine.Cycles.t ->
+  d_min:Rthv_engine.Cycles.t ->
+  count:int ->
+  Rthv_engine.Cycles.t array
+(** Scenario 2 of Section 6.1: exponential distances clamped from below to
+    [d_min], so the monitoring condition is always satisfied. *)
+
+val uniform :
+  seed:int ->
+  lo:Rthv_engine.Cycles.t ->
+  hi:Rthv_engine.Cycles.t ->
+  count:int ->
+  Rthv_engine.Cycles.t array
+(** Uniform distances in [lo, hi]; for stress tests. *)
+
+val constant : period:Rthv_engine.Cycles.t -> count:int -> Rthv_engine.Cycles.t array
+(** Strictly periodic distances. *)
+
+val bursty :
+  seed:int ->
+  burst_len:int ->
+  inner:Rthv_engine.Cycles.t ->
+  gap_mean:Rthv_engine.Cycles.t ->
+  count:int ->
+  Rthv_engine.Cycles.t array
+(** Bursts of [burst_len] events [inner] apart, separated by exponential
+    gaps of the given mean.  Exercises monitors with l > 1. *)
+
+val mean_for_load :
+  c_bh_eff:Rthv_engine.Cycles.t -> load:float -> Rthv_engine.Cycles.t
+(** Equation (17): lambda = C'_BH / U_IRQ.
+    @raise Invalid_argument if [load] is not in (0, 1]. *)
+
+val mean : Rthv_engine.Cycles.t array -> float
+(** Empirical mean of a distance array, in cycles. *)
+
+val to_timestamps :
+  ?start:Rthv_engine.Cycles.t -> Rthv_engine.Cycles.t array -> Rthv_engine.Cycles.t list
+(** Cumulative sums: absolute activation times of a distance array (the
+    first distance is relative to [start], default 0). *)

@@ -1,0 +1,47 @@
+module Cycles = Rthv_engine.Cycles
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_in path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let write_values oc values =
+  output_string oc "# microseconds per line\n";
+  List.iter (fun v -> Printf.fprintf oc "%.3f\n" (Cycles.to_us v)) values
+
+let save ~path timestamps = with_out path (fun oc -> write_values oc timestamps)
+
+let parse_lines ic =
+  let values = ref [] in
+  let line_number = ref 0 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       incr line_number;
+       if line <> "" && line.[0] <> '#' then
+         match float_of_string_opt line with
+         | Some us -> values := Cycles.of_us_f us :: !values
+         | None ->
+             failwith
+               (Printf.sprintf "Trace_io: malformed line %d: %S" !line_number
+                  line)
+     done
+   with End_of_file -> ());
+  List.rev !values
+
+let load ~path =
+  let values = with_in path parse_lines in
+  List.sort Cycles.compare values
+
+let save_distances ~path distances =
+  with_out path (fun oc -> write_values oc (Array.to_list distances))
+
+let load_distances ~path =
+  let values = with_in path parse_lines in
+  List.iter
+    (fun v -> if v < 0 then failwith "Trace_io: negative distance")
+    values;
+  Array.of_list values

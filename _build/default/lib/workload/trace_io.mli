@@ -1,0 +1,23 @@
+(** CSV import/export of activation traces.
+
+    Traces are exchanged as one microsecond timestamp per line (comments
+    starting with ['#'] and blank lines ignored), the common format of
+    task-activation recordings from automotive tracing tools.  Round-trips
+    at cycle precision since the 200 MHz clock gives 0.005 us per cycle and
+    we print three decimals then round on load. *)
+
+val save : path:string -> Rthv_engine.Cycles.t list -> unit
+(** Write timestamps (cycles) as microsecond lines.
+    @raise Sys_error on I/O failure. *)
+
+val load : path:string -> Rthv_engine.Cycles.t list
+(** Parse timestamps (microseconds, fractional allowed) into cycles,
+    sorted ascending.
+    @raise Failure on a malformed line, [Sys_error] on I/O failure. *)
+
+val save_distances : path:string -> Rthv_engine.Cycles.t array -> unit
+(** Write a distance array (one microsecond distance per line). *)
+
+val load_distances : path:string -> Rthv_engine.Cycles.t array
+(** Parse a distance file; entries must be non-negative.
+    @raise Failure on malformed or negative entries. *)

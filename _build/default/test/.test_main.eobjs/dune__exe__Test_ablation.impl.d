@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Lazy List Printf Rthv_core Rthv_experiments Testutil

@@ -1,0 +1,1 @@
+test/test_activation.ml: Alcotest List Rthv_analysis Rthv_core Rthv_rtos Rthv_workload Testutil

@@ -1,0 +1,1 @@
+test/test_arrival_curve.ml: Alcotest List QCheck2 Rthv_analysis Testutil

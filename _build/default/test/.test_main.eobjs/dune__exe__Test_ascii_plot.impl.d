@@ -1,0 +1,1 @@
+test/test_ascii_plot.ml: Alcotest Format List Rthv_stats String

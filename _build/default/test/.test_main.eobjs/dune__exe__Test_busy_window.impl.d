@@ -1,0 +1,1 @@
+test/test_busy_window.ml: Alcotest List QCheck2 Rthv_analysis Testutil

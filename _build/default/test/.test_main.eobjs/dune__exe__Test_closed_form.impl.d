@@ -1,0 +1,1 @@
+test/test_closed_form.ml: Alcotest Array List Printf QCheck2 Rthv_core Rthv_engine Testutil

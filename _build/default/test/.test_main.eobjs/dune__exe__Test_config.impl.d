@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Rthv_analysis Rthv_core Testutil

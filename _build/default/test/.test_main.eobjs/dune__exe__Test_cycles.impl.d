@@ -1,0 +1,1 @@
+test/test_cycles.ml: Alcotest Format QCheck2 Rthv_engine Testutil

@@ -1,0 +1,1 @@
+test/test_distance_fn.ml: Alcotest Array List QCheck2 Rthv_analysis Rthv_engine Testutil

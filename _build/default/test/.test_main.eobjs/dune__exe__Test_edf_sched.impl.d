@@ -1,0 +1,1 @@
+test/test_edf_sched.ml: Alcotest Array List Printf QCheck2 Rthv_analysis Rthv_core Rthv_engine Rthv_rtos Stdlib Testutil

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float Lazy List Printf Rthv_core Rthv_experiments Rthv_stats String Testutil

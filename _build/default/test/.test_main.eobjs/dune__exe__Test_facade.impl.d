@@ -1,0 +1,1 @@
+test/test_facade.ml: Alcotest List Rthv_core Rthv_workload String Testutil

@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest List Rthv_rtos Testutil

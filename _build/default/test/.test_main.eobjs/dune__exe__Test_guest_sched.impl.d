@@ -1,0 +1,1 @@
+test/test_guest_sched.ml: Alcotest List QCheck2 Rthv_analysis Rthv_core Rthv_engine Rthv_hw Rthv_rtos Rthv_workload Testutil

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest List Option Rthv_engine Rthv_hw Testutil

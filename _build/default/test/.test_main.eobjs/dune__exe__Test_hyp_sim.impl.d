@@ -1,0 +1,1 @@
+test/test_hyp_sim.ml: Alcotest Array List Option Rthv_analysis Rthv_core Rthv_engine Rthv_hw Rthv_rtos Rthv_workload Testutil

@@ -1,0 +1,1 @@
+test/test_hyp_trace.ml: Alcotest Format List Rthv_analysis Rthv_core String Testutil

@@ -1,0 +1,1 @@
+test/test_independence.ml: Alcotest List QCheck2 Rthv_analysis Rthv_engine Testutil

@@ -1,0 +1,1 @@
+test/test_integration.ml: Array List Printf QCheck2 Rthv_analysis Rthv_core Rthv_engine Rthv_hw Rthv_workload Testutil

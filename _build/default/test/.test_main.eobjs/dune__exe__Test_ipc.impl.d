@@ -1,0 +1,1 @@
+test/test_ipc.ml: Alcotest Array List Rthv_core Rthv_rtos Testutil

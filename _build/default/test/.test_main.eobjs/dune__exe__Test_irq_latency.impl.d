@@ -1,0 +1,1 @@
+test/test_irq_latency.ml: Alcotest QCheck2 Rthv_analysis Rthv_engine Rthv_hw Testutil

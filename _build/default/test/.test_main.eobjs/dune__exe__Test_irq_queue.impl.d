@@ -1,0 +1,1 @@
+test/test_irq_queue.ml: Alcotest List Option Rthv_rtos Testutil

@@ -1,0 +1,1 @@
+test/test_multi_source.ml: Alcotest Lazy List Printf Rthv_experiments Testutil

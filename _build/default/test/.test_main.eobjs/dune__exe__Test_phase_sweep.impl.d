@@ -1,0 +1,1 @@
+test/test_phase_sweep.ml: Alcotest Lazy List Rthv_core Rthv_engine Rthv_experiments Testutil

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Int64 Rthv_engine Testutil

@@ -1,0 +1,1 @@
+test/test_propagation.ml: Alcotest Array Rthv_analysis Rthv_engine Rthv_hw Testutil

@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest Option QCheck2 Rthv_analysis Rthv_hw Stdlib Testutil

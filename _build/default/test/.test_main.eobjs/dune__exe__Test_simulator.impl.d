@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest List Rthv_engine Testutil

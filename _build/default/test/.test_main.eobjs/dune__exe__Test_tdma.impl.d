@@ -1,0 +1,1 @@
+test/test_tdma.ml: Alcotest Array List QCheck2 Rthv_analysis Rthv_core Testutil

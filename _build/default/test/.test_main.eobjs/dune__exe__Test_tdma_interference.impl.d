@@ -1,0 +1,1 @@
+test/test_tdma_interference.ml: Alcotest List QCheck2 Rthv_analysis Testutil

@@ -1,0 +1,1 @@
+test/test_throttle.ml: Alcotest Array List QCheck2 Rthv_analysis Rthv_core Rthv_workload Testutil

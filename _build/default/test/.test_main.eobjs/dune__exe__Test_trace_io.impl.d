@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Filename Fun List Rthv_engine Rthv_workload Sys Testutil

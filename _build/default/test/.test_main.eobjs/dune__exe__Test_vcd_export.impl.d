@@ -1,0 +1,1 @@
+test/test_vcd_export.ml: Alcotest Filename Fun List Rthv_analysis Rthv_core Rthv_workload String Sys Testutil

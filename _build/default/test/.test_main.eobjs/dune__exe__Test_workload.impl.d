@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Printf QCheck2 Rthv_analysis Rthv_workload Testutil

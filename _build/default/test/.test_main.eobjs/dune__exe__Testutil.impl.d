@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Float Int QCheck2 QCheck_alcotest Rthv_engine

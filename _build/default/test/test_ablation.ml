@@ -1,0 +1,97 @@
+module Ablation = Rthv_experiments.Ablation
+module Params = Rthv_experiments.Params
+module Hyp_sim = Rthv_core.Hyp_sim
+
+let d_min = Params.mean_for_load 0.10
+
+let boundary = lazy (Ablation.run ~count:1500 ~d_min (Ablation.boundary_variants ~d_min))
+
+let find label measurements =
+  match List.find_opt (fun m -> m.Ablation.m_label = label) measurements with
+  | Some m -> m
+  | None -> Alcotest.failf "variant %S missing" label
+
+let test_boundary_semantics () =
+  let ms = Lazy.force boundary in
+  Alcotest.(check int) "three variants" 3 (List.length ms);
+  let paper = find "monitored (paper config)" ms in
+  let strict = find "monitored, strict TDMA cut" ms in
+  let baseline = find "unmonitored baseline" ms in
+  Alcotest.(check bool) "paper worst case is TDMA-independent" true
+    (paper.Ablation.worst_us < 300.);
+  Alcotest.(check bool) "strict cutting re-introduces a tail" true
+    (strict.Ablation.worst_us > 3. *. paper.Ablation.worst_us);
+  Alcotest.(check bool) "baseline is an order of magnitude slower" true
+    (baseline.Ablation.avg_us > 10. *. paper.Ablation.avg_us);
+  Alcotest.(check bool) "monitoring pays in context switches" true
+    (paper.Ablation.ctx_per_irq > baseline.Ablation.ctx_per_irq)
+
+let test_ctx_cost_sweep () =
+  let ms =
+    Ablation.run ~count:1000 ~d_min
+      (Ablation.ctx_cost_variants ~d_min [ 0.0; 1.0; 2.0 ])
+  in
+  match List.map (fun m -> m.Ablation.avg_us) ms with
+  | [ free; arm; double ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "avg grows with ctx cost: %.0f < %.0f < %.0f" free arm
+           double)
+        true
+        (free < arm && arm < double)
+  | _ -> Alcotest.fail "three measurements expected"
+
+let test_monitor_depth_equivalence () =
+  (* Linear envelopes of any depth admit the same conforming stream. *)
+  let ms =
+    Ablation.run ~count:1000 ~d_min
+      (Ablation.monitor_depth_variants ~d_min [ 1; 5 ])
+  in
+  match ms with
+  | [ l1; l5 ] ->
+      Testutil.close ~eps:0.5 "same average" l1.Ablation.avg_us
+        l5.Ablation.avg_us;
+      Alcotest.(check int) "same admissions"
+        l1.Ablation.m_stats.Hyp_sim.admissions
+        l5.Ablation.m_stats.Hyp_sim.admissions
+  | _ -> Alcotest.fail "two measurements expected"
+
+let test_same_arrivals_across_variants () =
+  (* All variants must see the same IRQ count: the ablation is paired. *)
+  let ms = Lazy.force boundary in
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "same IRQ count" 1500
+        m.Ablation.m_stats.Hyp_sim.completed_irqs)
+    ms
+
+let test_shaper_comparison () =
+  let ms = Ablation.shaper_comparison ~count:1200 ~d_min () in
+  Alcotest.(check int) "four variants" 4 (List.length ms);
+  let find label =
+    match List.find_opt (fun m -> m.Ablation.m_label = label) ms with
+    | Some m -> m
+    | None -> Alcotest.failf "variant %S missing" label
+  in
+  let unmonitored = find "unmonitored" in
+  let monitor = find "d_min monitor" in
+  let bucket3 = find "token bucket, capacity 3" in
+  (* The bucket's burst allowance interposes whole bursts, so it admits
+     more than the distance monitor... *)
+  Alcotest.(check bool) "bucket admits more than the monitor" true
+    (bucket3.Ablation.m_stats.Rthv_core.Hyp_sim.interposed
+    > monitor.Ablation.m_stats.Rthv_core.Hyp_sim.interposed);
+  (* ...and both beat the unmonitored baseline on average latency. *)
+  Alcotest.(check bool) "monitor beats baseline" true
+    (monitor.Ablation.avg_us < unmonitored.Ablation.avg_us);
+  Alcotest.(check bool) "bucket beats the monitor on bursty traffic" true
+    (bucket3.Ablation.avg_us < monitor.Ablation.avg_us)
+
+let suite =
+  [
+    Alcotest.test_case "shaper comparison" `Slow test_shaper_comparison;
+    Alcotest.test_case "boundary semantics" `Slow test_boundary_semantics;
+    Alcotest.test_case "context-switch cost sweep" `Slow test_ctx_cost_sweep;
+    Alcotest.test_case "monitor depth equivalence" `Slow
+      test_monitor_depth_equivalence;
+    Alcotest.test_case "paired arrivals" `Slow test_same_arrivals_across_variants;
+  ]

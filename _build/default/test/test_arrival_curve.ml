@@ -1,0 +1,115 @@
+module AC = Rthv_analysis.Arrival_curve
+module DF = Rthv_analysis.Distance_fn
+
+let us = Testutil.us
+
+let test_periodic () =
+  let curve = AC.periodic ~period_us:100 in
+  Alcotest.(check int) "eta(0)" 0 (AC.eta_plus curve 0);
+  Alcotest.(check int) "eta(100us)" 1 (AC.eta_plus curve (us 100));
+  Alcotest.(check int) "eta(101us)" 2 (AC.eta_plus curve (us 101));
+  Alcotest.(check int) "eta(1ms)" 10 (AC.eta_plus curve (us 1000));
+  Testutil.check_cycles "delta(1)" 0 (AC.delta_min curve 1);
+  Testutil.check_cycles "delta(4)" (us 300) (AC.delta_min curve 4)
+
+let test_sporadic () =
+  let curve = AC.sporadic ~d_min_us:50 in
+  Alcotest.(check int) "eta(200us)" 4 (AC.eta_plus curve (us 200));
+  Testutil.check_cycles "delta(3)" (us 100) (AC.delta_min curve 3)
+
+let test_periodic_jitter () =
+  let curve = AC.periodic_jitter ~period_us:100 ~jitter_us:30 ~d_min_us:10 () in
+  (* Window of 100us can contain ceil((100+30)/100) = 2 events. *)
+  Alcotest.(check int) "jitter packs events" 2 (AC.eta_plus curve (us 100));
+  (* Minimum distance floor still applies for tiny windows. *)
+  Alcotest.(check int) "d_min caps tiny windows" 1 (AC.eta_plus curve (us 10));
+  Testutil.check_cycles "delta(2) = period - jitter" (us 70)
+    (AC.delta_min curve 2);
+  (* With huge jitter, d_min dominates the distance. *)
+  let bursty = AC.periodic_jitter ~period_us:100 ~jitter_us:500 ~d_min_us:5 () in
+  Testutil.check_cycles "d_min floor" (us 5) (AC.delta_min bursty 2)
+
+let test_distances_model () =
+  let curve = AC.of_distance_fn (DF.of_entries [| us 10; us 100 |]) in
+  Alcotest.(check int) "eta via distance fn" 2 (AC.eta_plus curve (us 100));
+  Testutil.check_cycles "delta via distance fn" (us 100) (AC.delta_min curve 3)
+
+let test_of_trace () =
+  let curve = AC.of_trace ~l:2 (List.map us [ 0; 30; 100 ]) in
+  Testutil.check_cycles "learned delta(2)" (us 30) (AC.delta_min curve 2);
+  Testutil.check_cycles "learned delta(3)" (us 100) (AC.delta_min curve 3)
+
+let test_rate () =
+  Testutil.close "periodic rate" (1. /. float_of_int (us 100))
+    (AC.rate (AC.periodic ~period_us:100));
+  Testutil.close "sporadic rate" (1. /. float_of_int (us 50))
+    (AC.rate (AC.sporadic ~d_min_us:50))
+
+let test_validate () =
+  let ok = function Ok () -> true | Error _ -> false in
+  Alcotest.(check bool) "periodic ok" true (ok (AC.validate (AC.periodic ~period_us:5)));
+  Alcotest.(check bool) "bad periodic" false
+    (ok (AC.validate (AC.Periodic { period = 0 })));
+  Alcotest.(check bool) "bad jitter model" false
+    (ok
+       (AC.validate
+          (AC.Periodic_jitter { period = us 10; jitter = -1; d_min = 1 })));
+  Alcotest.(check bool) "d_min > period rejected" false
+    (ok
+       (AC.validate
+          (AC.Periodic_jitter { period = us 10; jitter = 0; d_min = us 20 })))
+
+let curve_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun p -> AC.periodic ~period_us:p) (1 -- 10_000);
+        map (fun d -> AC.sporadic ~d_min_us:d) (1 -- 10_000);
+        map2
+          (fun p j ->
+            AC.periodic_jitter ~period_us:p ~jitter_us:j ~d_min_us:1 ())
+          (1 -- 10_000) (0 -- 10_000);
+      ])
+
+let prop_eta_monotone curve =
+  let ok = ref true in
+  let prev = ref 0 in
+  for k = 0 to 50 do
+    let e = AC.eta_plus curve (k * 1000) in
+    if e < !prev then ok := false;
+    prev := e
+  done;
+  !ok
+
+let prop_eta_superadditive_windows curve =
+  (* eta(a + b) <= eta(a) + eta(b) for upper arrival curves (subadditivity). *)
+  let ok = ref true in
+  List.iter
+    (fun (a, b) ->
+      if AC.eta_plus curve (a + b) > AC.eta_plus curve a + AC.eta_plus curve b
+      then ok := false)
+    [ (1000, 2000); (500, 500); (12_345, 67); (100_000, 1) ];
+  !ok
+
+let prop_delta_eta_consistent curve =
+  (* Packing q events needs a window larger than delta(q): eta(delta(q)+1) >= q. *)
+  let ok = ref true in
+  for q = 1 to 12 do
+    if AC.eta_plus curve (AC.delta_min curve q + 1) < q then ok := false
+  done;
+  !ok
+
+let suite =
+  [
+    Alcotest.test_case "periodic model" `Quick test_periodic;
+    Alcotest.test_case "sporadic model" `Quick test_sporadic;
+    Alcotest.test_case "periodic with jitter" `Quick test_periodic_jitter;
+    Alcotest.test_case "explicit distance model" `Quick test_distances_model;
+    Alcotest.test_case "trace-derived model" `Quick test_of_trace;
+    Alcotest.test_case "long-term rate" `Quick test_rate;
+    Alcotest.test_case "validation" `Quick test_validate;
+    Testutil.qtest "eta monotone in window" curve_gen prop_eta_monotone;
+    Testutil.qtest "eta subadditive over windows" curve_gen
+      prop_eta_superadditive_windows;
+    Testutil.qtest "delta/eta consistency" curve_gen prop_delta_eta_consistent;
+  ]

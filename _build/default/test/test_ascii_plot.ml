@@ -1,0 +1,65 @@
+module Plot = Rthv_stats.Ascii_plot
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i =
+    i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let render series = Format.asprintf "%a" (Plot.render ?width:None ?height:None ?x_label:None ?y_label:None) series
+
+let test_empty () =
+  Alcotest.(check bool) "empty note" true
+    (contains (render []) "no data to plot")
+
+let test_single_series () =
+  let s =
+    Plot.series ~label:"latency" ~glyph:'*'
+      [ (0., 10.); (50., 20.); (100., 15.) ]
+  in
+  let out = render [ s ] in
+  Alcotest.(check bool) "legend present" true (contains out "* = latency");
+  Alcotest.(check bool) "glyph plotted" true (contains out "*");
+  Alcotest.(check bool) "axis drawn" true (contains out "+---")
+
+let test_multi_series_glyphs () =
+  let a = Plot.series ~label:"a" ~glyph:'a' [ (0., 0.); (10., 1.) ] in
+  let b = Plot.series ~label:"b" ~glyph:'b' [ (0., 2.); (10., 3.) ] in
+  let out = render [ a; b ] in
+  Alcotest.(check bool) "a plotted" true (contains out "a = a");
+  Alcotest.(check bool) "b plotted" true (contains out "b = b")
+
+let test_constant_series () =
+  (* Degenerate y-range must not divide by zero. *)
+  let s = Plot.series ~label:"flat" ~glyph:'#' [ (0., 5.); (10., 5.) ] in
+  let out = render [ s ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_single_point () =
+  let s = Plot.series ~label:"dot" ~glyph:'o' [ (3., 7.) ] in
+  let out = render [ s ] in
+  Alcotest.(check bool) "renders a single point" true (contains out "o")
+
+let test_row_count () =
+  let s = Plot.series ~label:"x" ~glyph:'x' [ (0., 0.); (1., 1.) ] in
+  let out =
+    Format.asprintf "%a"
+      (Plot.render ~width:20 ~height:5 ?x_label:None ?y_label:None)
+      [ s ]
+  in
+  let rows =
+    List.length
+      (List.filter (fun l -> contains l "|") (String.split_on_char '\n' out))
+  in
+  Alcotest.(check int) "grid height respected" 5 rows
+
+let suite =
+  [
+    Alcotest.test_case "empty input" `Quick test_empty;
+    Alcotest.test_case "single series" `Quick test_single_series;
+    Alcotest.test_case "multiple series" `Quick test_multi_series_glyphs;
+    Alcotest.test_case "constant series" `Quick test_constant_series;
+    Alcotest.test_case "single point" `Quick test_single_point;
+    Alcotest.test_case "grid height" `Quick test_row_count;
+  ]

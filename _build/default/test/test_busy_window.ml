@@ -1,0 +1,135 @@
+module BW = Rthv_analysis.Busy_window
+module AC = Rthv_analysis.Arrival_curve
+
+let us = Testutil.us
+
+let no_interference _dt = 0
+
+let test_fixed_point_no_interference () =
+  match BW.fixed_point ~q:3 ~wcet:(us 10) ~interference:no_interference with
+  | BW.Converged w -> Testutil.check_cycles "W = q*C" (us 30) w
+  | BW.Diverged -> Alcotest.fail "unexpected divergence"
+
+let test_fixed_point_with_interferer () =
+  (* Classic response-time example: task C=2, interferer C=1 period 4 (units
+     of 1us).  W(1) = 2 + ceil(W/4)*1 -> W = 3. *)
+  let interferer_eta dt = AC.eta_plus (AC.periodic ~period_us:4) dt in
+  let interference dt = interferer_eta dt * us 1 in
+  match BW.fixed_point ~q:1 ~wcet:(us 2) ~interference with
+  | BW.Converged w -> Testutil.check_cycles "textbook busy window" (us 3) w
+  | BW.Diverged -> Alcotest.fail "unexpected divergence"
+
+let test_divergence_on_overload () =
+  (* Interference grows faster than time: guaranteed overload. *)
+  let interference dt = dt + 1 in
+  match BW.fixed_point ~q:1 ~wcet:1 ~interference with
+  | BW.Diverged -> ()
+  | BW.Converged w -> Alcotest.failf "expected divergence, got %d" w
+
+let test_response_time_single_task () =
+  (* Isolated periodic task: R = C. *)
+  let curve = AC.periodic ~period_us:100 in
+  match
+    BW.response_time ~wcet:(us 10) ~delta:(AC.delta_min curve)
+      ~interference:no_interference ()
+  with
+  | Ok r ->
+      Testutil.check_cycles "R = C in isolation" (us 10)
+        r.BW.response_time;
+      Alcotest.(check int) "busy period closes after one job" 1 r.BW.q_max
+  | Error msg -> Alcotest.fail msg
+
+let test_response_time_queueing () =
+  (* Task slower than its period cannot exist; instead: activation faster
+     than service for a while.  delta(q) = (q-1)*10us, C = 15us, no external
+     interference: job q waits for q-1 predecessors.
+     W(q) = 15q, busy period while delta(q+1) = 10q <= W(q) -> never closes
+     -> overload error expected. *)
+  let curve = AC.periodic ~period_us:10 in
+  (match
+     BW.response_time ~wcet:(us 15) ~delta:(AC.delta_min curve)
+       ~interference:no_interference ~max_q:64 ()
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected overload report");
+  (* Slightly loaded but schedulable: C = 6us, period 10us.
+     W(q) = 6q; delta(q+1) = 10q > 6q always -> q_max = 1, R = 6us. *)
+  match
+    BW.response_time ~wcet:(us 6) ~delta:(AC.delta_min curve)
+      ~interference:no_interference ()
+  with
+  | Ok r -> Testutil.check_cycles "R" (us 6) r.BW.response_time
+  | Error msg -> Alcotest.fail msg
+
+let test_multi_activation_busy_period () =
+  (* A blocking term delays the first job so the second lands in the same
+     busy period: C = 4us, period 10us, constant 8us blocking.
+     W(1) = 12, delta(2) = 10 <= 12 -> q = 2: W(2) = 16, delta(3) = 20 > 16.
+     R = max(12 - 0, 16 - 10) = 12us. *)
+  let curve = AC.periodic ~period_us:10 in
+  let interference _dt = us 8 in
+  match
+    BW.response_time ~wcet:(us 4) ~delta:(AC.delta_min curve) ~interference ()
+  with
+  | Ok r ->
+      Alcotest.(check int) "two jobs in busy period" 2 r.BW.q_max;
+      Testutil.check_cycles "R over both jobs" (us 12) r.BW.response_time;
+      Alcotest.(check int) "critical q" 1 r.BW.critical_q
+  | Error msg -> Alcotest.fail msg
+
+let test_invalid_args () =
+  Alcotest.check_raises "q < 1"
+    (Invalid_argument "Busy_window.fixed_point: q < 1") (fun () ->
+      ignore (BW.fixed_point ~q:0 ~wcet:1 ~interference:no_interference));
+  Alcotest.check_raises "negative wcet"
+    (Invalid_argument "Busy_window.fixed_point: negative wcet") (fun () ->
+      ignore (BW.fixed_point ~q:1 ~wcet:(-1) ~interference:no_interference))
+
+let test_utilisation () =
+  Testutil.close "utilisation sums rate*wcet" 0.75
+    (BW.utilisation ~contributions:[ (0.25, 1.); (0.125, 4.) ])
+
+(* Property: the fixed point is indeed a fixed point, and minimal among the
+   iterates. *)
+let prop_fixed_point_is_fixed (q, wcet, period, c_i) =
+  let curve = AC.periodic ~period_us:period in
+  let interference dt = AC.eta_plus curve dt * c_i in
+  match BW.fixed_point ~q ~wcet ~interference with
+  | BW.Diverged -> true
+  | BW.Converged w -> w = (q * wcet) + interference w
+
+let prop_response_time_bounds_all_windows (wcet, period) =
+  (* R >= W(q) - delta(q) for every q in the busy period (definition of max). *)
+  let curve = AC.periodic ~period_us:period in
+  match
+    BW.response_time ~wcet ~delta:(AC.delta_min curve)
+      ~interference:no_interference ~max_q:256 ()
+  with
+  | Error _ -> true
+  | Ok r ->
+      List.for_all
+        (fun (q, w) -> r.BW.response_time >= w - AC.delta_min curve q)
+        r.BW.busy_windows
+
+let suite =
+  [
+    Alcotest.test_case "fixed point, no interference" `Quick
+      test_fixed_point_no_interference;
+    Alcotest.test_case "fixed point with interferer" `Quick
+      test_fixed_point_with_interferer;
+    Alcotest.test_case "divergence detection" `Quick test_divergence_on_overload;
+    Alcotest.test_case "isolated task R = C" `Quick test_response_time_single_task;
+    Alcotest.test_case "overload and light load" `Quick test_response_time_queueing;
+    Alcotest.test_case "multi-activation busy period" `Quick
+      test_multi_activation_busy_period;
+    Alcotest.test_case "argument validation" `Quick test_invalid_args;
+    Alcotest.test_case "utilisation" `Quick test_utilisation;
+    Testutil.qtest "converged value is a fixed point"
+      QCheck2.Gen.(
+        quad (1 -- 4) (map Testutil.us (1 -- 50)) (10 -- 1000)
+          (map Testutil.us (0 -- 5)))
+      prop_fixed_point_is_fixed;
+    Testutil.qtest "R dominates all busy windows"
+      QCheck2.Gen.(pair (map Testutil.us (1 -- 100)) (50 -- 2000))
+      prop_response_time_bounds_all_windows;
+  ]

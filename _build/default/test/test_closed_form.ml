@@ -1,0 +1,138 @@
+(* Differential validation: for a single unmonitored IRQ probe in an
+   otherwise idle system, the completion time has a closed form —
+
+   - direct (arrival in the subscriber's slot, clear of boundaries):
+       latency = C_TH + C_BH;
+   - delayed (arrival in a foreign slot, clear of boundaries):
+       completion = next subscriber slot start + C_ctx + C_BH.
+
+   The predictor is computed here independently from TDMA geometry and must
+   match the simulator cycle-for-cycle.  Phases within a guard band of
+   C_ctx after a slot start or C_TH before a slot end are excluded: there
+   the classification legitimately depends on hypervisor queueing. *)
+
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+module Irq_record = Rthv_core.Irq_record
+module Tdma = Rthv_core.Tdma
+module Cycles = Rthv_engine.Cycles
+
+let us = Testutil.us
+let c_ctx = us 50
+
+type probe = {
+  slots_us : int list;
+  subscriber : int;
+  c_th_us : int;
+  c_bh_us : int;
+  cycle_index : int;
+  phase_frac : float;  (** Position within the cycle, [0, 1). *)
+}
+
+let probe_gen =
+  QCheck2.Gen.(
+    let* n = 2 -- 4 in
+    let* slots_us = list_repeat n (500 -- 9_000) in
+    let* subscriber = 0 -- (n - 1) in
+    let* c_th_us = 1 -- 10 in
+    let* c_bh_us = 10 -- 100 in
+    let* cycle_index = 1 -- 5 in
+    let* phase_frac = float_bound_exclusive 1.0 in
+    return { slots_us; subscriber; c_th_us; c_bh_us; cycle_index; phase_frac })
+
+let predict ~tdma ~probe ~arrival =
+  let owner, slot_start, slot_end = Tdma.slot_bounds_at tdma arrival in
+  (* Guard bands around hypervisor activity at slot edges. *)
+  if arrival < slot_start + c_ctx then None
+  else if arrival + us probe.c_th_us >= slot_end then None
+  else if owner = probe.subscriber then
+    Some (Irq_record.Direct, arrival + us probe.c_th_us + us probe.c_bh_us)
+  else begin
+    let next_start =
+      Tdma.next_slot_start tdma ~partition:probe.subscriber ~after:arrival
+    in
+    Some (Irq_record.Delayed, next_start + c_ctx + us probe.c_bh_us)
+  end
+
+let run_probe probe ~arrival =
+  let partitions =
+    List.mapi
+      (fun i slot_us ->
+        Config.partition ~name:(Printf.sprintf "p%d" i) ~slot_us ())
+      probe.slots_us
+  in
+  let config =
+    Config.make ~partitions
+      ~sources:
+        [
+          Config.source ~name:"probe" ~line:0 ~subscriber:probe.subscriber
+            ~c_th_us:probe.c_th_us ~c_bh_us:probe.c_bh_us
+            ~interarrivals:[| arrival |] ();
+        ]
+      ()
+  in
+  let sim = Hyp_sim.create config in
+  Hyp_sim.run sim;
+  match Hyp_sim.records sim with
+  | [ record ] -> record
+  | records ->
+      failwith (Printf.sprintf "probe produced %d records" (List.length records))
+
+let prop_closed_form probe =
+  let tdma = Tdma.of_us (Array.of_list probe.slots_us) in
+  let cycle = Tdma.cycle_length tdma in
+  let arrival =
+    (cycle * probe.cycle_index)
+    + int_of_float (probe.phase_frac *. float_of_int cycle)
+  in
+  match predict ~tdma ~probe ~arrival with
+  | None -> true (* guard band: no prediction *)
+  | Some (expected_class, expected_completion) ->
+      let record = run_probe probe ~arrival in
+      if record.Irq_record.classification <> expected_class then
+        QCheck2.Test.fail_reportf "classification mismatch at %a: %s vs %s"
+          Cycles.pp arrival
+          (Irq_record.classification_name record.Irq_record.classification)
+          (Irq_record.classification_name expected_class)
+      else if record.Irq_record.completion <> expected_completion then
+        QCheck2.Test.fail_reportf
+          "completion mismatch at %a: simulated %a, closed form %a" Cycles.pp
+          arrival Cycles.pp record.Irq_record.completion Cycles.pp
+          expected_completion
+      else true
+
+(* A handful of pinned cases on the paper's schedule, for readable failures. *)
+let paper_probe =
+  {
+    slots_us = [ 6_000; 6_000; 2_000 ];
+    subscriber = 1;
+    c_th_us = 5;
+    c_bh_us = 50;
+    cycle_index = 0;
+    phase_frac = 0.;
+  }
+
+let pinned ~arrival_us ~expected_class ~expected_completion_us () =
+  let record = run_probe paper_probe ~arrival:(us arrival_us) in
+  Alcotest.(check string) "class" expected_class
+    (Irq_record.classification_name record.Irq_record.classification);
+  Testutil.check_cycles "completion" (us expected_completion_us)
+    record.Irq_record.completion
+
+let suite =
+  [
+    Alcotest.test_case "pinned: foreign mid-slot" `Quick
+      (pinned ~arrival_us:3_000 ~expected_class:"delayed"
+         ~expected_completion_us:6_100);
+    Alcotest.test_case "pinned: own slot" `Quick
+      (pinned ~arrival_us:8_000 ~expected_class:"direct"
+         ~expected_completion_us:8_055);
+    Alcotest.test_case "pinned: housekeeping slot" `Quick
+      (pinned ~arrival_us:12_500 ~expected_class:"delayed"
+         ~expected_completion_us:20_100);
+    Alcotest.test_case "pinned: wraps to next cycle" `Quick
+      (pinned ~arrival_us:16_000 ~expected_class:"delayed"
+         ~expected_completion_us:20_100);
+    Testutil.qtest ~count:120 "simulator matches the closed form exactly"
+      probe_gen prop_closed_form;
+  ]

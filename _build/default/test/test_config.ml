@@ -1,0 +1,88 @@
+module Config = Rthv_core.Config
+module DF = Rthv_analysis.Distance_fn
+
+let partition name slot = Config.partition ~name ~slot_us:slot ()
+
+let source ?(line = 0) ?(subscriber = 0) ?(shaping = Config.No_shaping) () =
+  Config.source ~name:"s" ~line ~subscriber ~c_th_us:5 ~c_bh_us:50
+    ~interarrivals:[| 100; 200 |] ~shaping ()
+
+let make ?(partitions = [ partition "a" 100; partition "b" 100 ]) sources =
+  Config.make ~partitions ~sources ()
+
+let expect_error config =
+  match Config.validate config with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected a validation error"
+
+let test_valid_config () =
+  match Config.validate (make [ source () ]) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_no_partitions () = expect_error (make ~partitions:[] [])
+
+let test_bad_subscriber () = expect_error (make [ source ~subscriber:7 () ])
+
+let test_duplicate_lines () =
+  expect_error (make [ source ~line:1 (); source ~line:1 () ])
+
+let test_line_out_of_range () = expect_error (make [ source ~line:999 () ])
+
+let test_bad_self_learning () =
+  let shaping =
+    Config.Self_learning
+      { l = 2; learn_events = 5; bound = Some (DF.d_min 100) }
+  in
+  (* bound has l = 1, monitor wants l = 2 *)
+  expect_error (make [ source ~shaping () ])
+
+let test_monitoring_enabled () =
+  Alcotest.(check bool) "off without shaping" false
+    (Config.monitoring_enabled (make [ source () ]));
+  Alcotest.(check bool) "on with a monitor" true
+    (Config.monitoring_enabled
+       (make [ source ~shaping:(Config.Fixed_monitor (DF.d_min 10)) () ]));
+  Alcotest.(check bool) "on with self-learning" true
+    (Config.monitoring_enabled
+       (make
+          [
+            source
+              ~shaping:
+                (Config.Self_learning { l = 1; learn_events = 1; bound = None })
+              ();
+          ]))
+
+let test_tdma_derivation () =
+  let config = make [ source () ] in
+  let tdma = Config.tdma config in
+  Alcotest.(check int) "two partitions" 2 (Rthv_core.Tdma.partitions tdma);
+  Testutil.check_cycles "cycle" (Testutil.us 200)
+    (Rthv_core.Tdma.cycle_length tdma)
+
+let test_constructor_validation () =
+  Alcotest.check_raises "slot must be positive"
+    (Invalid_argument "Config.partition: slot must be positive") (fun () ->
+      ignore (Config.partition ~name:"x" ~slot_us:0 () : Config.partition));
+  Alcotest.check_raises "wcet must be positive"
+    (Invalid_argument "Config.source: handler WCETs must be positive")
+    (fun () ->
+      ignore
+        (Config.source ~name:"x" ~line:0 ~subscriber:0 ~c_th_us:0 ~c_bh_us:1
+           ~interarrivals:[||] ()
+          : Config.source))
+
+let suite =
+  [
+    Alcotest.test_case "valid config accepted" `Quick test_valid_config;
+    Alcotest.test_case "no partitions rejected" `Quick test_no_partitions;
+    Alcotest.test_case "bad subscriber rejected" `Quick test_bad_subscriber;
+    Alcotest.test_case "duplicate lines rejected" `Quick test_duplicate_lines;
+    Alcotest.test_case "line range checked" `Quick test_line_out_of_range;
+    Alcotest.test_case "self-learning params checked" `Quick
+      test_bad_self_learning;
+    Alcotest.test_case "monitoring_enabled" `Quick test_monitoring_enabled;
+    Alcotest.test_case "tdma derivation" `Quick test_tdma_derivation;
+    Alcotest.test_case "constructor validation" `Quick
+      test_constructor_validation;
+  ]

@@ -1,0 +1,222 @@
+module Edf = Rthv_analysis.Edf_sched
+module GS = Rthv_analysis.Guest_sched
+module TI = Rthv_analysis.Tdma_interference
+module Independence = Rthv_analysis.Independence
+module Guest = Rthv_rtos.Guest
+module Task = Rthv_rtos.Task
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+
+let us = Testutil.us
+
+let task ~name ~period_us ~wcet_us =
+  { GS.name; period = us period_us; wcet = us wcet_us; priority = 0 }
+
+let full = TI.make ~cycle:(us 1_000) ~slot:(us 1_000)
+let paper = TI.make ~cycle:(us 14_000) ~slot:(us 6_000)
+
+let test_demand_bound () =
+  let set = [ task ~name:"a" ~period_us:10 ~wcet_us:2 ] in
+  Testutil.check_cycles "before first deadline" 0 (Edf.demand_bound set (us 9));
+  Testutil.check_cycles "one job" (us 2) (Edf.demand_bound set (us 10));
+  Testutil.check_cycles "three jobs" (us 6) (Edf.demand_bound set (us 30));
+  let pair =
+    [ task ~name:"a" ~period_us:10 ~wcet_us:2; task ~name:"b" ~period_us:15 ~wcet_us:3 ]
+  in
+  Testutil.check_cycles "mixed demand at 30" (us (6 + 6))
+    (Edf.demand_bound pair (us 30))
+
+let test_supply_bound () =
+  Testutil.check_cycles "dedicated CPU supplies everything" (us 123)
+    (Edf.supply_bound ~tdma:full (us 123));
+  (* Paper TDMA: a full cycle supplies one slot. *)
+  Testutil.check_cycles "one cycle supplies the slot" (us 6_000)
+    (Edf.supply_bound ~tdma:paper (us 14_000));
+  Testutil.check_cycles "clamped at zero" 0 (Edf.supply_bound ~tdma:paper (us 10));
+  Testutil.check_cycles "blocking subtracts" (us 5_900)
+    (Edf.supply_bound ~tdma:paper ~blocking:(us 100) (us 14_000))
+
+let test_schedulable_dedicated () =
+  (* Utilisation 0.9 under EDF on a dedicated CPU: schedulable. *)
+  let set =
+    [ task ~name:"a" ~period_us:10 ~wcet_us:5; task ~name:"b" ~period_us:20 ~wcet_us:8 ]
+  in
+  Alcotest.(check bool) "EDF at 90%" true (Edf.schedulable ~tdma:full set);
+  let over =
+    [ task ~name:"a" ~period_us:10 ~wcet_us:6; task ~name:"b" ~period_us:20 ~wcet_us:10 ]
+  in
+  Alcotest.(check bool) "110% rejected" false (Edf.schedulable ~tdma:full over)
+
+let test_schedulable_under_tdma () =
+  let set = [ task ~name:"ctl" ~period_us:28_000 ~wcet_us:5_000 ] in
+  Alcotest.(check bool) "fits the 6/14 share" true
+    (Edf.schedulable ~tdma:paper set);
+  (* 12500/28000 = 44.6 % demand against the 6/14 = 42.9 % share. *)
+  let too_big = [ task ~name:"ctl" ~period_us:28_000 ~wcet_us:12_500 ] in
+  Alcotest.(check bool) "exceeds the share" false
+    (Edf.schedulable ~tdma:paper too_big)
+
+let test_interference_tightens () =
+  let set = [ task ~name:"ctl" ~period_us:14_000 ~wcet_us:5_800 ] in
+  Alcotest.(check bool) "fits isolated" true (Edf.schedulable ~tdma:paper set);
+  let interference =
+    Independence.d_min_bound ~d_min:(us 1_000) ~c_bh_eff:(us 154)
+  in
+  Alcotest.(check bool) "interference breaks it" false
+    (Edf.schedulable ~tdma:paper ~interference set)
+
+let test_margin () =
+  let set = [ task ~name:"a" ~period_us:10_000 ~wcet_us:1_000 ] in
+  (match Edf.margin ~tdma:full set with
+  | Some slack -> Alcotest.(check bool) "positive slack" true (slack >= us 9_000)
+  | None -> Alcotest.fail "schedulable set has a margin");
+  let over = [ task ~name:"a" ~period_us:10 ~wcet_us:20 ] in
+  Alcotest.(check (option int)) "overload has none" None
+    (Edf.margin ~tdma:full over)
+
+(* EDF beats fixed priority on sets RM cannot schedule: the classic
+   C1/T1 = 2/5, C2/T2 = 4/7 example (utilisation ~97%). *)
+let test_edf_beats_rm_in_simulation () =
+  let specs priority1 priority2 =
+    [
+      Task.spec ~name:"t1" ~period_us:5_000 ~wcet_us:2_000 ~priority:priority1 ();
+      Task.spec ~name:"t2" ~period_us:7_000 ~wcet_us:4_000 ~priority:priority2 ();
+    ]
+  in
+  let run policy =
+    let config =
+      Config.make
+        ~partitions:
+          [ Config.partition ~name:"only" ~slot_us:10_000 ~policy
+              ~tasks:(specs 0 1) () ]
+        ~sources:
+          [
+            (* Drive the clock for 40 periods. *)
+            Config.source ~name:"tick" ~line:0 ~subscriber:0 ~c_th_us:1
+              ~c_bh_us:1
+              ~interarrivals:(Array.make 30 (us 10_000))
+              ();
+          ]
+        ()
+    in
+    let sim = Hyp_sim.create config in
+    Hyp_sim.run sim;
+    let guest = Hyp_sim.guest sim 0 in
+    let completions = Guest.take_completions guest in
+    let misses =
+      List.length
+        (List.filter
+           (fun c ->
+             let deadline =
+               match c.Task.job_task with
+               | "t1" -> us 5_000
+               | _ -> us 7_000
+             in
+             Task.response_time c > deadline)
+           completions)
+    in
+    (misses, Guest.backlog guest)
+  in
+  let rm_misses, _ = run Guest.Fixed_priority in
+  let edf_misses, edf_backlog = run Guest.Edf in
+  Alcotest.(check bool) "RM misses deadlines at 97% utilisation" true
+    (rm_misses > 0);
+  Alcotest.(check int) "EDF misses none" 0 edf_misses;
+  Alcotest.(check bool) "EDF keeps up" true (edf_backlog <= 2)
+
+let test_edf_analysis_matches_simulation () =
+  (* The same 97% set is EDF-schedulable on a dedicated processor per the
+     demand-bound test. *)
+  let set =
+    [ task ~name:"t1" ~period_us:5_000 ~wcet_us:2_000;
+      task ~name:"t2" ~period_us:7_000 ~wcet_us:4_000 ]
+  in
+  Alcotest.(check bool) "analysis agrees with the simulation" true
+    (Edf.schedulable ~tdma:(TI.make ~cycle:(us 10_000) ~slot:(us 10_000)) set)
+
+let suite =
+  [
+    Alcotest.test_case "demand bound" `Quick test_demand_bound;
+    Alcotest.test_case "supply bound" `Quick test_supply_bound;
+    Alcotest.test_case "EDF on a dedicated CPU" `Quick test_schedulable_dedicated;
+    Alcotest.test_case "EDF under TDMA" `Quick test_schedulable_under_tdma;
+    Alcotest.test_case "interference tightens supply" `Quick
+      test_interference_tightens;
+    Alcotest.test_case "margin" `Quick test_margin;
+    Alcotest.test_case "EDF beats RM in simulation" `Quick
+      test_edf_beats_rm_in_simulation;
+    Alcotest.test_case "analysis matches simulation" `Quick
+      test_edf_analysis_matches_simulation;
+  ]
+
+(* Property: sets the demand-bound analysis accepts never miss a deadline in
+   simulation (single partition plus the slot-switch and tick overheads,
+   which the analysis covers via a small utilisation headroom). *)
+type random_set = { periods_wcets : (int * int) list; seed : int }
+
+let set_gen =
+  QCheck2.Gen.(
+    let* n = 1 -- 3 in
+    let* periods_wcets =
+      list_repeat n
+        (let* period_us = 2_000 -- 20_000 in
+         let* util_pct = 5 -- 28 in
+         return (period_us, Stdlib.max 1 (period_us * util_pct / 100)))
+    in
+    let* seed = 0 -- 100 in
+    return { periods_wcets; seed })
+
+let prop_edf_analysis_sound_in_simulation random_set =
+  let specs =
+    List.mapi
+      (fun i (period_us, wcet_us) ->
+        Task.spec ~name:(Printf.sprintf "t%d" i) ~period_us ~wcet_us ())
+      random_set.periods_wcets
+  in
+  let analysis_tasks = List.map Rthv_analysis.Guest_sched.of_spec specs in
+  (* Analyse with 3% headroom for the slot-switch tick and the driver IRQ. *)
+  let supply = TI.make ~cycle:(us 10_000) ~slot:(us 9_700) in
+  if not (Edf.schedulable ~tdma:supply analysis_tasks) then true
+  else begin
+    let config =
+      Config.make
+        ~partitions:
+          [
+            Config.partition ~name:"only" ~slot_us:10_000 ~policy:Guest.Edf
+              ~tasks:specs ();
+          ]
+        ~sources:
+          [
+            Config.source ~name:"tick" ~line:0 ~subscriber:0 ~c_th_us:1
+              ~c_bh_us:1
+              ~interarrivals:(Array.make 25 (us 10_000))
+              ();
+          ]
+        ()
+    in
+    let sim = Hyp_sim.create config in
+    Hyp_sim.run sim;
+    let completions = Guest.take_completions (Hyp_sim.guest sim 0) in
+    List.for_all
+      (fun c ->
+        let deadline =
+          (List.find
+             (fun (s : Task.spec) -> s.Task.name = c.Task.job_task)
+             specs)
+            .Task.period
+        in
+        if Task.response_time c > deadline then
+          QCheck2.Test.fail_reportf
+            "EDF-schedulable set missed a deadline: %s#%d R=%a > T=%a"
+            c.Task.job_task c.Task.job_index Rthv_engine.Cycles.pp
+            (Task.response_time c) Rthv_engine.Cycles.pp deadline
+        else true)
+      completions
+  end
+
+let suite =
+  suite
+  @ [
+      Testutil.qtest ~count:40 "EDF analysis sound against simulation" set_gen
+        prop_edf_analysis_sound_in_simulation;
+    ]

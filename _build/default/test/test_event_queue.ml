@@ -1,0 +1,102 @@
+module Event_queue = Rthv_engine.Event_queue
+
+let drain q =
+  let rec loop acc =
+    match Event_queue.pop q with
+    | None -> List.rev acc
+    | Some entry -> loop (entry :: acc)
+  in
+  loop []
+
+let test_fifo_at_same_time () =
+  let q = Event_queue.create () in
+  List.iter (fun p -> Event_queue.push q ~time:5 p) [ "a"; "b"; "c" ];
+  let payloads = List.map (fun e -> e.Event_queue.payload) (drain q) in
+  Alcotest.(check (list string)) "same-time order is insertion order"
+    [ "a"; "b"; "c" ] payloads
+
+let test_time_order () =
+  let q = Event_queue.create () in
+  List.iter
+    (fun (t, p) -> Event_queue.push q ~time:t p)
+    [ (30, "z"); (10, "x"); (20, "y") ];
+  let payloads = List.map (fun e -> e.Event_queue.payload) (drain q) in
+  Alcotest.(check (list string)) "time order" [ "x"; "y"; "z" ] payloads
+
+let test_peek_and_length () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Alcotest.(check (option int)) "peek empty" None (Event_queue.peek_time q);
+  Event_queue.push q ~time:42 ();
+  Event_queue.push q ~time:7 ();
+  Alcotest.(check int) "length" 2 (Event_queue.length q);
+  Alcotest.(check (option int)) "peek min" (Some 7) (Event_queue.peek_time q);
+  Alcotest.(check int) "peek does not pop" 2 (Event_queue.length q)
+
+let test_clear () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:1 ();
+  Event_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Event_queue.is_empty q)
+
+let test_snapshot_matches_drain () =
+  let q = Event_queue.create () in
+  List.iteri (fun i t -> Event_queue.push q ~time:t i) [ 9; 3; 3; 7; 1 ];
+  let snapshot = List.map (fun e -> e.Event_queue.payload) (Event_queue.to_sorted_list q) in
+  let drained = List.map (fun e -> e.Event_queue.payload) (drain q) in
+  Alcotest.(check (list int)) "snapshot equals drain order" drained snapshot
+
+let sorted_by_key entries =
+  let keys =
+    List.map (fun e -> (e.Event_queue.time, e.Event_queue.seq)) entries
+  in
+  let rec is_sorted = function
+    | a :: (b :: _ as rest) -> a <= b && is_sorted rest
+    | [ _ ] | [] -> true
+  in
+  is_sorted keys
+
+let prop_heap_order times =
+  let q = Event_queue.create () in
+  List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+  sorted_by_key (drain q)
+
+let prop_interleaved ops =
+  (* Interleave pushes and pops; popped sequence must be non-decreasing in
+     time among the elements present at each pop. *)
+  let q = Event_queue.create () in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      match op with
+      | `Push t -> Event_queue.push q ~time:t ()
+      | `Pop -> (
+          match (Event_queue.peek q, Event_queue.pop q) with
+          | Some a, Some b -> if a.Event_queue.seq <> b.Event_queue.seq then ok := false
+          | None, None -> ()
+          | _ -> ok := false))
+    ops;
+  !ok
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun t -> `Push t) (0 -- 1000);
+        return `Pop;
+      ])
+
+let suite =
+  [
+    Alcotest.test_case "fifo at same instant" `Quick test_fifo_at_same_time;
+    Alcotest.test_case "time ordering" `Quick test_time_order;
+    Alcotest.test_case "peek and length" `Quick test_peek_and_length;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "snapshot" `Quick test_snapshot_matches_drain;
+    Testutil.qtest "drain is globally sorted"
+      QCheck2.Gen.(list_size (0 -- 200) (0 -- 10_000))
+      prop_heap_order;
+    Testutil.qtest "peek agrees with pop under interleaving"
+      QCheck2.Gen.(list_size (0 -- 300) op_gen)
+      prop_interleaved;
+  ]

@@ -1,0 +1,248 @@
+(* End-to-end checks of the experiment harness: run small versions of the
+   paper's experiments and assert the qualitative results it reports. *)
+
+module Fig6 = Rthv_experiments.Fig6
+module Fig7 = Rthv_experiments.Fig7
+module Overhead = Rthv_experiments.Overhead
+module Analysis_tables = Rthv_experiments.Analysis_tables
+module Params = Rthv_experiments.Params
+module Summary = Rthv_stats.Summary
+module Hyp_sim = Rthv_core.Hyp_sim
+
+(* Small but statistically meaningful sample. *)
+let count = 800
+
+let fig6a = lazy (Fig6.run ~count_per_load:count Fig6.Unmonitored)
+let fig6b = lazy (Fig6.run ~count_per_load:count Fig6.Monitored)
+let fig6c = lazy (Fig6.run ~count_per_load:count Fig6.Monitored_conforming)
+
+let test_params_match_paper () =
+  Testutil.check_cycles "C'_BH ~ 154.4us"
+    (Testutil.us 150 + 877)
+    Params.c_bh_eff;
+  Testutil.check_cycles "cycle = 14000us" (Testutil.us 14_000)
+    (Rthv_core.Tdma.cycle_length Params.tdma);
+  Alcotest.(check (list (float 0.0001))) "loads" [ 0.01; 0.05; 0.1 ] Params.loads
+
+let test_fig6a_shape () =
+  let r = Lazy.force fig6a in
+  Alcotest.(check int) "no interposed without monitoring" 0 r.Fig6.n_interposed;
+  let total = r.Fig6.n_direct + r.Fig6.n_delayed in
+  Alcotest.(check int) "all classified" (3 * count) total;
+  (* Direct share ~ subscriber slot share (6/14 ~ 43 %). *)
+  let direct_share = float_of_int r.Fig6.n_direct /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "direct share %.2f in [0.3, 0.55]" direct_share)
+    true
+    (direct_share > 0.3 && direct_share < 0.55);
+  (* Average dominated by delayed IRQs: paper reports ~2500us. *)
+  Alcotest.(check bool) "average in the paper's range" true
+    (r.Fig6.latency.Summary.mean > 1800. && r.Fig6.latency.Summary.mean < 3200.);
+  (* Worst case governed by T_TDMA - T_i = 8000us. *)
+  Alcotest.(check bool) "worst close to the TDMA gap" true
+    (r.Fig6.latency.Summary.max > 7000. && r.Fig6.latency.Summary.max < 8600.)
+
+let test_fig6b_improves_average () =
+  let a = Lazy.force fig6a and b = Lazy.force fig6b in
+  Alcotest.(check bool) "monitoring roughly halves the average" true
+    (b.Fig6.latency.Summary.mean < 0.65 *. a.Fig6.latency.Summary.mean);
+  Alcotest.(check bool) "a significant share interposed" true
+    (b.Fig6.n_interposed > (3 * count) / 5);
+  (* Violations exist, so the worst case is still TDMA-scale. *)
+  Alcotest.(check bool) "worst case unchanged" true
+    (b.Fig6.latency.Summary.max > 7000.)
+
+let test_fig6c_conforming () =
+  let a = Lazy.force fig6a and c = Lazy.force fig6c in
+  Alcotest.(check int) "no delayed IRQs" 0 c.Fig6.n_delayed;
+  Alcotest.(check bool) "order-of-magnitude improvement (paper: ~16x)" true
+    (c.Fig6.latency.Summary.mean *. 8. < a.Fig6.latency.Summary.mean);
+  (* Worst case no longer defined by the TDMA cycle. *)
+  Alcotest.(check bool) "worst case TDMA-independent" true
+    (c.Fig6.latency.Summary.max < 1000.)
+
+let test_fig6_histogram_totals () =
+  let r = Lazy.force fig6b in
+  Alcotest.(check int) "histogram covers all IRQs" (3 * count)
+    (Rthv_stats.Histogram.count r.Fig6.histogram)
+
+let test_fig7_ordering () =
+  let results =
+    List.map
+      (fun spec -> Fig7.run spec)
+      [
+        Fig7.Unbounded;
+        Fig7.Load_fraction 0.25;
+        Fig7.Load_fraction 0.125;
+        Fig7.Load_fraction 0.0625;
+      ]
+  in
+  (match results with
+  | [ a; b; c; d ] ->
+      (* Learning phase: no interposition, so comparable to the unmonitored
+         average; run phase improves dramatically when unbounded. *)
+      Alcotest.(check bool) "learning phase is slow" true
+        (a.Fig7.learn_avg_us > 1500.);
+      Alcotest.(check bool) "unbounded run phase is fast" true
+        (a.Fig7.run_avg_us < 400.);
+      (* Tighter bounds give monotonically worse run-phase averages. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone: %.0f <= %.0f <= %.0f <= %.0f"
+           a.Fig7.run_avg_us b.Fig7.run_avg_us c.Fig7.run_avg_us
+           d.Fig7.run_avg_us)
+        true
+        (a.Fig7.run_avg_us <= b.Fig7.run_avg_us
+        && b.Fig7.run_avg_us <= c.Fig7.run_avg_us
+        && c.Fig7.run_avg_us <= d.Fig7.run_avg_us);
+      (* The tightest bound must bite hard (paper: 1600us vs 120us). *)
+      Alcotest.(check bool) "6.25 % bound bites" true
+        (d.Fig7.run_avg_us > 2. *. a.Fig7.run_avg_us)
+  | _ -> Alcotest.fail "four results expected");
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "series non-empty" true (List.length r.Fig7.series > 3))
+    results
+
+let test_overhead_table () =
+  let t = Overhead.run ~count_per_load:count () in
+  let s = t.Overhead.static_model in
+  Alcotest.(check int) "paper code size" 1120 s.Overhead.code_bytes_total;
+  Alcotest.(check int) "component sizes sum" s.Overhead.code_bytes_total
+    (s.Overhead.code_bytes_scheduler + s.Overhead.code_bytes_top_handler
+   + s.Overhead.code_bytes_monitor);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "added switches are twice the admissions" true
+        (m.Overhead.interposition_switches <= 2 * m.Overhead.admissions);
+      Alcotest.(check bool) "every check is admission or denial" true
+        (m.Overhead.monitor_checks >= m.Overhead.admissions + m.Overhead.denials))
+    t.Overhead.per_load;
+  Alcotest.(check bool) "increase is positive" true
+    (t.Overhead.overall_increase_pct > 0.)
+
+let test_analysis_table_soundness () =
+  let rows = Analysis_tables.compute_all ~count:count () in
+  List.iter
+    (fun r ->
+      (* Analysis must bound the simulation it models. *)
+      (match r.Analysis_tables.sim_worst_unmonitored_us with
+      | Some sim ->
+          Alcotest.(check bool)
+            (Printf.sprintf "baseline sound at load %.2f (R=%.0f >= sim=%.0f)"
+               r.Analysis_tables.load r.Analysis_tables.r_baseline_us sim)
+            true
+            (r.Analysis_tables.r_baseline_us +. 0.01 >= sim)
+      | None -> Alcotest.fail "simulation column missing");
+      (match r.Analysis_tables.sim_stolen_slot_max_us with
+      | Some stolen ->
+          Alcotest.(check bool) "equation (14) bounds measured interference"
+            true
+            (r.Analysis_tables.interference_bound_slot_us +. 0.01 >= stolen)
+      | None -> Alcotest.fail "interference column missing");
+      Alcotest.(check bool) "interposed beats baseline" true
+        (r.Analysis_tables.r_interposed_us < r.Analysis_tables.r_baseline_us);
+      Alcotest.(check bool) "monitored baseline slightly above baseline" true
+        (r.Analysis_tables.r_baseline_monitored_us
+         >= r.Analysis_tables.r_baseline_us))
+    rows
+
+let test_fig6c_worst_matches_interposed_analysis () =
+  (* The conforming scenario's worst case should be near the eq.-(16) bound,
+     far from the TDMA gap. *)
+  let c = Lazy.force fig6c in
+  let rows = Analysis_tables.compute_all ~with_sim:false () in
+  let max_r_interposed =
+    List.fold_left
+      (fun acc r -> Float.max acc r.Analysis_tables.r_interposed_us)
+      0. rows
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sim worst %.0f <= analytic interposed %.0f + directs"
+       c.Fig6.latency.Summary.max max_r_interposed)
+    true
+    (* Direct IRQs can also queue behind a slot switch; allow slack of one
+       context switch + C_BH. *)
+    (c.Fig6.latency.Summary.max <= max_r_interposed +. 100.)
+
+let suite =
+  [
+    Alcotest.test_case "parameters match the paper" `Quick
+      test_params_match_paper;
+    Alcotest.test_case "fig6a shape" `Slow test_fig6a_shape;
+    Alcotest.test_case "fig6b improves the average" `Slow
+      test_fig6b_improves_average;
+    Alcotest.test_case "fig6c conforming" `Slow test_fig6c_conforming;
+    Alcotest.test_case "fig6 histogram totals" `Slow test_fig6_histogram_totals;
+    Alcotest.test_case "fig7 bound ordering" `Slow test_fig7_ordering;
+    Alcotest.test_case "overhead table" `Slow test_overhead_table;
+    Alcotest.test_case "analysis soundness columns" `Slow
+      test_analysis_table_soundness;
+    Alcotest.test_case "fig6c worst vs eq. (16)" `Slow
+      test_fig6c_worst_matches_interposed_analysis;
+  ]
+
+let test_robustness_spread () =
+  let module Robustness = Rthv_experiments.Robustness in
+  let seeds = [ 1; 2; 3; 4 ] in
+  let a = Robustness.run ~seeds ~count_per_load:400 Fig6.Unmonitored in
+  let c = Robustness.run ~seeds ~count_per_load:400 Fig6.Monitored_conforming in
+  Alcotest.(check int) "one mean per seed" 4 (List.length a.Robustness.means_us);
+  (* Run-to-run noise is far smaller than the scenario separation. *)
+  Alcotest.(check bool) "scenarios separated beyond noise" true
+    (a.Robustness.min_mean_us
+     > c.Robustness.max_mean_us +. (10. *. a.Robustness.std_of_means_us));
+  Alcotest.(check bool) "spread is tight" true
+    (a.Robustness.std_of_means_us < 0.15 *. a.Robustness.mean_of_means_us)
+
+let test_fig6_by_class () =
+  let b = Lazy.force fig6b in
+  let find classification =
+    List.assoc classification b.Fig6.by_class
+  in
+  let direct = find Rthv_core.Irq_record.Direct in
+  let interposed = find Rthv_core.Irq_record.Interposed in
+  let delayed = find Rthv_core.Irq_record.Delayed in
+  Alcotest.(check bool) "direct is fastest" true
+    (direct.Summary.mean < interposed.Summary.mean);
+  (* Under violating arrivals an interposed IRQ can queue behind older
+     delayed items in the FIFO, so its mean is above the pure eq.-(16)
+     cost — but still an order of magnitude under the delayed mean. *)
+  Alcotest.(check bool) "interposed well under 1ms" true
+    (interposed.Summary.mean < 1_000.);
+  Alcotest.(check bool) "delayed dominates the average" true
+    (delayed.Summary.mean > 5. *. interposed.Summary.mean)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "seed robustness" `Slow test_robustness_spread;
+      Alcotest.test_case "fig6 per-class summaries" `Slow test_fig6_by_class;
+    ]
+
+let test_csv_exports () =
+  let b = Lazy.force fig6b in
+  let csv = Fig6.histogram_csv b in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (match lines with
+  | header :: rows ->
+      Alcotest.(check string) "header" "bin_lo_us,bin_hi_us,count" header;
+      let total =
+        List.fold_left
+          (fun acc row ->
+            match String.split_on_char ',' row with
+            | [ _; _; count ] -> acc + int_of_string count
+            | _ -> Alcotest.failf "malformed row %S" row)
+          0 rows
+      in
+      Alcotest.(check int) "counts conserve the IRQ total" (3 * count) total
+  | [] -> Alcotest.fail "empty csv");
+  let f7 = [ Fig7.run ~window:200 Fig7.Unbounded ] in
+  let csv7 = Fig7.series_csv f7 in
+  let rows7 = String.split_on_char '\n' (String.trim csv7) in
+  Alcotest.(check bool) "fig7 csv has header + rows" true
+    (List.length rows7 > 10);
+  Alcotest.(check string) "fig7 header" "event_index,a) unbounded"
+    (List.hd rows7)
+
+let suite =
+  suite @ [ Alcotest.test_case "CSV exports" `Slow test_csv_exports ]

@@ -1,0 +1,211 @@
+module GS = Rthv_analysis.Guest_sched
+module BW = Rthv_analysis.Busy_window
+module TI = Rthv_analysis.Tdma_interference
+module Independence = Rthv_analysis.Independence
+module DF = Rthv_analysis.Distance_fn
+module Task = Rthv_rtos.Task
+
+let us = Testutil.us
+
+let task ~name ~period_us ~wcet_us ?(priority = 0) () =
+  { GS.name; period = us period_us; wcet = us wcet_us; priority }
+
+(* A partition owning the whole processor: TDMA degenerates away. *)
+let full = TI.make ~cycle:(us 1000) ~slot:(us 1000)
+
+let paper_tdma = TI.make ~cycle:(us 14_000) ~slot:(us 6_000)
+
+let response result =
+  match result with
+  | Ok r -> r.BW.response_time
+  | Error msg -> Alcotest.fail msg
+
+let test_single_task_full_processor () =
+  let t = task ~name:"t" ~period_us:10_000 ~wcet_us:300 () in
+  let r = response (GS.response_time ~tdma:full ~task:t ~higher_priority:[] ()) in
+  Testutil.check_cycles "R = C on a dedicated processor" (us 300) r
+
+let test_classic_rta_example () =
+  (* Liu-Layland style: t1 (C=1, T=4), t2 (C=2, T=6), t3 (C=3, T=13), on a
+     dedicated processor.  Classic RTA gives R3 = 1+2+3 first pass -> ...
+     known result: R1 = 1, R2 = 3, R3 = 10 (in units of 1us here). *)
+  let t1 = task ~name:"t1" ~period_us:4 ~wcet_us:1 ~priority:0 () in
+  let t2 = task ~name:"t2" ~period_us:6 ~wcet_us:2 ~priority:1 () in
+  let t3 = task ~name:"t3" ~period_us:13 ~wcet_us:3 ~priority:2 () in
+  let r1 = response (GS.response_time ~tdma:full ~task:t1 ~higher_priority:[] ()) in
+  let r2 =
+    response (GS.response_time ~tdma:full ~task:t2 ~higher_priority:[ t1 ] ())
+  in
+  let r3 =
+    response
+      (GS.response_time ~tdma:full ~task:t3 ~higher_priority:[ t1; t2 ] ())
+  in
+  Testutil.check_cycles "R1" (us 1) r1;
+  Testutil.check_cycles "R2" (us 3) r2;
+  Testutil.check_cycles "R3" (us 10) r3
+
+let test_tdma_adds_gaps () =
+  (* Paper TDMA: a 500us task in a 6000us slot waits through the 8000us gap
+     in the worst case. *)
+  let t = task ~name:"ctl" ~period_us:28_000 ~wcet_us:500 () in
+  let r =
+    response (GS.response_time ~tdma:paper_tdma ~task:t ~higher_priority:[] ())
+  in
+  Alcotest.(check bool) "R spans at least one TDMA gap" true (r >= us 8_500);
+  Alcotest.(check bool) "R converges below the period" true (r <= us 28_000)
+
+let test_interference_curve_inflates_response () =
+  let t = task ~name:"ctl" ~period_us:28_000 ~wcet_us:500 () in
+  let interference =
+    Independence.d_min_bound ~d_min:(us 1_000) ~c_bh_eff:(us 154)
+  in
+  let isolated =
+    response (GS.response_time ~tdma:paper_tdma ~task:t ~higher_priority:[] ())
+  in
+  let interposed =
+    response
+      (GS.response_time ~tdma:paper_tdma ~interference ~task:t
+         ~higher_priority:[] ())
+  in
+  Alcotest.(check bool) "interposition inflates the response" true
+    (interposed > isolated)
+
+let test_blocking_term () =
+  let t = task ~name:"t" ~period_us:10_000 ~wcet_us:100 () in
+  let plain = response (GS.response_time ~tdma:full ~task:t ~higher_priority:[] ()) in
+  let blocked =
+    response
+      (GS.response_time ~tdma:full ~blocking:(us 154) ~task:t
+         ~higher_priority:[] ())
+  in
+  Testutil.check_cycles "carry-in adds exactly the blocking term"
+    (plain + us 154) blocked
+
+let test_analyse_and_schedulable () =
+  let set =
+    [
+      task ~name:"hi" ~period_us:20_000 ~wcet_us:1_000 ~priority:0 ();
+      task ~name:"lo" ~period_us:56_000 ~wcet_us:2_000 ~priority:1 ();
+    ]
+  in
+  let rows = GS.analyse ~tdma:paper_tdma set in
+  Alcotest.(check int) "one row per task" 2 (List.length rows);
+  Alcotest.(check bool) "set schedulable under paper TDMA" true
+    (GS.schedulable ~tdma:paper_tdma set);
+  (* Overload the slot: 5000us of demand per 14000us cycle in a 6000us slot
+     still fits; 7000us per 20000us does not fit a 6/14 share. *)
+  let overloaded = [ task ~name:"big" ~period_us:20_000 ~wcet_us:9_000 () ] in
+  Alcotest.(check bool) "overload detected" false
+    (GS.schedulable ~tdma:paper_tdma overloaded)
+
+let test_min_tolerated_d_min () =
+  let set = [ task ~name:"ctl" ~period_us:28_000 ~wcet_us:2_000 () ] in
+  match GS.min_tolerated_d_min ~tdma:paper_tdma ~c_bh_eff:(us 154) set with
+  | None -> Alcotest.fail "set is schedulable in isolation"
+  | Some d_min ->
+      (* The returned grant must keep the set schedulable... *)
+      let ok d =
+        GS.schedulable ~tdma:paper_tdma
+          ~interference:(Independence.d_min_bound ~d_min:d ~c_bh_eff:(us 154))
+          set
+      in
+      Alcotest.(check bool) "granted d_min schedulable" true (ok d_min);
+      (* ...and be tight: one cycle less must fail (or be 1). *)
+      if d_min > 1 then
+        Alcotest.(check bool) "one cycle tighter fails" false (ok (d_min - 1))
+
+let test_min_tolerated_none_when_overloaded () =
+  let set = [ task ~name:"big" ~period_us:20_000 ~wcet_us:9_000 () ] in
+  Alcotest.(check (option int)) "unschedulable even isolated" None
+    (GS.min_tolerated_d_min ~tdma:paper_tdma ~c_bh_eff:(us 154) set)
+
+let test_of_spec_and_utilisation () =
+  let spec = Task.spec ~name:"x" ~period_us:100 ~wcet_us:25 ~priority:3 () in
+  let t = GS.of_spec spec in
+  Alcotest.(check string) "name" "x" t.GS.name;
+  Alcotest.(check int) "priority" 3 t.GS.priority;
+  Testutil.close "utilisation" 0.25 (GS.utilisation [ t ])
+
+(* Property: simulated guest task response times never exceed the analysis,
+   on systems matching the analysis assumptions. *)
+let prop_guest_rta_bounds_simulation (period_factor, wcet_us, seed) =
+  let wcet_us = 50 + wcet_us in
+  let period_us = 14_000 * period_factor in
+  let spec = Task.spec ~name:"t" ~period_us ~wcet_us () in
+  let partitions =
+    [
+      Rthv_core.Config.partition ~name:"P1" ~slot_us:6_000
+        ~tasks:[ spec ] ();
+      Rthv_core.Config.partition ~name:"P2" ~slot_us:6_000 ();
+      Rthv_core.Config.partition ~name:"HK" ~slot_us:2_000 ();
+    ]
+  in
+  let d_min = us 2_000 in
+  let interarrivals =
+    Rthv_workload.Gen.exponential_clamped ~seed ~mean:d_min ~d_min ~count:300
+  in
+  let config =
+    Rthv_core.Config.make ~partitions
+      ~sources:
+        [
+          Rthv_core.Config.source ~name:"irq" ~line:0 ~subscriber:1
+            ~c_th_us:5 ~c_bh_us:50 ~interarrivals
+            ~shaping:(Rthv_core.Config.Fixed_monitor (DF.d_min d_min))
+            ();
+        ]
+      ()
+  in
+  let sim = Rthv_core.Hyp_sim.create config in
+  Rthv_core.Hyp_sim.run sim;
+  let completions = Rthv_rtos.Guest.take_completions (Rthv_core.Hyp_sim.guest sim 0) in
+  let costs =
+    Rthv_analysis.Irq_latency.costs_of_platform Rthv_hw.Platform.arm926ejs_200mhz
+  in
+  let c_bh_eff =
+    us 50 + costs.Rthv_analysis.Irq_latency.c_sched
+    + (2 * costs.Rthv_analysis.Irq_latency.c_ctx)
+  in
+  let tdma =
+    TI.make ~cycle:(us 14_000)
+      ~slot:(us 6_000 - costs.Rthv_analysis.Irq_latency.c_ctx)
+  in
+  let interference = Independence.d_min_bound ~d_min ~c_bh_eff in
+  (* Blocking: one interposition carry-in, plus one top handler of the
+     source (hypervisor work is invisible to eq. (8)). *)
+  let blocking = c_bh_eff + us 5 + costs.Rthv_analysis.Irq_latency.c_mon in
+  match
+    GS.response_time ~tdma ~interference ~blocking ~task:(GS.of_spec spec)
+      ~higher_priority:[] ()
+  with
+  | Error _ -> true (* analysis refuses: nothing to compare *)
+  | Ok r ->
+      let bound = r.BW.response_time in
+      List.for_all
+        (fun c ->
+          let observed = Task.response_time c in
+          if observed > bound then
+            QCheck2.Test.fail_reportf
+              "job %s#%d response %a exceeds analytic bound %a"
+              c.Task.job_task c.Task.job_index Rthv_engine.Cycles.pp observed
+              Rthv_engine.Cycles.pp bound
+          else true)
+        completions
+
+let suite =
+  [
+    Alcotest.test_case "single task, dedicated CPU" `Quick
+      test_single_task_full_processor;
+    Alcotest.test_case "classic RTA example" `Quick test_classic_rta_example;
+    Alcotest.test_case "TDMA gap dominates" `Quick test_tdma_adds_gaps;
+    Alcotest.test_case "interference inflates response" `Quick
+      test_interference_curve_inflates_response;
+    Alcotest.test_case "blocking term" `Quick test_blocking_term;
+    Alcotest.test_case "analyse / schedulable" `Quick test_analyse_and_schedulable;
+    Alcotest.test_case "minimum tolerated d_min" `Quick test_min_tolerated_d_min;
+    Alcotest.test_case "no grant when overloaded" `Quick
+      test_min_tolerated_none_when_overloaded;
+    Alcotest.test_case "spec conversion" `Quick test_of_spec_and_utilisation;
+    Testutil.qtest ~count:20 "guest RTA bounds simulated responses"
+      QCheck2.Gen.(triple (1 -- 4) (0 -- 2_000) (0 -- 1_000))
+      prop_guest_rta_bounds_simulation;
+  ]

@@ -1,0 +1,128 @@
+module Cpu = Rthv_hw.Cpu
+module Ctx_cost = Rthv_hw.Ctx_cost
+module Intc = Rthv_hw.Intc
+module Timer = Rthv_hw.Timer
+module Platform = Rthv_hw.Platform
+module Simulator = Rthv_engine.Simulator
+
+let test_cpu_costs () =
+  Testutil.check_cycles "1 instr = 1 cycle on ARM9" 128
+    (Cpu.instr_cost Cpu.arm926ejs 128);
+  Testutil.close "us conversion" 0.64
+    (Cpu.us_of_cycles Cpu.arm926ejs 128)
+
+let test_ctx_cost () =
+  Testutil.check_cycles "paper context switch = 10000 cycles" 10_000
+    (Ctx_cost.cost ~cpu:Cpu.arm926ejs Ctx_cost.arm926ejs_default);
+  Testutil.check_cycles "zero model" 0
+    (Ctx_cost.cost ~cpu:Cpu.arm926ejs Ctx_cost.zero);
+  let half = Ctx_cost.scaled Ctx_cost.arm926ejs_default 0.5 in
+  Testutil.check_cycles "scaling" 5_000 (Ctx_cost.cost ~cpu:Cpu.arm926ejs half)
+
+let test_platform_costs () =
+  let p = Platform.arm926ejs_200mhz in
+  Testutil.check_cycles "C_Mon = 128 instr" 128 (Platform.monitor_cost p);
+  Testutil.check_cycles "C_sched = 877 instr" 877 (Platform.sched_manip_cost p);
+  Testutil.check_cycles "C_ctx = 50us" (Testutil.us 50) (Platform.ctx_switch_cost p);
+  Testutil.check_cycles "ideal platform is free" 0
+    (Platform.ctx_switch_cost Platform.ideal)
+
+let test_intc_delivery () =
+  let intc = Intc.create ~lines:4 in
+  let delivered = ref [] in
+  Intc.set_handler intc (fun line -> delivered := line :: !delivered);
+  Intc.raise_line intc 2;
+  Alcotest.(check (list int)) "delivered" [ 2 ] !delivered;
+  Alcotest.(check bool) "pending until ack" true (Intc.is_pending intc 2);
+  Intc.ack intc 2;
+  Alcotest.(check bool) "acked" false (Intc.is_pending intc 2)
+
+let test_intc_non_counting () =
+  let intc = Intc.create ~lines:2 in
+  let count = ref 0 in
+  Intc.set_handler intc (fun _ -> incr count);
+  Intc.raise_line intc 0;
+  Intc.raise_line intc 0;
+  Intc.raise_line intc 0;
+  Alcotest.(check int) "coalesced to one delivery" 1 !count;
+  let stats = Intc.stats intc in
+  Alcotest.(check int) "raised counted" 3 stats.Intc.raised;
+  Alcotest.(check int) "coalesced counted" 2 stats.Intc.coalesced;
+  Intc.ack intc 0;
+  Intc.raise_line intc 0;
+  Alcotest.(check int) "delivers again after ack" 2 !count
+
+let test_intc_masking () =
+  let intc = Intc.create ~lines:2 in
+  let count = ref 0 in
+  Intc.set_handler intc (fun _ -> incr count);
+  Intc.mask intc 1;
+  Intc.raise_line intc 1;
+  Alcotest.(check int) "masked line not delivered" 0 !count;
+  Alcotest.(check bool) "pending while masked" true (Intc.is_pending intc 1);
+  Intc.unmask intc 1;
+  Alcotest.(check int) "delivered on unmask" 1 !count
+
+let test_intc_bad_line () =
+  let intc = Intc.create ~lines:2 in
+  Alcotest.check_raises "line range checked"
+    (Invalid_argument "Intc: line 2 out of range") (fun () ->
+      Intc.raise_line intc 2)
+
+let test_timer_fire_and_reprogram () =
+  let sim = Simulator.create () in
+  let intc = Intc.create ~lines:1 in
+  let fired = ref [] in
+  Intc.set_handler intc (fun _ -> fired := Simulator.now sim :: !fired);
+  let timer = Timer.create ~sim ~intc ~line:0 in
+  Timer.program timer ~delay:100;
+  Alcotest.(check bool) "armed" true (Timer.is_armed timer);
+  Alcotest.(check (option int)) "deadline" (Some 100) (Timer.deadline timer);
+  (* Reprogram before expiry: one-shot semantics replace the deadline. *)
+  Timer.program timer ~delay:200;
+  Simulator.run sim;
+  Alcotest.(check (list int)) "fired once at new deadline" [ 200 ] !fired;
+  Alcotest.(check bool) "disarmed after fire" false (Timer.is_armed timer)
+
+let test_timer_cancel () =
+  let sim = Simulator.create () in
+  let intc = Intc.create ~lines:1 in
+  let fired = ref 0 in
+  Intc.set_handler intc (fun _ -> incr fired);
+  let timer = Timer.create ~sim ~intc ~line:0 in
+  Timer.program timer ~delay:50;
+  Timer.cancel timer;
+  Simulator.run sim;
+  Alcotest.(check int) "cancelled timer does not fire" 0 !fired
+
+let test_timer_chain () =
+  (* Reprogramming from inside the handler, as the paper's experiment does. *)
+  let sim = Simulator.create () in
+  let intc = Intc.create ~lines:1 in
+  let timer = ref None in
+  let fired = ref [] in
+  Intc.set_handler intc (fun line ->
+      Intc.ack intc line;
+      fired := Simulator.now sim :: !fired;
+      if List.length !fired < 3 then
+        Timer.program (Option.get !timer) ~delay:100);
+  timer := Some (Timer.create ~sim ~intc ~line:0);
+  Timer.program (Option.get !timer) ~delay:100;
+  Simulator.run sim;
+  Alcotest.(check (list int)) "chained periodic firing" [ 100; 200; 300 ]
+    (List.rev !fired)
+
+let suite =
+  [
+    Alcotest.test_case "cpu cost model" `Quick test_cpu_costs;
+    Alcotest.test_case "context-switch cost model" `Quick test_ctx_cost;
+    Alcotest.test_case "platform presets" `Quick test_platform_costs;
+    Alcotest.test_case "intc delivery and ack" `Quick test_intc_delivery;
+    Alcotest.test_case "intc non-counting flags" `Quick test_intc_non_counting;
+    Alcotest.test_case "intc masking" `Quick test_intc_masking;
+    Alcotest.test_case "intc line validation" `Quick test_intc_bad_line;
+    Alcotest.test_case "timer one-shot and reprogram" `Quick
+      test_timer_fire_and_reprogram;
+    Alcotest.test_case "timer cancel" `Quick test_timer_cancel;
+    Alcotest.test_case "timer handler chain" `Quick test_timer_chain;
+  ]

@@ -1,0 +1,94 @@
+module Independence = Rthv_analysis.Independence
+module DF = Rthv_analysis.Distance_fn
+
+let us = Testutil.us
+
+let test_isolated () =
+  Testutil.check_cycles "isolation means zero interference" 0
+    (Independence.isolated (us 1_000_000))
+
+let test_equation_14 () =
+  (* I(dt) = ceil(dt/d_min) * C'_BH for the l=1 monitor. *)
+  let curve = Independence.d_min_bound ~d_min:(us 1000) ~c_bh_eff:(us 154) in
+  Testutil.check_cycles "one admission window" (us 154) (curve (us 1000));
+  Testutil.check_cycles "two admission windows" (us 308) (curve (us 1001));
+  Testutil.check_cycles "six windows in 6ms" (us (6 * 154)) (curve (us 6000));
+  Testutil.check_cycles "empty window" 0 (curve 0)
+
+let test_general_monitor_bound () =
+  (* l = 2 monitor: consecutive >= 100us, triples >= 1000us. *)
+  let monitor = DF.of_entries [| us 100; us 1000 |] in
+  let curve = Independence.interposed_bound ~monitor ~c_bh_eff:(us 10) in
+  (* In 1000us: delta(3) = 1000 not < 1000 -> at most 2 events. *)
+  Testutil.check_cycles "burst pair" (us 20) (curve (us 1000));
+  Testutil.check_cycles "third event needs a longer window" (us 30)
+    (curve (us 1001))
+
+let test_sum () =
+  let a = Independence.d_min_bound ~d_min:(us 100) ~c_bh_eff:(us 5) in
+  let b = Independence.d_min_bound ~d_min:(us 200) ~c_bh_eff:(us 7) in
+  Testutil.check_cycles "sum of curves" (us 12)
+    (Independence.sum [ a; b ] (us 100))
+
+let test_is_sufficient () =
+  let interference =
+    Independence.d_min_bound ~d_min:(us 1000) ~c_bh_eff:(us 100)
+  in
+  (* Budget: 20 % of any window. *)
+  let generous dt = dt / 5 in
+  let stingy dt = dt / 20 in
+  let windows = List.map us [ 1000; 5000; 14_000; 100_000 ] in
+  Alcotest.(check bool) "within generous budget" true
+    (Independence.is_sufficient ~interference ~budget:generous ~windows);
+  Alcotest.(check bool) "exceeds stingy budget" false
+    (Independence.is_sufficient ~interference ~budget:stingy ~windows)
+
+let test_utilisation_loss () =
+  let monitor = DF.d_min (us 1000) in
+  Testutil.close "10 % of the processor" 0.1
+    (Independence.utilisation_loss ~monitor ~c_bh_eff:(us 100))
+
+let test_max_slot_loss () =
+  let monitor = DF.d_min (us 1000) in
+  (* 6 admissions in a 6000us slot plus one carry-in. *)
+  Testutil.check_cycles "slot loss bound" (us (6 * 154 + 154))
+    (Independence.max_slot_loss ~monitor ~c_bh_eff:(us 154) ~slot:(us 6000))
+
+let test_required_d_min () =
+  let d = Independence.required_d_min ~c_bh_eff:(us 154) ~max_utilisation:0.1 in
+  Testutil.check_cycles "d_min for 10 %" (us 1540) d;
+  Alcotest.(check bool) "resulting loss within budget" true
+    (Independence.utilisation_loss ~monitor:(DF.d_min d) ~c_bh_eff:(us 154)
+     <= 0.1 +. 1e-9);
+  Alcotest.check_raises "bad utilisation"
+    (Invalid_argument "Independence.required_d_min: max_utilisation <= 0")
+    (fun () ->
+      ignore
+        (Independence.required_d_min ~c_bh_eff:1 ~max_utilisation:0.
+          : Rthv_engine.Cycles.t))
+
+let prop_bound_monotone (d_min, c) =
+  let curve = Independence.d_min_bound ~d_min ~c_bh_eff:c in
+  let ok = ref true in
+  let prev = ref 0 in
+  for k = 0 to 30 do
+    let v = curve (k * 997) in
+    if v < !prev then ok := false;
+    prev := v
+  done;
+  !ok
+
+let suite =
+  [
+    Alcotest.test_case "equation (1): isolation" `Quick test_isolated;
+    Alcotest.test_case "equation (14): d_min bound" `Quick test_equation_14;
+    Alcotest.test_case "general monitor bound" `Quick test_general_monitor_bound;
+    Alcotest.test_case "summing interferers" `Quick test_sum;
+    Alcotest.test_case "equation (2): sufficiency check" `Quick test_is_sufficient;
+    Alcotest.test_case "utilisation loss" `Quick test_utilisation_loss;
+    Alcotest.test_case "per-slot loss bound" `Quick test_max_slot_loss;
+    Alcotest.test_case "d_min sizing" `Quick test_required_d_min;
+    Testutil.qtest "interference bound monotone"
+      QCheck2.Gen.(pair (1 -- 1_000_000) (0 -- 100_000))
+      prop_bound_monotone;
+  ]

@@ -1,0 +1,134 @@
+module Ipc = Rthv_rtos.Ipc
+module Task = Rthv_rtos.Task
+module Guest = Rthv_rtos.Guest
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+
+let us = Testutil.us
+
+let test_declare_and_find () =
+  let registry = Ipc.create () in
+  let port = Ipc.declare registry ~name:"nav_data" ~capacity:4 in
+  Alcotest.(check string) "name" "nav_data" (Ipc.port_name port);
+  Alcotest.(check bool) "find returns the same port" true
+    (Ipc.find registry "nav_data" == port);
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Ipc.declare: duplicate port \"nav_data\"") (fun () ->
+      ignore (Ipc.declare registry ~name:"nav_data" ~capacity:1 : Ipc.port));
+  Alcotest.check_raises "capacity checked"
+    (Invalid_argument "Ipc.declare: capacity must be positive") (fun () ->
+      ignore (Ipc.declare registry ~name:"x" ~capacity:0 : Ipc.port))
+
+let test_send_receive_latency () =
+  let registry = Ipc.create () in
+  let port = Ipc.declare registry ~name:"p" ~capacity:8 in
+  Alcotest.(check bool) "send ok" true (Ipc.send port ~now:(us 100) ~sender:"a");
+  Alcotest.(check bool) "send ok" true (Ipc.send port ~now:(us 250) ~sender:"a");
+  Alcotest.(check int) "depth" 2 (Ipc.depth port);
+  let received = Ipc.receive_all port ~now:(us 1_000) in
+  Alcotest.(check int) "all drained" 2 (List.length received);
+  Alcotest.(check int) "empty after drain" 0 (Ipc.depth port);
+  (match received with
+  | [ first; second ] ->
+      Alcotest.(check int) "fifo sequence" 0 first.Ipc.sequence;
+      Alcotest.(check int) "fifo sequence" 1 second.Ipc.sequence
+  | _ -> Alcotest.fail "two messages expected");
+  Alcotest.(check (list (float 0.01))) "end-to-end latencies"
+    [ 900.; 750. ]
+    (Ipc.latencies_us port)
+
+let test_overflow_drops () =
+  let registry = Ipc.create () in
+  let port = Ipc.declare registry ~name:"p" ~capacity:2 in
+  Alcotest.(check bool) "1" true (Ipc.send port ~now:0 ~sender:"s");
+  Alcotest.(check bool) "2" true (Ipc.send port ~now:0 ~sender:"s");
+  Alcotest.(check bool) "3 dropped" false (Ipc.send port ~now:0 ~sender:"s");
+  Alcotest.(check int) "drop counted" 1 (Ipc.dropped_count port);
+  Alcotest.(check int) "accepted counted" 2 (Ipc.sent_count port)
+
+let test_guest_requires_registry () =
+  let task = Task.spec ~name:"t" ~period_us:100 ~wcet_us:10 ~produces:"p" () in
+  match Guest.create ~tasks:[ task ] ~name:"g" () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_config_validates_ports () =
+  let task = Task.spec ~name:"t" ~period_us:100 ~wcet_us:10 ~produces:"nope" () in
+  let config =
+    Config.make
+      ~partitions:[ Config.partition ~name:"P" ~slot_us:100 ~tasks:[ task ] () ]
+      ~sources:[] ()
+  in
+  (match Config.validate config with
+  | Error msg ->
+      Alcotest.(check string) "undeclared port reported"
+        "undeclared port \"nope\"" msg
+  | Ok () -> Alcotest.fail "expected validation error");
+  let dup =
+    Config.make ~ports:[ ("a", 1); ("a", 2) ]
+      ~partitions:[ Config.partition ~name:"P" ~slot_us:100 () ]
+      ~sources:[] ()
+  in
+  match Config.validate dup with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate port accepted"
+
+(* End-to-end: a 10ms producer in partition 0 and a 10ms consumer in
+   partition 1 under the paper's TDMA.  Message latency is dominated by the
+   phase between the producer's completion and the consumer's next
+   completion — bounded by consumer period + TDMA effects. *)
+let test_cross_partition_pipeline () =
+  let producer =
+    Task.spec ~name:"sensor" ~period_us:10_000 ~wcet_us:300 ~produces:"meas" ()
+  in
+  let consumer =
+    Task.spec ~name:"fusion" ~period_us:10_000 ~wcet_us:500 ~consumes:"meas" ()
+  in
+  let config =
+    Config.make
+      ~ports:[ ("meas", 16) ]
+      ~partitions:
+        [
+          Config.partition ~name:"P1" ~slot_us:6_000 ~tasks:[ producer ] ();
+          Config.partition ~name:"P2" ~slot_us:6_000 ~tasks:[ consumer ] ();
+          Config.partition ~name:"HK" ~slot_us:2_000 ();
+        ]
+      ~sources:
+        [
+          (* A single far-future-free IRQ source to drive the sim clock long
+             enough for ~50 task periods. *)
+          Config.source ~name:"tick" ~line:0 ~subscriber:2 ~c_th_us:5
+            ~c_bh_us:10
+            ~interarrivals:(Array.make 50 (Testutil.us 10_000))
+            ();
+        ]
+      ()
+  in
+  let sim = Hyp_sim.create config in
+  Hyp_sim.run sim;
+  let port = Hyp_sim.port sim "meas" in
+  Alcotest.(check bool) "messages flowed" true (Ipc.received_count port > 30);
+  Alcotest.(check int) "nothing dropped" 0 (Ipc.dropped_count port);
+  let latencies = Ipc.latencies_us port in
+  List.iter
+    (fun l ->
+      if l < 0. then Alcotest.fail "negative latency";
+      (* One consumer period plus a full TDMA cycle bounds the pipeline. *)
+      if l > 24_000. then Alcotest.failf "pipeline latency %.0fus too large" l)
+    latencies;
+  (* The consumer eventually receives everything the producer sent (minus
+     what is still in flight at the end). *)
+  Alcotest.(check bool) "conservation" true
+    (Ipc.sent_count port - Ipc.received_count port <= 2)
+
+let suite =
+  [
+    Alcotest.test_case "declare and find" `Quick test_declare_and_find;
+    Alcotest.test_case "send/receive latency" `Quick test_send_receive_latency;
+    Alcotest.test_case "overflow drops" `Quick test_overflow_drops;
+    Alcotest.test_case "guest requires a registry" `Quick
+      test_guest_requires_registry;
+    Alcotest.test_case "config validates ports" `Quick test_config_validates_ports;
+    Alcotest.test_case "cross-partition pipeline" `Quick
+      test_cross_partition_pipeline;
+  ]

@@ -1,0 +1,159 @@
+module IL = Rthv_analysis.Irq_latency
+module AC = Rthv_analysis.Arrival_curve
+module BW = Rthv_analysis.Busy_window
+module TI = Rthv_analysis.Tdma_interference
+module Platform = Rthv_hw.Platform
+
+let us = Testutil.us
+
+let costs = IL.costs_of_platform Platform.arm926ejs_200mhz
+
+let paper_tdma = TI.make ~cycle:(us 14_000) ~slot:(us 6_000)
+
+let source ~d_min_us =
+  {
+    IL.name = "irq";
+    arrival = AC.sporadic ~d_min_us;
+    c_th = us 5;
+    c_bh = us 50;
+  }
+
+let test_costs_of_platform () =
+  Testutil.check_cycles "C_Mon" 128 costs.IL.c_mon;
+  Testutil.check_cycles "C_sched" 877 costs.IL.c_sched;
+  Testutil.check_cycles "C_ctx" (us 50) costs.IL.c_ctx
+
+let test_effective_wcets () =
+  let src = source ~d_min_us:1000 in
+  (* Equation (6). *)
+  Testutil.check_cycles "C_i = C_TH + C_BH" (us 55) (IL.total_wcet src);
+  (* Equation (13): C'_BH = 50us + 877cyc + 2*50us. *)
+  Testutil.check_cycles "C'_BH" ((us 150) + 877) (IL.effective_bh costs src);
+  (* Equation (15): C'_TH = 5us + 128cyc. *)
+  Testutil.check_cycles "C'_TH" ((us 5) + 128) (IL.effective_th costs src)
+
+let response result =
+  match result with
+  | Ok r -> r.BW.response_time
+  | Error msg -> Alcotest.fail msg
+
+let test_baseline_dominated_by_tdma () =
+  let src = source ~d_min_us:15_000 in
+  let r = response (IL.baseline ~tdma:paper_tdma ~self:src ~interferers:[] ()) in
+  (* One activation: W(1) = C_BH + eta(W)*C_TH + ceil(W/T)(T - Ti).
+     W = 50 + 5 + 8000 = 8055us exactly (one TDMA gap, one top handler). *)
+  Testutil.check_cycles "baseline R" (us 8_055) r;
+  Alcotest.(check bool) "dominated by T - Ti" true
+    (r >= IL.baseline_dominant_term ~tdma:paper_tdma)
+
+let test_baseline_monitored_adds_cmon () =
+  let src = source ~d_min_us:15_000 in
+  let plain =
+    response (IL.baseline ~tdma:paper_tdma ~self:src ~interferers:[] ())
+  in
+  let monitored =
+    response
+      (IL.baseline ~tdma:paper_tdma ~self:src ~interferers:[]
+         ~monitoring:costs ())
+  in
+  Testutil.check_cycles "case 2 adds exactly C_Mon per top handler"
+    (plain + 128) monitored
+
+let test_interposed_drops_tdma () =
+  let src = source ~d_min_us:15_000 in
+  let r = response (IL.interposed ~costs ~self:src ~interferers:[] ()) in
+  (* W(1) = C'_BH + C'_TH: no TDMA term at all. *)
+  Testutil.check_cycles "equation (16) single activation"
+    (IL.effective_bh costs src + IL.effective_th costs src)
+    r;
+  Alcotest.(check bool) "well below the TDMA gap" true
+    (r < IL.baseline_dominant_term ~tdma:paper_tdma)
+
+let test_interposed_with_interferers () =
+  let src = source ~d_min_us:15_000 in
+  let noisy =
+    {
+      IL.name = "noisy";
+      arrival = AC.sporadic ~d_min_us:100;
+      c_th = us 2;
+      c_bh = us 10;
+    }
+  in
+  let alone = response (IL.interposed ~costs ~self:src ~interferers:[] ()) in
+  let crowded =
+    response (IL.interposed ~costs ~self:src ~interferers:[ noisy ] ())
+  in
+  Alcotest.(check bool) "interferers only add top handlers" true
+    (crowded > alone);
+  (* The interferer contributes eta_j(W) * C_TH_j = ceil(W/100us) * 2us;
+     solves to a small addition, far below its bottom-handler cost. *)
+  Alcotest.(check bool) "interference is top-handler-sized" true
+    (crowded - alone < us 50)
+
+let test_tight_dmin_queues_activations () =
+  (* d_min barely above C'_BH + C'_TH (~160us of demand per activation):
+     heavily loaded but schedulable, and the analysis still converges. *)
+  let src = source ~d_min_us:175 in
+  match IL.interposed ~costs ~self:src ~interferers:[] () with
+  | Ok r ->
+      Alcotest.(check bool) "multi-activation busy period" true (r.BW.q_max >= 1);
+      Alcotest.(check bool) "R at least single-job cost" true
+        (r.BW.response_time >= IL.effective_bh costs src)
+  | Error msg -> Alcotest.fail msg
+
+let test_overload_detected () =
+  (* d_min below C'_BH: interposed load > 100 %, must be reported. *)
+  let src = source ~d_min_us:100 in
+  match IL.interposed ~costs ~self:src ~interferers:[] () with
+  | Error _ -> ()
+  | Ok r ->
+      Alcotest.failf "expected overload, got R=%a" Rthv_engine.Cycles.pp
+        r.BW.response_time
+
+let prop_interposed_beats_baseline d_min_us =
+  (* Whenever both analyses converge, the interposed worst case must beat the
+     TDMA-dominated baseline (the paper's headline claim). *)
+  let src = source ~d_min_us in
+  match
+    ( IL.baseline ~tdma:paper_tdma ~self:src ~interferers:[] (),
+      IL.interposed ~costs ~self:src ~interferers:[] () )
+  with
+  | Ok b, Ok i -> i.BW.response_time < b.BW.response_time
+  | _ -> true
+
+let prop_monitoring_overhead_bounded d_min_us =
+  (* Case 2 exceeds the unmonitored baseline by at most C_Mon per top-handler
+     execution in the busy window. *)
+  let src = source ~d_min_us in
+  match
+    ( IL.baseline ~tdma:paper_tdma ~self:src ~interferers:[] (),
+      IL.baseline ~tdma:paper_tdma ~self:src ~interferers:[] ~monitoring:costs
+        () )
+  with
+  | Ok plain, Ok monitored ->
+      monitored.BW.response_time >= plain.BW.response_time
+  | _ -> true
+
+let suite =
+  [
+    Alcotest.test_case "platform costs" `Quick test_costs_of_platform;
+    Alcotest.test_case "equations (6), (13), (15)" `Quick test_effective_wcets;
+    Alcotest.test_case "baseline dominated by TDMA (eq. 11-12)" `Quick
+      test_baseline_dominated_by_tdma;
+    Alcotest.test_case "case 2 adds monitor overhead" `Quick
+      test_baseline_monitored_adds_cmon;
+    Alcotest.test_case "interposed drops the TDMA term (eq. 16)" `Quick
+      test_interposed_drops_tdma;
+    Alcotest.test_case "interposed with interferers" `Quick
+      test_interposed_with_interferers;
+    Alcotest.test_case "tight d_min still converges" `Quick
+      test_tight_dmin_queues_activations;
+    Alcotest.test_case "interposed overload detected" `Quick
+      test_overload_detected;
+    Testutil.qtest "interposed < baseline (headline claim)"
+      QCheck2.Gen.(200 -- 50_000)
+      prop_interposed_beats_baseline;
+    Testutil.qtest "monitoring overhead non-negative"
+      QCheck2.Gen.(200 -- 50_000)
+      prop_monitoring_overhead_bounded;
+  ]

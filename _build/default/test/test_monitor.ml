@@ -1,0 +1,214 @@
+module Monitor = Rthv_core.Monitor
+module Delta_learner = Rthv_core.Delta_learner
+module DF = Rthv_analysis.Distance_fn
+
+let us = Testutil.us
+
+let test_d_min_admission () =
+  let m = Monitor.d_min (us 100) in
+  Alcotest.(check bool) "first always admitted" true (Monitor.check m (us 0));
+  Monitor.admit m (us 0);
+  Alcotest.(check bool) "too close refused" false (Monitor.check m (us 99));
+  Alcotest.(check bool) "exact distance admitted" true
+    (Monitor.check m (us 100));
+  Monitor.admit m (us 100);
+  Alcotest.(check int) "admitted count" 2 (Monitor.admitted_count m)
+
+let test_denied_does_not_consume_history () =
+  (* A refused activation must not shift the history: the shaper only
+     records admitted events, so later conforming events still pass. *)
+  let m = Monitor.d_min (us 100) in
+  Monitor.admit m (us 0);
+  Alcotest.(check bool) "violation refused" false (Monitor.check m (us 50));
+  Alcotest.(check bool) "conforming event unaffected by the refusal" true
+    (Monitor.check m (us 100))
+
+let test_admit_guards () =
+  let m = Monitor.d_min (us 100) in
+  Monitor.admit m (us 0);
+  Alcotest.check_raises "admitting a violation is a programming error"
+    (Invalid_argument "Monitor.admit: activation violates the monitoring condition")
+    (fun () -> Monitor.admit m (us 10))
+
+let test_l2_monitor () =
+  (* Pairs may be 10us apart but triples need 1000us. *)
+  let m = Monitor.fixed (DF.of_entries [| us 10; us 1000 |]) in
+  Monitor.admit m (us 0);
+  Alcotest.(check bool) "second of pair ok" true (Monitor.check m (us 10));
+  Monitor.admit m (us 10);
+  Alcotest.(check bool) "third too early (delta(3))" false
+    (Monitor.check m (us 20));
+  Alcotest.(check bool) "third after the long gap" true
+    (Monitor.check m (us 1000));
+  Monitor.admit m (us 1000)
+
+let test_checked_counter () =
+  let m = Monitor.d_min (us 100) in
+  ignore (Monitor.check m 0 : bool);
+  ignore (Monitor.check m 1 : bool);
+  Alcotest.(check int) "checks counted" 2 (Monitor.checked_count m);
+  Monitor.admit m (us 200);
+  Alcotest.(check int) "admit does not inflate the check counter" 2
+    (Monitor.checked_count m)
+
+let test_self_learning_phases () =
+  let m = Monitor.self_learning ~l:2 ~learn_events:3 () in
+  (match Monitor.phase m with
+  | Monitor.Learning 3 -> ()
+  | _ -> Alcotest.fail "expected learning phase");
+  Alcotest.(check bool) "no admission while learning" false
+    (Monitor.check m (us 999_999));
+  Monitor.note_arrival m (us 0);
+  Monitor.note_arrival m (us 100);
+  Alcotest.(check bool) "still learning" false (Monitor.check m (us 1_000_000));
+  Monitor.note_arrival m (us 250);
+  (match Monitor.phase m with
+  | Monitor.Running -> ()
+  | _ -> Alcotest.fail "expected running phase");
+  (* Learned: delta(2) = 100us, delta(3) = 250us. *)
+  (match Monitor.condition m with
+  | Some fn ->
+      Testutil.check_cycles "learned delta(2)" (us 100) (DF.entries fn).(0);
+      Testutil.check_cycles "learned delta(3)" (us 250) (DF.entries fn).(1)
+  | None -> Alcotest.fail "condition must exist after learning");
+  Alcotest.(check bool) "run phase admits conforming" true
+    (Monitor.check m (us 10_000))
+
+let test_self_learning_bound () =
+  (* Algorithm 2: the bound caps the admitted load. *)
+  let bound = DF.of_entries [| us 500; us 1000 |] in
+  let m = Monitor.self_learning ~l:2 ~learn_events:3 ~bound () in
+  Monitor.note_arrival m (us 0);
+  Monitor.note_arrival m (us 100);
+  Monitor.note_arrival m (us 200);
+  match Monitor.condition m with
+  | Some fn ->
+      (* Learned 100/200 but bound lifts to 500/1000. *)
+      Testutil.check_cycles "bounded delta(2)" (us 500) (DF.entries fn).(0);
+      Testutil.check_cycles "bounded delta(3)" (us 1000) (DF.entries fn).(1)
+  | None -> Alcotest.fail "condition must exist"
+
+let test_note_arrival_noop_when_running () =
+  let m = Monitor.d_min (us 100) in
+  Monitor.note_arrival m (us 0);
+  Monitor.note_arrival m (us 1);
+  match Monitor.phase m with
+  | Monitor.Running -> ()
+  | _ -> Alcotest.fail "fixed monitors always run"
+
+let test_learner_matches_of_trace () =
+  let timestamps = List.map us [ 0; 13; 57; 200; 201; 480; 481; 482 ] in
+  let learner = Delta_learner.create ~l:4 in
+  List.iter (Delta_learner.observe learner) timestamps;
+  Alcotest.(check bool) "incremental learner agrees with batch of_trace" true
+    (DF.equal (Delta_learner.learned learner) (DF.of_trace ~l:4 timestamps))
+
+let test_learner_observed_count () =
+  let learner = Delta_learner.create ~l:2 in
+  Alcotest.(check int) "fresh" 0 (Delta_learner.observed learner);
+  Delta_learner.observe learner 5;
+  Delta_learner.observe learner 10;
+  Alcotest.(check int) "counts" 2 (Delta_learner.observed learner);
+  Alcotest.(check int) "l" 2 (Delta_learner.l learner)
+
+(* Property: the stream of admitted activations always conforms to the
+   monitoring condition — the safety property behind equation (14). *)
+let prop_admitted_stream_conforms (d_min, offsets) =
+  let m = Monitor.d_min d_min in
+  let admitted = ref [] in
+  let t = ref 0 in
+  List.iter
+    (fun gap ->
+      t := !t + gap;
+      if Monitor.check m !t then begin
+        Monitor.admit m !t;
+        admitted := !t :: !admitted
+      end)
+    offsets;
+  DF.conforms (DF.d_min d_min) (List.rev !admitted)
+
+let prop_admitted_stream_conforms_l entries_and_gaps =
+  let entries, gaps = entries_and_gaps in
+  let fn = DF.of_entries (Array.of_list entries) in
+  let m = Monitor.fixed fn in
+  let admitted = ref [] in
+  let t = ref 0 in
+  List.iter
+    (fun gap ->
+      t := !t + gap;
+      if Monitor.check m !t then begin
+        Monitor.admit m !t;
+        admitted := !t :: !admitted
+      end)
+    gaps;
+  DF.conforms fn (List.rev !admitted)
+
+let suite =
+  [
+    Alcotest.test_case "d_min admission" `Quick test_d_min_admission;
+    Alcotest.test_case "refusals keep history intact" `Quick
+      test_denied_does_not_consume_history;
+    Alcotest.test_case "admit guards" `Quick test_admit_guards;
+    Alcotest.test_case "l=2 monitor" `Quick test_l2_monitor;
+    Alcotest.test_case "check counter" `Quick test_checked_counter;
+    Alcotest.test_case "self-learning phases (Algorithm 1)" `Quick
+      test_self_learning_phases;
+    Alcotest.test_case "learning bound (Algorithm 2)" `Quick
+      test_self_learning_bound;
+    Alcotest.test_case "fixed monitor runs immediately" `Quick
+      test_note_arrival_noop_when_running;
+    Alcotest.test_case "incremental = batch learning" `Quick
+      test_learner_matches_of_trace;
+    Alcotest.test_case "learner counters" `Quick test_learner_observed_count;
+    Testutil.qtest "admitted stream conforms (l=1)"
+      QCheck2.Gen.(pair (1 -- 10_000) (list_size (0 -- 200) (0 -- 20_000)))
+      prop_admitted_stream_conforms;
+    Testutil.qtest "admitted stream conforms (l<=4)"
+      QCheck2.Gen.(
+        pair (list_size (1 -- 4) (0 -- 10_000)) (list_size (0 -- 200) (0 -- 20_000)))
+      prop_admitted_stream_conforms_l;
+  ]
+
+(* Appendix-A safety: with a bound delta^-_bIp, the run-phase admitted
+   stream conforms to the BOUND, whatever the learning phase saw. *)
+let prop_bounded_learning_admissions_conform (bound_entries, trace_gaps, run_gaps) =
+  let l = List.length bound_entries in
+  if l = 0 then true
+  else begin
+    let bound = DF.of_entries (Array.of_list bound_entries) in
+    let learn_events = List.length trace_gaps in
+    let m = Monitor.self_learning ~l ~learn_events ~bound () in
+    let t = ref 0 in
+    List.iter
+      (fun gap ->
+        t := !t + gap;
+        Monitor.note_arrival m !t)
+      trace_gaps;
+    let admitted = ref [] in
+    List.iter
+      (fun gap ->
+        t := !t + gap;
+        if Monitor.check m !t then begin
+          Monitor.admit m !t;
+          admitted := !t :: !admitted
+        end)
+      run_gaps;
+    (match Monitor.phase m with
+    | Monitor.Running -> ()
+    | Monitor.Learning _ when learn_events > 0 ->
+        QCheck2.Test.fail_report "monitor failed to finish learning"
+    | Monitor.Learning _ -> ());
+    DF.conforms bound (List.rev !admitted)
+  end
+
+let suite =
+  suite
+  @ [
+      Testutil.qtest "bounded self-learning admissions conform to the bound"
+        QCheck2.Gen.(
+          triple
+            (list_size (1 -- 4) (0 -- 5_000))
+            (list_size (1 -- 50) (0 -- 2_000))
+            (list_size (0 -- 150) (0 -- 8_000)))
+        prop_bounded_learning_admissions_conform;
+    ]

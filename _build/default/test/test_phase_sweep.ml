@@ -1,0 +1,71 @@
+module PS = Rthv_experiments.Phase_sweep
+module Irq_record = Rthv_core.Irq_record
+module Cycles = Rthv_engine.Cycles
+
+let us = Testutil.us
+
+let unmonitored = lazy (PS.run ~samples:56 ~monitored:false ())
+let monitored = lazy (PS.run ~samples:56 ~monitored:true ())
+
+(* The subscriber is partition 1: its slot spans [6000, 12000) us. *)
+let in_subscriber_slot phase = phase >= us 6_000 && phase < us 12_000
+
+let test_unmonitored_sawtooth () =
+  let r = Lazy.force unmonitored in
+  List.iter
+    (fun s ->
+      if in_subscriber_slot s.PS.phase then begin
+        if s.PS.classification <> Irq_record.Direct then
+          Alcotest.failf "phase %a should be direct" Cycles.pp s.PS.phase
+      end
+      else if s.PS.classification <> Irq_record.Delayed then
+        Alcotest.failf "phase %a should be delayed" Cycles.pp s.PS.phase)
+    r.PS.samples;
+  (* Latency just after the subscriber's slot end is near the full gap;
+     just before the next slot start it is near zero + slot entry. *)
+  let latency_at phase =
+    match List.find_opt (fun s -> s.PS.phase = phase) r.PS.samples with
+    | Some s -> s.PS.latency_us
+    | None -> Alcotest.failf "no sample at %a" Cycles.pp phase
+  in
+  Alcotest.(check bool) "just after slot end: ~8000us" true
+    (latency_at (us 12_000) > 7_500.);
+  Alcotest.(check bool) "late in the foreign stretch: shorter" true
+    (latency_at (us 5_750) < 700.);
+  Alcotest.(check bool) "worst near the TDMA gap" true (r.PS.worst_us > 7_900.)
+
+let test_monitored_flat () =
+  let r = Lazy.force monitored in
+  (* Everything outside the subscriber's slot is interposed with a constant
+     cost; nothing is delayed. *)
+  List.iter
+    (fun s ->
+      if s.PS.classification = Irq_record.Delayed then
+        Alcotest.failf "monitored probe delayed at %a" Cycles.pp s.PS.phase)
+    r.PS.samples;
+  Alcotest.(check bool) "flat profile: worst ~ interposed cost" true
+    (r.PS.worst_us < 200.);
+  Alcotest.(check bool) "mean far below the unmonitored mean" true
+    (r.PS.mean_us *. 10. < (Lazy.force unmonitored).PS.mean_us)
+
+let test_sample_count_and_order () =
+  let r = Lazy.force unmonitored in
+  Alcotest.(check int) "sample count" 56 (List.length r.PS.samples);
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a.PS.phase < b.PS.phase && ascending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "phases ascending" true (ascending r.PS.samples)
+
+let test_validation () =
+  Alcotest.check_raises "sample count checked"
+    (Invalid_argument "Phase_sweep.run: need >= 2 samples") (fun () ->
+      ignore (PS.run ~samples:1 ~monitored:false () : PS.result))
+
+let suite =
+  [
+    Alcotest.test_case "unmonitored sawtooth" `Slow test_unmonitored_sawtooth;
+    Alcotest.test_case "monitored flat profile" `Slow test_monitored_flat;
+    Alcotest.test_case "sampling structure" `Slow test_sample_count_and_order;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,97 @@
+module Prng = Rthv_engine.Prng
+
+let test_determinism () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Prng.bits64 a)
+      (Prng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:8 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.bits64 a) (Prng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_copy_is_independent () =
+  let a = Prng.create ~seed:3 in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues from same state" (Prng.bits64 a)
+    (Prng.bits64 b);
+  (* Advancing [a] must not advance [b]: a's third draw differs from b's
+     second (which equals a's already-consumed second). *)
+  ignore (Prng.bits64 a : int64);
+  let a3 = Prng.bits64 a in
+  let b2 = Prng.bits64 b in
+  Alcotest.(check bool) "advancing one does not advance the other" false
+    (Int64.equal a3 b2)
+
+let test_float_range () =
+  let rng = Prng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let f = Prng.float rng in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of [0,1): %g" f
+  done
+
+let test_int_range () =
+  let rng = Prng.create ~seed:13 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "int out of range: %d" v
+  done
+
+let test_exponential_mean () =
+  let rng = Prng.create ~seed:17 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential rng ~mean:250.
+  done;
+  Testutil.close_rel ~rel:0.03 "exponential sample mean" 250.
+    (!sum /. float_of_int n)
+
+let test_exponential_positive () =
+  let rng = Prng.create ~seed:19 in
+  for _ = 1 to 10_000 do
+    let v = Prng.exponential rng ~mean:10. in
+    if v < 0. then Alcotest.failf "negative exponential sample %g" v
+  done
+
+let test_split_independence () =
+  let rng = Prng.create ~seed:23 in
+  let child = Prng.split rng in
+  let overlap = ref 0 in
+  for _ = 1 to 100 do
+    if Int64.equal (Prng.bits64 rng) (Prng.bits64 child) then incr overlap
+  done;
+  Alcotest.(check int) "split streams do not track each other" 0 !overlap
+
+let test_uniformity_coarse () =
+  (* Chi-square-ish sanity: 10 buckets over 100k draws. *)
+  let rng = Prng.create ~seed:29 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = int_of_float (Prng.float rng *. 10.) in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if abs (c - (n / 10)) > n / 50 then
+        Alcotest.failf "bucket %d count %d far from %d" i c (n / 10))
+    buckets
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seeds_differ;
+    Alcotest.test_case "copy semantics" `Quick test_copy_is_independent;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "exponential positivity" `Quick test_exponential_positive;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "coarse uniformity" `Slow test_uniformity_coarse;
+  ]

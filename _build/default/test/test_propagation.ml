@@ -1,0 +1,116 @@
+module P = Rthv_analysis.Propagation
+module AC = Rthv_analysis.Arrival_curve
+module DF = Rthv_analysis.Distance_fn
+module IL = Rthv_analysis.Irq_latency
+module TI = Rthv_analysis.Tdma_interference
+module BW = Rthv_analysis.Busy_window
+module Platform = Rthv_hw.Platform
+
+let us = Testutil.us
+
+let costs = IL.costs_of_platform Platform.arm926ejs_200mhz
+
+let test_output_jitter () =
+  let t = { P.input = AC.periodic ~period_us:1_000; r_min = us 55; r_max = us 160 } in
+  Testutil.check_cycles "jitter = Rmax - Rmin" (us 105) (P.output_jitter t)
+
+let test_periodic_gains_jitter () =
+  let t = { P.input = AC.periodic ~period_us:1_000; r_min = us 50; r_max = us 250 } in
+  match P.output_model t with
+  | AC.Periodic_jitter { period; jitter; d_min } ->
+      Testutil.check_cycles "period preserved" (us 1_000) period;
+      Testutil.check_cycles "jitter added" (us 200) jitter;
+      Testutil.check_cycles "d_min floor" 1 d_min
+  | _ -> Alcotest.fail "expected a periodic-with-jitter output"
+
+let test_jitters_accumulate () =
+  let input = AC.periodic_jitter ~period_us:1_000 ~jitter_us:100 ~d_min_us:300 () in
+  let t = { P.input; r_min = us 10; r_max = us 110 } in
+  match P.output_model t with
+  | AC.Periodic_jitter { jitter; d_min; _ } ->
+      Testutil.check_cycles "jitters add" (us 200) jitter;
+      Testutil.check_cycles "d_min compressed" (us 200) d_min
+  | _ -> Alcotest.fail "expected periodic-with-jitter"
+
+let test_sporadic_compressed () =
+  let t = { P.input = AC.sporadic ~d_min_us:500; r_min = us 0; r_max = us 100 } in
+  match P.output_model t with
+  | AC.Sporadic { d_min } -> Testutil.check_cycles "compressed" (us 400) d_min
+  | _ -> Alcotest.fail "expected sporadic"
+
+let test_distance_fn_widened () =
+  let fn = DF.of_entries [| us 100; us 1_000 |] in
+  let t = { P.input = AC.of_distance_fn fn; r_min = 0; r_max = us 50 } in
+  match P.output_model t with
+  | AC.Distances out ->
+      let entries = DF.entries out in
+      Testutil.check_cycles "entry 0 shrunk" (us 50) entries.(0);
+      Testutil.check_cycles "entry 1 shrunk" (us 950) entries.(1)
+  | _ -> Alcotest.fail "expected distances"
+
+let test_best_cases () =
+  Testutil.check_cycles "direct best case" (us 55)
+    (P.best_case_direct ~c_th:(us 5) ~c_bh:(us 50));
+  (* 5us + 128 + 877 + 10000 cycles + 50us. *)
+  Testutil.check_cycles "interposed best case"
+    (us 105 + 128 + 877)
+    (P.best_case_interposed ~costs ~c_th:(us 5) ~c_bh:(us 50))
+
+(* The headline propagation result: interposition shrinks the output jitter
+   by the TDMA gap. *)
+let test_interposition_shrinks_output_jitter () =
+  let tdma = TI.make ~cycle:(us 14_000) ~slot:(us 6_000) in
+  let self =
+    {
+      IL.name = "irq";
+      arrival = AC.sporadic ~d_min_us:1_544;
+      c_th = us 5;
+      c_bh = us 50;
+    }
+  in
+  let r_of = function
+    | Ok r -> r.BW.response_time
+    | Error m -> Alcotest.fail m
+  in
+  let baseline =
+    {
+      P.input = self.IL.arrival;
+      r_min = P.best_case_direct ~c_th:self.IL.c_th ~c_bh:self.IL.c_bh;
+      r_max = r_of (IL.baseline ~tdma ~self ~interferers:[] ());
+    }
+  in
+  let interposed =
+    {
+      P.input = self.IL.arrival;
+      r_min = P.best_case_direct ~c_th:self.IL.c_th ~c_bh:self.IL.c_bh;
+      r_max = r_of (IL.interposed ~costs ~self ~interferers:[] ());
+    }
+  in
+  Alcotest.(check bool) "output jitter collapses" true
+    (P.output_jitter interposed * 50 < P.output_jitter baseline);
+  (* The downstream consumer's event model is dramatically tighter. *)
+  match (P.output_model baseline, P.output_model interposed) with
+  | AC.Sporadic { d_min = db }, AC.Sporadic { d_min = di } ->
+      Alcotest.(check bool) "downstream d_min preserved much better" true
+        (di > 10 * db)
+  | _ -> Alcotest.fail "sporadic outputs expected"
+
+let test_invalid_jitter () =
+  let t = { P.input = AC.periodic ~period_us:10; r_min = us 5; r_max = us 1 } in
+  Alcotest.check_raises "r_max >= r_min enforced"
+    (Invalid_argument "Propagation: r_max must be at least r_min") (fun () ->
+      ignore (P.output_jitter t : Rthv_engine.Cycles.t))
+
+let suite =
+  [
+    Alcotest.test_case "output jitter" `Quick test_output_jitter;
+    Alcotest.test_case "periodic gains jitter" `Quick test_periodic_gains_jitter;
+    Alcotest.test_case "jitters accumulate" `Quick test_jitters_accumulate;
+    Alcotest.test_case "sporadic compressed" `Quick test_sporadic_compressed;
+    Alcotest.test_case "distance function widened" `Quick
+      test_distance_fn_widened;
+    Alcotest.test_case "best cases" `Quick test_best_cases;
+    Alcotest.test_case "interposition shrinks output jitter" `Quick
+      test_interposition_shrinks_output_jitter;
+    Alcotest.test_case "validation" `Quick test_invalid_jitter;
+  ]

@@ -1,0 +1,99 @@
+module S = Rthv_analysis.Sensitivity
+module IL = Rthv_analysis.Irq_latency
+module TI = Rthv_analysis.Tdma_interference
+module Platform = Rthv_hw.Platform
+
+let us = Testutil.us
+
+let costs = IL.costs_of_platform Platform.arm926ejs_200mhz
+let tdma = TI.make ~cycle:(us 14_000) ~slot:(us 6_000)
+let query = S.make ~tdma ~costs ~c_th:(us 5) ()
+
+let test_interposed_latency () =
+  match S.interposed_latency query ~c_bh:(us 50) ~d_min:(us 1_544) with
+  | Some r ->
+      (* C'_BH + C'_TH for a single-activation busy period. *)
+      Testutil.check_cycles "paper numbers" (us 155 + 877 + 128) r
+  | None -> Alcotest.fail "expected convergence"
+
+let test_interposed_overload () =
+  Alcotest.(check bool) "overload reported" true
+    (Option.is_none (S.interposed_latency query ~c_bh:(us 50) ~d_min:(us 100)))
+
+let test_max_c_bh () =
+  let budget = us 500 in
+  let d_min = us 5_000 in
+  match S.max_c_bh_for_latency query ~d_min ~budget with
+  | None -> Alcotest.fail "a 1-cycle handler must fit a 500us budget"
+  | Some c_bh ->
+      let at latency_c_bh =
+        Option.get (S.interposed_latency query ~c_bh:latency_c_bh ~d_min)
+      in
+      Alcotest.(check bool) "within budget" true (at c_bh <= budget);
+      Alcotest.(check bool) "tight" true (at (c_bh + 1) > budget);
+      (* Sanity: budget minus overheads ~ 345us of handler. *)
+      Alcotest.(check bool) "plausible magnitude" true
+        (c_bh > us 300 && c_bh < us 400)
+
+let test_max_c_bh_impossible () =
+  (* Budget below the fixed overheads: impossible even for a 1-cycle BH. *)
+  Alcotest.(check (option int)) "impossible budget" None
+    (S.max_c_bh_for_latency query ~d_min:(us 5_000) ~budget:(us 50))
+
+let test_min_d_min () =
+  let budget = us 200 in
+  let c_bh = us 50 in
+  match S.min_d_min_for_latency query ~c_bh ~budget with
+  | None -> Alcotest.fail "large d_min must meet a 200us budget"
+  | Some d_min ->
+      let at d = S.interposed_latency query ~c_bh ~d_min:d in
+      (match at d_min with
+      | Some r -> Alcotest.(check bool) "within budget" true (r <= budget)
+      | None -> Alcotest.fail "returned d_min diverges");
+      if d_min > 1 then
+        Alcotest.(check bool) "tight" true
+          (match at (d_min - 1) with Some r -> r > budget | None -> true)
+
+let test_baseline_cycle_equivalent () =
+  let budget = us 160 in
+  match
+    S.baseline_cycle_for_latency query ~c_bh:(us 50) ~d_min:(us 1_544)
+      ~slot_fraction:(6. /. 14.) ~budget
+  with
+  | None -> Alcotest.fail "some tiny cycle must work"
+  | Some cycle ->
+      (* The TDMA gap alone must fit the budget: (1 - 6/14)*cycle < 160us
+         ⇒ cycle < 280us — a 50x shorter cycle than the paper's 14ms. *)
+      Alcotest.(check bool) "cycle is tiny" true (cycle < us 300);
+      Alcotest.(check bool) "switch rate explodes" true
+        (S.switch_rate_per_second ~cycle ~partitions:3 > 10_000.)
+
+let test_switch_rate () =
+  Testutil.close ~eps:1. "14ms cycle, 3 partitions" 214.3
+    (S.switch_rate_per_second ~cycle:(us 14_000) ~partitions:3)
+
+let prop_max_c_bh_monotone_in_budget (d_min_us, b1, b2) =
+  let d_min = us (500 + d_min_us) in
+  let lo = us (100 + Stdlib.min b1 b2) and hi = us (100 + Stdlib.max b1 b2) in
+  match
+    ( S.max_c_bh_for_latency query ~d_min ~budget:lo,
+      S.max_c_bh_for_latency query ~d_min ~budget:hi )
+  with
+  | Some a, Some b -> a <= b
+  | None, _ -> true
+  | Some _, None -> false
+
+let suite =
+  [
+    Alcotest.test_case "interposed latency query" `Quick test_interposed_latency;
+    Alcotest.test_case "interposed overload" `Quick test_interposed_overload;
+    Alcotest.test_case "max C_BH for a budget" `Quick test_max_c_bh;
+    Alcotest.test_case "impossible budget" `Quick test_max_c_bh_impossible;
+    Alcotest.test_case "min d_min for a budget" `Quick test_min_d_min;
+    Alcotest.test_case "baseline-TDMA equivalent" `Quick
+      test_baseline_cycle_equivalent;
+    Alcotest.test_case "switch rate" `Quick test_switch_rate;
+    Testutil.qtest ~count:50 "max C_BH monotone in budget"
+      QCheck2.Gen.(triple (0 -- 5_000) (0 -- 2_000) (0 -- 2_000))
+      prop_max_c_bh_monotone_in_budget;
+  ]

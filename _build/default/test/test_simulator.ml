@@ -1,0 +1,93 @@
+module Simulator = Rthv_engine.Simulator
+module Cycles = Rthv_engine.Cycles
+
+let test_ordering () =
+  let sim = Simulator.create () in
+  let log = ref [] in
+  let note tag _sim = log := tag :: !log in
+  ignore (Simulator.schedule sim ~at:30 (note "c") : Simulator.handle);
+  ignore (Simulator.schedule sim ~at:10 (note "a") : Simulator.handle);
+  ignore (Simulator.schedule sim ~at:20 (note "b") : Simulator.handle);
+  Simulator.run sim;
+  Alcotest.(check (list string)) "fired in time order" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  Testutil.check_cycles "clock at last event" 30 (Simulator.now sim)
+
+let test_same_time_insertion_order () =
+  let sim = Simulator.create () in
+  let log = ref [] in
+  let note tag _ = log := tag :: !log in
+  ignore (Simulator.schedule sim ~at:5 (note "first") : Simulator.handle);
+  ignore (Simulator.schedule sim ~at:5 (note "second") : Simulator.handle);
+  Simulator.run sim;
+  Alcotest.(check (list string)) "insertion order at same instant"
+    [ "first"; "second" ] (List.rev !log)
+
+let test_cancel () =
+  let sim = Simulator.create () in
+  let fired = ref false in
+  let handle = Simulator.schedule sim ~at:10 (fun _ -> fired := true) in
+  Simulator.cancel sim handle;
+  Simulator.cancel sim handle;
+  Simulator.run sim;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired;
+  Alcotest.(check int) "no pending" 0 (Simulator.pending sim)
+
+let test_schedule_in_past_rejected () =
+  let sim = Simulator.create () in
+  ignore (Simulator.schedule sim ~at:10 (fun _ -> ()) : Simulator.handle);
+  Simulator.run sim;
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Simulator.schedule: 0.03us is before now (0.05us)")
+    (fun () -> ignore (Simulator.schedule sim ~at:6 (fun _ -> ()) : Simulator.handle))
+
+let test_schedule_from_callback () =
+  let sim = Simulator.create () in
+  let log = ref [] in
+  let rec chain n sim' =
+    log := n :: !log;
+    if n < 3 then
+      ignore
+        (Simulator.schedule_after sim' ~delay:10 (chain (n + 1))
+          : Simulator.handle)
+  in
+  ignore (Simulator.schedule sim ~at:0 (chain 0) : Simulator.handle);
+  Simulator.run sim;
+  Alcotest.(check (list int)) "chained events" [ 0; 1; 2; 3 ] (List.rev !log);
+  Testutil.check_cycles "clock advanced by chain" 30 (Simulator.now sim)
+
+let test_run_until () =
+  let sim = Simulator.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t ->
+      ignore (Simulator.schedule sim ~at:t (fun _ -> fired := t :: !fired)
+               : Simulator.handle))
+    [ 10; 20; 30 ];
+  Simulator.run_until sim 20;
+  Alcotest.(check (list int)) "only due events" [ 10; 20 ] (List.rev !fired);
+  Testutil.check_cycles "clock set to horizon" 20 (Simulator.now sim);
+  Alcotest.(check int) "one left" 1 (Simulator.pending sim)
+
+let test_run_until_advances_idle_clock () =
+  let sim = Simulator.create () in
+  Simulator.run_until sim 500;
+  Testutil.check_cycles "idle clock advances" 500 (Simulator.now sim)
+
+let test_step_returns_false_when_empty () =
+  let sim = Simulator.create () in
+  Alcotest.(check bool) "empty step" false (Simulator.step sim)
+
+let suite =
+  [
+    Alcotest.test_case "time ordering" `Quick test_ordering;
+    Alcotest.test_case "same-time order" `Quick test_same_time_insertion_order;
+    Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "past scheduling rejected" `Quick
+      test_schedule_in_past_rejected;
+    Alcotest.test_case "scheduling from callbacks" `Quick
+      test_schedule_from_callback;
+    Alcotest.test_case "run_until" `Quick test_run_until;
+    Alcotest.test_case "run_until idle" `Quick test_run_until_advances_idle_clock;
+    Alcotest.test_case "step on empty" `Quick test_step_returns_false_when_empty;
+  ]

@@ -1,0 +1,145 @@
+module Histogram = Rthv_stats.Histogram
+module Summary = Rthv_stats.Summary
+module Series = Rthv_stats.Series
+
+let test_histogram_binning () =
+  let h = Histogram.create ~bin_width_us:10. ~max_us:100. in
+  Histogram.add_all h [ 0.; 5.; 9.9; 10.; 99.9; 150. ];
+  Alcotest.(check int) "count includes overflow" 6 (Histogram.count h);
+  let bins = Histogram.bins h in
+  (match bins with
+  | (lo, hi, c) :: _ ->
+      Testutil.close "first bin lo" 0. lo;
+      Testutil.close "first bin hi" 10. hi;
+      Alcotest.(check int) "first bin holds [0,10)" 3 c
+  | [] -> Alcotest.fail "bins expected");
+  let _, hi, overflow_count = List.nth bins (List.length bins - 1) in
+  Alcotest.(check bool) "overflow bin present" true (hi = infinity);
+  Alcotest.(check int) "overflow count" 1 overflow_count
+
+let test_histogram_max_bin () =
+  let h = Histogram.create ~bin_width_us:10. ~max_us:50. in
+  Histogram.add_all h [ 1.; 2.; 3.; 25. ];
+  match Histogram.max_bin h with
+  | Some (lo, _, c) ->
+      Testutil.close "fullest bin" 0. lo;
+      Alcotest.(check int) "fullest count" 3 c
+  | None -> Alcotest.fail "expected a bin"
+
+let test_histogram_quantile () =
+  let h = Histogram.create ~bin_width_us:1. ~max_us:100. in
+  for v = 0 to 99 do
+    Histogram.add h (float_of_int v)
+  done;
+  Testutil.close ~eps:1.0 "median near 50" 50. (Histogram.quantile h 0.5);
+  Testutil.close ~eps:1.5 "p99" 99. (Histogram.quantile h 0.99)
+
+let test_histogram_validation () =
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Histogram.add: negative value") (fun () ->
+      Histogram.add (Histogram.create ~bin_width_us:1. ~max_us:10.) (-1.));
+  Alcotest.check_raises "bad params"
+    (Invalid_argument "Histogram.create: parameters must be positive")
+    (fun () -> ignore (Histogram.create ~bin_width_us:0. ~max_us:10. : Histogram.t))
+
+let test_histogram_render () =
+  let h = Histogram.create ~bin_width_us:10. ~max_us:30. in
+  Histogram.add_all h [ 1.; 2.; 15. ];
+  let out = Format.asprintf "%a" (Histogram.render ~width:10 ?log_scale:None) h in
+  Alcotest.(check bool) "render mentions total" true
+    (String.length out > 0
+    && String.sub out 0 7 = "total=3")
+
+let test_summary () =
+  let s = Summary.of_list [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check int) "n" 5 s.Summary.n;
+  Testutil.close "mean" 3. s.Summary.mean;
+  Testutil.close "min" 1. s.Summary.min;
+  Testutil.close "max" 5. s.Summary.max;
+  Testutil.close "median" 3. s.Summary.p50;
+  Testutil.close "stddev" (sqrt 2.) s.Summary.stddev
+
+let test_summary_validation () =
+  Alcotest.check_raises "empty sample"
+    (Invalid_argument "Summary.of_array: empty sample") (fun () ->
+      ignore (Summary.of_list [] : Summary.t))
+
+let test_percentile_nearest_rank () =
+  let sorted = [| 10.; 20.; 30.; 40. |] in
+  Testutil.close "p25" 10. (Summary.percentile sorted 25.);
+  Testutil.close "p50" 20. (Summary.percentile sorted 50.);
+  Testutil.close "p100" 40. (Summary.percentile sorted 100.);
+  Testutil.close "p0 clamps to first" 10. (Summary.percentile sorted 0.)
+
+let test_running_mean () =
+  let out = Series.running_mean ~window:2 [| 1.; 3.; 5.; 7. |] in
+  Alcotest.(check int) "length preserved" 4 (Array.length out);
+  Testutil.close "first element" 1. out.(0);
+  Testutil.close "pairwise mean" 2. out.(1);
+  Testutil.close "sliding" 4. out.(2);
+  Testutil.close "last" 6. out.(3)
+
+let test_cumulative_mean () =
+  let out = Series.cumulative_mean [| 2.; 4.; 6. |] in
+  Testutil.close "c1" 2. out.(0);
+  Testutil.close "c2" 3. out.(1);
+  Testutil.close "c3" 4. out.(2)
+
+let test_downsample () =
+  let values = Array.init 10 float_of_int in
+  let samples = Series.downsample ~every:4 values in
+  Alcotest.(check (list int)) "indices include last" [ 0; 4; 8; 9 ]
+    (List.map fst samples);
+  Alcotest.(check (list int)) "exact multiple keeps last once" [ 0; 4; 8 ]
+    (List.map fst (Series.downsample ~every:4 (Array.init 9 float_of_int)))
+
+let test_segment_mean () =
+  let values = [| 1.; 2.; 3.; 4. |] in
+  Testutil.close "middle" 2.5 (Series.segment_mean values ~lo:1 ~hi:3);
+  Alcotest.check_raises "bad segment"
+    (Invalid_argument "Series.segment_mean: bad segment") (fun () ->
+      ignore (Series.segment_mean values ~lo:2 ~hi:2 : float))
+
+let prop_histogram_conserves_count values =
+  let h = Histogram.create ~bin_width_us:7. ~max_us:77. in
+  List.iter (fun v -> Histogram.add h (Float.abs v)) values;
+  let binned =
+    List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Histogram.bins h)
+  in
+  (* bins() includes the overflow bin, so total counts must match... except
+     bins between the last non-empty and overflow are synthesised; counting
+     is still exact. *)
+  binned = List.length values
+
+let prop_running_mean_bounded (window, values) =
+  let arr = Array.of_list (List.map Float.abs values) in
+  if Array.length arr = 0 then true
+  else begin
+    let out = Series.running_mean ~window:(1 + (window mod 10)) arr in
+    let lo = Array.fold_left Float.min arr.(0) arr in
+    let hi = Array.fold_left Float.max arr.(0) arr in
+    Array.for_all (fun v -> v >= lo -. 1e-9 && v <= hi +. 1e-9) out
+  end
+
+let suite =
+  [
+    Alcotest.test_case "histogram binning" `Quick test_histogram_binning;
+    Alcotest.test_case "histogram max bin" `Quick test_histogram_max_bin;
+    Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+    Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+    Alcotest.test_case "histogram rendering" `Quick test_histogram_render;
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "summary validation" `Quick test_summary_validation;
+    Alcotest.test_case "nearest-rank percentile" `Quick
+      test_percentile_nearest_rank;
+    Alcotest.test_case "running mean" `Quick test_running_mean;
+    Alcotest.test_case "cumulative mean" `Quick test_cumulative_mean;
+    Alcotest.test_case "downsample" `Quick test_downsample;
+    Alcotest.test_case "segment mean" `Quick test_segment_mean;
+    Testutil.qtest "histogram conserves counts"
+      QCheck2.Gen.(list_size (0 -- 300) (float_bound_inclusive 200.))
+      prop_histogram_conserves_count;
+    Testutil.qtest "running mean stays within data range"
+      QCheck2.Gen.(pair (0 -- 20) (list_size (0 -- 100) (float_bound_inclusive 1000.)))
+      prop_running_mean_bounded;
+  ]

@@ -1,0 +1,71 @@
+module TI = Rthv_analysis.Tdma_interference
+
+let us = Testutil.us
+
+let paper = TI.make ~cycle:(us 14_000) ~slot:(us 6_000)
+
+let test_equation_8 () =
+  (* I_TDMA(dt) = ceil(dt/T_TDMA) * (T_TDMA - T_i). *)
+  Testutil.check_cycles "empty window" 0 (TI.interference paper 0);
+  Testutil.check_cycles "one cycle" (us 8_000)
+    (TI.interference paper (us 14_000));
+  Testutil.check_cycles "just past one cycle" (us 16_000)
+    (TI.interference paper (us 14_001));
+  Testutil.check_cycles "small window still pays one gap" (us 8_000)
+    (TI.interference paper 1)
+
+let test_worst_case_gap () =
+  Testutil.check_cycles "T - Ti" (us 8_000) (TI.worst_case_gap paper)
+
+let test_service () =
+  Testutil.check_cycles "service of a full cycle" (us 6_000)
+    (TI.service paper (us 14_000));
+  Testutil.check_cycles "service clamps at zero" 0 (TI.service paper (us 100))
+
+let test_full_slot_degenerate () =
+  let full = TI.make ~cycle:(us 100) ~slot:(us 100) in
+  Testutil.check_cycles "no interference with full slot" 0
+    (TI.interference full (us 1_000_000))
+
+let test_validation () =
+  Alcotest.check_raises "slot must fit cycle"
+    (Invalid_argument "Tdma_interference.make: need 0 < slot <= cycle")
+    (fun () -> ignore (TI.make ~cycle:(us 10) ~slot:(us 20) : TI.t));
+  Alcotest.check_raises "slot must be positive"
+    (Invalid_argument "Tdma_interference.make: need 0 < slot <= cycle")
+    (fun () -> ignore (TI.make ~cycle:(us 10) ~slot:0 : TI.t))
+
+let tdma_gen =
+  QCheck2.Gen.(
+    map2
+      (fun slot extra -> TI.make ~cycle:(slot + extra) ~slot)
+      (1 -- 100_000) (0 -- 100_000))
+
+let prop_monotone t =
+  let ok = ref true in
+  let prev = ref 0 in
+  for k = 0 to 40 do
+    let i = TI.interference t (k * 7_919) in
+    if i < !prev then ok := false;
+    prev := i
+  done;
+  !ok
+
+let prop_service_plus_interference t =
+  (* service(dt) + interference(dt) >= dt: together they cover the window. *)
+  List.for_all
+    (fun dt -> TI.service t dt + TI.interference t dt >= dt)
+    [ 1; 100; 10_000; 1_000_000 ]
+
+let suite =
+  [
+    Alcotest.test_case "equation (8)" `Quick test_equation_8;
+    Alcotest.test_case "worst-case gap" `Quick test_worst_case_gap;
+    Alcotest.test_case "guaranteed service" `Quick test_service;
+    Alcotest.test_case "full-slot degenerate case" `Quick
+      test_full_slot_degenerate;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Testutil.qtest "interference monotone" tdma_gen prop_monotone;
+    Testutil.qtest "service + interference covers window" tdma_gen
+      prop_service_plus_interference;
+  ]

@@ -1,0 +1,85 @@
+module Trace_io = Rthv_workload.Trace_io
+module Ecu_trace = Rthv_workload.Ecu_trace
+module Cycles = Rthv_engine.Cycles
+
+let temp_file () = Filename.temp_file "rthv_trace" ".csv"
+
+let test_roundtrip_timestamps () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let timestamps = List.map Testutil.us [ 0; 13; 57; 200; 480 ] in
+      Trace_io.save ~path timestamps;
+      Alcotest.(check (list int)) "roundtrip" timestamps
+        (Trace_io.load ~path))
+
+let test_roundtrip_fractional () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* 0.005 us granularity: every cycle is representable in 3 decimals. *)
+      let timestamps = [ 1; 7; 123; 4567 ] in
+      Trace_io.save ~path timestamps;
+      Alcotest.(check (list int)) "cycle-precise roundtrip" timestamps
+        (Trace_io.load ~path))
+
+let test_load_sorts_and_skips_comments () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# a comment\n10.0\n\n5.0\n# another\n20.0\n";
+      close_out oc;
+      Alcotest.(check (list int)) "sorted, comments skipped"
+        (List.map Testutil.us [ 5; 10; 20 ])
+        (Trace_io.load ~path))
+
+let test_malformed_rejected () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "10.0\nnot-a-number\n";
+      close_out oc;
+      match Trace_io.load ~path with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure _ -> ())
+
+let test_distances_roundtrip () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let distances = [| 200; 4000; 1 |] in
+      Trace_io.save_distances ~path distances;
+      Alcotest.(check (array int)) "distance roundtrip" distances
+        (Trace_io.load_distances ~path))
+
+let test_ecu_trace_roundtrip () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let trace = Ecu_trace.generate ~seed:3 Ecu_trace.default_profile in
+      Trace_io.save ~path trace;
+      let loaded = Trace_io.load ~path in
+      Alcotest.(check int) "same length" (List.length trace)
+        (List.length loaded);
+      Alcotest.(check bool) "identical at cycle precision" true
+        (trace = loaded))
+
+let suite =
+  [
+    Alcotest.test_case "timestamp roundtrip" `Quick test_roundtrip_timestamps;
+    Alcotest.test_case "cycle-precision roundtrip" `Quick
+      test_roundtrip_fractional;
+    Alcotest.test_case "sorting and comments" `Quick
+      test_load_sorts_and_skips_comments;
+    Alcotest.test_case "malformed input rejected" `Quick test_malformed_rejected;
+    Alcotest.test_case "distance roundtrip" `Quick test_distances_roundtrip;
+    Alcotest.test_case "full ECU trace roundtrip" `Quick test_ecu_trace_roundtrip;
+  ]

@@ -1,0 +1,127 @@
+module Vcd = Rthv_core.Vcd_export
+module Hyp_trace = Rthv_core.Hyp_trace
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+module DF = Rthv_analysis.Distance_fn
+
+let us = Testutil.us
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i =
+    i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let small_trace () =
+  let t = Hyp_trace.create () in
+  Hyp_trace.record t ~time:100 (Hyp_trace.Top_handler_run { irq = 0; line = 0 });
+  Hyp_trace.record t ~time:200
+    (Hyp_trace.Monitor_decision { irq = 0; admitted = true });
+  Hyp_trace.record t ~time:300
+    (Hyp_trace.Interposition_start { irq = 0; target = 1 });
+  Hyp_trace.record t ~time:500
+    (Hyp_trace.Interposition_end { target = 1; reason = `Budget_exhausted });
+  Hyp_trace.record t ~time:500
+    (Hyp_trace.Bottom_handler_done { irq = 0; partition = 1 });
+  Hyp_trace.record t ~time:900
+    (Hyp_trace.Slot_switch { from_partition = 0; to_partition = 1 });
+  t
+
+let test_structure () =
+  let vcd = Vcd.to_string (small_trace ()) in
+  List.iter
+    (fun needle ->
+      if not (contains vcd needle) then
+        Alcotest.failf "missing %S in VCD output" needle)
+    [
+      "$timescale 5 ns $end";
+      "$enddefinitions $end";
+      "$var wire 8 ! active_partition $end";
+      "$var wire 1 # irq_top $end";
+      "$dumpvars";
+      "#100";
+      "1#";
+      (* top handler pulse *)
+      "b00000001 \"";
+      (* interposition target = 1 *)
+      "b11111111 \"";
+      (* interposition cleared *)
+    ]
+
+let timestamps_of vcd =
+  String.split_on_char '\n' vcd
+  |> List.filter_map (fun line ->
+         if String.length line > 1 && line.[0] = '#' then
+           int_of_string_opt (String.sub line 1 (String.length line - 1))
+         else None)
+
+let test_timestamps_monotone () =
+  let vcd = Vcd.to_string (small_trace ()) in
+  let times = timestamps_of vcd in
+  Alcotest.(check bool) "has timestamps" true (List.length times > 3);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone VCD time" true (monotone times)
+
+let test_full_simulation_export () =
+  let trace = Hyp_trace.create () in
+  let config =
+    Config.make
+      ~partitions:
+        [
+          Config.partition ~name:"P1" ~slot_us:6_000 ();
+          Config.partition ~name:"P2" ~slot_us:6_000 ();
+        ]
+      ~sources:
+        [
+          Config.source ~name:"irq" ~line:0 ~subscriber:1 ~c_th_us:5
+            ~c_bh_us:50
+            ~interarrivals:
+              (Rthv_workload.Gen.exponential ~seed:1 ~mean:(us 1_000)
+                 ~count:50)
+            ~shaping:(Config.Fixed_monitor (DF.d_min (us 500)))
+            ();
+        ]
+      ()
+  in
+  let sim = Hyp_sim.create ~trace config in
+  Hyp_sim.run sim;
+  let vcd = Vcd.to_string trace in
+  let times = timestamps_of vcd in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone over a real run" true (monotone times);
+  (* Every top handler produced a pulse line "1#". *)
+  let pulses =
+    List.length
+      (List.filter (fun l -> l = "1#") (String.split_on_char '\n' vcd))
+  in
+  Alcotest.(check int) "one pulse per IRQ" 50 pulses
+
+let test_save_roundtrip () =
+  let path = Filename.temp_file "rthv" ".vcd" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let trace = small_trace () in
+      Vcd.save ~path trace;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check string) "file matches to_string" (Vcd.to_string trace)
+        contents)
+
+let suite =
+  [
+    Alcotest.test_case "VCD structure" `Quick test_structure;
+    Alcotest.test_case "monotone timestamps" `Quick test_timestamps_monotone;
+    Alcotest.test_case "full simulation export" `Quick
+      test_full_simulation_export;
+    Alcotest.test_case "save" `Quick test_save_roundtrip;
+  ]

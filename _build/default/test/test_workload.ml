@@ -1,0 +1,142 @@
+module Gen = Rthv_workload.Gen
+module Ecu_trace = Rthv_workload.Ecu_trace
+
+let us = Testutil.us
+
+let test_exponential_statistics () =
+  let mean = us 1000 in
+  let distances = Gen.exponential ~seed:1 ~mean ~count:20_000 in
+  Alcotest.(check int) "count" 20_000 (Array.length distances);
+  Array.iter (fun d -> if d < 1 then Alcotest.fail "distance below 1 cycle") distances;
+  Testutil.close_rel ~rel:0.05 "empirical mean" (float_of_int mean)
+    (Gen.mean distances)
+
+let test_exponential_determinism () =
+  let a = Gen.exponential ~seed:9 ~mean:500 ~count:100 in
+  let b = Gen.exponential ~seed:9 ~mean:500 ~count:100 in
+  Alcotest.(check bool) "same seed, same array" true (a = b)
+
+let test_clamped_respects_d_min () =
+  let d_min = us 700 in
+  let distances =
+    Gen.exponential_clamped ~seed:2 ~mean:(us 700) ~d_min ~count:5_000
+  in
+  Array.iter
+    (fun d -> if d < d_min then Alcotest.fail "clamped distance below d_min")
+    distances;
+  (* Clamping inflates the mean to roughly mean * (1 + 1/e). *)
+  Testutil.close_rel ~rel:0.08 "clamped mean"
+    (float_of_int (us 700) *. (1. +. exp (-1.)))
+    (Gen.mean distances)
+
+let test_uniform_bounds () =
+  let distances = Gen.uniform ~seed:3 ~lo:10 ~hi:20 ~count:2_000 in
+  Array.iter
+    (fun d -> if d < 10 || d > 20 then Alcotest.failf "out of range: %d" d)
+    distances
+
+let test_constant () =
+  let distances = Gen.constant ~period:42 ~count:5 in
+  Alcotest.(check bool) "all equal" true (Array.for_all (( = ) 42) distances)
+
+let test_bursty_structure () =
+  let distances = Gen.bursty ~seed:4 ~burst_len:3 ~inner:10 ~gap_mean:1000 ~count:9 in
+  (* Indices 1,2,4,5,7,8 are intra-burst. *)
+  List.iter
+    (fun i -> Testutil.check_cycles "intra-burst distance" 10 distances.(i))
+    [ 1; 2; 4; 5; 7; 8 ];
+  List.iter
+    (fun i ->
+      if distances.(i) < 10 then Alcotest.fail "gap shorter than inner")
+    [ 0; 3; 6 ]
+
+let test_mean_for_load () =
+  (* Equation (17): lambda = C'_BH / U. *)
+  Testutil.check_cycles "10 % load" (us 1000)
+    (Gen.mean_for_load ~c_bh_eff:(us 100) ~load:0.1);
+  Testutil.check_cycles "full load" (us 100)
+    (Gen.mean_for_load ~c_bh_eff:(us 100) ~load:1.0);
+  Alcotest.check_raises "load range checked"
+    (Invalid_argument "Gen.mean_for_load: load must be in (0, 1]") (fun () ->
+      ignore (Gen.mean_for_load ~c_bh_eff:100 ~load:1.5 : int))
+
+let test_to_timestamps () =
+  Alcotest.(check (list int)) "cumulative sums" [ 10; 30; 60 ]
+    (Gen.to_timestamps [| 10; 20; 30 |]);
+  Alcotest.(check (list int)) "with start offset" [ 110; 130 ]
+    (Gen.to_timestamps ~start:100 [| 10; 20 |])
+
+let test_ecu_trace_shape () =
+  let trace = Ecu_trace.generate ~seed:42 Ecu_trace.default_profile in
+  let stats = Ecu_trace.stats trace in
+  Alcotest.(check bool) "activation count near 11000" true
+    (stats.Ecu_trace.activations > 9_000 && stats.Ecu_trace.activations < 13_000);
+  (* Sorted. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps sorted" true (sorted trace);
+  (* Bursts exist: some distances well below the mean. *)
+  Alcotest.(check bool) "sub-mean bursts present" true
+    (float_of_int stats.Ecu_trace.min_distance < stats.Ecu_trace.mean_distance /. 2.)
+
+let test_ecu_trace_learnable_envelope () =
+  (* The recorded envelope must imply a load several times the average rate —
+     the property the Figure-7 bound sweep depends on. *)
+  let trace = Ecu_trace.generate ~seed:42 Ecu_trace.default_profile in
+  let n = List.length trace in
+  let prefix = List.filteri (fun i _ -> i < n / 10) trace in
+  let learned = Rthv_analysis.Distance_fn.of_trace ~l:5 prefix in
+  let stats = Ecu_trace.stats trace in
+  let ratio =
+    Rthv_analysis.Distance_fn.long_term_rate learned *. stats.Ecu_trace.mean_distance
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "recorded/average load ratio %.1f in [2, 12]" ratio)
+    true
+    (ratio > 2. && ratio < 12.)
+
+let test_ecu_trace_determinism () =
+  let a = Ecu_trace.generate ~seed:5 Ecu_trace.default_profile in
+  let b = Ecu_trace.generate ~seed:5 Ecu_trace.default_profile in
+  Alcotest.(check bool) "same seed, same trace" true (a = b)
+
+let test_to_distances () =
+  let distances = Ecu_trace.to_distances [ 100; 150; 150; 400 ] in
+  Alcotest.(check (list int)) "distances with zero-bump"
+    [ 100; 50; 1; 250 ]
+    (Array.to_list distances)
+
+let test_stats_validation () =
+  Alcotest.check_raises "short trace rejected"
+    (Invalid_argument "Ecu_trace.stats: need at least two activations")
+    (fun () -> ignore (Ecu_trace.stats [ 1 ] : Ecu_trace.trace_stats))
+
+let prop_timestamps_match_distances distances =
+  let arr = Array.of_list (List.map (fun d -> 1 + abs d) distances) in
+  let ts = Gen.to_timestamps arr in
+  let back = Ecu_trace.to_distances ts in
+  back = arr
+
+let suite =
+  [
+    Alcotest.test_case "exponential statistics" `Slow test_exponential_statistics;
+    Alcotest.test_case "exponential determinism" `Quick
+      test_exponential_determinism;
+    Alcotest.test_case "clamping (scenario 2)" `Quick test_clamped_respects_d_min;
+    Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+    Alcotest.test_case "constant" `Quick test_constant;
+    Alcotest.test_case "bursty structure" `Quick test_bursty_structure;
+    Alcotest.test_case "equation (17)" `Quick test_mean_for_load;
+    Alcotest.test_case "timestamp conversion" `Quick test_to_timestamps;
+    Alcotest.test_case "ECU trace shape" `Quick test_ecu_trace_shape;
+    Alcotest.test_case "ECU trace envelope ratio" `Quick
+      test_ecu_trace_learnable_envelope;
+    Alcotest.test_case "ECU trace determinism" `Quick test_ecu_trace_determinism;
+    Alcotest.test_case "distance extraction" `Quick test_to_distances;
+    Alcotest.test_case "stats validation" `Quick test_stats_validation;
+    Testutil.qtest "distances -> timestamps roundtrip"
+      QCheck2.Gen.(list_size (1 -- 100) (0 -- 100_000))
+      prop_timestamps_match_distances;
+  ]
