@@ -1,0 +1,168 @@
+(* rthv_lint: static configuration analyzer and trace-invariant oracle for
+   the real-time hypervisor reproduction.
+
+   Pass 1 checks a configuration against the paper's analysis before a
+   single cycle is simulated (rule codes RTHV0xx); pass 2 (--trace-audit)
+   simulates the scenario and replays the recorded hypervisor trace through
+   the invariant oracle (codes RTHV1xx).
+
+   Examples:
+     rthv_lint                          # lint the three example scenarios
+     rthv_lint -s demo_bad              # watch the static rules fire
+     rthv_lint --trace-audit            # lint + simulate + audit the traces
+     rthv_lint --format=json            # one JSON array, for CI
+     rthv_lint --list-rules             # every rule and invariant code *)
+
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+module Hyp_trace = Rthv_core.Hyp_trace
+module Check = Rthv_check
+
+type finding = { scenario : string; pass : string; diag : Check.Diagnostic.t }
+
+let lint_scenario name config =
+  List.map
+    (fun diag -> { scenario = name; pass = "lint"; diag })
+    (Check.Lint.analyze config)
+
+let trace_audit_scenario name config =
+  match Config.validate config with
+  | Error _ -> [] (* already an RTHV001 in the lint pass *)
+  | Ok () ->
+      let trace =
+        Hyp_trace.create ~capacity:Hyp_sim.audit_trace_capacity ()
+      in
+      let sim = Hyp_sim.create ~trace config in
+      Hyp_sim.run sim;
+      let spec = Check.Trace_oracle.of_config config in
+      List.map
+        (fun diag -> { scenario = name; pass = "trace"; diag })
+        (Check.Trace_oracle.audit spec trace)
+
+let print_text ~selected ~passes findings =
+  List.iter
+    (fun scenario ->
+      List.iter
+        (fun pass ->
+          let diags =
+            List.filter_map
+              (fun f ->
+                if f.scenario = scenario && f.pass = pass then Some f.diag
+                else None)
+              findings
+          in
+          Format.printf "== %s (%s) ==@." scenario
+            (if pass = "lint" then "static analysis" else "trace audit");
+          Format.printf "%a@." Check.Diagnostic.pp_report diags)
+        passes)
+    selected
+
+let print_json findings =
+  let objects =
+    List.map
+      (fun f ->
+        Check.Diagnostic.to_json
+          ~extra:[ ("scenario", f.scenario); ("pass", f.pass) ]
+          f.diag)
+      findings
+  in
+  print_string ("[" ^ String.concat "," objects ^ "]\n")
+
+let list_rules () =
+  Format.printf "Static rules (pass 1):@.";
+  List.iter
+    (fun (code, doc) -> Format.printf "  %s  %s@." code doc)
+    Check.Lint.rules;
+  Format.printf "Trace invariants (pass 2, --trace-audit):@.";
+  List.iter
+    (fun (code, doc) -> Format.printf "  %s  %s@." code doc)
+    Check.Trace_oracle.invariants;
+  0
+
+let main scenarios all format trace_audit rules_only =
+  if rules_only then list_rules ()
+  else
+    let selected =
+      if all then List.map fst Check.Scenarios.all
+      else if scenarios = [] then List.map fst Check.Scenarios.good
+      else scenarios
+    in
+    let unknown =
+      List.filter (fun s -> Check.Scenarios.find s = None) selected
+    in
+    if unknown <> [] then begin
+      Format.eprintf "unknown scenario(s): %s (available: %s)@."
+        (String.concat ", " unknown)
+        (String.concat ", " (List.map fst Check.Scenarios.all));
+      1
+    end
+    else begin
+      let findings =
+        List.concat_map
+          (fun name ->
+            let config =
+              (Option.get (Check.Scenarios.find name)) ()
+            in
+            lint_scenario name config
+            @ (if trace_audit then trace_audit_scenario name config else []))
+          selected
+      in
+      (match format with
+      | `Text ->
+          let passes = "lint" :: (if trace_audit then [ "trace" ] else []) in
+          print_text ~selected ~passes findings
+      | `Json -> print_json findings);
+      if List.exists (fun f -> Check.Diagnostic.is_error f.diag) findings then 2
+      else 0
+    end
+
+open Cmdliner
+
+let scenarios =
+  Arg.(
+    value & opt_all string []
+    & info [ "s"; "scenario" ] ~docv:"NAME"
+        ~doc:
+          "Scenario to analyse (repeatable).  Defaults to the three example \
+           scenarios; see --all for the rule-demonstration input.")
+
+let all =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:"Analyse every scenario, including the deliberately broken \
+              $(b,demo_bad).")
+
+let format =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+
+let trace_audit =
+  Arg.(
+    value & flag
+    & info [ "trace-audit" ]
+        ~doc:
+          "Additionally simulate each scenario and replay the recorded \
+           hypervisor trace through the invariant oracle (codes RTHV1xx).")
+
+let rules_only =
+  Arg.(
+    value & flag
+    & info [ "list-rules" ] ~doc:"List every rule and invariant code, then exit.")
+
+let cmd =
+  let doc =
+    "statically analyse hypervisor configurations and audit simulation \
+     traces for temporal-independence violations"
+  in
+  Cmd.v
+    (Cmd.info "rthv_lint" ~doc
+       ~exits:
+         (Cmd.Exit.info 2 ~doc:"error-severity findings were reported"
+         :: Cmd.Exit.defaults))
+    Term.(
+      const main $ scenarios $ all $ format $ trace_audit $ rules_only)
+
+let () = exit (Cmd.eval' cmd)

@@ -2,55 +2,37 @@
    an automotive-ECU activation trace (CAN traffic).  The monitoring
    condition is not configured up front — the hypervisor *learns* it from
    the first 10 % of the trace (Algorithm 1) and caps it to an allowed load
-   fraction (Algorithm 2) before entering the monitored run mode.
+   fraction (Algorithm 2) before entering the monitored run mode.  The
+   configuration and its learning artefacts come from Rthv_check.Scenarios,
+   shared with the linter and the tests.
 
    Run with:  dune exec examples/automotive_ecu.exe *)
 
-module Cycles = Rthv_engine.Cycles
-module Config = Rthv_core.Config
 module Hyp_sim = Rthv_core.Hyp_sim
 module Irq_record = Rthv_core.Irq_record
 module Monitor = Rthv_core.Monitor
 module DF = Rthv_analysis.Distance_fn
 module Ecu_trace = Rthv_workload.Ecu_trace
+module Scenarios = Rthv_check.Scenarios
 module Series = Rthv_stats.Series
-
-let partitions =
-  [
-    Config.partition ~name:"engine" ~slot_us:6_000 ();
-    Config.partition ~name:"gateway" ~slot_us:6_000 ();
-    Config.partition ~name:"hk" ~slot_us:2_000 ();
-  ]
 
 let () =
   (* 1. The activation trace (a synthetic stand-in for the paper's measured
-     ECU trace; see DESIGN.md for the substitution argument). *)
+     ECU trace; see DESIGN.md for the substitution argument) plus the
+     offline learning artefacts: the envelope recorded over the learning
+     prefix and the 25 % load cap handed to Algorithm 2. *)
   let trace = Ecu_trace.generate ~seed:42 Ecu_trace.default_profile in
   Format.printf "trace: %a@." Ecu_trace.pp_stats (Ecu_trace.stats trace);
-  let distances = Ecu_trace.to_distances trace in
-  let activations = Array.length distances in
-  let learn_events = activations / 10 in
+  let parts = Scenarios.automotive_parts () in
+  let learn_events = parts.Scenarios.auto_learn_events in
+  Format.printf "recorded envelope: %a@." DF.pp parts.Scenarios.auto_recorded;
+  Format.printf "load cap (25%%)  : %a@." DF.pp parts.Scenarios.auto_bound;
 
-  (* 2. An offline recording of the learning prefix gives the load cap:
-     allow 25 % of the recorded envelope load (the paper's graph b). *)
-  let prefix = List.filteri (fun i _ -> i < learn_events) trace in
-  let recorded = DF.of_trace ~l:5 prefix in
-  let bound = DF.scale_load recorded ~factor:0.25 in
-  Format.printf "recorded envelope: %a@." DF.pp recorded;
-  Format.printf "load cap (25%%)  : %a@." DF.pp bound;
-
-  (* 3. Run with the self-learning monitor. *)
-  let source =
-    Config.source ~name:"can_rx" ~line:0 ~subscriber:1 ~c_th_us:5 ~c_bh_us:50
-      ~interarrivals:distances
-      ~shaping:
-        (Config.Self_learning { l = 5; learn_events; bound = Some bound })
-      ()
-  in
-  let sim = Hyp_sim.create (Config.make ~partitions ~sources:[ source ] ()) in
+  (* 2. Run with the self-learning monitor. *)
+  let sim = Hyp_sim.create parts.Scenarios.auto_config in
   Hyp_sim.run sim;
 
-  (* 4. The learned-and-bounded condition the monitor settled on. *)
+  (* 3. The learned-and-bounded condition the monitor settled on. *)
   (match Hyp_sim.monitor sim ~source:"can_rx" with
   | Some m -> (
       match Monitor.condition m with
@@ -58,7 +40,7 @@ let () =
       | None -> Format.printf "monitor still learning?!@.")
   | None -> ());
 
-  (* 5. Figure-7-style view: running average latency over the event index,
+  (* 4. Figure-7-style view: running average latency over the event index,
      dropping sharply when the run phase starts at event %d. *)
   let latencies =
     Array.of_list

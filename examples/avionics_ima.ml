@@ -2,7 +2,8 @@
    different criticality share one core under TDMA, each running periodic
    guest tasks.  Two interrupt sources (a sensor bus and a datalink) are
    subscribed by different partitions; the datalink uses monitored interposed
-   handling.
+   handling.  The configuration lives in Rthv_check.Scenarios, shared with
+   the linter and the tests.
 
    The example demonstrates the certification argument of the paper: grant a
    latency improvement to the datalink while *auditing* that every other
@@ -19,60 +20,17 @@ module Task = Rthv_rtos.Task
 module Guest = Rthv_rtos.Guest
 module DF = Rthv_analysis.Distance_fn
 module Independence = Rthv_analysis.Independence
-module Gen = Rthv_workload.Gen
+module Scenarios = Rthv_check.Scenarios
 module Summary = Rthv_stats.Summary
 
-let slot_us = [ ("flight_ctl", 4_000); ("nav", 4_000); ("datalink", 3_000); ("maint", 1_000) ]
-
-let partitions =
-  [
-    Config.partition ~name:"flight_ctl" ~slot_us:4_000
-      ~tasks:
-        [
-          Task.spec ~name:"attitude" ~period_us:12_000 ~wcet_us:800 ~priority:0 ();
-          Task.spec ~name:"actuator" ~period_us:24_000 ~wcet_us:1_200 ~priority:1 ();
-        ]
-      ();
-    Config.partition ~name:"nav" ~slot_us:4_000
-      ~tasks:[ Task.spec ~name:"kalman" ~period_us:24_000 ~wcet_us:2_500 () ]
-      ();
-    Config.partition ~name:"datalink" ~slot_us:3_000 ();
-    Config.partition ~name:"maint" ~slot_us:1_000 ();
-  ]
-
-(* The datalink's d_min: sized with Independence.required_d_min so the
-   long-term interference on other partitions stays below 3 %. *)
-let c_bh_eff datalink_bh_us =
-  Cycles.of_us datalink_bh_us + 877 + (2 * Cycles.of_us 50)
-
 let () =
-  let datalink_bh_us = 60 in
-  let d_min =
-    Independence.required_d_min ~c_bh_eff:(c_bh_eff datalink_bh_us)
-      ~max_utilisation:0.03
-  in
+  let d_min = Scenarios.avionics_d_min () in
+  let c_bh_eff = Scenarios.avionics_c_bh_eff () in
   Format.printf "granted d_min for the datalink: %a (interference <= 3%%)@."
     Cycles.pp d_min;
 
-  let sources =
-    [
-      (* Sensor bus -> flight_ctl, classic delayed handling (certified
-         path, no interposition). *)
-      Config.source ~name:"sensor_bus" ~line:0 ~subscriber:0 ~c_th_us:4
-        ~c_bh_us:30
-        ~interarrivals:(Gen.constant ~period:(Cycles.of_us 6_000) ~count:2_000)
-        ();
-      (* Datalink frames -> datalink partition, monitored interposition. *)
-      Config.source ~name:"datalink_rx" ~line:1 ~subscriber:2 ~c_th_us:6
-        ~c_bh_us:datalink_bh_us
-        ~interarrivals:
-          (Gen.exponential_clamped ~seed:7 ~mean:(2 * d_min) ~d_min
-             ~count:3_000)
-        ~shaping:(Config.Fixed_monitor (DF.d_min d_min))
-        ();
-    ]
-  in
-  let sim = Hyp_sim.create (Config.make ~partitions ~sources ()) in
+  let config = Scenarios.avionics_ima () in
+  let sim = Hyp_sim.create config in
   Hyp_sim.run sim;
 
   let records = Hyp_sim.records sim in
@@ -95,16 +53,16 @@ let () =
   let stats = Hyp_sim.stats sim in
   Format.printf "@.independence audit (interference per slot, measured vs bound):@.";
   List.iteri
-    (fun i (name, slot) ->
+    (fun i (p : Config.partition) ->
       let bound =
-        Independence.max_slot_loss ~monitor:(DF.d_min d_min)
-          ~c_bh_eff:(c_bh_eff datalink_bh_us) ~slot:(Cycles.of_us slot)
+        Independence.max_slot_loss ~monitor:(DF.d_min d_min) ~c_bh_eff
+          ~slot:p.Config.slot
       in
       let measured = stats.Hyp_sim.stolen_slot_max.(i) in
-      Format.printf "  %-10s measured %8.1fus  bound %8.1fus  %s@." name
-        (Cycles.to_us measured) (Cycles.to_us bound)
+      Format.printf "  %-10s measured %8.1fus  bound %8.1fus  %s@."
+        p.Config.pname (Cycles.to_us measured) (Cycles.to_us bound)
         (if measured <= bound then "OK" else "VIOLATION"))
-    slot_us;
+    config.Config.partitions;
 
   (* The integrator-facing artefact: a sufficient-temporal-independence
      certificate (equations (2) + (14) + guest schedulability), the analytic
@@ -113,8 +71,8 @@ let () =
   let module GS = Rthv_analysis.Guest_sched in
   let cert =
     Cert.check
-      ~cycle:(Cycles.of_us 12_000)
-      ~c_ctx:(Cycles.of_us 50)
+      ~cycle:(Rthv_core.Tdma.cycle_length (Config.tdma config))
+      ~c_ctx:Rthv_hw.Platform.(ctx_switch_cost config.Config.platform)
       ~partitions:
         (List.mapi
            (fun i (p : Config.partition) ->
@@ -124,13 +82,13 @@ let () =
                slot = p.Config.slot;
                tasks = List.map GS.of_spec p.Config.tasks;
              })
-           partitions)
+           config.Config.partitions)
       ~grants:
         [
           {
             Cert.source_name = "datalink_rx";
             monitor = DF.d_min d_min;
-            c_bh_eff = c_bh_eff datalink_bh_us;
+            c_bh_eff;
             subscriber = 2;
           };
         ]

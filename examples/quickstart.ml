@@ -1,41 +1,23 @@
 (* Quickstart: build a two-partition hypervisor system, fire IRQs at it, and
    compare interrupt latencies with and without monitoring-based interposed
-   handling.
+   handling.  The configuration itself lives in Rthv_check.Scenarios so the
+   linter, the tests and this example stay in sync.
 
    Run with:  dune exec examples/quickstart.exe *)
 
 module Cycles = Rthv_engine.Cycles
-module Config = Rthv_core.Config
 module Hyp_sim = Rthv_core.Hyp_sim
 module Irq_record = Rthv_core.Irq_record
 module Distance_fn = Rthv_analysis.Distance_fn
-module Gen = Rthv_workload.Gen
+module Scenarios = Rthv_check.Scenarios
 module Summary = Rthv_stats.Summary
 
 let () =
-  (* 1. Two application partitions with 5 ms TDMA slots.  Partition "io"
-     subscribes an interrupt source (think: a network device). *)
-  let partitions =
-    [
-      Config.partition ~name:"control" ~slot_us:5_000 ();
-      Config.partition ~name:"io" ~slot_us:5_000 ();
-    ]
-  in
+  (* 1. The shared quickstart scenario: two 5 ms partitions; "io" subscribes
+     a NIC-like source with exponential interarrivals (mean 2 ms). *)
+  let d_min = Scenarios.quickstart_d_min in
 
-  (* 2. Pre-generate exponential interarrival times (mean 2 ms) for 2000
-     IRQs, like the paper's timer-driven experiment setup. *)
-  let d_min = Cycles.of_us 2_000 in
-  let interarrivals =
-    Gen.exponential ~seed:1 ~mean:d_min ~count:2_000
-  in
-
-  let make_source shaping =
-    Config.source ~name:"nic" ~line:0 ~subscriber:1 ~c_th_us:5 ~c_bh_us:40
-      ~interarrivals ~shaping ()
-  in
-
-  let run shaping =
-    let config = Config.make ~partitions ~sources:[ make_source shaping ] () in
+  let run config =
     let sim = Hyp_sim.create config in
     Hyp_sim.run sim;
     let latencies =
@@ -44,15 +26,13 @@ let () =
     (Summary.of_list latencies, Hyp_sim.stats sim)
   in
 
-  (* 3. Baseline: the original top handler — bottom handlers only run in the
+  (* 2. Baseline: the original top handler — bottom handlers only run in the
      subscriber's own slot. *)
-  let baseline, baseline_stats = run Config.No_shaping in
+  let baseline, baseline_stats = run (Scenarios.quickstart ~monitored:false ()) in
 
-  (* 4. Monitored: bottom handlers may run in foreign slots, shaped by a
+  (* 3. Monitored: bottom handlers may run in foreign slots, shaped by a
      d_min monitor so other partitions see bounded interference. *)
-  let monitored, monitored_stats =
-    run (Config.Fixed_monitor (Distance_fn.d_min d_min))
-  in
+  let monitored, monitored_stats = run (Scenarios.quickstart ()) in
 
   Format.printf "baseline : avg %7.1fus  p95 %7.1fus  worst %7.1fus@."
     baseline.Summary.mean baseline.Summary.p95 baseline.Summary.max;
@@ -66,10 +46,11 @@ let () =
   Format.printf "average improvement: %.1fx@."
     (baseline.Summary.mean /. monitored.Summary.mean);
 
-  (* 5. The price: bounded interference on the "control" partition.  The
+  (* 4. The price: bounded interference on the "control" partition.  The
      hypervisor enforces it; equation (14) predicts it. *)
   let c_bh_eff =
-    Cycles.of_us 40 + 877 + (2 * Cycles.of_us 50)
+    Rthv_check.Lint.c_bh_eff ~platform:Rthv_hw.Platform.arm926ejs_200mhz
+      ~c_bh:(Cycles.of_us 40)
   in
   let bound =
     Rthv_analysis.Independence.max_slot_loss ~monitor:(Distance_fn.d_min d_min)

@@ -1,0 +1,40 @@
+exception Audit_failure of Diagnostic.t list
+
+let () =
+  Printexc.register_printer (function
+    | Audit_failure diags ->
+        let shown = 10 in
+        let rec take n = function
+          | x :: rest when n > 0 -> x :: take (n - 1) rest
+          | _ -> []
+        in
+        let rendered =
+          List.map
+            (fun d -> Format.asprintf "  %a" Diagnostic.pp d)
+            (take shown diags)
+        in
+        let more =
+          if List.length diags > shown then
+            [ Printf.sprintf "  ... and %d more" (List.length diags - shown) ]
+          else []
+        in
+        Some
+          (String.concat "\n"
+             (Printf.sprintf "Audit_failure: %d finding(s)"
+                (List.length diags)
+             :: rendered
+             @ more))
+    | _ -> None)
+
+let default_fail diags = raise (Audit_failure diags)
+
+let install ?(fail = default_fail) () =
+  Rthv_core.Hyp_sim.set_audit_hook
+    (Some
+       (fun config trace ->
+         let spec = Trace_oracle.of_config config in
+         let diags = Trace_oracle.audit spec trace in
+         if List.exists Diagnostic.is_error diags then fail diags))
+
+let uninstall () = Rthv_core.Hyp_sim.set_audit_hook None
+let installed = Rthv_core.Hyp_sim.audit_hook_installed

@@ -1,0 +1,22 @@
+(** Opt-in simulator auditing.
+
+    Installing the hook makes every {!Rthv_core.Hyp_sim} run record a trace
+    (if the caller did not already attach one) and replay it through
+    {!Trace_oracle} when the run finishes.  Error-severity findings raise
+    {!Audit_failure}, so an entire test suite can run audited by installing
+    the hook once in its main. *)
+
+exception Audit_failure of Diagnostic.t list
+(** Raised (by the default [fail]) when an audited run violates a trace
+    invariant.  A human-readable printer is registered with
+    {!Printexc.register_printer}. *)
+
+val install : ?fail:(Diagnostic.t list -> unit) -> unit -> unit
+(** Install the audit hook.  After every simulator run the trace is audited
+    against the run's configuration; if any Error-severity diagnostics are
+    found, [fail] is called with the full (sorted) list.  The default [fail]
+    raises {!Audit_failure}. *)
+
+val uninstall : unit -> unit
+
+val installed : unit -> bool

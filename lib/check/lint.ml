@@ -1,0 +1,389 @@
+module Cycles = Rthv_engine.Cycles
+module Platform = Rthv_hw.Platform
+module Config = Rthv_core.Config
+module Task = Rthv_rtos.Task
+module DF = Rthv_analysis.Distance_fn
+module Independence = Rthv_analysis.Independence
+module Certificate = Rthv_analysis.Certificate
+module GS = Rthv_analysis.Guest_sched
+module D = Diagnostic
+
+let c_bh_eff ~platform ~c_bh =
+  Cycles.( + ) c_bh
+    (Cycles.( + )
+       (Platform.sched_manip_cost platform)
+       (Cycles.( * ) (Platform.ctx_switch_cost platform) 2))
+
+(* The statically known envelope of the admitted stream.  A self-learning
+   monitor without a load bound has no static envelope; a bounded one admits
+   at most what the bound allows (Algorithm 2 raises every learned entry to
+   the bound, so conformance to the adjusted condition implies conformance
+   to the bound). *)
+let static_condition = function
+  | Config.Fixed_monitor fn -> Some fn
+  | Config.Self_learning { bound = Some b; _ } -> Some b
+  | Config.Self_learning { bound = None; _ }
+  | Config.No_shaping | Config.Token_bucket _ ->
+      None
+
+let shaped source =
+  match source.Config.shaping with
+  | Config.No_shaping -> false
+  | Config.Fixed_monitor _ | Config.Self_learning _ | Config.Token_bucket _ ->
+      true
+
+(* A condition whose superadditive extension never grows admits an unbounded
+   number of events in some finite window: eq. (14) yields no bound. *)
+let degenerate fn = DF.delta fn (DF.length fn + 1) = 0
+
+type ctx = {
+  config : Config.t;
+  cycle : Cycles.t;
+  c_ctx : Cycles.t;
+}
+
+let source_loc (s : Config.source) = Printf.sprintf "source %s" s.Config.name
+let partition_loc (p : Config.partition) =
+  Printf.sprintf "partition %s" p.Config.pname
+
+let eff ctx (s : Config.source) =
+  c_bh_eff ~platform:ctx.config.Config.platform ~c_bh:s.Config.c_bh
+
+(* RTHV002: a slot that cannot even cover the slot-entry context switch
+   provides zero service; the TDMA supply bound (eq. 8) is vacuous. *)
+let rule_slot_covers_ctx ctx =
+  List.filter_map
+    (fun (p : Config.partition) ->
+      if p.Config.slot <= ctx.c_ctx then
+        Some
+          (D.error ~code:"RTHV002" ~loc:(partition_loc p)
+             ~hint:"grow the slot beyond C_ctx or drop the partition"
+             (Format.asprintf
+                "slot %a cannot cover the slot-entry context switch C_ctx = \
+                 %a: the partition never executes"
+                Cycles.pp p.Config.slot Cycles.pp ctx.c_ctx))
+      else None)
+    ctx.config.Config.partitions
+
+(* RTHV003: eq. (14) reads I(dt) = eta+_monitor(dt) * C'_BH; a degenerate
+   condition has eta+ = infinity for any positive window. *)
+let rule_monitor_bounded ctx =
+  List.filter_map
+    (fun (s : Config.source) ->
+      match static_condition s.Config.shaping with
+      | Some fn when degenerate fn ->
+          Some
+            (D.error ~code:"RTHV003" ~loc:(source_loc s)
+               ~hint:"use a positive d_min (or load bound) so eq. (14) bounds \
+                      the interference"
+               "monitoring condition admits unbounded load: every delta^- \
+                entry is 0, so the eq.-(14) interference bound does not exist")
+      | Some _ | None -> None)
+    ctx.config.Config.sources
+
+(* RTHV004: long-term processor share stolen by all grants together.  At
+   >= 1.0 the interposed handlers alone overload the core; eq. (2) cannot
+   hold for any partition. *)
+let rule_interference_utilisation ctx =
+  let loss =
+    List.fold_left
+      (fun acc (s : Config.source) ->
+        match s.Config.shaping with
+        | Config.Token_bucket { refill; _ } ->
+            acc +. (float_of_int (eff ctx s) /. float_of_int refill)
+        | shaping -> (
+            match static_condition shaping with
+            | Some fn when not (degenerate fn) ->
+                acc
+                +. Independence.utilisation_loss ~monitor:fn
+                     ~c_bh_eff:(eff ctx s)
+            | Some _ | None -> acc))
+      0. ctx.config.Config.sources
+  in
+  if loss >= 1. -. 1e-9 then
+    [
+      D.error ~code:"RTHV004" ~loc:"system"
+        ~hint:"enlarge the monitors' distances (Independence.required_d_min \
+               sizes a d_min for a target utilisation)"
+        (Printf.sprintf
+           "granted monitors admit %.0f%% long-term interposition \
+            utilisation (eq. 14): the interposed handlers alone overload \
+            the processor"
+           (100. *. loss));
+    ]
+  else []
+
+(* RTHV005: the full certification argument — eq. (2) with eq.-(14)
+   interference, checked through the busy-window analysis of Guest_sched.
+   This is a proof obligation, not a heuristic: the rule fails exactly when
+   Certificate.check does. *)
+let rule_certificate ctx =
+  let grants =
+    List.filter_map
+      (fun (s : Config.source) ->
+        match static_condition s.Config.shaping with
+        | Some fn when not (degenerate fn) ->
+            Some
+              {
+                Certificate.source_name = s.Config.name;
+                monitor = fn;
+                c_bh_eff = eff ctx s;
+                subscriber = s.Config.subscriber;
+              }
+        | Some _ | None -> None)
+      ctx.config.Config.sources
+  in
+  let partitions =
+    List.mapi
+      (fun i (p : Config.partition) ->
+        {
+          Certificate.p_index = i;
+          p_name = p.Config.pname;
+          slot = p.Config.slot;
+          tasks = List.map GS.of_spec p.Config.tasks;
+        })
+      ctx.config.Config.partitions
+  in
+  let cert =
+    Certificate.check ~cycle:ctx.cycle ~c_ctx:ctx.c_ctx ~partitions ~grants
+  in
+  List.filter_map
+    (fun (v : Certificate.verdict) ->
+      let slot = (List.nth ctx.config.Config.partitions v.Certificate.v_index).Config.slot in
+      if v.Certificate.schedulable || slot <= ctx.c_ctx (* RTHV002's case *)
+      then None
+      else
+        let failing =
+          List.filter_map
+            (fun ((task : GS.task), result) ->
+              match result with
+              | Ok r when r.Rthv_analysis.Busy_window.response_time <= task.GS.period
+                -> None
+              | Ok _ | Error _ -> Some task.GS.name)
+            v.Certificate.task_results
+        in
+        Some
+          (D.error ~code:"RTHV005"
+             ~loc:(Printf.sprintf "partition %s" v.Certificate.v_name)
+             ~hint:"shrink the grants' interference (larger d_min) or \
+                    lighten the task set; see Certificate.pp for the numbers"
+             (Printf.sprintf
+                "task set not schedulable under TDMA service plus the \
+                 grants' eq.-(14) interference budget %s (eq. 2 violated): \
+                 failing task(s) %s"
+                (Format.asprintf "%a" Cycles.pp v.Certificate.interference_budget)
+                (String.concat ", " failing))))
+    cert.Certificate.verdicts
+
+(* RTHV006: a necessary condition cheaper than the certificate — demand
+   above the partition's TDMA share can never converge. *)
+let rule_partition_utilisation ctx =
+  List.filter_map
+    (fun (p : Config.partition) ->
+      if p.Config.slot <= ctx.c_ctx then None
+      else
+        let share =
+          float_of_int (Cycles.( - ) p.Config.slot ctx.c_ctx)
+          /. float_of_int ctx.cycle
+        in
+        let u = Task.utilisation p.Config.tasks in
+        if u > share +. 1e-9 then
+          Some
+            (D.error ~code:"RTHV006" ~loc:(partition_loc p)
+               ~hint:"the slot share is (T_i - C_ctx) / T_TDMA; lengthen the \
+                      slot or lighten the tasks"
+               (Printf.sprintf
+                  "task utilisation %.1f%% exceeds the partition's TDMA \
+                   share %.1f%%: unschedulable regardless of interference"
+                  (100. *. u) (100. *. share)))
+        else None)
+    ctx.config.Config.partitions
+
+(* RTHV007: self-learning monitors that can never do useful work. *)
+let rule_learning_useful ctx =
+  List.filter_map
+    (fun (s : Config.source) ->
+      match s.Config.shaping with
+      | Config.Self_learning { learn_events = 0; _ } ->
+          Some
+            (D.warning ~code:"RTHV007" ~loc:(source_loc s)
+               ~hint:"train on a prefix of the trace (the paper uses 10%)"
+               "self-learning monitor with learn_events = 0: Algorithm 1 \
+                learns nothing, the condition stays degenerate and no \
+                activation is ever admitted")
+      | Config.Self_learning { learn_events; _ }
+        when Array.length s.Config.interarrivals > 0
+             && learn_events >= Array.length s.Config.interarrivals ->
+          Some
+            (D.warning ~code:"RTHV007" ~loc:(source_loc s)
+               ~hint:"use learn_events < the number of activations"
+               (Printf.sprintf
+                  "self-learning monitor never leaves the learning phase: \
+                   learn_events = %d but the source only fires %d times"
+                  learn_events
+                  (Array.length s.Config.interarrivals)))
+      | _ -> None)
+    ctx.config.Config.sources
+
+(* RTHV008: a grant for a source that never fires is certification noise. *)
+let rule_vacuous_grant ctx =
+  List.filter_map
+    (fun (s : Config.source) ->
+      if shaped s && Array.length s.Config.interarrivals = 0 then
+        Some
+          (D.warning ~code:"RTHV008" ~loc:(source_loc s)
+             ~hint:"drop the grant or give the source a workload"
+             "shaped source never fires (empty interarrival array): the \
+              interposition grant is vacuous")
+      else None)
+    ctx.config.Config.sources
+
+(* RTHV009: the monitor will do its job, but the integrator should know the
+   workload requests more than the condition admits. *)
+let rule_workload_within_condition ctx =
+  List.filter_map
+    (fun (s : Config.source) ->
+      match s.Config.shaping with
+      | Config.Fixed_monitor fn
+        when (not (degenerate fn)) && Array.length s.Config.interarrivals > 0
+        ->
+          let n = Array.length s.Config.interarrivals in
+          let total =
+            Array.fold_left (fun acc d -> acc +. float_of_int d) 0.
+              s.Config.interarrivals
+          in
+          let request_rate = float_of_int n /. total in
+          let admitted_rate = DF.long_term_rate fn in
+          if request_rate > admitted_rate *. (1. +. 1e-9) then
+            Some
+              (D.info ~code:"RTHV009" ~loc:(source_loc s)
+                 ~hint:"expected: a fraction of events is denied and handled \
+                        delayed; Fig. 6b shows the resulting latency mix"
+                 (Printf.sprintf
+                    "average request rate (%.1f events/s) exceeds the \
+                     monitoring condition's admitted rate (%.1f events/s): \
+                     sustained denials expected"
+                    (request_rate *. 1e6 *. float_of_int Cycles.cycles_per_us)
+                    (admitted_rate *. 1e6 *. float_of_int Cycles.cycles_per_us)))
+          else None
+      | _ -> None)
+    ctx.config.Config.sources
+
+(* RTHV010: Regehr & Duongsaa throttling admits bursts; at equal long-term
+   rate its interference bound strictly dominates the d_min bound. *)
+let rule_bucket_burst ctx =
+  List.filter_map
+    (fun (s : Config.source) ->
+      match s.Config.shaping with
+      | Config.Token_bucket { capacity; refill } when capacity > 1 ->
+          Some
+            (D.warning ~code:"RTHV010" ~loc:(source_loc s)
+               ~hint:"a delta^- monitor at the same rate (d_min = refill) \
+                      gives the tighter eq.-(14) bound"
+               (Printf.sprintf
+                  "token bucket with burst capacity %d: any window admits up \
+                   to %d + dt/%s interpositions, so partitions must absorb \
+                   %d back-to-back C'_BH hits — worse than the equivalent \
+                   d_min bound"
+                  capacity capacity
+                  (Format.asprintf "%a" Cycles.pp refill)
+                  capacity))
+      | _ -> None)
+    ctx.config.Config.sources
+
+(* RTHV011: duplicate names break log and certificate attribution. *)
+let rule_unique_partition_names ctx =
+  let rec dups seen = function
+    | [] -> []
+    | (p : Config.partition) :: rest ->
+        if List.mem p.Config.pname seen then
+          D.warning ~code:"RTHV011" ~loc:(partition_loc p)
+            ~hint:"rename so certificates and traces attribute uniquely"
+            "duplicate partition name"
+          :: dups seen rest
+        else dups (p.Config.pname :: seen) rest
+  in
+  dups [] ctx.config.Config.partitions
+
+(* RTHV012: handler-vs-slot sizing.  A grant whose C'_BH (eq. 13) exceeds
+   the subscriber's whole slot makes a single interposition as heavy as a
+   slot; a plain bottom handler that cannot finish within one effective slot
+   monopolises the boundary-deferral mechanism every time. *)
+let rule_handler_fits_slot ctx =
+  List.filter_map
+    (fun (s : Config.source) ->
+      match List.nth_opt ctx.config.Config.partitions s.Config.subscriber with
+      | None -> None (* RTHV001 territory *)
+      | Some p ->
+          let slot = p.Config.slot in
+          if shaped s && eff ctx s > slot then
+            Some
+              (D.error ~code:"RTHV012" ~loc:(source_loc s)
+                 ~hint:"shrink C_BH or grow the subscriber's slot; eq. (13) \
+                        adds C_sched + 2*C_ctx to every interposition"
+                 (Format.asprintf
+                    "grant's effective cost C'_BH = %a exceeds subscriber \
+                     %s's entire slot (%a): one admitted interposition \
+                     outweighs a full slot of service"
+                    Cycles.pp (eff ctx s) p.Config.pname Cycles.pp slot))
+          else if s.Config.c_bh > Cycles.( - ) slot ctx.c_ctx then
+            Some
+              (D.warning ~code:"RTHV012" ~loc:(source_loc s)
+                 ~hint:"the handler spans TDMA cycles (strict mode) or \
+                        defers every boundary (finish_bh_at_boundary)"
+                 (Format.asprintf
+                    "bottom handler (%a) cannot complete within one \
+                     effective slot of subscriber %s (%a after C_ctx)"
+                    Cycles.pp s.Config.c_bh p.Config.pname Cycles.pp
+                    (Cycles.( - ) slot ctx.c_ctx)))
+          else None)
+    ctx.config.Config.sources
+
+let rules =
+  [
+    ("RTHV001", "configuration fails Config.validate");
+    ("RTHV002", "partition slot cannot cover the slot-entry context switch");
+    ("RTHV003", "monitoring condition admits unbounded load (no eq.-14 bound)");
+    ("RTHV004", "granted monitors reach 1.0 long-term interference utilisation");
+    ("RTHV005", "task set fails the independence certificate (eq. 2 + eq. 14)");
+    ("RTHV006", "task utilisation exceeds the partition's TDMA share");
+    ("RTHV007", "self-learning monitor never reaches a useful run phase");
+    ("RTHV008", "shaped source never fires (vacuous grant)");
+    ("RTHV009", "workload rate exceeds the monitoring condition (denials expected)");
+    ("RTHV010", "token-bucket burst allowance dominates the d_min bound");
+    ("RTHV011", "duplicate partition names");
+    ("RTHV012", "bottom handler / grant does not fit the subscriber's slot");
+  ]
+
+let analyze config =
+  match Config.validate config with
+  | Error msg ->
+      [
+        D.error ~code:"RTHV001" ~loc:"config"
+          ~hint:"remaining rules assume a structurally valid configuration"
+          msg;
+      ]
+  | Ok () ->
+      let ctx =
+        {
+          config;
+          cycle = Rthv_core.Tdma.cycle_length (Config.tdma config);
+          c_ctx = Platform.ctx_switch_cost config.Config.platform;
+        }
+      in
+      Diagnostic.sort
+        (List.concat_map
+           (fun rule -> rule ctx)
+           [
+             rule_slot_covers_ctx;
+             rule_monitor_bounded;
+             rule_interference_utilisation;
+             rule_certificate;
+             rule_partition_utilisation;
+             rule_learning_useful;
+             rule_vacuous_grant;
+             rule_workload_within_condition;
+             rule_bucket_burst;
+             rule_unique_partition_names;
+             rule_handler_fits_slot;
+           ])

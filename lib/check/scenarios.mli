@@ -1,0 +1,60 @@
+(** Canonical example configurations.
+
+    One source of truth for the configurations the examples, the
+    [rthv_lint] CLI and the tests share: the quickstart two-partition
+    system, the ARINC653-style avionics scenario, the Appendix-A automotive
+    self-learning scenario, and a deliberately broken configuration that
+    demonstrates the static rules. *)
+
+val quickstart_d_min : Rthv_engine.Cycles.t
+(** The quickstart's granted d_min (2 ms), also the workload mean. *)
+
+val quickstart : ?monitored:bool -> unit -> Rthv_core.Config.t
+(** Two 5 ms partitions; partition "io" subscribes a NIC source with
+    exponential arrivals.  [monitored] (default true) selects the d_min
+    monitor over the unshaped baseline. *)
+
+val avionics_datalink_bh_us : int
+(** The datalink bottom handler's WCET in microseconds (60 µs). *)
+
+val avionics_c_bh_eff : unit -> Rthv_engine.Cycles.t
+(** Eq. (13) effective cost of one admitted datalink interposition on the
+    ARM926ej-s platform ({!Lint.c_bh_eff}). *)
+
+val avionics_d_min : unit -> Rthv_engine.Cycles.t
+(** The datalink's granted d_min, sized by
+    {!Rthv_analysis.Independence.required_d_min} for a 3 % ceiling. *)
+
+val avionics_ima : unit -> Rthv_core.Config.t
+(** Four partitions of mixed criticality with guest task sets; a delayed
+    sensor bus and a monitored datalink. *)
+
+type automotive = {
+  auto_config : Rthv_core.Config.t;
+  auto_learn_events : int;
+  auto_recorded : Rthv_analysis.Distance_fn.t;
+      (** Envelope recorded offline from the learning prefix. *)
+  auto_bound : Rthv_analysis.Distance_fn.t;
+      (** The 25 % load cap handed to Algorithm 2. *)
+}
+
+val automotive_parts : unit -> automotive
+(** The Appendix-A scenario with its learning artefacts exposed (the
+    example prints them). *)
+
+val automotive_ecu : unit -> Rthv_core.Config.t
+(** [(automotive_parts ()).auto_config]. *)
+
+val demo_bad : unit -> Rthv_core.Config.t
+(** A structurally valid configuration that trips every static rule from
+    RTHV002 to RTHV012 — the linter's demonstration input. *)
+
+val good : (string * (unit -> Rthv_core.Config.t)) list
+(** [("quickstart", _); ("avionics_ima", _); ("automotive_ecu", _)] — the
+    scenarios expected to lint clean of errors. *)
+
+val all : (string * (unit -> Rthv_core.Config.t)) list
+(** {!good} plus [("demo_bad", _)]. *)
+
+val find : string -> (unit -> Rthv_core.Config.t) option
+(** Look up a scenario in {!all} by name. *)

@@ -1,0 +1,428 @@
+module Cycles = Rthv_engine.Cycles
+module Platform = Rthv_hw.Platform
+module Config = Rthv_core.Config
+module Hyp_trace = Rthv_core.Hyp_trace
+module DF = Rthv_analysis.Distance_fn
+module Independence = Rthv_analysis.Independence
+module D = Diagnostic
+
+type source_spec = {
+  ss_line : int;
+  ss_name : string;
+  ss_subscriber : int;
+  ss_c_th : Cycles.t;
+  ss_budget : Cycles.t;
+  ss_c_bh_eff : Cycles.t;
+  ss_shaped : bool;
+  ss_condition : DF.t option;
+  ss_bound : Independence.interference_curve option;
+}
+
+type spec = {
+  partitions : int;
+  slots : Cycles.t list;
+  cycle : Cycles.t;
+  c_mon : Cycles.t;
+  c_sched : Cycles.t;
+  c_ctx : Cycles.t;
+  sources : source_spec list;
+}
+
+let of_config (config : Config.t) =
+  let platform = config.Config.platform in
+  let sources =
+    List.map
+      (fun (s : Config.source) ->
+        let condition = Lint.static_condition s.Config.shaping in
+        let condition =
+          match condition with
+          | Some fn when Lint.degenerate fn -> None
+          | c -> c
+        in
+        let c_bh_eff = Lint.c_bh_eff ~platform ~c_bh:s.Config.c_bh in
+        let bound =
+          match (condition, s.Config.shaping) with
+          | Some fn, _ -> Some (Independence.interposed_bound ~monitor:fn ~c_bh_eff)
+          | None, Config.Token_bucket { capacity; refill } ->
+              Some (Independence.token_bucket_bound ~capacity ~refill ~c_bh_eff)
+          | None, _ -> None
+        in
+        {
+          ss_line = s.Config.line;
+          ss_name = s.Config.name;
+          ss_subscriber = s.Config.subscriber;
+          ss_c_th = s.Config.c_th;
+          ss_budget = s.Config.c_bh;
+          ss_c_bh_eff = c_bh_eff;
+          ss_shaped = Lint.shaped s;
+          ss_condition = condition;
+          ss_bound = bound;
+        })
+      config.Config.sources
+  in
+  let tdma = Config.tdma config in
+  {
+    partitions = List.length config.Config.partitions;
+    slots = List.map (fun (p : Config.partition) -> p.Config.slot) config.Config.partitions;
+    cycle = Rthv_core.Tdma.cycle_length tdma;
+    c_mon = Platform.monitor_cost platform;
+    c_sched = Platform.sched_manip_cost platform;
+    c_ctx = Platform.ctx_switch_cost platform;
+    sources;
+  }
+
+(* --- replay state ------------------------------------------------------- *)
+
+type active = {
+  a_irq : int;
+  a_source : source_spec option;
+  a_target : int;
+  a_start : Cycles.t;
+  mutable a_allowance : Cycles.t;
+      (* Hypervisor work that preempted the interposition window: it elapses
+         wall-clock time inside [start, end] without consuming budget. *)
+}
+
+type state = {
+  spec : spec;
+  mutable diags : D.t list;
+  mutable last_time : Cycles.t;
+  mutable owner : int;
+  irq_line : (int, int) Hashtbl.t;
+  admitted_arrival : (int, Cycles.t) Hashtbl.t;
+  history : (int, Cycles.t list) Hashtbl.t;
+      (* line -> last l admitted arrivals, newest first. *)
+  mutable pending : (int * int ref) option;
+      (* Admitted irq whose interposition has not started yet, with the
+         number of slot switches seen since the decision: their C_ctx
+         hypervisor items are queued behind the admission's ctx switch and
+         drain inside the upcoming window. *)
+  mutable active : active option;
+  mutable completed : (Cycles.t * Cycles.t) list;  (* (charge time, cost) *)
+}
+
+let source_by_line st line =
+  List.find_opt (fun ss -> ss.ss_line = line) st.spec.sources
+
+let report st d = st.diags <- d :: st.diags
+
+let structural st ~loc message =
+  report st (D.error ~code:"RTHV106" ~loc message)
+
+(* RTHV102: an admitted activation must keep the configured distances to the
+   previously admitted activations of its line (the monitor's own rule —
+   eq. (14) is sound only because the admitted stream conforms). *)
+let check_admission st ~loc ss arrival =
+  match ss.ss_condition with
+  | None -> ()
+  | Some fn ->
+      let hist =
+        Option.value ~default:[] (Hashtbl.find_opt st.history ss.ss_line)
+      in
+      List.iteri
+        (fun i prev ->
+          let q = i + 2 in
+          let need = DF.delta fn q in
+          if Cycles.( - ) arrival prev < need then
+            report st
+              (D.error ~code:"RTHV102" ~loc
+                 ~hint:"the monitor must deny activations closer than \
+                        delta^- to the admitted history"
+                 (Format.asprintf
+                    "source %s: admitted activation at %a is only %a after \
+                     the admitted activation %d position(s) back — the \
+                     condition requires delta^-(%d) = %a"
+                    ss.ss_name Cycles.pp arrival Cycles.pp
+                    (Cycles.( - ) arrival prev)
+                    (i + 1) q Cycles.pp need)))
+        hist;
+      let l = DF.length fn in
+      let rec take n = function
+        | x :: rest when n > 0 -> x :: take (n - 1) rest
+        | _ -> []
+      in
+      Hashtbl.replace st.history ss.ss_line (take l (arrival :: hist))
+
+let finish_interposition st ~loc ~time a =
+  let execution = Cycles.( - ) (Cycles.( - ) time a.a_start) a.a_allowance in
+  (match a.a_source with
+  | Some ss when execution > ss.ss_budget ->
+      report st
+        (D.error ~code:"RTHV103" ~loc
+           ~hint:"the hypervisor must cut the interposition the moment the \
+                  budget is exhausted (Figure 4b)"
+           (Format.asprintf
+              "source %s: interposition executed %a but the granted budget \
+               C_BH is %a (window %a..%a minus %a of preempting hypervisor \
+               work)"
+              ss.ss_name Cycles.pp execution Cycles.pp ss.ss_budget Cycles.pp
+              a.a_start Cycles.pp time Cycles.pp a.a_allowance))
+  | Some _ | None -> ());
+  let charge_time =
+    match Hashtbl.find_opt st.admitted_arrival a.a_irq with
+    | Some arrival -> arrival
+    | None -> a.a_start
+  in
+  let cost =
+    Cycles.( + )
+      (Cycles.( + ) st.spec.c_sched (Cycles.( * ) st.spec.c_ctx 2))
+      (Cycles.max execution 0)
+  in
+  st.completed <- (charge_time, cost) :: st.completed;
+  st.active <- None
+
+let entry_loc index (e : Hyp_trace.entry) =
+  Format.asprintf "trace[%d] t=%a" index Cycles.pp e.Hyp_trace.time
+
+let step st index (e : Hyp_trace.entry) =
+  let loc = entry_loc index e in
+  let time = e.Hyp_trace.time in
+  if time < st.last_time then
+    report st
+      (D.error ~code:"RTHV101" ~loc
+         (Format.asprintf
+            "trace timestamps go backwards: %a after %a" Cycles.pp time
+            Cycles.pp st.last_time));
+  st.last_time <- Cycles.max st.last_time time;
+  let bump_allowance cost =
+    match st.active with
+    | Some a -> a.a_allowance <- Cycles.( + ) a.a_allowance cost
+    | None -> ()
+  in
+  match e.Hyp_trace.event with
+  | Hyp_trace.Boundary_deferred _ -> ()
+  | Hyp_trace.Slot_switch { from_partition; to_partition } ->
+      if from_partition <> st.owner then
+        structural st ~loc
+          (Printf.sprintf
+             "slot switch from partition %d, but partition %d owned the slot"
+             from_partition st.owner);
+      st.owner <- to_partition;
+      (match st.pending with Some (_, n) -> incr n | None -> ())
+  | Hyp_trace.Top_handler_run { irq; line } -> (
+      Hashtbl.replace st.irq_line irq line;
+      match source_by_line st line with
+      | Some ss -> bump_allowance ss.ss_c_th
+      | None ->
+          structural st ~loc
+            (Printf.sprintf "top handler on unconfigured line %d" line))
+  | Hyp_trace.Monitor_decision { irq; line; arrival; verdict } -> (
+      Hashtbl.replace st.irq_line irq line;
+      bump_allowance st.spec.c_mon;
+      match verdict with
+      | `Denied | `Fallback_direct -> ()
+      | `Admitted -> (
+          Hashtbl.replace st.admitted_arrival irq arrival;
+          (match st.pending with
+          | Some (previous, _) ->
+              structural st ~loc
+                (Printf.sprintf
+                   "activation admitted while irq %d's admitted \
+                    interposition has not started yet"
+                   previous)
+          | None -> ());
+          st.pending <- Some (irq, ref 0);
+          match source_by_line st line with
+          | Some ss -> check_admission st ~loc ss arrival
+          | None ->
+              structural st ~loc
+                (Printf.sprintf "monitor decision on unconfigured line %d" line)))
+  | Hyp_trace.Interposition_start { irq; target } ->
+      (match st.active with
+      | Some a ->
+          structural st ~loc
+            (Printf.sprintf
+               "interposition for irq %d starts while irq %d's is still \
+                active"
+               irq a.a_irq);
+          (* Judge the abandoned window at the point it was superseded. *)
+          finish_interposition st ~loc ~time a
+      | None -> ());
+      let allowance =
+        match st.pending with
+        | Some (p_irq, crossings) when p_irq = irq ->
+            st.pending <- None;
+            Cycles.( * ) st.spec.c_ctx !crossings
+        | Some _ | None ->
+            structural st ~loc
+              (Printf.sprintf
+                 "interposition for irq %d starts without a matching \
+                  admitted monitor decision"
+                 irq);
+            Cycles.zero
+      in
+      let source =
+        match Hashtbl.find_opt st.irq_line irq with
+        | None ->
+            structural st ~loc
+              (Printf.sprintf "interposition for unknown irq %d" irq);
+            None
+        | Some line -> (
+            match source_by_line st line with
+            | None ->
+                structural st ~loc
+                  (Printf.sprintf "interposition on unconfigured line %d" line);
+                None
+            | Some ss ->
+                if ss.ss_subscriber <> target then
+                  structural st ~loc
+                    (Printf.sprintf
+                       "interposition targets partition %d but line %d's \
+                        subscriber is partition %d"
+                       target ss.ss_line ss.ss_subscriber);
+                Some ss)
+      in
+      st.active <-
+        Some
+          {
+            a_irq = irq;
+            a_source = source;
+            a_target = target;
+            a_start = time;
+            a_allowance = allowance;
+          }
+  | Hyp_trace.Interposition_crossed_boundary { target } -> (
+      match st.active with
+      | Some a when a.a_target = target -> a.a_allowance <- Cycles.( + ) a.a_allowance st.spec.c_ctx
+      | Some a ->
+          structural st ~loc
+            (Printf.sprintf
+               "boundary crossing reported for partition %d but the active \
+                interposition targets partition %d"
+               target a.a_target)
+      | None ->
+          structural st ~loc
+            "boundary crossing reported with no interposition in flight")
+  | Hyp_trace.Interposition_end { target; reason = _ } -> (
+      match st.active with
+      | None ->
+          structural st ~loc "interposition end with no interposition in flight"
+      | Some a ->
+          if a.a_target <> target then
+            structural st ~loc
+              (Printf.sprintf
+                 "interposition end for partition %d but the active \
+                  interposition targets partition %d"
+                 target a.a_target);
+          finish_interposition st ~loc ~time a)
+  | Hyp_trace.Bottom_handler_done { irq = _; partition } -> (
+      if partition <> st.owner then
+        match st.active with
+        | Some a when a.a_target = partition -> ()
+        | Some _ | None ->
+            report st
+              (D.error ~code:"RTHV105" ~loc
+                 ~hint:"outside its own slot a bottom handler may only run \
+                        inside an admitted interposition (Section 5)"
+                 (Printf.sprintf
+                    "bottom handler of partition %d completed during \
+                     partition %d's slot with no admitted interposition \
+                     targeting it"
+                    partition st.owner)))
+
+(* RTHV104: replay-side equation (14).  Each completed interposition is
+   charged C_sched + 2*C_ctx + execution at the arrival of the activation it
+   was admitted for; in every window anchored at a charge and sized by a
+   partition slot or the full cycle, the charges must stay within the summed
+   static interference curves (plus one carry-in C'_BH). *)
+let check_interference st =
+  let unbounded =
+    List.exists (fun ss -> ss.ss_shaped && ss.ss_bound = None) st.spec.sources
+  in
+  let charges =
+    List.sort
+      (fun (a, _) (b, _) -> Cycles.compare a b)
+      (List.rev st.completed)
+  in
+  if unbounded || charges = [] then ()
+  else begin
+    let carry =
+      List.fold_left
+        (fun acc ss -> if ss.ss_shaped then Cycles.max acc ss.ss_c_bh_eff else acc)
+        0 st.spec.sources
+    in
+    let bound dt =
+      List.fold_left
+        (fun acc ss ->
+          match ss.ss_bound with
+          | Some curve -> Cycles.( + ) acc (curve dt)
+          | None -> acc)
+        carry st.spec.sources
+    in
+    let arr = Array.of_list charges in
+    let n = Array.length arr in
+    let windows = List.sort_uniq Cycles.compare (st.spec.cycle :: st.spec.slots) in
+    List.iter
+      (fun dt ->
+        let budget = bound dt in
+        let j = ref 0 in
+        let sum = ref 0 in
+        for i = 0 to n - 1 do
+          let anchor = fst arr.(i) in
+          (* Grow the window to cover [anchor, anchor + dt). *)
+          while !j < n && fst arr.(!j) < Cycles.( + ) anchor dt do
+            sum := Cycles.( + ) !sum (snd arr.(!j));
+            incr j
+          done;
+          if !sum > budget then
+            report st
+              (D.error ~code:"RTHV104"
+                 ~loc:(Format.asprintf "window %a+%a" Cycles.pp anchor Cycles.pp dt)
+                 ~hint:"equation (14) plus one carry-in bounds the \
+                        interposition load in every window; an excess means \
+                        the monitors under-enforced their conditions"
+                 (Format.asprintf
+                    "interpositions charged %a in the window, exceeding the \
+                     summed eq.-(14) bound of %a"
+                    Cycles.pp !sum Cycles.pp budget));
+          (* Drop this anchor's charge before moving to the next anchor. *)
+          sum := Cycles.( - ) !sum (snd arr.(i))
+        done)
+      windows
+  end
+
+let audit_entries spec entries =
+  let st =
+    {
+      spec;
+      diags = [];
+      last_time = Cycles.zero;
+      owner = 0;
+      irq_line = Hashtbl.create 64;
+      admitted_arrival = Hashtbl.create 64;
+      history = Hashtbl.create 8;
+      pending = None;
+      active = None;
+      completed = [];
+    }
+  in
+  List.iteri (fun index e -> step st index e) entries;
+  (* A trace cut mid-window (horizon) is not judged; only terminated
+     interpositions enter the interference accounting. *)
+  check_interference st;
+  D.sort (List.rev st.diags)
+
+let audit spec trace =
+  let dropped = Hyp_trace.dropped trace in
+  if dropped > 0 then
+    [
+      D.info ~code:"RTHV107" ~loc:"trace"
+        ~hint:"enlarge the trace capacity (Hyp_sim.audit_trace_capacity is \
+               the audit default) or shorten the run"
+        (Printf.sprintf
+           "trace ring buffer dropped %d of %d entries; the invariant audit \
+            needs the full stream and was skipped"
+           dropped (Hyp_trace.recorded trace));
+    ]
+  else audit_entries spec (Hyp_trace.to_list trace)
+
+let invariants =
+  [
+    ("RTHV101", "trace timestamps go backwards");
+    ("RTHV102", "admitted activation violates the configured delta^- condition");
+    ("RTHV103", "interposition executed beyond its C_BH budget");
+    ("RTHV104", "interposition load exceeds the eq.-(14) window bound");
+    ("RTHV105", "bottom handler completed outside its subscriber's slot");
+    ("RTHV106", "structurally inconsistent interposition event stream");
+    ("RTHV107", "trace buffer dropped entries; audit skipped");
+  ]

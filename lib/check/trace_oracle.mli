@@ -1,0 +1,84 @@
+(** Pass 2 — trace-invariant oracle.
+
+    A replay checker over a {!Rthv_core.Hyp_trace} event stream: given the
+    configuration the trace was produced under, verify that the hypervisor's
+    observable behaviour stayed inside the paper's guarantees.  The oracle is
+    the runtime complement of the static analyzer — {!Lint} proves the
+    configuration admits a bound, this pass proves a concrete run respected
+    it.
+
+    Invariant codes:
+
+    - [RTHV101] trace timestamps go backwards (Error);
+    - [RTHV102] an [`Admitted] monitor decision violates the configured
+      delta^- condition against the previously admitted activations of the
+      same line (Error) — checked for every source whose admitted stream has
+      a statically known condition ([Fixed_monitor], or the load bound of a
+      bounded [Self_learning] monitor, which Algorithm 2 makes at least as
+      strict as the learned condition);
+    - [RTHV103] an interposition executed longer than its C_BH budget:
+      [(end - start)] minus the hypervisor work that preempted the window
+      (top handlers, monitor runs, boundary context switches) exceeds the
+      granted budget (Error);
+    - [RTHV104] the completed interpositions, each charged
+      [C_sched + 2*C_ctx + execution] at its admitted activation's arrival
+      time, exceed the summed equation-(14) interference bound (plus one
+      carry-in) in some sliding window anchored at a charge and sized by a
+      partition slot or the TDMA cycle (Error) — skipped when any shaped
+      source has no static bound;
+    - [RTHV105] a bottom handler completed outside its subscriber's slot
+      with no admitted interposition targeting the subscriber in flight
+      (Error);
+    - [RTHV106] structural stream violations: an interposition starting
+      while another is active or without a matching admitted decision, an
+      end or boundary-crossing with no (or the wrong) interposition in
+      flight, events naming an unconfigured interrupt line, a slot switch
+      from a partition that did not own the slot (Error);
+    - [RTHV107] the trace ring buffer dropped entries, so no verdict is
+      possible — the audit is skipped (Info).
+
+    A trace that ends mid-interposition (horizon cut) is not an error; the
+    unfinished window is simply not judged. *)
+
+type source_spec = {
+  ss_line : int;
+  ss_name : string;
+  ss_subscriber : int;
+  ss_c_th : Rthv_engine.Cycles.t;
+  ss_budget : Rthv_engine.Cycles.t;  (** C_BH: the interposition budget. *)
+  ss_c_bh_eff : Rthv_engine.Cycles.t;  (** Equation (13). *)
+  ss_shaped : bool;
+  ss_condition : Rthv_analysis.Distance_fn.t option;
+      (** Static delta^- the admitted stream must respect; [None] when the
+          source is unshaped, bucket-throttled, degenerate, or learning
+          without a bound. *)
+  ss_bound : Rthv_analysis.Independence.interference_curve option;
+      (** Static eq.-(14)-style interference curve, when one exists. *)
+}
+
+type spec = {
+  partitions : int;
+  slots : Rthv_engine.Cycles.t list;
+  cycle : Rthv_engine.Cycles.t;
+  c_mon : Rthv_engine.Cycles.t;
+  c_sched : Rthv_engine.Cycles.t;
+  c_ctx : Rthv_engine.Cycles.t;
+  sources : source_spec list;
+}
+
+val of_config : Rthv_core.Config.t -> spec
+(** Derive the oracle's expectations from a configuration (the same values
+    {!Rthv_core.Hyp_sim} runs under). *)
+
+val audit_entries :
+  spec -> Rthv_core.Hyp_trace.entry list -> Diagnostic.t list
+(** Audit a raw entry list (oldest first), e.g. one built by hand in a
+    test.  Diagnostics are returned sorted most severe first. *)
+
+val audit : spec -> Rthv_core.Hyp_trace.t -> Diagnostic.t list
+(** Audit a recorded trace.  If the ring buffer dropped entries the result
+    is a single [RTHV107] info and nothing else is checked. *)
+
+val invariants : (string * string) list
+(** [(code, one-line description)] for every trace invariant, in code
+    order. *)

@@ -62,6 +62,7 @@ type event = Arrival of int | Boundary
 
 type t = {
   platform : Platform.t;
+  config : Config.t;
   finish_bh : bool;
   trace : Hyp_trace.t option;
   tdma : Tdma.t;
@@ -102,6 +103,17 @@ type t = {
   mutable n_delayed : int;
   mutable finished : bool;
 }
+
+(* Opt-in post-run audit: when a hook is installed, every simulation created
+   without an explicit trace buffer gets one attached, and [run] hands the
+   configuration plus the recorded trace to the hook once the run finishes.
+   The trace-invariant oracle of [Rthv_check] installs itself here so whole
+   test suites run audited without touching each call site. *)
+let audit_hook : (Config.t -> Hyp_trace.t -> unit) option ref = ref None
+let audit_trace_capacity = 1 lsl 20
+
+let set_audit_hook hook = audit_hook := hook
+let audit_hook_installed () = Option.is_some !audit_hook
 
 let shaper_of_shaping = function
   | Config.No_shaping -> No_shaper
@@ -217,10 +229,21 @@ let schedule_next_arrival t src =
 let monitor_done t src p shaper =
   let conforms = shaper_check shaper p.p_arrival in
   let subscriber = src.cfg.Config.subscriber in
+  let decision verdict =
+    trace_event t
+      (Hyp_trace.Monitor_decision
+         {
+           irq = p.p_irq;
+           line = src.cfg.Config.line;
+           arrival = p.p_arrival;
+           verdict;
+         })
+  in
   if t.slot_owner = subscriber then begin
     (* The subscriber's slot opened between the arrival and the monitoring
        decision: the queued event is processed right away in its own slot —
        direct handling, no interposition machinery needed. *)
+    decision `Fallback_direct;
     p.p_class <- Irq_record.Direct;
     t.n_direct <- t.n_direct + 1
   end
@@ -230,7 +253,7 @@ let monitor_done t src p shaper =
     p.p_class <- Irq_record.Interposed;
     t.n_interposed <- t.n_interposed + 1;
     t.interposition_pending <- true;
-    trace_event t (Hyp_trace.Monitor_decision { irq = p.p_irq; admitted = true });
+    decision `Admitted;
     enqueue_hyp t ~label:"sched_manip" ~steals:true ~cost:t.c_sched
       ~on_done:(fun () ->
         enqueue_hyp t ~label:"ctx_to" ~steals:true ~cost:t.c_ctx
@@ -247,7 +270,7 @@ let monitor_done t src p shaper =
     t.denials <- t.denials + 1;
     p.p_class <- Irq_record.Delayed;
     t.n_delayed <- t.n_delayed + 1;
-    trace_event t (Hyp_trace.Monitor_decision { irq = p.p_irq; admitted = false })
+    decision `Denied
   end
 
 let top_handler_done t src p =
@@ -400,9 +423,16 @@ let create ?trace config =
   in
   let n = Array.length guests in
   let _, _, slot_end = Tdma.slot_bounds_at tdma 0 in
+  let trace =
+    match (trace, !audit_hook) with
+    | (Some _ as some), _ -> some
+    | None, Some _ -> Some (Hyp_trace.create ~capacity:audit_trace_capacity ())
+    | None, None -> None
+  in
   let t =
     {
       platform;
+      config;
       finish_bh = config.Config.finish_bh_at_boundary;
       trace;
       tdma;
@@ -603,7 +633,10 @@ let run ?(horizon = default_horizon) t =
       step t
     done;
     close_slot_accounting t;
-    t.finished <- true
+    t.finished <- true;
+    match (!audit_hook, t.trace) with
+    | Some hook, Some trace -> hook t.config trace
+    | _ -> ()
   end
 
 let records t =

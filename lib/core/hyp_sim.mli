@@ -61,8 +61,24 @@ type stats = {
 val create : ?trace:Hyp_trace.t -> Config.t -> t
 (** [?trace] attaches a hypervisor event trace buffer; every scheduling
     decision (slot switches, deferrals, top handlers, monitor decisions,
-    interpositions, completions) is recorded into it.
+    interpositions, completions) is recorded into it.  When an audit hook is
+    installed (see {!set_audit_hook}) and no trace is passed, a buffer of
+    {!audit_trace_capacity} entries is attached automatically so the hook has
+    something to audit.
     @raise Invalid_argument if [Config.validate] fails. *)
+
+val set_audit_hook : (Config.t -> Hyp_trace.t -> unit) option -> unit
+(** Install (or clear) the global post-run audit hook.  While installed,
+    {!run} invokes it exactly once per simulation — after the run finishes —
+    with the simulation's configuration and its event trace.  Simulations
+    created before the hook was installed are audited too if they carry a
+    trace buffer.  [Rthv_check.Audit_hook] uses this to run the
+    trace-invariant oracle across entire test suites. *)
+
+val audit_hook_installed : unit -> bool
+
+val audit_trace_capacity : int
+(** Ring-buffer capacity of auto-attached audit traces (2^20 entries). *)
 
 val run : ?horizon:Rthv_engine.Cycles.t -> t -> unit
 (** Run until every generated IRQ has completed its bottom handler (and all

@@ -4,7 +4,12 @@ type event =
   | Slot_switch of { from_partition : int; to_partition : int }
   | Boundary_deferred of { owner : int; until : Cycles.t }
   | Top_handler_run of { irq : int; line : int }
-  | Monitor_decision of { irq : int; admitted : bool }
+  | Monitor_decision of {
+      irq : int;
+      line : int;
+      arrival : Cycles.t;
+      verdict : [ `Admitted | `Denied | `Fallback_direct ];
+    }
   | Interposition_start of { irq : int; target : int }
   | Interposition_end of {
       target : int;
@@ -60,10 +65,13 @@ let pp_event ppf = function
         until
   | Top_handler_run { irq; line } ->
       Format.fprintf ppf "top handler irq#%d (line %d)" irq line
-  | Monitor_decision { irq; admitted } ->
-      Format.fprintf ppf "monitor %s irq#%d"
-        (if admitted then "admitted" else "denied")
-        irq
+  | Monitor_decision { irq; line; arrival; verdict } ->
+      Format.fprintf ppf "monitor %s irq#%d (line %d, arrived %a)"
+        (match verdict with
+        | `Admitted -> "admitted"
+        | `Denied -> "denied"
+        | `Fallback_direct -> "fell back to direct for")
+        irq line Cycles.pp arrival
   | Interposition_start { irq; target } ->
       Format.fprintf ppf "interposition into p%d for irq#%d" target irq
   | Interposition_end { target; reason } ->

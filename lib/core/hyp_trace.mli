@@ -9,7 +9,18 @@ type event =
   | Slot_switch of { from_partition : int; to_partition : int }
   | Boundary_deferred of { owner : int; until : Rthv_engine.Cycles.t }
   | Top_handler_run of { irq : int; line : int }
-  | Monitor_decision of { irq : int; admitted : bool }
+  | Monitor_decision of {
+      irq : int;
+      line : int;
+      arrival : Rthv_engine.Cycles.t;
+          (** The activation timestamp the monitor judged — the time the
+              interrupt line fired, not the decision time.  delta^-
+              conformance of the admitted stream is defined on these. *)
+      verdict : [ `Admitted | `Denied | `Fallback_direct ];
+          (** [`Fallback_direct]: the subscriber's own slot opened between
+              the arrival and the monitoring decision, so the event is
+              handled directly and the admission machinery is skipped. *)
+    }
   | Interposition_start of { irq : int; target : int }
   | Interposition_end of {
       target : int;

@@ -89,10 +89,14 @@ let to_buffer trace =
           vector buf id_active to_partition
       | Hyp_trace.Boundary_deferred _ -> ()
       | Hyp_trace.Top_handler_run _ -> pulse st time id_top
-      | Hyp_trace.Monitor_decision { admitted = true; _ } ->
+      | Hyp_trace.Monitor_decision { verdict = `Admitted; _ } ->
           pulse st time id_admit
-      | Hyp_trace.Monitor_decision { admitted = false; _ } ->
+      | Hyp_trace.Monitor_decision { verdict = `Denied; _ } ->
           pulse st time id_deny
+      | Hyp_trace.Monitor_decision { verdict = `Fallback_direct; _ } ->
+          (* Handled directly in the subscriber's own slot: neither an
+             admission nor a denial. *)
+          ()
       | Hyp_trace.Interposition_start { target; _ } ->
           emit_time st time;
           vector buf id_interp target

@@ -1,0 +1,21 @@
+(** Top-level facade: everything {!Rthv_core.Rthv} re-exports, plus the
+    static configuration analyzer and the trace-invariant oracle of
+    [rthv.check].
+
+    [open Rthv] (or [module R = Rthv]) gives one namespace over the whole
+    reproduction:
+
+    {[
+      let diags = Rthv.Lint.analyze config in
+      Rthv.Audit_hook.install ();          (* every sim run is now audited *)
+      let sim = Rthv.Hyp_sim.create config in
+      Rthv.Hyp_sim.run sim
+    ]} *)
+
+include Rthv_core.Rthv
+
+module Diagnostic = Rthv_check.Diagnostic
+module Lint = Rthv_check.Lint
+module Trace_oracle = Rthv_check.Trace_oracle
+module Audit_hook = Rthv_check.Audit_hook
+module Scenarios = Rthv_check.Scenarios

@@ -100,7 +100,7 @@ let test_monitor_decisions_traced () =
     List.filter
       (fun e ->
         match e.Hyp_trace.event with
-        | Hyp_trace.Monitor_decision { admitted; _ } -> admitted
+        | Hyp_trace.Monitor_decision { verdict = `Admitted; _ } -> true
         | _ -> false)
       decisions
   in

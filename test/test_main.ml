@@ -1,3 +1,8 @@
+(* Every simulator run in the whole suite is audited: the hook attaches a
+   trace to each Hyp_sim and replays it through the invariant oracle when
+   the run finishes, raising Audit_failure on any violation. *)
+let () = Rthv_check.Audit_hook.install ()
+
 let () =
   Alcotest.run "rthv"
     [
@@ -29,6 +34,8 @@ let () =
       ("core.activation", Test_activation.suite);
       ("core.hyp_trace", Test_hyp_trace.suite);
       ("core.vcd_export", Test_vcd_export.suite);
+      ("check.lint", Test_lint.suite);
+      ("check.trace_oracle", Test_trace_oracle.suite);
       ("workload", Test_workload.suite);
       ("workload.trace_io", Test_trace_io.suite);
       ("stats", Test_stats.suite);

@@ -17,7 +17,8 @@ let small_trace () =
   let t = Hyp_trace.create () in
   Hyp_trace.record t ~time:100 (Hyp_trace.Top_handler_run { irq = 0; line = 0 });
   Hyp_trace.record t ~time:200
-    (Hyp_trace.Monitor_decision { irq = 0; admitted = true });
+    (Hyp_trace.Monitor_decision
+       { irq = 0; line = 0; arrival = 100; verdict = `Admitted });
   Hyp_trace.record t ~time:300
     (Hyp_trace.Interposition_start { irq = 0; target = 1 });
   Hyp_trace.record t ~time:500
