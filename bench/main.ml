@@ -214,17 +214,61 @@ let micro_tests () =
              Rthv_core.Delta_learner.observe l (i * 321)
            done))
   in
+  let interarrivals =
+    Gen.exponential ~seed:1 ~mean:(Cycles.of_us 1544) ~count:200
+  in
+  let shaping = Config.Fixed_monitor (DF.d_min (Cycles.of_us 1544)) in
   let sim_throughput =
-    let interarrivals =
-      Gen.exponential ~seed:1 ~mean:(Cycles.of_us 1544) ~count:200
-    in
-    let shaping = Config.Fixed_monitor (DF.d_min (Cycles.of_us 1544)) in
     Test.make ~name:"hypervisor sim, 200 IRQs (monitored)"
       (Staged.stage (fun () ->
            let sim = Hyp_sim.create (Params.config ~interarrivals ~shaping) in
            Hyp_sim.run sim))
   in
-  [ monitor_check; event_queue; busy_window; learner; sim_throughput ]
+  (* The zero-cost-when-disabled claim for the lib/obs sink: the guarded
+     call sites reduce to one flag read per event when no sink is
+     installed, and the same simulation under a recorder sink shows the
+     full price of live metrics. *)
+  let sim_observed =
+    Test.make ~name:"hypervisor sim, 200 IRQs (recorder sink)"
+      (Staged.stage (fun () ->
+           let recorder = Rthv_obs.Recorder.create () in
+           Rthv_obs.Sink.with_sink (Rthv_obs.Recorder.sink recorder)
+             (fun () ->
+               let sim =
+                 Hyp_sim.create (Params.config ~interarrivals ~shaping)
+               in
+               Hyp_sim.run sim)))
+  in
+  let sink_disabled =
+    Test.make ~name:"obs guarded incr x1000 (no sink)"
+      (Staged.stage (fun () ->
+           for _ = 1 to 1000 do
+             if Rthv_obs.Sink.active () then
+               Rthv_obs.Sink.incr "bench_ops_total" Rthv_obs.Labels.empty 1
+           done))
+  in
+  let sink_recorder =
+    let recorder = Rthv_obs.Recorder.create () in
+    Test.make ~name:"obs guarded incr x1000 (recorder)"
+      (Staged.stage (fun () ->
+           Rthv_obs.Sink.with_sink (Rthv_obs.Recorder.sink recorder)
+             (fun () ->
+               for _ = 1 to 1000 do
+                 if Rthv_obs.Sink.active () then
+                   Rthv_obs.Sink.incr "bench_ops_total"
+                     Rthv_obs.Labels.empty 1
+               done)))
+  in
+  [
+    monitor_check;
+    event_queue;
+    busy_window;
+    learner;
+    sim_throughput;
+    sim_observed;
+    sink_disabled;
+    sink_recorder;
+  ]
 
 let micro () =
   banner "Bechamel micro-benchmarks";

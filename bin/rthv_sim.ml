@@ -46,8 +46,17 @@ let build_interarrivals ~trace ~seed ~mean_us ~d_min_us ~count =
           ~count
       else Gen.exponential ~seed ~mean ~count
 
+(* --trace-out picks its exporter from the extension. *)
+let trace_out_format path =
+  if Filename.check_suffix path ".jsonl" then Ok `Jsonl
+  else if Filename.check_suffix path ".json" then Ok `Chrome
+  else
+    Error
+      (Printf.sprintf "--trace-out %S: expected a .json or .jsonl extension"
+         path)
+
 let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
-    monitor strict_tdma show_histogram csv_out vcd_out trace =
+    monitor strict_tdma show_histogram csv_out vcd_out trace_out trace =
   let partitions =
     List.mapi
       (fun i slot_us ->
@@ -79,10 +88,11 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
     Config.make ~finish_bh_at_boundary:(not strict_tdma) ~partitions
       ~sources:[ source ] ()
   in
+  (* Attach a trace whenever any timeline export was requested. *)
   let trace =
-    match vcd_out with
-    | Some _ -> Some (Rthv_core.Hyp_trace.create ())
-    | None -> None
+    match (vcd_out, trace_out) with
+    | None, None -> None
+    | _ -> Some (Rthv_core.Hyp_trace.create ())
   in
   let sim = Hyp_sim.create ?trace config in
   Hyp_sim.run sim;
@@ -137,7 +147,28 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
         (Rthv_core.Hyp_trace.length trace)
         path
   | _ -> ());
-  0
+  match (trace_out, trace) with
+  | Some path, Some trace -> (
+      match trace_out_format path with
+      | Ok `Jsonl ->
+          Rthv_core.Trace_export.save_jsonl ~path trace;
+          Format.printf "wrote %d trace events to %s (jsonl)@."
+            (Rthv_core.Hyp_trace.length trace)
+            path;
+          0
+      | Ok `Chrome ->
+          let partition_names =
+            Array.of_list (List.map (fun (p : Config.partition) -> p.Config.pname) partitions)
+          in
+          Rthv_core.Trace_export.save_chrome ~partition_names ~path trace;
+          Format.printf "wrote %d trace events to %s (chrome)@."
+            (Rthv_core.Hyp_trace.length trace)
+            path;
+          0
+      | Error msg ->
+          Format.eprintf "%s@." msg;
+          1)
+  | _ -> 0
 
 let run_experiment name =
   let module Fig6 = Rthv_experiments.Fig6 in
@@ -164,7 +195,7 @@ let run_experiment name =
       1
 
 let main experiment slots subscriber c_th_us c_bh_us mean_us d_min_us count
-    seed monitor strict_tdma histogram csv_out vcd_out trace =
+    seed monitor strict_tdma histogram csv_out vcd_out trace_out trace =
   match experiment with
   | Some name -> run_experiment name
   | None ->
@@ -175,7 +206,7 @@ let main experiment slots subscriber c_th_us c_bh_us mean_us d_min_us count
       end
       else
         run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count
-          seed monitor strict_tdma histogram csv_out vcd_out trace
+          seed monitor strict_tdma histogram csv_out vcd_out trace_out trace
 
 open Cmdliner
 
@@ -268,6 +299,16 @@ let vcd_out =
           "Write the hypervisor scheduling timeline as a VCD waveform \
            (viewable in GTKWave).")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the hypervisor timeline as a structured trace; the \
+           extension picks the format ($(b,.json): Chrome Trace Event JSON \
+           for Perfetto, $(b,.jsonl): one event per line).")
+
 let trace_arg =
   Arg.(
     value
@@ -287,6 +328,6 @@ let cmd =
     Term.(
       const main $ experiment $ slots $ subscriber $ c_th_us $ c_bh_us
       $ mean_us $ d_min_us $ count $ seed $ monitor $ strict_tdma $ histogram
-      $ csv_out $ vcd_out $ trace_arg)
+      $ csv_out $ vcd_out $ trace_out $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

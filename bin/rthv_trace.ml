@@ -1,0 +1,303 @@
+(* rthv_trace: record or re-export hypervisor timelines and print a
+   metrics summary.
+
+   Record a scenario and write a Perfetto-loadable Chrome trace:
+     rthv_trace --scenario quickstart --format chrome -o trace.json
+
+   Record to JSONL (one structured event per line), then re-export the
+   file without re-simulating:
+     rthv_trace -s quickstart --format jsonl -o run.jsonl
+     rthv_trace --from-jsonl run.jsonl --format chrome -o trace.json
+
+   Filter to one partition inside a time window:
+     rthv_trace -s avionics_ima --partition 2 --from-us 0 --to-us 56000 \
+                --format chrome -o p2.json
+
+   The summary is a dump of the lib/obs metrics registry: every simulator
+   instrumentation point (latency quantiles, monitor verdicts, stolen time)
+   plus per-event-kind trace counts; --metrics selects the rendering. *)
+
+module Cycles = Rthv_engine.Cycles
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+module Hyp_trace = Rthv_core.Hyp_trace
+module Trace_export = Rthv_core.Trace_export
+module Vcd_export = Rthv_core.Vcd_export
+module Obs = Rthv_obs
+module Scenarios = Rthv_check.Scenarios
+
+type source = Scenario of string | From_jsonl of string
+type format = Chrome | Jsonl | Vcd
+type metrics = M_text | M_json | M_prometheus | M_none
+
+(* --- recording ---------------------------------------------------------- *)
+
+let line_subscribers config =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Config.source) ->
+      Hashtbl.replace table s.Config.line s.Config.subscriber)
+    config.Config.sources;
+  Some table
+
+let record_scenario ~capacity ~registry name =
+  match Scenarios.find name with
+  | None ->
+      Error
+        (Printf.sprintf "unknown scenario %S (available: %s)" name
+           (String.concat ", " (List.map fst Scenarios.all)))
+  | Some build ->
+      let config = build () in
+      let trace = Hyp_trace.create ~capacity () in
+      let recorder = Obs.Recorder.create ~registry () in
+      let sim = Hyp_sim.create ~trace config in
+      Obs.Sink.with_sink (Obs.Recorder.sink recorder) (fun () ->
+          Hyp_sim.run sim);
+      let names =
+        Array.of_list
+          (List.map
+             (fun (p : Config.partition) -> p.Config.pname)
+             config.Config.partitions)
+      in
+      Ok (Hyp_trace.to_list trace, Some names, line_subscribers config)
+
+(* --- filtering ---------------------------------------------------------- *)
+
+let event_partitions ~lines event =
+  let of_line line =
+    match lines with
+    | Some table -> (
+        match Hashtbl.find_opt table line with
+        | Some p -> [ p ]
+        | None -> [])
+    | None -> []
+  in
+  match event with
+  | Hyp_trace.Slot_switch { from_partition; to_partition } ->
+      [ from_partition; to_partition ]
+  | Hyp_trace.Boundary_deferred { owner; _ } -> [ owner ]
+  | Hyp_trace.Interposition_start { target; _ }
+  | Hyp_trace.Interposition_end { target; _ }
+  | Hyp_trace.Interposition_crossed_boundary { target } ->
+      [ target ]
+  | Hyp_trace.Bottom_handler_done { partition; _ } -> [ partition ]
+  | Hyp_trace.Top_handler_run { line; _ }
+  | Hyp_trace.Monitor_decision { line; _ }
+  | Hyp_trace.Irq_coalesced { line } ->
+      of_line line
+
+let apply_filters ~partition ~from_us ~to_us ~lines entries =
+  let from_c = Option.map Cycles.of_us from_us in
+  let to_c = Option.map Cycles.of_us to_us in
+  List.filter
+    (fun e ->
+      let time_ok =
+        (match from_c with Some f -> e.Hyp_trace.time >= f | None -> true)
+        && match to_c with Some u -> e.Hyp_trace.time <= u | None -> true
+      in
+      let partition_ok =
+        match partition with
+        | None -> true
+        | Some p -> (
+            match event_partitions ~lines e.Hyp_trace.event with
+            | [] ->
+                (* Unattributable (no line map, e.g. re-exported JSONL):
+                   keep rather than silently hide hypervisor activity. *)
+                true
+            | ps -> List.mem p ps)
+      in
+      time_ok && partition_ok)
+    entries
+
+(* --- summary ------------------------------------------------------------ *)
+
+let count_trace_events registry entries =
+  List.iter
+    (fun e ->
+      let kind =
+        match e.Hyp_trace.event with
+        | Hyp_trace.Slot_switch _ -> "slot_switch"
+        | Hyp_trace.Boundary_deferred _ -> "boundary_deferred"
+        | Hyp_trace.Top_handler_run _ -> "top_handler"
+        | Hyp_trace.Monitor_decision _ -> "monitor_decision"
+        | Hyp_trace.Interposition_start _ -> "interposition_start"
+        | Hyp_trace.Interposition_end _ -> "interposition_end"
+        | Hyp_trace.Interposition_crossed_boundary _ ->
+            "interposition_crossed_boundary"
+        | Hyp_trace.Bottom_handler_done _ -> "bottom_handler_done"
+        | Hyp_trace.Irq_coalesced _ -> "irq_coalesced"
+      in
+      Obs.Registry.incr registry ~labels:(Obs.Labels.v [ ("ev", kind) ])
+        "rthv_trace_events_total" 1)
+    entries
+
+let print_summary ppf metrics registry =
+  match metrics with
+  | M_none -> ()
+  | M_text ->
+      Format.fprintf ppf "-- metrics (%d series) --@.%a"
+        (Obs.Registry.cardinality registry)
+        Obs.Registry.pp registry
+  | M_json ->
+      Format.fprintf ppf "%s@."
+        (Obs.Json.to_string (Obs.Registry.to_json registry))
+  | M_prometheus ->
+      Format.fprintf ppf "%s" (Obs.Registry.to_prometheus registry)
+
+(* --- main --------------------------------------------------------------- *)
+
+let write_output ~out render =
+  match out with
+  | "-" ->
+      print_string (render ());
+      flush stdout
+  | path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (render ()))
+
+let main source format out partition from_us to_us metrics capacity =
+  let registry = Obs.Registry.create () in
+  let recorded =
+    match source with
+    | Scenario name -> record_scenario ~capacity ~registry name
+    | From_jsonl path -> (
+        match Trace_export.load_jsonl ~path with
+        | Ok entries -> Ok (entries, None, None)
+        | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  in
+  match recorded with
+  | Error msg ->
+      Format.eprintf "rthv_trace: %s@." msg;
+      1
+  | Ok (entries, partition_names, lines) ->
+      let total = List.length entries in
+      let entries = apply_filters ~partition ~from_us ~to_us ~lines entries in
+      count_trace_events registry entries;
+      let trace = Trace_export.trace_of_entries entries in
+      (match format with
+      | Chrome ->
+          write_output ~out (fun () ->
+              Trace_export.chrome_string ?partition_names trace ^ "\n")
+      | Jsonl -> write_output ~out (fun () -> Trace_export.jsonl_string trace)
+      | Vcd -> write_output ~out (fun () -> Vcd_export.to_string trace));
+      (* Keep the export stream clean: the summary shares stdout only when
+         the export went to a file. *)
+      let ppf =
+        if out = "-" then Format.err_formatter else Format.std_formatter
+      in
+      if out <> "-" then
+        Format.fprintf ppf "wrote %d event(s) to %s (%d before filtering)@."
+          (List.length entries) out total;
+      print_summary ppf metrics registry;
+      Format.pp_print_flush ppf ();
+      0
+
+open Cmdliner
+
+let source =
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Simulate a named scenario (see $(b,rthv_lint) for the list: \
+             quickstart, avionics_ima, automotive_ecu, demo_bad) with a \
+             trace attached.")
+  in
+  let from_jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Re-export a previously recorded JSONL trace instead of \
+             simulating.")
+  in
+  let combine scenario from_jsonl =
+    match (scenario, from_jsonl) with
+    | Some _, Some _ ->
+        `Error (true, "--scenario and --from-jsonl are mutually exclusive")
+    | None, Some path -> `Ok (From_jsonl path)
+    | Some name, None -> `Ok (Scenario name)
+    | None, None -> `Ok (Scenario "quickstart")
+  in
+  Term.(ret (const combine $ scenario $ from_jsonl))
+
+let format =
+  Arg.(
+    value
+    & opt (enum [ ("chrome", Chrome); ("jsonl", Jsonl); ("vcd", Vcd) ]) Chrome
+    & info [ "format"; "f" ] ~docv:"FMT"
+        ~doc:
+          "Export format: $(b,chrome) (Trace Event JSON for \
+           Perfetto/chrome://tracing), $(b,jsonl) (one event per line) or \
+           $(b,vcd) (GTKWave waveform).")
+
+let out =
+  Arg.(
+    value & opt string "-"
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Output file; $(b,-) writes the export to stdout (default).")
+
+let partition =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "partition"; "p" ] ~docv:"IDX"
+        ~doc:
+          "Keep only events attributable to this partition (slot \
+           switches touching it, its interpositions, deferrals and \
+           completions, and its sources' IRQ activity).")
+
+let from_us =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "from-us" ] ~docv:"US" ~doc:"Drop events before this time.")
+
+let to_us =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "to-us" ] ~docv:"US" ~doc:"Drop events after this time.")
+
+let metrics =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("text", M_text);
+             ("json", M_json);
+             ("prometheus", M_prometheus);
+             ("none", M_none);
+           ])
+        M_text
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Metrics summary rendering: $(b,text), $(b,json), \
+           $(b,prometheus) or $(b,none).  Printed to stderr when the \
+           export goes to stdout.")
+
+let capacity =
+  Arg.(
+    value
+    & opt int Hyp_sim.audit_trace_capacity
+    & info [ "capacity" ] ~docv:"N"
+        ~doc:"Trace ring-buffer capacity when simulating.")
+
+let cmd =
+  let doc =
+    "record hypervisor simulation timelines and export them as Chrome \
+     Trace JSON, JSONL or VCD with a metrics summary"
+  in
+  Cmd.v
+    (Cmd.info "rthv_trace" ~doc)
+    Term.(
+      const main $ source $ format $ out $ partition $ from_us $ to_us
+      $ metrics $ capacity)
+
+let () = exit (Cmd.eval' cmd)

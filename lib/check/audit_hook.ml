@@ -28,13 +28,27 @@ let () =
 
 let default_fail diags = raise (Audit_failure diags)
 
-let install ?(fail = default_fail) () =
+let default_warn diags =
+  List.iter (fun d -> Format.eprintf "audit: %a@." Diagnostic.pp d) diags
+
+let install ?(fail = default_fail) ?(warn = default_warn) () =
   Rthv_core.Hyp_sim.set_audit_hook
     (Some
        (fun config trace ->
          let spec = Trace_oracle.of_config config in
          let diags = Trace_oracle.audit spec trace in
-         if List.exists Diagnostic.is_error diags then fail diags))
+         if List.exists Diagnostic.is_error diags then fail diags
+         else begin
+           (* A dropped-trace RTHV107 means the audit never ran — surface
+              it instead of letting the skip pass as a clean verdict. *)
+           match
+             List.filter
+               (fun d -> d.Diagnostic.severity = Diagnostic.Warning)
+               diags
+           with
+           | [] -> ()
+           | warnings -> warn warnings
+         end))
 
 let uninstall () = Rthv_core.Hyp_sim.set_audit_hook None
 let installed = Rthv_core.Hyp_sim.audit_hook_installed

@@ -11,11 +11,21 @@ exception Audit_failure of Diagnostic.t list
     invariant.  A human-readable printer is registered with
     {!Printexc.register_printer}. *)
 
-val install : ?fail:(Diagnostic.t list -> unit) -> unit -> unit
+val install :
+  ?fail:(Diagnostic.t list -> unit) ->
+  ?warn:(Diagnostic.t list -> unit) ->
+  unit ->
+  unit
 (** Install the audit hook.  After every simulator run the trace is audited
     against the run's configuration; if any Error-severity diagnostics are
     found, [fail] is called with the full (sorted) list.  The default [fail]
-    raises {!Audit_failure}. *)
+    raises {!Audit_failure}.
+
+    Runs with no errors but Warning-severity findings — notably [RTHV107],
+    the ring buffer dropped entries so the invariant audit was skipped —
+    call [warn] with just the warnings.  The default [warn] prints them to
+    stderr; pass [~warn:(fun _ -> ())] to silence, or a collector to
+    assert on them in tests. *)
 
 val uninstall : unit -> unit
 

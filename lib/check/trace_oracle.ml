@@ -191,6 +191,10 @@ let step st index (e : Hyp_trace.entry) =
   in
   match e.Hyp_trace.event with
   | Hyp_trace.Boundary_deferred _ -> ()
+  | Hyp_trace.Irq_coalesced { line } ->
+      if source_by_line st line = None then
+        structural st ~loc
+          (Printf.sprintf "coalesced raise on unconfigured line %d" line)
   | Hyp_trace.Slot_switch { from_partition; to_partition } ->
       if from_partition <> st.owner then
         structural st ~loc
@@ -406,7 +410,7 @@ let audit spec trace =
   let dropped = Hyp_trace.dropped trace in
   if dropped > 0 then
     [
-      D.info ~code:"RTHV107" ~loc:"trace"
+      D.warning ~code:"RTHV107" ~loc:"trace"
         ~hint:"enlarge the trace capacity (Hyp_sim.audit_trace_capacity is \
                the audit default) or shorten the run"
         (Printf.sprintf

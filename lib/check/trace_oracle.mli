@@ -77,7 +77,8 @@ val audit_entries :
 
 val audit : spec -> Rthv_core.Hyp_trace.t -> Diagnostic.t list
 (** Audit a recorded trace.  If the ring buffer dropped entries the result
-    is a single [RTHV107] info and nothing else is checked. *)
+    is a single [RTHV107] warning and nothing else is checked — a skipped
+    audit is a blind spot, not mere trivia, so {!Audit_hook} surfaces it. *)
 
 val invariants : (string * string) list
 (** [(code, one-line description)] for every trace invariant, in code

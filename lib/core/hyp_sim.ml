@@ -158,6 +158,47 @@ let trace_event t event =
   | Some trace -> Hyp_trace.record trace ~time:t.now event
   | None -> ()
 
+(* --- telemetry ----------------------------------------------------------
+   Every site is guarded by [Sink.active] so the default no-op sink costs a
+   single flag read — no labels are built, no calls dispatched.  Metric
+   names map onto the paper's quantities: [rthv_irq_latency_us] is the
+   simulated counterpart of the eq. (11)/(16) latency bounds,
+   [rthv_stolen_slot_us] the per-slot interference eq. (14) budgets. *)
+module Sink = Rthv_obs.Sink
+module Labels = Rthv_obs.Labels
+
+let obs_active = Sink.active
+
+let obs_count name = Sink.incr name Labels.empty 1
+
+let obs_irq_completed t p =
+  let source = p.p_source.cfg.Config.name in
+  let cls = Irq_record.classification_name p.p_class in
+  Sink.incr "rthv_irq_completed_total"
+    (Labels.v
+       [
+         ("source", source);
+         ("class", cls);
+         ("partition", string_of_int p.p_source.cfg.Config.subscriber);
+       ])
+    1;
+  Sink.observe "rthv_irq_latency_us"
+    (Labels.v [ ("source", source); ("class", cls) ])
+    (Cycles.to_us (Cycles.( - ) t.now p.p_arrival))
+
+let obs_monitor_decision src verdict =
+  Sink.incr "rthv_monitor_decisions_total"
+    (Labels.v
+       [
+         ("source", src.cfg.Config.name);
+         ( "verdict",
+           match verdict with
+           | `Admitted -> "admitted"
+           | `Denied -> "denied"
+           | `Fallback_direct -> "fallback_direct" );
+       ])
+    1
+
 let steal t elapsed =
   t.stolen_in_slot <- Cycles.( + ) t.stolen_in_slot elapsed
 
@@ -166,6 +207,10 @@ let close_slot_accounting t =
   t.stolen_total.(owner) <- Cycles.( + ) t.stolen_total.(owner) t.stolen_in_slot;
   if t.stolen_in_slot > t.stolen_slot_max.(owner) then
     t.stolen_slot_max.(owner) <- t.stolen_in_slot;
+  if obs_active () then
+    Sink.observe "rthv_stolen_slot_us"
+      (Labels.of_int "partition" owner)
+      (Cycles.to_us t.stolen_in_slot);
   t.stolen_in_slot <- 0
 
 let finalize_completion t (item : Irq_queue.item) =
@@ -193,6 +238,7 @@ let finalize_completion t (item : Irq_queue.item) =
       trace_event t
         (Hyp_trace.Bottom_handler_done
            { irq = p.p_irq; partition = p.p_source.cfg.Config.subscriber });
+      if obs_active () then obs_irq_completed t p;
       (* uC/OS pattern: the bottom handler posts to an application task. *)
       match p.p_source.cfg.Config.activates with
       | Some spec ->
@@ -237,7 +283,8 @@ let monitor_done t src p shaper =
            line = src.cfg.Config.line;
            arrival = p.p_arrival;
            verdict;
-         })
+         });
+    if obs_active () then obs_monitor_decision src verdict
   in
   if t.slot_owner = subscriber then begin
     (* The subscriber's slot opened between the arrival and the monitoring
@@ -263,6 +310,10 @@ let monitor_done t src p shaper =
             trace_event t
               (Hyp_trace.Interposition_start
                  { irq = p.p_irq; target = subscriber });
+            if obs_active () then
+              Sink.incr "rthv_interpositions_total"
+                (Labels.of_int "partition" subscriber)
+                1;
             t.interposition <-
               Some { target = subscriber; budget_left = src.cfg.Config.c_bh }))
   end
@@ -331,7 +382,16 @@ let deliver t line =
 let handle_arrival t s_idx =
   t.scheduled_arrivals <- t.scheduled_arrivals - 1;
   let src = t.sources.(s_idx) in
-  Intc.raise_line t.intc src.cfg.Config.line
+  let line = src.cfg.Config.line in
+  if Intc.is_pending t.intc line then begin
+    (* The non-counting pending flag is already set: this raise coalesces
+       into the earlier one and is lost.  Intc counts it; the trace makes
+       it visible on the timeline. *)
+    trace_event t (Hyp_trace.Irq_coalesced { line });
+    if obs_active () then
+      Sink.incr "rthv_irq_coalesced_total" (Labels.of_int "line" line) 1
+  end;
+  Intc.raise_line t.intc line
 
 (* Defer the partition switch while the slot owner is in the middle of a
    bottom handler: let it finish, bounded by the handler's remaining budget.
@@ -353,6 +413,7 @@ let handle_boundary t =
       t.bh_boundary_deferrals <- t.bh_boundary_deferrals + 1;
       trace_event t
         (Hyp_trace.Boundary_deferred { owner = t.slot_owner; until = deferred });
+      if obs_active () then obs_count "rthv_bh_boundary_deferrals_total";
       (* Keep the old owner in place; extend its slot to the deferred check
          so execution can proceed, and re-examine then. *)
       t.slot_end <- deferred;
@@ -367,7 +428,8 @@ let handle_boundary t =
       | Some ip ->
           t.boundary_crossings <- t.boundary_crossings + 1;
           trace_event t
-            (Hyp_trace.Interposition_crossed_boundary { target = ip.target })
+            (Hyp_trace.Interposition_crossed_boundary { target = ip.target });
+          if obs_active () then obs_count "rthv_boundary_crossings_total"
       | None -> ());
       close_slot_accounting t;
       let previous_owner = t.slot_owner in
@@ -375,6 +437,7 @@ let handle_boundary t =
       trace_event t
         (Hyp_trace.Slot_switch
            { from_partition = previous_owner; to_partition = owner });
+      if obs_active () then obs_count "rthv_slot_switches_total";
       t.slot_owner <- owner;
       t.slot_end <- slot_end;
       enqueue_hyp t ~label:"slot_switch" ~steals:false ~cost:t.c_ctx
@@ -633,6 +696,8 @@ let run ?(horizon = default_horizon) t =
       step t
     done;
     close_slot_accounting t;
+    if obs_active () then
+      Sink.gauge "rthv_sim_time_us" Labels.empty (Cycles.to_us t.now);
     t.finished <- true;
     match (!audit_hook, t.trace) with
     | Some hook, Some trace -> hook t.config trace

@@ -17,6 +17,7 @@ type event =
     }
   | Interposition_crossed_boundary of { target : int }
   | Bottom_handler_done of { irq : int; partition : int }
+  | Irq_coalesced of { line : int }
 
 type entry = { time : Cycles.t; event : event }
 
@@ -83,6 +84,8 @@ let pp_event ppf = function
       Format.fprintf ppf "interposition in p%d crossed a slot boundary" target
   | Bottom_handler_done { irq; partition } ->
       Format.fprintf ppf "bottom handler done irq#%d (p%d)" irq partition
+  | Irq_coalesced { line } ->
+      Format.fprintf ppf "irq coalesced on already-pending line %d" line
 
 let pp_entry ppf { time; event } =
   Format.fprintf ppf "[%a] %a" Cycles.pp time pp_event event

@@ -28,6 +28,12 @@ type event =
     }
   | Interposition_crossed_boundary of { target : int }
   | Bottom_handler_done of { irq : int; partition : int }
+  | Irq_coalesced of { line : int }
+      (** A raise hit a line whose non-counting pending flag was already
+          set: the activation is lost to the earlier one (only possible in
+          {!Config.Absolute} arrival mode).  Previously just a counter in
+          {!Hyp_sim.stats}; as an event the loss is visible on the timeline
+          and in the exporters. *)
 
 type entry = { time : Rthv_engine.Cycles.t; event : event }
 

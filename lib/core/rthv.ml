@@ -32,4 +32,6 @@ module Config = Config
 module Hyp_sim = Hyp_sim
 module Hyp_trace = Hyp_trace
 module Vcd_export = Vcd_export
+module Trace_export = Trace_export
 module Irq_record = Irq_record
+module Obs = Rthv_obs

@@ -7,6 +7,8 @@ let id_top = "#"
 let id_bh = "$"
 let id_admit = "%"
 let id_deny = "&"
+let id_cross = "'"
+let id_coalesced = "("
 
 let header buf =
   Buffer.add_string buf "$date rthv hypervisor trace $end\n";
@@ -23,6 +25,10 @@ let header buf =
     (Printf.sprintf "$var wire 1 %s monitor_admit $end\n" id_admit);
   Buffer.add_string buf
     (Printf.sprintf "$var wire 1 %s monitor_deny $end\n" id_deny);
+  Buffer.add_string buf
+    (Printf.sprintf "$var wire 1 %s boundary_cross $end\n" id_cross);
+  Buffer.add_string buf
+    (Printf.sprintf "$var wire 1 %s irq_coalesced $end\n" id_coalesced);
   Buffer.add_string buf "$upscope $end\n";
   Buffer.add_string buf "$enddefinitions $end\n"
 
@@ -79,6 +85,8 @@ let to_buffer trace =
   scalar buf id_bh 0;
   scalar buf id_admit 0;
   scalar buf id_deny 0;
+  scalar buf id_cross 0;
+  scalar buf id_coalesced 0;
   Buffer.add_string buf "$end\n";
   let st = { buf; current_time = 0; time_emitted = false; pending_clears = [] } in
   Hyp_trace.iter trace (fun entry ->
@@ -104,9 +112,11 @@ let to_buffer trace =
           emit_time st time;
           vector buf id_interp 0xff
       | Hyp_trace.Interposition_crossed_boundary _ ->
-          (* The interposition keeps running in the new slot. *)
-          ()
-      | Hyp_trace.Bottom_handler_done _ -> pulse st time id_bh);
+          (* The interposition keeps running in the new slot; the pulse
+             marks the bounded spill charged to the incoming owner. *)
+          pulse st time id_cross
+      | Hyp_trace.Bottom_handler_done _ -> pulse st time id_bh
+      | Hyp_trace.Irq_coalesced _ -> pulse st time id_coalesced);
   (* Flush trailing pulse clears. *)
   List.iter
     (fun (t, id) ->

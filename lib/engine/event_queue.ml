@@ -1,5 +1,10 @@
 type 'a entry = { time : Cycles.t; seq : int; payload : 'a }
 
+(* Telemetry: static label sets so the guarded hot-path calls allocate
+   nothing. *)
+let op_push = Rthv_obs.Labels.v [ ("op", "push") ]
+let op_pop = Rthv_obs.Labels.v [ ("op", "pop") ]
+
 type 'a t = {
   mutable heap : 'a entry array;
   mutable size : int;
@@ -53,6 +58,8 @@ let rec sift_down t i =
   end
 
 let push t ~time payload =
+  if Rthv_obs.Sink.active () then
+    Rthv_obs.Sink.incr "rthv_event_queue_ops_total" op_push 1;
   let entry = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
   if Array.length t.heap = 0 then t.heap <- Array.make 16 entry
@@ -67,6 +74,8 @@ let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
 let pop t =
   if t.size = 0 then None
   else begin
+    if Rthv_obs.Sink.active () then
+      Rthv_obs.Sink.incr "rthv_event_queue_ops_total" op_pop 1;
     let top = t.heap.(0) in
     t.size <- t.size - 1;
     if t.size > 0 then begin

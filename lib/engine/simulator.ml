@@ -38,6 +38,8 @@ let rec step t =
   | Some { Event_queue.time; payload = event; _ } ->
       if event.cancelled then step t
       else begin
+        if Rthv_obs.Sink.active () then
+          Rthv_obs.Sink.incr "rthv_engine_events_total" Rthv_obs.Labels.empty 1;
         t.clock <- time;
         t.live <- t.live - 1;
         event.callback t;

@@ -1,0 +1,53 @@
+type t = (string * string) list
+
+let empty = []
+
+let v pairs =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
+  in
+  let rec check = function
+    | ("", _) :: _ -> invalid_arg "Labels.v: empty label key"
+    | (a, _) :: (b, _) :: _ when a = b ->
+        invalid_arg (Printf.sprintf "Labels.v: duplicate label key %S" a)
+    | _ :: rest -> check rest
+    | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let add key value t = v ((key, value) :: (t : t :> (string * string) list))
+let of_int key i = [ (key, string_of_int i) ]
+let to_list t = t
+let is_empty t = t = []
+let compare = Stdlib.compare
+
+let pp ppf = function
+  | [] -> ()
+  | pairs ->
+      Format.fprintf ppf "{%s}"
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) pairs))
+
+(* Prometheus label values escape backslash, double quote and newline. *)
+let escape_value s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_prometheus = function
+  | [] -> ""
+  | pairs ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_value v))
+             pairs)
+      ^ "}"

@@ -1,0 +1,31 @@
+(** Metric label sets.
+
+    A label set is a small list of [key = value] pairs identifying one time
+    series of a metric (partition, source, verdict, ...).  Construction
+    canonicalises the order so that structurally equal sets compare equal
+    and hash equal, whatever order the caller wrote them in. *)
+
+type t = private (string * string) list
+
+val empty : t
+
+val v : (string * string) list -> t
+(** Canonicalise: sort by key.  @raise Invalid_argument on a duplicate key
+    or an empty key. *)
+
+val add : string -> string -> t -> t
+
+val of_int : string -> int -> t
+(** [of_int k i] is [v [ (k, string_of_int i) ]] — the common
+    partition/line label. *)
+
+val to_list : t -> (string * string) list
+val is_empty : t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Renders [{k=v,k=v}]; nothing when empty. *)
+
+val to_prometheus : t -> string
+(** Renders [{k="v",k="v"}] with Prometheus string escaping; [""] when
+    empty. *)

@@ -1,0 +1,62 @@
+type histogram = {
+  h_bounds : float array;
+  counts : int array;  (* length bounds + 1; last is the overflow bucket *)
+  mutable h_sum : float;
+  mutable h_total : int;
+}
+
+let histogram ~bounds =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Metric.histogram: empty bounds";
+  for i = 1 to n - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Metric.histogram: bounds must be strictly increasing"
+  done;
+  {
+    h_bounds = Array.copy bounds;
+    counts = Array.make (n + 1) 0;
+    h_sum = 0.;
+    h_total = 0;
+  }
+
+(* 1 µs to 100 ms, roughly 1-2-5 per decade. *)
+let default_latency_bounds =
+  [|
+    1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1_000.; 2_000.; 5_000.;
+    10_000.; 20_000.; 50_000.; 100_000.;
+  |]
+
+let observe h x =
+  let n = Array.length h.h_bounds in
+  let rec find i = if i >= n || x <= h.h_bounds.(i) then i else find (i + 1) in
+  let i = find 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.h_sum <- h.h_sum +. x;
+  h.h_total <- h.h_total + 1
+
+let bounds h = Array.copy h.h_bounds
+let bucket_counts h = Array.copy h.counts
+
+let cumulative h =
+  let acc = ref 0 in
+  Array.to_list
+    (Array.mapi
+       (fun i bound ->
+         acc := !acc + h.counts.(i);
+         (bound, !acc))
+       h.h_bounds)
+
+let total h = h.h_total
+let sum h = h.h_sum
+
+type value =
+  | Counter of int ref
+  | Gauge of float ref
+  | Histogram of histogram
+  | Summary of Quantile.t
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+  | Summary _ -> "summary"

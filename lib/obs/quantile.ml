@@ -1,0 +1,173 @@
+(* The P² algorithm, Jain & Chlamtac, "The P² algorithm for dynamic
+   calculation of quantiles and histograms without storing observations",
+   CACM 28(10), 1985.  Five markers track the minimum, the p/2, p and
+   (1+p)/2 quantiles and the maximum; marker heights are adjusted with a
+   piecewise-parabolic (P²) interpolation as observations stream in. *)
+
+type estimator = {
+  p : float;
+  q : float array;  (* marker heights *)
+  n : int array;  (* marker positions, 1-based *)
+  n' : float array;  (* desired marker positions *)
+  dn : float array;  (* desired position increments *)
+  mutable count : int;
+}
+
+let estimator p =
+  if not (p > 0. && p < 1.) then
+    invalid_arg "Quantile.estimator: p must be in (0, 1)";
+  {
+    p;
+    q = Array.make 5 0.;
+    n = [| 1; 2; 3; 4; 5 |];
+    n' = [| 1.; 1. +. (2. *. p); 1. +. (4. *. p); 3. +. (2. *. p); 5. |];
+    dn = [| 0.; p /. 2.; p; (1. +. p) /. 2.; 1. |];
+    count = 0;
+  }
+
+let parabolic t i d =
+  let q = t.q and n = t.n in
+  let fi = float_of_int in
+  q.(i)
+  +. d
+     /. fi (n.(i + 1) - n.(i - 1))
+     *. (((fi (n.(i) - n.(i - 1)) +. d)
+          *. (q.(i + 1) -. q.(i))
+          /. fi (n.(i + 1) - n.(i)))
+        +. ((fi (n.(i + 1) - n.(i)) -. d)
+           *. (q.(i) -. q.(i - 1))
+           /. fi (n.(i) - n.(i - 1))))
+
+let linear t i d =
+  let di = int_of_float d in
+  t.q.(i)
+  +. d
+     *. (t.q.(i + di) -. t.q.(i))
+     /. float_of_int (t.n.(i + di) - t.n.(i))
+
+let add t x =
+  t.count <- t.count + 1;
+  if t.count <= 5 then begin
+    t.q.(t.count - 1) <- x;
+    if t.count = 5 then Array.sort Float.compare t.q
+  end
+  else begin
+    (* Find the cell k with q.(k) <= x < q.(k+1), clamping the extremes. *)
+    let k =
+      if x < t.q.(0) then begin
+        t.q.(0) <- x;
+        0
+      end
+      else if x >= t.q.(4) then begin
+        t.q.(4) <- x;
+        3
+      end
+      else begin
+        let rec find i = if x < t.q.(i + 1) then i else find (i + 1) in
+        find 0
+      end
+    in
+    for i = k + 1 to 4 do
+      t.n.(i) <- t.n.(i) + 1
+    done;
+    for i = 0 to 4 do
+      t.n'.(i) <- t.n'.(i) +. t.dn.(i)
+    done;
+    (* Adjust the three interior markers if they drifted off their desired
+       positions by one or more. *)
+    for i = 1 to 3 do
+      let d = t.n'.(i) -. float_of_int t.n.(i) in
+      if
+        (d >= 1. && t.n.(i + 1) - t.n.(i) > 1)
+        || (d <= -1. && t.n.(i - 1) - t.n.(i) < -1)
+      then begin
+        let d = if d >= 0. then 1. else -1. in
+        let candidate = parabolic t i d in
+        let q' =
+          if t.q.(i - 1) < candidate && candidate < t.q.(i + 1) then candidate
+          else linear t i d
+        in
+        t.q.(i) <- q';
+        t.n.(i) <- t.n.(i) + int_of_float d
+      end
+    done
+  end
+
+let exact_small t =
+  (* Fewer than five observations: nearest-rank on the stored values. *)
+  let sorted = Array.sub t.q 0 t.count in
+  Array.sort Float.compare sorted;
+  let rank =
+    int_of_float (Float.ceil (t.p *. float_of_int t.count))
+  in
+  sorted.(Stdlib.max 0 (Stdlib.min (t.count - 1) (rank - 1)))
+
+let estimate t =
+  if t.count = 0 then None
+  else if t.count < 5 then Some (exact_small t)
+  else Some t.q.(2)
+
+let observations t = t.count
+
+(* --- digest ------------------------------------------------------------- *)
+
+type t = {
+  estimators : (float * estimator) list;  (* ascending in p *)
+  mutable d_count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let default_quantiles = [ 0.5; 0.95; 0.99; 0.999 ]
+
+let create ?(quantiles = default_quantiles) () =
+  if quantiles = [] then invalid_arg "Quantile.create: no quantiles";
+  let estimators =
+    List.map
+      (fun p -> (p, estimator p))
+      (List.sort_uniq Float.compare quantiles)
+  in
+  {
+    estimators;
+    d_count = 0;
+    sum = 0.;
+    min_v = Float.infinity;
+    max_v = Float.neg_infinity;
+  }
+
+let observe t x =
+  t.d_count <- t.d_count + 1;
+  t.sum <- t.sum +. x;
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  List.iter (fun (_, e) -> add e x) t.estimators
+
+let count t = t.d_count
+let mean t = if t.d_count = 0 then None else Some (t.sum /. float_of_int t.d_count)
+let min_value t = if t.d_count = 0 then None else Some t.min_v
+let max_value t = if t.d_count = 0 then None else Some t.max_v
+
+let quantile t p =
+  match List.assoc_opt p t.estimators with
+  | None -> None
+  | Some e -> estimate e
+
+let quantiles t =
+  if t.d_count = 0 then []
+  else
+    List.filter_map
+      (fun (p, e) -> Option.map (fun v -> (p, v)) (estimate e))
+      t.estimators
+
+let pp ppf t =
+  if t.d_count = 0 then Format.fprintf ppf "n=0"
+  else begin
+    Format.fprintf ppf "n=%d mean=%.1f min=%.1f" t.d_count
+      (Option.get (mean t))
+      t.min_v;
+    List.iter
+      (fun (p, v) -> Format.fprintf ppf " p%g=%.1f" (p *. 100.) v)
+      (quantiles t);
+    Format.fprintf ppf " max=%.1f" t.max_v
+  end

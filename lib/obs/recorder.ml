@@ -1,0 +1,18 @@
+type t = { reg : Registry.t; r_sink : Sink.t }
+
+let create ?registry () =
+  let reg =
+    match registry with Some r -> r | None -> Registry.create ()
+  in
+  let r_sink =
+    {
+      Sink.incr = (fun name labels n -> Registry.incr reg ~labels name n);
+      gauge = (fun name labels v -> Registry.set_gauge reg ~labels name v);
+      observe = (fun name labels x -> Registry.observe_summary reg ~labels name x);
+    }
+  in
+  { reg; r_sink }
+
+let registry t = t.reg
+let sink t = t.r_sink
+let install t = Sink.install t.r_sink

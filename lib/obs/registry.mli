@@ -1,0 +1,54 @@
+(** Metrics registry.
+
+    Counters, gauges, fixed-bin histograms and streaming-quantile summaries
+    keyed by name + {!Labels}.  Registration is idempotent — asking for the
+    same (name, labels) series again returns the existing instance — and a
+    kind clash raises.  Snapshots and the text / JSON / Prometheus
+    exposition renderings read the live values without stopping the
+    writers. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Registration / update}
+
+    Each accessor creates the series on first use.
+    @raise Invalid_argument if the series exists with a different kind. *)
+
+val counter : t -> ?labels:Labels.t -> string -> int ref
+val incr : t -> ?labels:Labels.t -> string -> int -> unit
+
+val gauge : t -> ?labels:Labels.t -> string -> float ref
+val set_gauge : t -> ?labels:Labels.t -> string -> float -> unit
+
+val histogram :
+  t -> ?labels:Labels.t -> ?bounds:float array -> string -> Metric.histogram
+(** [bounds] defaults to {!Metric.default_latency_bounds} and only applies
+    on first registration. *)
+
+val observe : t -> ?labels:Labels.t -> ?bounds:float array -> string -> float -> unit
+
+val summary : t -> ?labels:Labels.t -> ?quantiles:float list -> string -> Quantile.t
+val observe_summary : t -> ?labels:Labels.t -> string -> float -> unit
+
+val find : t -> ?labels:Labels.t -> string -> Metric.value option
+
+(** {2 Snapshot and export} *)
+
+type row = { name : string; labels : Labels.t; value : Metric.value }
+
+val snapshot : t -> row list
+(** Sorted by name, then labels. *)
+
+val cardinality : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable text dump, one series per line. *)
+
+val to_json : t -> Json.t
+(** An array of objects: [{"name", "labels", "kind", ...kind fields}]. *)
+
+val to_prometheus : t -> string
+(** Prometheus exposition text format: [# TYPE] comments, histogram
+    [_bucket]/[_sum]/[_count] expansion, summary [quantile] labels. *)

@@ -1,0 +1,34 @@
+type t = {
+  incr : string -> Labels.t -> int -> unit;
+  gauge : string -> Labels.t -> float -> unit;
+  observe : string -> Labels.t -> float -> unit;
+}
+
+let noop =
+  {
+    incr = (fun _ _ _ -> ());
+    gauge = (fun _ _ _ -> ());
+    observe = (fun _ _ _ -> ());
+  }
+
+let current = ref noop
+let enabled = ref false
+
+let install sink =
+  current := sink;
+  enabled := not (sink == noop)
+
+let uninstall () =
+  current := noop;
+  enabled := false
+
+let active () = !enabled
+
+let with_sink sink f =
+  let previous = !current in
+  install sink;
+  Fun.protect ~finally:(fun () -> install previous) f
+
+let incr name labels n = if !enabled then !current.incr name labels n
+let gauge name labels v = if !enabled then !current.gauge name labels v
+let observe name labels x = if !enabled then !current.observe name labels x

@@ -1,0 +1,40 @@
+(** The instrumentation sink.
+
+    Simulator and engine hot paths report through this interface instead of
+    touching a registry directly.  The default sink is a no-op and the
+    installed-sink check is a single flag read, so instrumentation sites
+    guard with {!active} and pay nothing (no label allocation, no calls)
+    when telemetry is disabled:
+
+    {[
+      if Sink.active () then
+        Sink.observe "rthv_irq_latency_us" (Labels.v [ ("source", name) ]) us
+    ]} *)
+
+type t = {
+  incr : string -> Labels.t -> int -> unit;
+  gauge : string -> Labels.t -> float -> unit;
+  observe : string -> Labels.t -> float -> unit;
+      (** A sample of a distribution (latencies, per-slot stolen time). *)
+}
+
+val noop : t
+
+val install : t -> unit
+val uninstall : unit -> unit
+
+val active : unit -> bool
+(** True iff a sink other than {!noop} is installed. *)
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Install for the duration of the callback, restoring the previous sink
+    (even on exceptions). *)
+
+(** {2 Dispatch through the installed sink}
+
+    Each is a no-op when nothing is installed; prefer guarding call sites
+    with {!active} so argument construction is skipped too. *)
+
+val incr : string -> Labels.t -> int -> unit
+val gauge : string -> Labels.t -> float -> unit
+val observe : string -> Labels.t -> float -> unit

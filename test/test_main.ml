@@ -34,6 +34,8 @@ let () =
       ("core.activation", Test_activation.suite);
       ("core.hyp_trace", Test_hyp_trace.suite);
       ("core.vcd_export", Test_vcd_export.suite);
+      ("core.trace_export", Test_trace_export.suite);
+      ("obs", Test_obs.suite);
       ("check.lint", Test_lint.suite);
       ("check.trace_oracle", Test_trace_oracle.suite);
       ("workload", Test_workload.suite);

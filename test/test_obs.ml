@@ -1,0 +1,252 @@
+(* lib/obs: labels, JSON, the P² quantile estimator, the registry and the
+   sink switch. *)
+
+module Obs = Rthv_obs
+module Labels = Obs.Labels
+module Json = Obs.Json
+module Quantile = Obs.Quantile
+module Registry = Obs.Registry
+module Sink = Obs.Sink
+module Summary = Rthv_stats.Summary
+
+(* --- labels ------------------------------------------------------------- *)
+
+let test_labels_sorted () =
+  let l = Labels.v [ ("z", "1"); ("a", "2") ] in
+  Alcotest.(check (list (pair string string)))
+    "sorted by key"
+    [ ("a", "2"); ("z", "1") ]
+    (Labels.to_list l);
+  Alcotest.(check int) "equal after reorder" 0
+    (Labels.compare l (Labels.v [ ("a", "2"); ("z", "1") ]))
+
+let test_labels_reject () =
+  Alcotest.check_raises "duplicate key"
+    (Invalid_argument "Labels.v: duplicate label key \"a\"") (fun () ->
+      ignore (Labels.v [ ("a", "1"); ("a", "2") ]))
+
+(* --- json --------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("l", Json.List [ Json.Bool true; Json.Null ]);
+      ]
+  in
+  match Json.parse (Json.to_string doc) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok parsed ->
+      Alcotest.(check string)
+        "roundtrip" (Json.to_string doc) (Json.to_string parsed)
+
+let test_json_rejects_garbage () =
+  (match Json.parse "{\"a\": 1,}" with
+  | Ok _ -> Alcotest.fail "accepted trailing comma"
+  | Error _ -> ());
+  match Json.parse "[1] trailing" with
+  | Ok _ -> Alcotest.fail "accepted trailing garbage"
+  | Error _ -> ()
+
+(* --- P² quantiles ------------------------------------------------------- *)
+
+let test_p2_small_n_exact () =
+  (* Under five observations the estimator must agree with nearest-rank. *)
+  let e = Quantile.estimator 0.5 in
+  List.iter (Quantile.add e) [ 9.0; 1.0; 5.0 ];
+  Alcotest.(check (option (float 1e-9))) "median of 3" (Some 5.0)
+    (Quantile.estimate e)
+
+let test_p2_vs_exact () =
+  (* A deterministic LCG stream; P² should land close to the sorted-sample
+     percentile for a few thousand observations. *)
+  let n = 5_000 in
+  let state = ref 123456789 in
+  let next () =
+    state := (1103515245 * !state) + 12345;
+    float_of_int (abs !state mod 100_000) /. 100.0
+  in
+  let samples = Array.init n (fun _ -> next ()) in
+  let digest = Quantile.create () in
+  Array.iter (Quantile.observe digest) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  List.iter
+    (fun p ->
+      let exact = Summary.percentile sorted (100.0 *. p) in
+      match Quantile.quantile digest p with
+      | None -> Alcotest.failf "p%.1f missing" (100.0 *. p)
+      | Some est ->
+          (* Uniform on [0, 1000): allow 2 % of the range. *)
+          if abs_float (est -. exact) > 20.0 then
+            Alcotest.failf "p%.1f: P2 %.2f vs exact %.2f" (100.0 *. p) est
+              exact)
+    [ 0.5; 0.95; 0.99 ];
+  Alcotest.(check int) "count" n (Quantile.count digest);
+  Alcotest.(check (option (float 1e-9))) "min" (Some sorted.(0))
+    (Quantile.min_value digest);
+  Alcotest.(check (option (float 1e-9))) "max"
+    (Some sorted.(n - 1))
+    (Quantile.max_value digest)
+
+let test_p2_monotone_across_quantiles () =
+  let digest = Quantile.create () in
+  for i = 1 to 1_000 do
+    Quantile.observe digest (float_of_int ((i * 7919) mod 1000))
+  done;
+  let qs = Quantile.quantiles digest in
+  Alcotest.(check int) "four tracked" 4 (List.length qs);
+  let rec ascending = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b && ascending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "estimates ascend with p" true (ascending qs)
+
+(* --- registry ----------------------------------------------------------- *)
+
+let test_registry_basics () =
+  let r = Registry.create () in
+  Registry.incr r "ops" 2;
+  Registry.incr r "ops" 3;
+  Registry.set_gauge r "depth" 7.5;
+  Registry.observe r "lat" 42.0;
+  Registry.observe_summary r "sum" 1.0;
+  Alcotest.(check int) "four series" 4 (Registry.cardinality r);
+  (match Registry.find r "ops" with
+  | Some (Obs.Metric.Counter c) -> Alcotest.(check int) "counter" 5 !c
+  | _ -> Alcotest.fail "ops not a counter");
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Registry: ops is a counter, not the requested kind")
+    (fun () -> Registry.set_gauge r "ops" 1.0)
+
+let test_registry_labels_are_distinct_series () =
+  let r = Registry.create () in
+  let a = Labels.v [ ("p", "0") ] and b = Labels.v [ ("p", "1") ] in
+  Registry.incr r ~labels:a "n" 1;
+  Registry.incr r ~labels:b "n" 10;
+  Registry.incr r ~labels:a "n" 1;
+  let values =
+    List.map
+      (fun (row : Registry.row) ->
+        match row.Registry.value with
+        | Obs.Metric.Counter c -> (Labels.to_list row.Registry.labels, !c)
+        | _ -> Alcotest.fail "expected counters")
+      (Registry.snapshot r)
+  in
+  Alcotest.(check (list (pair (list (pair string string)) int)))
+    "two series"
+    [ ([ ("p", "0") ], 2); ([ ("p", "1") ], 10) ]
+    values
+
+let test_prometheus_exposition () =
+  let r = Registry.create () in
+  Registry.incr r ~labels:(Labels.v [ ("q", "a\"b") ]) "total" 1;
+  Registry.observe r ~bounds:[| 1.0; 10.0 |] "h" 5.0;
+  let text = Registry.to_prometheus r in
+  List.iter
+    (fun needle ->
+      if
+        not
+          (let hl = String.length text and nl = String.length needle in
+           let rec scan i =
+             i + nl <= hl
+             && (String.sub text i nl = needle || scan (i + 1))
+           in
+           scan 0)
+      then Alcotest.failf "missing %S in:\n%s" needle text)
+    [
+      "# TYPE total counter";
+      "total{q=\"a\\\"b\"} 1";
+      "# TYPE h histogram";
+      "h_bucket{le=\"1\"} 0";
+      "h_bucket{le=\"10\"} 1";
+      "h_bucket{le=\"+Inf\"} 1";
+      "h_sum 5";
+      "h_count 1";
+    ]
+
+let test_registry_json_parses () =
+  let r = Registry.create () in
+  Registry.incr r "c" 1;
+  Registry.observe_summary r "s" 2.0;
+  match Json.parse (Json.to_string (Registry.to_json r)) with
+  | Ok (Json.List rows) -> Alcotest.(check int) "two rows" 2 (List.length rows)
+  | Ok _ -> Alcotest.fail "expected a JSON array"
+  | Error e -> Alcotest.failf "registry JSON does not parse: %s" e
+
+(* --- sink --------------------------------------------------------------- *)
+
+let test_sink_switch () =
+  Alcotest.(check bool) "inactive by default" false (Sink.active ());
+  let hits = ref 0 in
+  let sink =
+    {
+      Sink.incr = (fun _ _ n -> hits := !hits + n);
+      gauge = (fun _ _ _ -> incr hits);
+      observe = (fun _ _ _ -> incr hits);
+    }
+  in
+  Sink.with_sink sink (fun () ->
+      Alcotest.(check bool) "active inside" true (Sink.active ());
+      Sink.incr "x" Labels.empty 2;
+      Sink.observe "y" Labels.empty 1.0);
+  Alcotest.(check int) "both dispatched" 3 !hits;
+  Alcotest.(check bool) "restored" false (Sink.active ());
+  Sink.incr "x" Labels.empty 5;
+  Alcotest.(check int) "no dispatch when inactive" 3 !hits
+
+let test_recorder_collects_sim_metrics () =
+  (* End to end: run a monitored simulation under a recorder sink and check
+     the instrumentation series appear with consistent counts. *)
+  let recorder = Obs.Recorder.create () in
+  let config = Rthv_check.Scenarios.quickstart () in
+  let sim = Rthv_core.Hyp_sim.create config in
+  Sink.with_sink (Obs.Recorder.sink recorder) (fun () ->
+      Rthv_core.Hyp_sim.run sim);
+  let r = Obs.Recorder.registry recorder in
+  let stats = Rthv_core.Hyp_sim.stats sim in
+  let counter ?labels name =
+    match Registry.find r ?labels name with
+    | Some (Obs.Metric.Counter c) -> !c
+    | _ -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check int)
+    "interpositions" stats.Rthv_core.Hyp_sim.interpositions_started
+    (counter
+       ~labels:(Labels.v [ ("partition", "1") ])
+       "rthv_interpositions_total");
+  Alcotest.(check int)
+    "slot switches" stats.Rthv_core.Hyp_sim.slot_switches
+    (counter "rthv_slot_switches_total");
+  match Registry.find r ~labels:(Labels.v [ ("class", "direct"); ("source", "nic") ])
+          "rthv_irq_latency_us"
+  with
+  | Some (Obs.Metric.Summary q) ->
+      Alcotest.(check bool) "direct latencies observed" true
+        (Quantile.count q > 0)
+  | _ -> Alcotest.fail "missing rthv_irq_latency_us summary"
+
+let suite =
+  [
+    Alcotest.test_case "labels sort and compare" `Quick test_labels_sorted;
+    Alcotest.test_case "labels reject duplicates" `Quick test_labels_reject;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "P2 exact under five samples" `Quick
+      test_p2_small_n_exact;
+    Alcotest.test_case "P2 tracks exact percentiles" `Quick test_p2_vs_exact;
+    Alcotest.test_case "P2 quantiles ascend" `Quick
+      test_p2_monotone_across_quantiles;
+    Alcotest.test_case "registry kinds and clash" `Quick test_registry_basics;
+    Alcotest.test_case "labelled series are distinct" `Quick
+      test_registry_labels_are_distinct_series;
+    Alcotest.test_case "prometheus exposition" `Quick
+      test_prometheus_exposition;
+    Alcotest.test_case "registry JSON parses" `Quick test_registry_json_parses;
+    Alcotest.test_case "sink install/uninstall" `Quick test_sink_switch;
+    Alcotest.test_case "recorder collects simulator metrics" `Quick
+      test_recorder_collects_sim_metrics;
+  ]

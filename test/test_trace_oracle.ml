@@ -182,7 +182,7 @@ let test_dropped_entries_skip_audit () =
   match Oracle.audit (spec ()) trace with
   | [ d ] ->
       Alcotest.(check string) "RTHV107" "RTHV107" d.D.code;
-      Alcotest.(check string) "info" "info" (D.severity_name d.D.severity)
+      Alcotest.(check string) "warning" "warning" (D.severity_name d.D.severity)
   | ds -> Alcotest.failf "expected exactly RTHV107, got %d findings" (List.length ds)
 
 (* --- end-to-end: simulator-recorded traces audit clean ------------------ *)

@@ -104,6 +104,47 @@ let test_full_simulation_export () =
   in
   Alcotest.(check int) "one pulse per IRQ" 50 pulses
 
+let test_boundary_and_coalesced_wires () =
+  let t = Hyp_trace.create () in
+  Hyp_trace.record t ~time:100
+    (Hyp_trace.Interposition_start { irq = 0; target = 1 });
+  Hyp_trace.record t ~time:200
+    (Hyp_trace.Interposition_crossed_boundary { target = 1 });
+  Hyp_trace.record t ~time:300
+    (Hyp_trace.Interposition_end { target = 1; reason = `Budget_exhausted });
+  Hyp_trace.record t ~time:400 (Hyp_trace.Irq_coalesced { line = 0 });
+  let vcd = Vcd.to_string t in
+  List.iter
+    (fun needle ->
+      if not (contains vcd needle) then
+        Alcotest.failf "missing %S in VCD output" needle)
+    [
+      "$var wire 1 ' boundary_cross $end";
+      "$var wire 1 ( irq_coalesced $end";
+      "1'";
+      (* crossed-boundary pulse *)
+      "1(";
+      (* coalesced pulse *)
+    ];
+  (* Both pulses fall back to 0 before the file ends (the dumpvars zeros
+     come earlier, so look only past the rising edge). *)
+  let find_from start sub =
+    let hl = String.length vcd and nl = String.length sub in
+    let rec scan i =
+      if i + nl > hl then -1
+      else if String.sub vcd i nl = sub then i
+      else scan (i + 1)
+    in
+    scan start
+  in
+  List.iter
+    (fun (rise, fall) ->
+      let up = find_from 0 rise in
+      if up < 0 then Alcotest.failf "no %S pulse" rise;
+      if find_from up fall < 0 then
+        Alcotest.failf "%S never cleared after %S" fall rise)
+    [ ("1'", "0'"); ("1(", "0(") ]
+
 let test_save_roundtrip () =
   let path = Filename.temp_file "rthv" ".vcd" in
   Fun.protect
@@ -124,5 +165,7 @@ let suite =
     Alcotest.test_case "monotone timestamps" `Quick test_timestamps_monotone;
     Alcotest.test_case "full simulation export" `Quick
       test_full_simulation_export;
+    Alcotest.test_case "boundary-cross and coalesced wires" `Quick
+      test_boundary_and_coalesced_wires;
     Alcotest.test_case "save" `Quick test_save_roundtrip;
   ]
