@@ -1,11 +1,17 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section 6 and Appendix A), plus ablations over the design
-   choices called out in DESIGN.md and Bechamel micro-benchmarks of the hot
-   paths.
+   choices called out in DESIGN.md, Bechamel micro-benchmarks of the hot
+   paths, and a wall-clock comparison of the sequential vs sharded sweep
+   engine.
 
-   Usage:  dune exec bench/main.exe [-- section ...]
+   Usage:  dune exec bench/main.exe [-- section ... [options]]
    Sections: fig3 fig6a fig6b fig6c fig7 overhead analysis ablation multi
-   robustness micro all (default: all). *)
+   robustness micro sweep all (default: all).
+   Options:
+     --jobs N     worker domains for the sweep engine (default: RTHV_JOBS
+                  or the machine's recommended domain count)
+     --json FILE  write machine-readable results of the micro and sweep
+                  sections (schema rthv-bench/1) for trend tracking *)
 
 module Cycles = Rthv_engine.Cycles
 module Config = Rthv_core.Config
@@ -22,8 +28,15 @@ module Fig7 = Rthv_experiments.Fig7
 module Overhead = Rthv_experiments.Overhead
 module Analysis_tables = Rthv_experiments.Analysis_tables
 module Params = Rthv_experiments.Params
+module Par = Rthv_par.Par
+module Json = Rthv_obs.Json
 
 let ppf = Format.std_formatter
+
+(* Machine-readable results (written by --json): micro rows plus sweep
+   timings, accumulated by whichever sections run. *)
+let json_micro : Json.t list ref = ref []
+let json_sweep : (string * Json.t) list ref = ref []
 
 let banner title =
   Format.fprintf ppf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -179,6 +192,28 @@ let micro_tests () =
              if Monitor.check m (i * 600) then Monitor.admit m (i * 600)
            done))
   in
+  (* Steady-state monitor benches on a preallocated monitor: these are the
+     per-IRQ hot-path costs (the create+100-admits bench above includes
+     construction), and their minor_allocated estimate is the
+     allocation-free claim checked in CI. *)
+  let steady_monitor =
+    Monitor.fixed (DF.of_entries [| 100; 200; 300; 400; 500 |])
+  in
+  let steady_ts = ref 0 in
+  let monitor_admit_steady =
+    Test.make ~name:"monitor admit+check steady (l=5)"
+      (Staged.stage (fun () ->
+           steady_ts := !steady_ts + 600;
+           if Monitor.check steady_monitor !steady_ts then
+             Monitor.admit steady_monitor !steady_ts))
+  in
+  let conforms_ts = ref 0 in
+  let monitor_conforms =
+    Test.make ~name:"monitor.conforms read-only (l=5)"
+      (Staged.stage (fun () ->
+           conforms_ts := !conforms_ts + 600;
+           ignore (Monitor.conforms steady_monitor !conforms_ts)))
+  in
   let event_queue =
     Test.make ~name:"event_queue push+pop x100"
       (Staged.stage (fun () ->
@@ -189,6 +224,22 @@ let micro_tests () =
            while not (Rthv_engine.Event_queue.is_empty q) do
              ignore (Rthv_engine.Event_queue.pop q)
            done))
+  in
+  (* Steady-state queue at the simulator's typical occupancy: one push +
+     one pop against a warm 64-entry heap, no construction cost. *)
+  let steady_queue = Rthv_engine.Event_queue.create () in
+  let () =
+    for i = 0 to 63 do
+      Rthv_engine.Event_queue.push steady_queue ~time:(i * 97) i
+    done
+  in
+  let queue_ts = ref (64 * 97) in
+  let event_queue_steady =
+    Test.make ~name:"event_queue push+pop steady (64)"
+      (Staged.stage (fun () ->
+           queue_ts := !queue_ts + 97;
+           Rthv_engine.Event_queue.push steady_queue ~time:!queue_ts 0;
+           ignore (Rthv_engine.Event_queue.pop steady_queue)))
   in
   let busy_window =
     let curve = AC.sporadic ~d_min_us:1544 in
@@ -222,6 +273,20 @@ let micro_tests () =
     Test.make ~name:"hypervisor sim, 200 IRQs (monitored)"
       (Staged.stage (fun () ->
            let sim = Hyp_sim.create (Params.config ~interarrivals ~shaping) in
+           Hyp_sim.run sim))
+  in
+  (* One full Figure-6-sized run: the unit of work the sweep engine
+     distributes, so its wall-clock anchors the sweep speedup numbers. *)
+  let interarrivals_15k =
+    Gen.exponential ~seed:1 ~mean:(Cycles.of_us 1544) ~count:15_000
+  in
+  let sim_15k =
+    Test.make ~name:"hypervisor sim, 15000 IRQs (monitored)"
+      (Staged.stage (fun () ->
+           let sim =
+             Hyp_sim.create
+               (Params.config ~interarrivals:interarrivals_15k ~shaping)
+           in
            Hyp_sim.run sim))
   in
   (* The zero-cost-when-disabled claim for the lib/obs sink: the guarded
@@ -261,10 +326,14 @@ let micro_tests () =
   in
   [
     monitor_check;
+    monitor_admit_steady;
+    monitor_conforms;
     event_queue;
+    event_queue_steady;
     busy_window;
     learner;
     sim_throughput;
+    sim_15k;
     sim_observed;
     sink_disabled;
     sink_recorder;
@@ -276,7 +345,7 @@ let micro () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let instances = Toolkit.Instance.[ monotonic_clock; minor_allocated ] in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
@@ -284,15 +353,81 @@ let micro () =
     Benchmark.all cfg instances
       (Test.make_grouped ~name:"rthv" ~fmt:"%s %s" (micro_tests ()))
   in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let times = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Toolkit.Instance.minor_allocated raw in
+  let estimate tbl name =
+    match Hashtbl.find_opt tbl name with
+    | None -> None
+    | Some result -> (
+        match Analyze.OLS.estimates result with
+        | Some [ per_run ] -> Some per_run
+        | Some _ | None -> None)
+  in
+  let rows = Hashtbl.fold (fun name _ acc -> name :: acc) times [] in
+  Format.fprintf ppf "  %-48s %12s  %s@." "" "ns/run" "minor words/run";
   List.iter
-    (fun (name, result) ->
-      match Analyze.OLS.estimates result with
-      | Some [ per_run ] ->
-          Format.fprintf ppf "  %-48s %12.1f ns/run@." name per_run
-      | Some _ | None -> Format.fprintf ppf "  %-48s (no estimate)@." name)
+    (fun name ->
+      match (estimate times name, estimate allocs name) with
+      | Some ns, words ->
+          let words = Option.value words ~default:Float.nan in
+          Format.fprintf ppf "  %-48s %12.1f  %15.1f@." name ns words;
+          json_micro :=
+            Json.Obj
+              [
+                ("name", Json.String name);
+                ("ns_per_run", Json.Float ns);
+                ("minor_words_per_run", Json.Float words);
+              ]
+            :: !json_micro
+      | None, _ -> Format.fprintf ppf "  %-48s (no estimate)@." name)
     (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep engine wall-clock: sequential vs sharded Figure-6 grid        *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let fig6_fingerprint results =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Format.asprintf "%a" Fig6.print r ^ Fig6.histogram_csv r))
+    results;
+  Buffer.contents buf
+
+let sweep () =
+  banner "Sweep engine: sequential vs sharded (Figure 6 grid, 9 runs)";
+  let jobs = Par.default_jobs () in
+  let seq, seq_s = time (fun () -> Fig6.run_all ~pool:Par.sequential ()) in
+  let par, par_s =
+    time (fun () -> Fig6.run_all ~pool:(Par.create ~jobs ()) ())
+  in
+  let identical = String.equal (fig6_fingerprint seq) (fig6_fingerprint par) in
+  let speedup = if par_s > 0. then seq_s /. par_s else Float.nan in
+  Format.fprintf ppf
+    "  jobs=1: %.2fs   jobs=%d: %.2fs   speedup: %.2fx   byte-identical: %b@."
+    seq_s jobs par_s speedup identical;
+  if not identical then begin
+    Format.fprintf ppf
+      "  ERROR: parallel results differ from sequential results@.";
+    exit 1
+  end;
+  json_sweep :=
+    ( "fig6",
+      Json.Obj
+        [
+          ("jobs", Json.Int jobs);
+          ("seq_s", Json.Float seq_s);
+          ("par_s", Json.Float par_s);
+          ("speedup", Json.Float speedup);
+          ("identical", Json.Bool identical);
+        ] )
+    :: !json_sweep
 
 (* ------------------------------------------------------------------ *)
 
@@ -309,12 +444,37 @@ let sections =
     ("multi", multi);
     ("robustness", robustness);
     ("micro", micro);
+    ("sweep", sweep);
   ]
 
+let usage () =
+  Format.fprintf ppf
+    "usage: bench [section ...] [--jobs N] [--json FILE]@.sections: %s all@."
+    (String.concat " " (List.map fst sections));
+  exit 1
+
 let () =
+  let json_file = ref None in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            Par.set_default_jobs n;
+            parse_args acc rest
+        | _ ->
+            Format.fprintf ppf "--jobs expects a positive integer, got %s@." n;
+            exit 1)
+    | [ "--jobs" ] | [ "--json" ] -> usage ()
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse_args acc rest
+    | arg :: rest -> parse_args (arg :: acc) rest
+  in
+  let args = parse_args [] (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) when not (List.mem "all" args) -> args
+    match args with
+    | _ :: _ when not (List.mem "all" args) -> args
     | _ -> List.map fst sections
   in
   List.iter
@@ -325,4 +485,21 @@ let () =
           Format.fprintf ppf "unknown section %s (available: %s)@." name
             (String.concat " " (List.map fst sections));
           exit 1)
-    requested
+    requested;
+  match !json_file with
+  | None -> ()
+  | Some file ->
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "rthv-bench/1");
+            ("jobs", Json.Int (Par.default_jobs ()));
+            ("micro", Json.List (List.rev !json_micro));
+            ("sweep", Json.Obj (List.rev !json_sweep));
+          ]
+      in
+      let oc = open_out file in
+      output_string oc (Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Format.fprintf ppf "@.wrote %s@." file

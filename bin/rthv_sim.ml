@@ -194,8 +194,9 @@ let run_experiment name =
         other;
       1
 
-let main experiment slots subscriber c_th_us c_bh_us mean_us d_min_us count
-    seed monitor strict_tdma histogram csv_out vcd_out trace_out trace =
+let main jobs experiment slots subscriber c_th_us c_bh_us mean_us d_min_us
+    count seed monitor strict_tdma histogram csv_out vcd_out trace_out trace =
+  Option.iter Rthv_par.Par.set_default_jobs jobs;
   match experiment with
   | Some name -> run_experiment name
   | None ->
@@ -218,6 +219,17 @@ let experiment =
         ~doc:
           "Run a canned paper experiment (fig6a, fig6b, fig6c, fig7, \
            overhead, analysis) instead of a custom simulation.")
+
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for experiment sweeps (default: $(b,RTHV_JOBS) \
+           or the machine's recommended domain count; 1 forces the \
+           sequential path).  Results are byte-identical for any value.  \
+           Custom single-scenario simulations always run on one domain.")
 
 let slots =
   Arg.(
@@ -326,7 +338,7 @@ let cmd =
   Cmd.v
     (Cmd.info "rthv_sim" ~doc)
     Term.(
-      const main $ experiment $ slots $ subscriber $ c_th_us $ c_bh_us
+      const main $ jobs $ experiment $ slots $ subscriber $ c_th_us $ c_bh_us
       $ mean_us $ d_min_us $ count $ seed $ monitor $ strict_tdma $ histogram
       $ csv_out $ vcd_out $ trace_out $ trace_arg)
 

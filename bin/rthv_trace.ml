@@ -157,7 +157,8 @@ let write_output ~out render =
         ~finally:(fun () -> close_out oc)
         (fun () -> output_string oc (render ()))
 
-let main source format out partition from_us to_us metrics capacity =
+let main jobs source format out partition from_us to_us metrics capacity =
+  Option.iter Rthv_par.Par.set_default_jobs jobs;
   let registry = Obs.Registry.create () in
   let recorded =
     match source with
@@ -289,6 +290,17 @@ let capacity =
     & info [ "capacity" ] ~docv:"N"
         ~doc:"Trace ring-buffer capacity when simulating.")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for any sharded sweeps (default: $(b,RTHV_JOBS) \
+           or the machine's recommended domain count).  A single scenario \
+           recording is one simulation and always runs on one domain; the \
+           flag exists for parity with $(b,rthv_sim) and $(b,bench).")
+
 let cmd =
   let doc =
     "record hypervisor simulation timelines and export them as Chrome \
@@ -297,7 +309,7 @@ let cmd =
   Cmd.v
     (Cmd.info "rthv_trace" ~doc)
     Term.(
-      const main $ source $ format $ out $ partition $ from_us $ to_us
+      const main $ jobs $ source $ format $ out $ partition $ from_us $ to_us
       $ metrics $ capacity)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,10 +11,23 @@ type mode =
       bound : Distance_fn.t option;
     }
 
+(* Sentinel marking a ring cell that holds no admitted event yet.
+   Timestamps are non-negative cycle counts, so [min_int] is unambiguous,
+   and an unboxed [int array] needs no per-cell [option]. *)
+let no_event = Stdlib.min_int
+
+(* The admitted history is a ring buffer: [history.(head)] is the most
+   recent admitted timestamp and the (i+1)-th last sits at
+   [(head - i + l) mod l].  Admission is O(1) (advance [head], overwrite the
+   oldest cell) instead of the former O(l) shift of an option array, and
+   [entries] caches the condition's entry array so the per-IRQ check never
+   calls [Distance_fn.entries] (which copies). *)
 type t = {
   mode : mode;
   mutable fn : Distance_fn.t option;  (* None while learning *)
-  mutable history : Cycles.t option array;  (* history.(i): (i+1)-th last admitted *)
+  mutable entries : Cycles.t array;  (* entries of [fn]; [||] while learning *)
+  history : Cycles.t array;
+  mutable head : int;
   mutable admitted : int;
   mutable checked : int;
 }
@@ -23,7 +36,9 @@ let fixed fn =
   {
     mode = Fixed;
     fn = Some fn;
-    history = Array.make (Distance_fn.length fn) None;
+    entries = Distance_fn.entries fn;
+    history = Array.make (Distance_fn.length fn) no_event;
+    head = 0;
     admitted = 0;
     checked = 0;
   }
@@ -41,7 +56,9 @@ let self_learning ~l ~learn_events ?bound () =
   {
     mode = Self_learning { learner = Delta_learner.create ~l; learn_events; bound };
     fn = None;
-    history = Array.make l None;
+    entries = [||];
+    history = Array.make l no_event;
+    head = 0;
     admitted = 0;
     checked = 0;
   }
@@ -62,7 +79,8 @@ let finish_learning t =
         | None -> Delta_learner.learned learner
         | Some bound -> Delta_learner.learned_bounded learner ~bound
       in
-      t.fn <- Some fn
+      t.fn <- Some fn;
+      t.entries <- Distance_fn.entries fn
 
 let note_arrival t timestamp =
   match (t.mode, t.fn) with
@@ -71,36 +89,34 @@ let note_arrival t timestamp =
       Delta_learner.observe learner timestamp;
       if Delta_learner.observed learner >= learn_events then finish_learning t
 
+(* Top-level recursion (not an inner closure) keeps [conforms] allocation
+   free on the per-IRQ path. *)
+let rec conforms_from history head entries l timestamp i =
+  i >= l
+  ||
+  let previous = history.((head - i + l) mod l) in
+  (previous = no_event
+  || Cycles.( - ) timestamp previous >= Array.unsafe_get entries i)
+  && conforms_from history head entries l timestamp (i + 1)
+
+let conforms t timestamp =
+  let l = Array.length t.entries in
+  (* [l = 0] iff the condition does not exist yet (learning phase): no
+     interposition is admitted. *)
+  l > 0 && conforms_from t.history t.head t.entries l timestamp 0
+
 let check t timestamp =
   t.checked <- t.checked + 1;
-  match t.fn with
-  | None -> false
-  | Some fn ->
-      let entries = Distance_fn.entries fn in
-      let ok = ref true in
-      Array.iteri
-        (fun i entry ->
-          match t.history.(i) with
-          | None -> ()
-          | Some previous ->
-              if Cycles.( - ) timestamp previous < entry then ok := false)
-        entries;
-      !ok
-
-let check_quietly t timestamp =
-  let before = t.checked in
-  let r = check t timestamp in
-  t.checked <- before;
-  r
+  conforms t timestamp
 
 let admit t timestamp =
-  if not (check_quietly t timestamp) then
+  if not (conforms t timestamp) then
     invalid_arg "Monitor.admit: activation violates the monitoring condition";
-  let n = Array.length t.history in
-  for i = n - 1 downto 1 do
-    t.history.(i) <- t.history.(i - 1)
-  done;
-  t.history.(0) <- Some timestamp;
+  let l = Array.length t.history in
+  let head = t.head + 1 in
+  let head = if head = l then 0 else head in
+  t.head <- head;
+  t.history.(head) <- timestamp;
   t.admitted <- t.admitted + 1
 
 let condition t = t.fn

@@ -43,15 +43,23 @@ val note_arrival : t -> Rthv_engine.Cycles.t -> unit
     the source, from the top handler).  Drives the learning phase; a no-op
     for fixed monitors and in the run phase. *)
 
+val conforms : t -> Rthv_engine.Cycles.t -> bool
+(** [conforms t ts]: would an interposition for an activation at [ts] be
+    admitted now?  [false] during the learning phase.  Read-only and
+    allocation-free — the per-IRQ hot path: the admitted history is an
+    unboxed ring buffer, so the l distance comparisons touch no heap. *)
+
 val check : t -> Rthv_engine.Cycles.t -> bool
-(** [check t ts]: would an interposition for an activation at [ts] be
-    admitted now?  [false] during the learning phase.  Pure (no state
-    change). *)
+(** {!conforms}, counted: increments {!checked_count}, modelling one paid
+    execution of the monitoring function (C_Mon on the real system).  The
+    hypervisor's top handler calls this; code that merely inspects the
+    monitor should call {!conforms}. *)
 
 val admit : t -> Rthv_engine.Cycles.t -> unit
-(** Commit an admission: push [ts] into the admitted history.
-    @raise Invalid_argument if [check] would have refused (callers must
-    check first — the hypervisor's top handler does). *)
+(** Commit an admission: push [ts] into the admitted ring buffer (O(1),
+    overwriting the oldest of the l remembered admissions).
+    @raise Invalid_argument if {!conforms} is false (callers must check
+    first — the hypervisor's top handler does). *)
 
 val condition : t -> Rthv_analysis.Distance_fn.t option
 (** The active monitoring condition: [None] while still learning. *)

@@ -88,6 +88,8 @@ let pop t =
 let clear t = t.size <- 0
 
 let to_sorted_list t =
+  if t.size = 0 then []
+  else begin
   let entries = Array.sub t.heap 0 t.size in
   let compare_entry a b =
     match Cycles.compare a.time b.time with
@@ -96,3 +98,4 @@ let to_sorted_list t =
   in
   Array.sort compare_entry entries;
   Array.to_list entries
+  end

@@ -13,8 +13,11 @@ type 'a entry = { time : Cycles.t; seq : int; payload : 'a }
 val create : unit -> 'a t
 
 val is_empty : 'a t -> bool
+(** O(1).  Check this (or {!length}) before {!to_sorted_list} when the
+    snapshot is optional — the snapshot is the expensive operation here. *)
 
 val length : 'a t -> int
+(** O(1). *)
 
 val push : 'a t -> time:Cycles.t -> 'a -> unit
 (** [push q ~time payload] schedules [payload] at [time].  [time] may be in
@@ -31,4 +34,11 @@ val pop : 'a t -> 'a entry option
 val clear : 'a t -> unit
 
 val to_sorted_list : 'a t -> 'a entry list
-(** Non-destructive snapshot in delivery order; O(n log n).  For tests. *)
+(** Non-destructive snapshot in delivery order.
+
+    {b Cost}: every call copies the live heap prefix and sorts the copy —
+    O(n) fresh allocation plus an O(n log n) [Array.sort] — because a binary
+    heap is only partially ordered.  This is intended for tests and
+    debugging dumps, never for the simulation hot path; callers that may
+    face an empty or irrelevant queue should gate on {!is_empty}/{!length}
+    (an empty queue returns [[]] without allocating). *)

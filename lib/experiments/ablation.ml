@@ -75,8 +75,8 @@ let monitor_depth_variants ~d_min depths =
       })
     depths
 
-let run_on_arrivals ~interarrivals variants =
-  List.map
+let run_on_arrivals ?pool ~interarrivals variants =
+  Rthv_par.Par.map ?pool
     (fun variant ->
       let config =
         Config.make ~platform:variant.platform
@@ -105,13 +105,14 @@ let run_on_arrivals ~interarrivals variants =
       })
     variants
 
-let run ?(seed = Params.default_seed) ?(count = 5000) ~d_min variants =
+let run ?(seed = Params.default_seed) ?(count = 5000) ?pool ~d_min variants =
   let interarrivals =
     Gen.exponential_clamped ~seed ~mean:d_min ~d_min ~count
   in
-  run_on_arrivals ~interarrivals variants
+  run_on_arrivals ?pool ~interarrivals variants
 
-let shaper_comparison ?(seed = Params.default_seed) ?(count = 5000) ~d_min () =
+let shaper_comparison ?(seed = Params.default_seed) ?(count = 5000) ?pool
+    ~d_min () =
   (* Bursts of 3 activations, inner distance d_min/8, burst gaps sized so
      the long-term rate equals one activation per d_min. *)
   let interarrivals =
@@ -146,7 +147,7 @@ let shaper_comparison ?(seed = Params.default_seed) ?(count = 5000) ~d_min () =
       };
     ]
   in
-  run_on_arrivals ~interarrivals variants
+  run_on_arrivals ?pool ~interarrivals variants
 
 let print ppf measurements =
   List.iter

@@ -33,14 +33,18 @@ val monitor_depth_variants : d_min:Rthv_engine.Cycles.t -> int list -> variant l
 val run :
   ?seed:int ->
   ?count:int ->
+  ?pool:Rthv_par.Par.pool ->
   d_min:Rthv_engine.Cycles.t ->
   variant list ->
   measurement list
-(** All variants on the same pre-generated conforming arrivals. *)
+(** All variants on the same pre-generated conforming arrivals, sharded
+    across [pool] (one simulation per variant, byte-identical at any job
+    count). *)
 
 val shaper_comparison :
   ?seed:int ->
   ?count:int ->
+  ?pool:Rthv_par.Par.pool ->
   d_min:Rthv_engine.Cycles.t ->
   unit ->
   measurement list

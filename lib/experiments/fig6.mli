@@ -33,12 +33,23 @@ type result = {
 
 val scenario_name : scenario -> string
 
-val run : ?seed:int -> ?count_per_load:int -> ?loads:float list -> scenario -> result
+val run :
+  ?seed:int ->
+  ?count_per_load:int ->
+  ?loads:float list ->
+  ?pool:Rthv_par.Par.pool ->
+  scenario ->
+  result
 (** Defaults: the paper's seed-reproducible 5000 IRQs at each of
-    1/5/10 %. *)
+    1/5/10 %.  The per-load runs are independent (load [i] is seeded
+    [seed + i]) and shard across [pool] (default {!Rthv_par.Par.default_pool});
+    any job count produces byte-identical results. *)
 
-val run_all : ?seed:int -> ?count_per_load:int -> unit -> result list
-(** Figures 6a, 6b and 6c in order. *)
+val run_all :
+  ?seed:int -> ?count_per_load:int -> ?pool:Rthv_par.Par.pool -> unit ->
+  result list
+(** Figures 6a, 6b and 6c in order; all nine scenario x load simulations
+    run as one sharded sweep. *)
 
 val print : Format.formatter -> result -> unit
 (** Paper-shaped report: classification shares, average/worst latency, and

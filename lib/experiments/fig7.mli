@@ -42,8 +42,14 @@ val run :
   result
 (** [window] is the running-average window (default 500 events). *)
 
-val run_all : ?seed:int -> unit -> result list
-(** The paper's four graphs, a-d. *)
+val run_all :
+  ?seed:int ->
+  ?profile:Rthv_workload.Ecu_trace.profile ->
+  ?pool:Rthv_par.Par.pool ->
+  unit ->
+  result list
+(** The paper's four graphs, a-d, as one sharded sweep (byte-identical at
+    any job count). *)
 
 val print : Format.formatter -> result -> unit
 

@@ -33,6 +33,13 @@ val run :
 (** One sweep point; [total_load] defaults to 10 %. *)
 
 val sweep :
-  ?seed:int -> ?count_per_source:int -> ?total_load:float -> int list -> row list
+  ?seed:int ->
+  ?count_per_source:int ->
+  ?total_load:float ->
+  ?pool:Rthv_par.Par.pool ->
+  int list ->
+  row list
+(** One independent simulation per source count, sharded across [pool]
+    (byte-identical at any job count). *)
 
 val print : Format.formatter -> row list -> unit

@@ -77,10 +77,13 @@ let measure_load ~seed ~count load =
   }
 
 let run ?(seed = Params.default_seed) ?(count_per_load = Params.irqs_per_load)
-    ?(loads = Params.loads) () =
+    ?(loads = Params.loads) ?pool () =
   let per_load =
-    List.mapi
-      (fun i load -> measure_load ~seed:(seed + i) ~count:count_per_load load)
+    Rthv_par.Par.mapi ?pool
+      (fun i load ->
+        measure_load
+          ~seed:(Rthv_par.Par.derive_seed ~base:seed ~index:i)
+          ~count:count_per_load load)
       loads
   in
   let base_total =

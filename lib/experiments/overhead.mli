@@ -42,6 +42,14 @@ type t = {
   overall_increase_pct : float;
 }
 
-val run : ?seed:int -> ?count_per_load:int -> ?loads:float list -> unit -> t
+val run :
+  ?seed:int ->
+  ?count_per_load:int ->
+  ?loads:float list ->
+  ?pool:Rthv_par.Par.pool ->
+  unit ->
+  t
+(** Each load's baseline/monitored pair is one sweep task, seeded
+    [seed + i] for load index [i] and sharded across [pool]. *)
 
 val print : Format.formatter -> t -> unit

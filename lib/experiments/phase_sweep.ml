@@ -33,14 +33,16 @@ let probe ~monitored ~arrival =
       failwith
         (Printf.sprintf "phase probe produced %d records" (List.length records))
 
-let run ?(samples = 140) ?(cycle_index = 3) ~monitored () =
+let run ?(samples = 140) ?(cycle_index = 3) ?pool ~monitored () =
   if samples < 2 then invalid_arg "Phase_sweep.run: need >= 2 samples";
   if cycle_index < 0 then invalid_arg "Phase_sweep.run: negative cycle index";
   let cycle = Rthv_core.Tdma.cycle_length Params.tdma in
   let base = Cycles.( * ) cycle cycle_index in
   let step = cycle / samples in
+  (* One self-contained simulation per probe point: the sweep's natural
+     grain, sharded across the pool. *)
   let samples =
-    List.init samples (fun i ->
+    Rthv_par.Par.init ?pool samples (fun i ->
         let phase = Cycles.( * ) step i in
         let latency_us, classification =
           probe ~monitored ~arrival:(Cycles.( + ) base phase)

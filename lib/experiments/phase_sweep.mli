@@ -28,10 +28,18 @@ type result = {
   mean_us : float;
 }
 
-val run : ?samples:int -> ?cycle_index:int -> monitored:bool -> unit -> result
+val run :
+  ?samples:int ->
+  ?cycle_index:int ->
+  ?pool:Rthv_par.Par.pool ->
+  monitored:bool ->
+  unit ->
+  result
 (** [samples] probe points across the cycle (default 140, i.e. one per
     100 us of the paper's 14 ms cycle); [cycle_index] picks which cycle the
-    probes land in (default 3, well past start-up). *)
+    probes land in (default 3, well past start-up).  Probes are independent
+    single-IRQ simulations and shard across [pool] with byte-identical
+    results at any job count. *)
 
 val print : Format.formatter -> result list -> unit
 (** Table plus an ASCII plot of latency over phase for all results. *)

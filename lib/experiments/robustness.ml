@@ -12,12 +12,15 @@ type row = {
 
 let default_seeds = List.init 10 (fun i -> i + 1)
 
-let run ?(seeds = default_seeds) ?(count_per_load = 1000) scenario =
+let run ?(seeds = default_seeds) ?(count_per_load = 1000) ?pool scenario =
   if seeds = [] then invalid_arg "Robustness.run: need at least one seed";
+  (* One Fig6 run per seed; the outer sweep shards across the pool, the
+     inner per-load sweep then runs sequentially (nested sweeps do not
+     oversubscribe). *)
   let means_us =
-    List.map
+    Rthv_par.Par.map ?pool
       (fun seed ->
-        let result = Fig6.run ~seed ~count_per_load scenario in
+        let result = Fig6.run ~seed ~count_per_load ?pool scenario in
         result.Fig6.latency.Summary.mean)
       seeds
   in
@@ -32,9 +35,9 @@ let run ?(seeds = default_seeds) ?(count_per_load = 1000) scenario =
     max_mean_us = s.Summary.max;
   }
 
-let run_all ?seeds ?count_per_load () =
+let run_all ?seeds ?count_per_load ?pool () =
   List.map
-    (fun scenario -> run ?seeds ?count_per_load scenario)
+    (fun scenario -> run ?seeds ?count_per_load ?pool scenario)
     [ Fig6.Unmonitored; Fig6.Monitored; Fig6.Monitored_conforming ]
 
 let print ppf rows =

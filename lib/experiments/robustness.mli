@@ -15,10 +15,21 @@ type row = {
   max_mean_us : float;
 }
 
-val run : ?seeds:int list -> ?count_per_load:int -> Fig6.scenario -> row
+val run :
+  ?seeds:int list ->
+  ?count_per_load:int ->
+  ?pool:Rthv_par.Par.pool ->
+  Fig6.scenario ->
+  row
 (** Defaults: seeds 1..10 and 1000 IRQs per load (lighter than the headline
-    runs; the spread estimate does not need the full 5000). *)
+    runs; the spread estimate does not need the full 5000).  One Fig6 run
+    per seed, sharded across [pool]. *)
 
-val run_all : ?seeds:int list -> ?count_per_load:int -> unit -> row list
+val run_all :
+  ?seeds:int list ->
+  ?count_per_load:int ->
+  ?pool:Rthv_par.Par.pool ->
+  unit ->
+  row list
 
 val print : Format.formatter -> row list -> unit

@@ -1,0 +1,124 @@
+type pool = { pool_jobs : int }
+
+let jobs t = t.pool_jobs
+
+let create_exn name jobs =
+  if jobs < 1 then invalid_arg (name ^ ": jobs must be >= 1");
+  { pool_jobs = jobs }
+
+let sequential = { pool_jobs = 1 }
+
+(* Set while executing inside a sweep worker: nested sweeps run sequentially
+   so the live domain count stays bounded by the outermost pool. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let override_jobs = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "RTHV_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let default_jobs () =
+  match !override_jobs with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ())
+
+let set_default_jobs n =
+  ignore (create_exn "Par.set_default_jobs" n : pool);
+  override_jobs := Some n
+
+let create ?jobs () =
+  match jobs with
+  | Some n -> create_exn "Par.create" n
+  | None -> { pool_jobs = default_jobs () }
+
+let default_pool () = { pool_jobs = default_jobs () }
+
+let derive_seed ~base ~index = base + index
+
+let resolve = function Some pool -> pool | None -> default_pool ()
+
+(* Core fan-out: compute [f i] for i in [0, n), each index exactly once, into
+   a slot array.  Workers claim contiguous chunks off an atomic cursor;
+   which domain computes an index is the only scheduling freedom, and it is
+   unobservable for per-index pure tasks.  All slots are filled before the
+   join, so the post-join scan re-raises the lowest-index failure
+   deterministically. *)
+let run_tasks ~jobs n f =
+  let results = Array.make n None in
+  let chunk = Stdlib.max 1 (n / (jobs * 8)) in
+  let cursor = Atomic.make 0 in
+  let work () =
+    let continue = ref true in
+    while !continue do
+      let lo = Atomic.fetch_and_add cursor chunk in
+      if lo >= n then continue := false
+      else
+        for i = lo to Stdlib.min n (lo + chunk) - 1 do
+          results.(i) <-
+            Some
+              (match f i with
+              | v -> Ok v
+              | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+        done
+    done
+  in
+  let worker () =
+    Domain.DLS.set in_worker true;
+    work ()
+  in
+  let spawned =
+    Array.init (Stdlib.min jobs n - 1) (fun _ -> Domain.spawn worker)
+  in
+  (* The caller participates as a worker; flag it so tasks that sweep again
+     stay sequential inside their slot. *)
+  Domain.DLS.set in_worker true;
+  work ();
+  Domain.DLS.set in_worker false;
+  Array.iter Domain.join spawned;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | None -> assert false)
+    results
+
+let parallel pool n =
+  pool.pool_jobs > 1 && n > 1 && not (Domain.DLS.get in_worker)
+
+let mapi ?pool f xs =
+  let pool = resolve pool in
+  let n = List.length xs in
+  if not (parallel pool n) then List.mapi f xs
+  else begin
+    let input = Array.of_list xs in
+    let out = run_tasks ~jobs:pool.pool_jobs n (fun i -> f i input.(i)) in
+    Array.to_list out
+  end
+
+let map ?pool f xs = mapi ?pool (fun _ x -> f x) xs
+
+let init ?pool n f =
+  if n < 0 then invalid_arg "Par.init";
+  let pool = resolve pool in
+  if not (parallel pool n) then List.init n f
+  else Array.to_list (run_tasks ~jobs:pool.pool_jobs n f)
+
+let map_array ?pool f input =
+  let pool = resolve pool in
+  let n = Array.length input in
+  if not (parallel pool n) then Array.map f input
+  else run_tasks ~jobs:pool.pool_jobs n (fun i -> f input.(i))
+
+let map_reduce ?pool ~map:f ~reduce ~init xs =
+  let pool = resolve pool in
+  if not (parallel pool (List.length xs)) then
+    List.fold_left (fun acc x -> reduce acc (f x)) init xs
+  else List.fold_left reduce init (map ~pool f xs)

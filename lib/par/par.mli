@@ -1,0 +1,94 @@
+(** Deterministic multicore sweep engine.
+
+    The evaluation pipeline runs many {e independent} simulations (one per
+    load, per seed, per phase offset, per ablation variant).  Each run is
+    seeded on its own — the drivers derive the per-task seed from the task's
+    {e index} in the sweep ([seed + i], see {!derive_seed}) — so a sweep can
+    be sharded across CPU cores without changing a single simulated cycle.
+
+    This module provides that sharding on raw [Domain]s, no dependencies:
+
+    - {b Determinism.}  Results are returned in input order, each slot
+      computed by exactly one worker, so for a per-index pure [f] the
+      parallel result is the {e same value} as the sequential one —
+      experiment output is byte-identical whatever the job count.  The only
+      scheduling freedom is {e which} domain computes an index, which is
+      unobservable for per-index pure tasks.
+    - {b Exact sequential fallback.}  A pool with [jobs = 1] (or a
+      single-element input) runs the untouched [List.map]/[List.mapi]/
+      [List.init] code path in the calling domain: no domains are spawned,
+      no arrays built.
+    - {b Chunked claiming.}  Workers grab contiguous index chunks from an
+      atomic cursor, so unbalanced tasks (a 1 %-load run simulates ~10x
+      longer than a 10 %-load run) still spread across cores.
+    - {b No nested oversubscription.}  A sweep task that itself calls into
+      this module runs its inner sweep sequentially; the domain count is
+      bounded by the outermost pool's [jobs].
+
+    Exceptions raised by tasks are re-raised in the caller, deterministically
+    picking the lowest-index failure (with its backtrace) once all workers
+    have finished.
+
+    {b Caveat}: tasks run concurrently in separate domains, so they must not
+    share mutable state.  Every simulation ([Hyp_sim.create] + [run]) is
+    self-contained; the global audit hook and the [Rthv_obs] sink are only
+    {e read} on the hot path, which is safe — but installing a metrics
+    recorder sink around a parallel sweep races on the recorder's tables and
+    is not supported (record single runs, or use [jobs = 1]). *)
+
+type pool
+(** A job-count handle.  Workers are spawned per call and joined before the
+    call returns; a [pool] is cheap and holds no OS resources. *)
+
+val create : ?jobs:int -> unit -> pool
+(** [create ~jobs ()] makes a pool running at most [jobs] domains (including
+    the caller, which participates as a worker).  Default: {!default_jobs}.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : pool -> int
+
+val sequential : pool
+(** The [jobs = 1] pool: the exact pre-parallel code path. *)
+
+val default_jobs : unit -> int
+(** The job count used when [?pool] is omitted: the {!set_default_jobs}
+    override if set, else the [RTHV_JOBS] environment variable if it parses
+    to a positive integer, else [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Process-wide override of {!default_jobs} (the CLIs' [--jobs] flag).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val default_pool : unit -> pool
+(** A pool of {!default_jobs} workers. *)
+
+val derive_seed : base:int -> index:int -> int
+(** The sweep seed-derivation scheme: task [i] of a sweep seeded [base] uses
+    [base + i] — the same arithmetic the sequential drivers have always
+    used, so parallel and sequential sweeps feed identical seeds to
+    identical tasks. *)
+
+val map : ?pool:pool -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.map]. *)
+
+val mapi : ?pool:pool -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.mapi] — the workhorse for [seed + i]
+    sweeps. *)
+
+val init : ?pool:pool -> int -> (int -> 'a) -> 'a list
+(** Parallel [List.init].  @raise Invalid_argument on negative length. *)
+
+val map_array : ?pool:pool -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel [Array.map]. *)
+
+val map_reduce :
+  ?pool:pool ->
+  map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** [map_reduce ~map ~reduce ~init xs] maps in parallel, then folds the
+    results {e in input order} in the calling domain — associativity of
+    [reduce] is not required and the result equals the sequential
+    [fold_left (fun acc x -> reduce acc (map x)) init xs]. *)

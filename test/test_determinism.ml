@@ -1,0 +1,62 @@
+(* End-to-end determinism of the parallel sweep engine: every experiment
+   driver must render byte-identical output at jobs = 1 and jobs = 4.  The
+   fingerprints go through the full pretty-printers and CSV exporters, so a
+   single reordered record, shared PRNG draw or drifted histogram bin fails
+   the comparison. *)
+
+module Par = Rthv_par.Par
+module Fig6 = Rthv_experiments.Fig6
+module Fig7 = Rthv_experiments.Fig7
+module Phase_sweep = Rthv_experiments.Phase_sweep
+module Ecu_trace = Rthv_workload.Ecu_trace
+
+let seq = Par.sequential
+let par = Par.create ~jobs:4 ()
+
+let check_identical name render =
+  let a = render seq in
+  let b = render par in
+  if not (String.equal a b) then
+    Alcotest.failf "%s: jobs=1 and jobs=4 outputs differ (%d vs %d bytes)"
+      name (String.length a) (String.length b)
+
+let fig6_render result =
+  Format.asprintf "%a" Fig6.print result ^ Fig6.histogram_csv result
+
+let test_fig6_run () =
+  check_identical "fig6 monitored" (fun pool ->
+      fig6_render (Fig6.run ~seed:42 ~count_per_load:300 ~pool Fig6.Monitored))
+
+let test_fig6_run_all () =
+  check_identical "fig6 run_all" (fun pool ->
+      String.concat "\n"
+        (List.map fig6_render (Fig6.run_all ~count_per_load:200 ~pool ())))
+
+(* A short ECU profile keeps the four self-learning runs fast while still
+   exercising learning, bounding and the series downsampling. *)
+let light_profile =
+  { Ecu_trace.default_profile with duration_us = 2_000_000; burst_count = 8 }
+
+let test_fig7_run_all () =
+  check_identical "fig7 run_all" (fun pool ->
+      let results = Fig7.run_all ~profile:light_profile ~pool () in
+      String.concat "\n" (List.map (Format.asprintf "%a" Fig7.print) results)
+      ^ Fig7.series_csv results)
+
+let test_phase_sweep () =
+  check_identical "phase sweep" (fun pool ->
+      Format.asprintf "%a" Phase_sweep.print
+        [
+          Phase_sweep.run ~samples:60 ~pool ~monitored:false ();
+          Phase_sweep.run ~samples:60 ~pool ~monitored:true ();
+        ])
+
+let suite =
+  [
+    Alcotest.test_case "fig6 run: jobs=1 = jobs=4" `Quick test_fig6_run;
+    Alcotest.test_case "fig6 run_all: jobs=1 = jobs=4" `Quick
+      test_fig6_run_all;
+    Alcotest.test_case "fig7 run_all: jobs=1 = jobs=4" `Quick
+      test_fig7_run_all;
+    Alcotest.test_case "phase sweep: jobs=1 = jobs=4" `Quick test_phase_sweep;
+  ]

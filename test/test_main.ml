@@ -42,7 +42,9 @@ let () =
       ("workload.trace_io", Test_trace_io.suite);
       ("stats", Test_stats.suite);
       ("stats.ascii_plot", Test_ascii_plot.suite);
+      ("par", Test_par.suite);
       ("experiments", Test_experiments.suite);
+      ("experiments.determinism", Test_determinism.suite);
       ("experiments.ablation", Test_ablation.suite);
       ("experiments.multi_source", Test_multi_source.suite);
       ("experiments.phase_sweep", Test_phase_sweep.suite);

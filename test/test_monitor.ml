@@ -212,3 +212,65 @@ let suite =
             (list_size (0 -- 150) (0 -- 8_000)))
         prop_bounded_learning_admissions_conform;
     ]
+
+(* The monitor's history is an unboxed ring buffer (O(1) admit); the
+   original implementation was a [Cycles.t option array] shifted on every
+   admission (O(l)).  This reference reimplements the original shifting
+   semantics verbatim, and the property drives both through the same
+   check/admit stream: every decision must agree at every step. *)
+module Shift_reference = struct
+  type t = { entries : int array; history : int option array }
+
+  let create fn =
+    let entries = DF.entries fn in
+    { entries; history = Array.make (Array.length entries) None }
+
+  let check t timestamp =
+    (* delta(i+2) between [timestamp] and the (i+1)-th last admission. *)
+    let ok = ref true in
+    Array.iteri
+      (fun i previous ->
+        match previous with
+        | Some p when timestamp - p < t.entries.(i) -> ok := false
+        | Some _ | None -> ())
+      t.history;
+    !ok
+
+  let admit t timestamp =
+    let l = Array.length t.history in
+    for i = l - 1 downto 1 do
+      t.history.(i) <- t.history.(i - 1)
+    done;
+    if l > 0 then t.history.(0) <- Some timestamp
+end
+
+let prop_ring_equals_shift (entries, gaps) =
+  let fn = DF.of_entries (Array.of_list entries) in
+  let ring = Monitor.fixed fn in
+  let shift = Shift_reference.create fn in
+  let t = ref 0 in
+  List.for_all
+    (fun gap ->
+      t := !t + gap;
+      let ring_ok = Monitor.check ring !t in
+      let shift_ok = Shift_reference.check shift !t in
+      if ring_ok <> shift_ok then
+        QCheck2.Test.fail_reportf
+          "decision diverged at t=%d: ring=%b shift=%b" !t ring_ok shift_ok;
+      if ring_ok then begin
+        Monitor.admit ring !t;
+        Shift_reference.admit shift !t
+      end;
+      true)
+    gaps
+
+let suite =
+  suite
+  @ [
+      Testutil.qtest "ring-buffer history = array-shift reference (l<=4)"
+        QCheck2.Gen.(
+          pair
+            (list_size (1 -- 4) (0 -- 10_000))
+            (list_size (0 -- 300) (0 -- 20_000)))
+        prop_ring_equals_shift;
+    ]
