@@ -1,0 +1,123 @@
+(* Compare two rthv-bench/1 JSON files (see bench/main.ml --json) and fail
+   on performance regressions.
+
+   Usage:  dune exec bench/diff.exe -- BASELINE.json CURRENT.json
+             [--ratio R] [--words-slack W]
+
+   Wall-clock estimates are compared with a *relative* tolerance: a row
+   regresses when current > baseline * R (default 5.0 — generous on
+   purpose, the baseline and CI machines differ; the gate exists to catch
+   order-of-magnitude mistakes like an accidentally quadratic hot path,
+   not scheduler noise).  Improvements are never failures.
+
+   Allocation estimates are machine-independent, so they get an *absolute*
+   slack in minor words (default 8.0): the allocation-free hot paths must
+   stay allocation-free wherever the bench runs.
+
+   Rows present only in the baseline fail the diff (a silently dropped
+   bench is a lost regression gate); rows only in the current file are
+   reported as informational. *)
+
+module Json = Rthv_obs.Json
+
+let fail fmt = Format.kasprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let member name = function
+  | Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let number = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let string_field name doc =
+  match member name doc with Some (Json.String s) -> Some s | _ -> None
+
+type row = { ns : float; words : float }
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Json.parse text with
+  | Error e -> fail "%s: %s" path e
+  | Ok doc ->
+      (match string_field "schema" doc with
+      | Some "rthv-bench/1" -> ()
+      | Some other -> fail "%s: unsupported schema %s" path other
+      | None -> fail "%s: missing schema field" path);
+      let rows =
+        match member "micro" doc with
+        | Some (Json.List rows) -> rows
+        | _ -> fail "%s: missing micro array" path
+      in
+      List.filter_map
+        (fun r ->
+          match
+            (string_field "name" r, number (member "ns_per_run" r),
+             number (member "minor_words_per_run" r))
+          with
+          | Some name, Some ns, Some words -> Some (name, { ns; words })
+          | _ -> None)
+        rows
+
+let () =
+  let ratio = ref 5.0 in
+  let words_slack = ref 8.0 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--ratio" :: v :: rest ->
+        ratio := float_of_string v;
+        parse rest
+    | "--words-slack" :: v :: rest ->
+        words_slack := float_of_string v;
+        parse rest
+    | arg :: rest ->
+        files := arg :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, current_path =
+    match List.rev !files with
+    | [ b; c ] -> (b, c)
+    | _ ->
+        fail
+          "usage: diff BASELINE.json CURRENT.json [--ratio R] [--words-slack \
+           W]"
+  in
+  let baseline = load baseline_path and current = load current_path in
+  let failures = ref 0 in
+  Printf.printf "%-48s %12s %12s %8s\n" "benchmark" "base ns" "curr ns" "ratio";
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name current with
+      | None ->
+          incr failures;
+          Printf.printf "%-48s MISSING from %s\n" name current_path
+      | Some c ->
+          let r = if b.ns > 0.0 then c.ns /. b.ns else Float.infinity in
+          let time_bad = r > !ratio in
+          let words_bad = c.words > b.words +. !words_slack in
+          if time_bad || words_bad then incr failures;
+          Printf.printf "%-48s %12.1f %12.1f %7.2fx%s%s\n" name b.ns c.ns r
+            (if time_bad then "  TIME REGRESSION" else "")
+            (if words_bad then
+               Printf.sprintf "  ALLOC REGRESSION (%.1f -> %.1f words)"
+                 b.words c.words
+             else ""))
+    baseline;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name baseline) then
+        Printf.printf "%-48s (new, not in baseline)\n" name)
+    current;
+  if !failures > 0 then begin
+    Printf.printf "\n%d regression(s) against %s (ratio > %.1fx or > %+.1f \
+                   minor words)\n"
+      !failures baseline_path !ratio !words_slack;
+    exit 1
+  end;
+  Printf.printf "\nno regressions against %s\n" baseline_path

@@ -55,8 +55,40 @@ let trace_out_format path =
       (Printf.sprintf "--trace-out %S: expected a .json or .jsonl extension"
          path)
 
+(* --metrics-out likewise: .json (registry JSON) or .prom (Prometheus
+   exposition text). *)
+let metrics_out_format path =
+  if Filename.check_suffix path ".json" then Ok `Json
+  else if Filename.check_suffix path ".prom" then Ok `Prom
+  else
+    Error
+      (Printf.sprintf "--metrics-out %S: expected a .json or .prom extension"
+         path)
+
+let write_metrics ~path registry =
+  match metrics_out_format path with
+  | Error msg ->
+      Format.eprintf "%s@." msg;
+      1
+  | Ok fmt ->
+      let rendered =
+        match fmt with
+        | `Json ->
+            Rthv_obs.Json.to_string (Rthv_obs.Registry.to_json registry) ^ "\n"
+        | `Prom -> Rthv_obs.Registry.to_prometheus registry
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc rendered);
+      Format.printf "wrote %d metric series to %s@."
+        (Rthv_obs.Registry.cardinality registry)
+        path;
+      0
+
 let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
-    monitor strict_tdma show_histogram csv_out vcd_out trace_out trace =
+    monitor strict_tdma show_histogram csv_out vcd_out trace_out metrics_out
+    trace =
   let partitions =
     List.mapi
       (fun i slot_us ->
@@ -95,7 +127,12 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
     | _ -> Some (Rthv_core.Hyp_trace.create ())
   in
   let sim = Hyp_sim.create ?trace config in
-  Hyp_sim.run sim;
+  let registry = Rthv_obs.Registry.create () in
+  (if metrics_out <> None then
+     let recorder = Rthv_obs.Recorder.create ~registry () in
+     Rthv_obs.Sink.with_sink (Rthv_obs.Recorder.sink recorder) (fun () ->
+         Hyp_sim.run sim)
+   else Hyp_sim.run sim);
   let records = Hyp_sim.records sim in
   let stats = Hyp_sim.stats sim in
   let latencies = List.map Irq_record.latency_us records in
@@ -147,58 +184,79 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
         (Rthv_core.Hyp_trace.length trace)
         path
   | _ -> ());
-  match (trace_out, trace) with
-  | Some path, Some trace -> (
-      match trace_out_format path with
-      | Ok `Jsonl ->
-          Rthv_core.Trace_export.save_jsonl ~path trace;
-          Format.printf "wrote %d trace events to %s (jsonl)@."
-            (Rthv_core.Hyp_trace.length trace)
-            path;
-          0
-      | Ok `Chrome ->
-          let partition_names =
-            Array.of_list (List.map (fun (p : Config.partition) -> p.Config.pname) partitions)
-          in
-          Rthv_core.Trace_export.save_chrome ~partition_names ~path trace;
-          Format.printf "wrote %d trace events to %s (chrome)@."
-            (Rthv_core.Hyp_trace.length trace)
-            path;
-          0
-      | Error msg ->
-          Format.eprintf "%s@." msg;
-          1)
-  | _ -> 0
+  let trace_status =
+    match (trace_out, trace) with
+    | Some path, Some trace -> (
+        match trace_out_format path with
+        | Ok `Jsonl ->
+            Rthv_core.Trace_export.save_jsonl ~path trace;
+            Format.printf "wrote %d trace events to %s (jsonl)@."
+              (Rthv_core.Hyp_trace.length trace)
+              path;
+            0
+        | Ok `Chrome ->
+            let partition_names =
+              Array.of_list (List.map (fun (p : Config.partition) -> p.Config.pname) partitions)
+            in
+            Rthv_core.Trace_export.save_chrome ~partition_names ~path trace;
+            Format.printf "wrote %d trace events to %s (chrome)@."
+              (Rthv_core.Hyp_trace.length trace)
+              path;
+            0
+        | Error msg ->
+            Format.eprintf "%s@." msg;
+            1)
+    | _ -> 0
+  in
+  let metrics_status =
+    match metrics_out with
+    | None -> 0
+    | Some path -> write_metrics ~path registry
+  in
+  Stdlib.max trace_status metrics_status
 
-let run_experiment name =
+let run_experiment metrics_out name =
   let module Fig6 = Rthv_experiments.Fig6 in
   let ppf = Format.std_formatter in
-  match name with
-  | "fig6a" -> Fig6.print ppf (Fig6.run Fig6.Unmonitored); 0
-  | "fig6b" -> Fig6.print ppf (Fig6.run Fig6.Monitored); 0
-  | "fig6c" -> Fig6.print ppf (Fig6.run Fig6.Monitored_conforming); 0
-  | "fig7" ->
-      let results = Rthv_experiments.Fig7.run_all () in
-      List.iter (Rthv_experiments.Fig7.print ppf) results;
-      0
-  | "overhead" ->
-      Rthv_experiments.Overhead.print ppf (Rthv_experiments.Overhead.run ());
-      0
-  | "analysis" ->
-      Rthv_experiments.Analysis_tables.print ppf
-        (Rthv_experiments.Analysis_tables.compute_all ());
-      0
-  | other ->
-      Format.eprintf
-        "unknown experiment %S (fig6a fig6b fig6c fig7 overhead analysis)@."
-        other;
-      1
+  (* The sweep drivers fold per-task registries deterministically, so the
+     exported metrics are byte-identical for any --jobs value. *)
+  let registry = Rthv_obs.Registry.create () in
+  let metrics = Option.map (fun _ -> registry) metrics_out in
+  let status =
+    match name with
+    | "fig6a" -> Fig6.print ppf (Fig6.run ?metrics Fig6.Unmonitored); 0
+    | "fig6b" -> Fig6.print ppf (Fig6.run ?metrics Fig6.Monitored); 0
+    | "fig6c" -> Fig6.print ppf (Fig6.run ?metrics Fig6.Monitored_conforming); 0
+    | "fig7" ->
+        let results = Rthv_experiments.Fig7.run_all ?metrics () in
+        List.iter (Rthv_experiments.Fig7.print ppf) results;
+        0
+    | "overhead" ->
+        Rthv_experiments.Overhead.print ppf
+          (Rthv_experiments.Overhead.run ?metrics ());
+        0
+    | "analysis" ->
+        Rthv_experiments.Analysis_tables.print ppf
+          (Rthv_experiments.Analysis_tables.compute_all ());
+        0
+    | other ->
+        Format.eprintf
+          "unknown experiment %S (fig6a fig6b fig6c fig7 overhead analysis)@."
+          other;
+        1
+  in
+  if status <> 0 then status
+  else
+    match metrics_out with
+    | None -> 0
+    | Some path -> write_metrics ~path registry
 
 let main jobs experiment slots subscriber c_th_us c_bh_us mean_us d_min_us
-    count seed monitor strict_tdma histogram csv_out vcd_out trace_out trace =
+    count seed monitor strict_tdma histogram csv_out vcd_out trace_out
+    metrics_out trace =
   Option.iter Rthv_par.Par.set_default_jobs jobs;
   match experiment with
-  | Some name -> run_experiment name
+  | Some name -> run_experiment metrics_out name
   | None ->
       if subscriber < 0 || subscriber >= List.length slots then begin
         Format.eprintf "subscriber %d out of range for %d partitions@."
@@ -207,7 +265,8 @@ let main jobs experiment slots subscriber c_th_us c_bh_us mean_us d_min_us
       end
       else
         run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count
-          seed monitor strict_tdma histogram csv_out vcd_out trace_out trace
+          seed monitor strict_tdma histogram csv_out vcd_out trace_out
+          metrics_out trace
 
 open Cmdliner
 
@@ -321,6 +380,18 @@ let trace_out =
            extension picks the format ($(b,.json): Chrome Trace Event JSON \
            for Perfetto, $(b,.jsonl): one event per line).")
 
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Record simulator metrics (counters, gauges, latency summaries) \
+           and write them on exit; the extension picks the format \
+           ($(b,.json): registry JSON, $(b,.prom): Prometheus exposition \
+           text).  Works for custom simulations and canned experiments; \
+           sweep metrics are byte-identical for any $(b,--jobs) value.")
+
 let trace_arg =
   Arg.(
     value
@@ -340,6 +411,6 @@ let cmd =
     Term.(
       const main $ jobs $ experiment $ slots $ subscriber $ c_th_us $ c_bh_us
       $ mean_us $ d_min_us $ count $ seed $ monitor $ strict_tdma $ histogram
-      $ csv_out $ vcd_out $ trace_out $ trace_arg)
+      $ csv_out $ vcd_out $ trace_out $ metrics_out $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

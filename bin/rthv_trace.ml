@@ -80,9 +80,12 @@ let event_partitions ~lines event =
   | Hyp_trace.Interposition_end { target; _ }
   | Hyp_trace.Interposition_crossed_boundary { target } ->
       [ target ]
-  | Hyp_trace.Bottom_handler_done { partition; _ } -> [ partition ]
+  | Hyp_trace.Bottom_handler_start { partition; _ }
+  | Hyp_trace.Bottom_handler_done { partition; _ } ->
+      [ partition ]
   | Hyp_trace.Top_handler_run { line; _ }
   | Hyp_trace.Monitor_decision { line; _ }
+  | Hyp_trace.Irq_raised { line; _ }
   | Hyp_trace.Irq_coalesced { line } ->
       of_line line
 
@@ -118,6 +121,8 @@ let count_trace_events registry entries =
         match e.Hyp_trace.event with
         | Hyp_trace.Slot_switch _ -> "slot_switch"
         | Hyp_trace.Boundary_deferred _ -> "boundary_deferred"
+        | Hyp_trace.Irq_raised _ -> "irq_raised"
+        | Hyp_trace.Bottom_handler_start _ -> "bottom_handler_start"
         | Hyp_trace.Top_handler_run _ -> "top_handler"
         | Hyp_trace.Monitor_decision _ -> "monitor_decision"
         | Hyp_trace.Interposition_start _ -> "interposition_start"
@@ -301,15 +306,171 @@ let jobs =
            recording is one simulation and always runs on one domain; the \
            flag exists for parity with $(b,rthv_sim) and $(b,bench).")
 
+(* --- report: latency attribution against the analytic bounds ------------ *)
+
+let opt_us = function
+  | Some v -> Printf.sprintf "%10.1f" v
+  | None -> "         -"
+
+let print_report_text scenario rows verdict_for =
+  Format.printf "-- latency attribution: scenario %s --@." scenario;
+  Format.printf "%-16s %-12s %7s %10s %10s %10s %10s %10s@." "source" "class"
+    "count" "p50us" "p99us" "maxus" "boundus" "headroom";
+  List.iter
+    (fun (r : Obs.Attribution.row) ->
+      let v = verdict_for r.Obs.Attribution.r_source r.Obs.Attribution.r_class in
+      let bound = Option.bind v (fun v -> v.Rthv_check.Headroom.hv_bound_us) in
+      let headroom =
+        Option.bind v (fun v -> v.Rthv_check.Headroom.hv_headroom_us)
+      in
+      let s = r.Obs.Attribution.r_latency in
+      Format.printf "%-16s %-12s %7d %10.1f %10.1f %10.1f %s %s@."
+        r.Obs.Attribution.r_source r.Obs.Attribution.r_class
+        r.Obs.Attribution.r_count s.Obs.Attribution.st_p50
+        s.Obs.Attribution.st_p99 s.Obs.Attribution.st_max (opt_us bound)
+        (opt_us headroom))
+    rows;
+  Format.printf "@.per-component waterfall (mean us per IRQ):@.";
+  List.iter
+    (fun (r : Obs.Attribution.row) ->
+      Format.printf "%s/%s:@." r.Obs.Attribution.r_source
+        r.Obs.Attribution.r_class;
+      let components = r.Obs.Attribution.r_components in
+      let peak =
+        List.fold_left
+          (fun acc (_, (s : Obs.Attribution.stats)) ->
+            Float.max acc s.Obs.Attribution.st_mean)
+          0. components
+      in
+      List.iter
+        (fun (name, (s : Obs.Attribution.stats)) ->
+          let mean = s.Obs.Attribution.st_mean in
+          let width =
+            if peak <= 0. then 0
+            else int_of_float (Float.round (40. *. mean /. peak))
+          in
+          Format.printf "  %-16s %10.2f |%s@." name mean (String.make width '#'))
+        components)
+    rows
+
+let stats_json (s : Obs.Attribution.stats) =
+  Obs.Json.Obj
+    [
+      ("p50_us", Obs.Json.Float s.Obs.Attribution.st_p50);
+      ("p99_us", Obs.Json.Float s.Obs.Attribution.st_p99);
+      ("max_us", Obs.Json.Float s.Obs.Attribution.st_max);
+      ("mean_us", Obs.Json.Float s.Obs.Attribution.st_mean);
+    ]
+
+let print_report_json scenario rows verdict_for =
+  let opt = function Some v -> Obs.Json.Float v | None -> Obs.Json.Null in
+  let row_json (r : Obs.Attribution.row) =
+    let v = verdict_for r.Obs.Attribution.r_source r.Obs.Attribution.r_class in
+    Obs.Json.Obj
+      [
+        ("source", Obs.Json.String r.Obs.Attribution.r_source);
+        ("class", Obs.Json.String r.Obs.Attribution.r_class);
+        ("count", Obs.Json.Int r.Obs.Attribution.r_count);
+        ("latency", stats_json r.Obs.Attribution.r_latency);
+        ( "components",
+          Obs.Json.Obj
+            (List.map
+               (fun (name, s) -> (name, stats_json s))
+               r.Obs.Attribution.r_components) );
+        ( "bound_us",
+          opt (Option.bind v (fun v -> v.Rthv_check.Headroom.hv_bound_us)) );
+        ( "headroom_us",
+          opt (Option.bind v (fun v -> v.Rthv_check.Headroom.hv_headroom_us)) );
+      ]
+  in
+  print_endline
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("scenario", Obs.Json.String scenario);
+            ("rows", Obs.Json.List (List.map row_json rows));
+          ]))
+
+let report_main scenario capacity json =
+  match Scenarios.find scenario with
+  | None ->
+      Format.eprintf "rthv_trace report: unknown scenario %S (available: %s)@."
+        scenario
+        (String.concat ", " (List.map fst Scenarios.all));
+      1
+  | Some build ->
+      let config = build () in
+      let registry = Obs.Registry.create () in
+      let recorder = Obs.Recorder.create ~registry () in
+      let attr = Obs.Attribution.create () in
+      let trace = Hyp_trace.create ~capacity () in
+      let sim = Hyp_sim.create ~trace config in
+      Obs.Sink.with_sink
+        (Obs.Sink.tee (Obs.Recorder.sink recorder) (Obs.Attribution.sink attr))
+        (fun () -> Hyp_sim.run sim);
+      Rthv_check.Headroom.gauges config registry;
+      let verdicts = Rthv_check.Headroom.verdicts config registry in
+      let verdict_for source cls =
+        List.find_opt
+          (fun v ->
+            v.Rthv_check.Headroom.hv_source = source
+            && v.Rthv_check.Headroom.hv_class = cls)
+          verdicts
+      in
+      let rows = Obs.Attribution.rows attr in
+      if json then print_report_json scenario rows verdict_for
+      else print_report_text scenario rows verdict_for;
+      (* Non-negative headroom is the acceptance criterion: a measured
+         worst case beyond its analytic bound is an analysis or simulator
+         bug, so the report doubles as a check. *)
+      let negative =
+        List.exists
+          (fun v ->
+            match v.Rthv_check.Headroom.hv_headroom_us with
+            | Some h -> h < 0.
+            | None -> false)
+          verdicts
+      in
+      if negative then begin
+        Format.eprintf
+          "rthv_trace report: measured worst case exceeds the analytic \
+           bound@.";
+        1
+      end
+      else 0
+
+let report_scenario =
+  Arg.(
+    value & opt string "quickstart"
+    & info [ "s"; "scenario" ] ~docv:"NAME"
+        ~doc:"Scenario to simulate and attribute.")
+
+let report_json =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit the report as JSON instead of the text table.")
+
+let report_cmd =
+  let doc =
+    "simulate a scenario and decompose every IRQ's latency into causal \
+     components, comparing measured worst cases against the paper's \
+     analytic bounds"
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(const report_main $ report_scenario $ capacity $ report_json)
+
+let default_term =
+  Term.(
+    const main $ jobs $ source $ format $ out $ partition $ from_us $ to_us
+    $ metrics $ capacity)
+
 let cmd =
   let doc =
     "record hypervisor simulation timelines and export them as Chrome \
      Trace JSON, JSONL or VCD with a metrics summary"
   in
-  Cmd.v
-    (Cmd.info "rthv_trace" ~doc)
-    Term.(
-      const main $ jobs $ source $ format $ out $ partition $ from_us $ to_us
-      $ metrics $ capacity)
+  Cmd.group ~default:default_term (Cmd.info "rthv_trace" ~doc) [ report_cmd ]
 
 let () = exit (Cmd.eval' cmd)

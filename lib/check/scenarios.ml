@@ -168,9 +168,35 @@ let demo_bad () =
   in
   Config.make ~partitions ~sources ()
 
+(* --- the paper's conforming workload (Section 6.1, scenario 2) ---------- *)
+
+(* The quickstart topology with interarrivals clamped from below to the
+   granted d_min: every activation satisfies the monitoring condition, so
+   the admitted stream is the whole stream and the per-instance eq.-(16)
+   bound applies to every interposed completion ({!Headroom}). *)
+let conformant () =
+  let partitions =
+    [
+      Config.partition ~name:"control" ~slot_us:5_000 ();
+      Config.partition ~name:"io" ~slot_us:5_000 ();
+    ]
+  in
+  let interarrivals =
+    Gen.exponential_clamped ~seed:2 ~mean:quickstart_d_min
+      ~d_min:quickstart_d_min ~count:2_000
+  in
+  let nic =
+    Config.source ~name:"nic" ~line:0 ~subscriber:1 ~c_th_us:5 ~c_bh_us:40
+      ~interarrivals
+      ~shaping:(Config.Fixed_monitor (DF.d_min quickstart_d_min))
+      ()
+  in
+  Config.make ~partitions ~sources:[ nic ] ()
+
 let good =
   [
     ("quickstart", fun () -> quickstart ());
+    ("conformant", conformant);
     ("avionics_ima", avionics_ima);
     ("automotive_ecu", automotive_ecu);
   ]

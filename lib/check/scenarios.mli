@@ -45,13 +45,20 @@ val automotive_parts : unit -> automotive
 val automotive_ecu : unit -> Rthv_core.Config.t
 (** [(automotive_parts ()).auto_config]. *)
 
+val conformant : unit -> Rthv_core.Config.t
+(** The paper's conforming workload (Section 6.1, scenario 2): the
+    quickstart topology with exponential interarrivals clamped from below
+    to the granted d_min, so every activation satisfies the monitoring
+    condition and the eq.-(16) bound applies per interposed instance. *)
+
 val demo_bad : unit -> Rthv_core.Config.t
 (** A structurally valid configuration that trips every static rule from
     RTHV002 to RTHV012 — the linter's demonstration input. *)
 
 val good : (string * (unit -> Rthv_core.Config.t)) list
-(** [("quickstart", _); ("avionics_ima", _); ("automotive_ecu", _)] — the
-    scenarios expected to lint clean of errors. *)
+(** [("quickstart", _); ("conformant", _); ("avionics_ima", _);
+    ("automotive_ecu", _)] — the scenarios expected to lint clean of
+    errors. *)
 
 val all : (string * (unit -> Rthv_core.Config.t)) list
 (** {!good} plus [("demo_bad", _)]. *)

@@ -99,6 +99,12 @@ type state = {
          drain inside the upcoming window. *)
   mutable active : active option;
   mutable completed : (Cycles.t * Cycles.t) list;  (* (charge time, cost) *)
+  raised : (int, unit) Hashtbl.t;  (* irq ids seen in Irq_raised *)
+  bh_done : (int, unit) Hashtbl.t;  (* irq ids whose bottom handler completed *)
+  mutable raise_seen : bool;
+      (* Traces produced before the Irq_raised event existed (and synthetic
+         fixtures) have completions with no raise; the RTHV108 orphan check
+         only arms once the trace demonstrably records raises. *)
 }
 
 let source_by_line st line =
@@ -191,6 +197,22 @@ let step st index (e : Hyp_trace.entry) =
   in
   match e.Hyp_trace.event with
   | Hyp_trace.Boundary_deferred _ -> ()
+  | Hyp_trace.Irq_raised { irq; line } ->
+      st.raise_seen <- true;
+      if source_by_line st line = None then
+        structural st ~loc
+          (Printf.sprintf "irq %d raised on unconfigured line %d" irq line);
+      if Hashtbl.mem st.raised irq then
+        report st
+          (D.error ~code:"RTHV108" ~loc
+             ~hint:"each IRQ instance id must be raised exactly once; a \
+                    duplicate raise breaks the causal span accounting"
+             (Printf.sprintf "irq %d raised twice" irq))
+      else Hashtbl.replace st.raised irq ()
+  | Hyp_trace.Bottom_handler_start { irq = _; partition = _ } ->
+      (* A zero-cost marker bracketing the bottom-half slice of the span:
+         no allowance bump, no slot check (RTHV105 judges the completion). *)
+      ()
   | Hyp_trace.Irq_coalesced { line } ->
       if source_by_line st line = None then
         structural st ~loc
@@ -309,7 +331,27 @@ let step st index (e : Hyp_trace.entry) =
                   interposition targets partition %d"
                  target a.a_target);
           finish_interposition st ~loc ~time a)
-  | Hyp_trace.Bottom_handler_done { irq = _; partition } -> (
+  | Hyp_trace.Bottom_handler_done { irq; partition } -> (
+      (* RTHV108: every completion must match exactly one raise — no orphan
+         completions (if the trace records raises at all) and no duplicate
+         completions of the same instance. *)
+      if Hashtbl.mem st.bh_done irq then
+        report st
+          (D.error ~code:"RTHV108" ~loc
+             ~hint:"a bottom handler completes its IRQ instance exactly once"
+             (Printf.sprintf "irq %d's bottom handler completed twice" irq))
+      else begin
+        Hashtbl.replace st.bh_done irq ();
+        if st.raise_seen && not (Hashtbl.mem st.raised irq) then
+          report st
+            (D.error ~code:"RTHV108" ~loc
+               ~hint:"every bottom-handler completion must trace back to an \
+                      Irq_raised event for the same instance id"
+               (Printf.sprintf
+                  "irq %d's bottom handler completed but the trace has no \
+                   matching raise"
+                  irq))
+      end;
       if partition <> st.owner then
         match st.active with
         | Some a when a.a_target = partition -> ()
@@ -398,6 +440,9 @@ let audit_entries spec entries =
       pending = None;
       active = None;
       completed = [];
+      raised = Hashtbl.create 64;
+      bh_done = Hashtbl.create 64;
+      raise_seen = false;
     }
   in
   List.iteri (fun index e -> step st index e) entries;
@@ -429,4 +474,5 @@ let invariants =
     ("RTHV105", "bottom handler completed outside its subscriber's slot");
     ("RTHV106", "structurally inconsistent interposition event stream");
     ("RTHV107", "trace buffer dropped entries; audit skipped");
+    ("RTHV108", "bottom-handler completion without exactly one matching raise");
   ]

@@ -55,6 +55,8 @@ type pending_irq = {
   p_arrival : Cycles.t;
   mutable p_top_start : Cycles.t;
   mutable p_top_end : Cycles.t;
+  mutable p_decision : Cycles.t;  (* classification fixed; -1 until then *)
+  mutable p_bh_start : Cycles.t;  (* first bottom-half cycle; -1 until then *)
   mutable p_class : Irq_record.classification;
 }
 
@@ -153,10 +155,12 @@ let enqueue_hyp_with_start t ~label ~steals ~cost ~on_start ~on_done =
     { label; steals; remaining = cost; started = false; on_start; on_done }
     t.hyp
 
-let trace_event t event =
+let trace_event_at t time event =
   match t.trace with
-  | Some trace -> Hyp_trace.record trace ~time:t.now event
+  | Some trace -> Hyp_trace.record trace ~time event
   | None -> ()
+
+let trace_event t event = trace_event_at t t.now event
 
 (* --- telemetry ----------------------------------------------------------
    Every site is guarded by [Sink.active] so the default no-op sink costs a
@@ -166,6 +170,7 @@ let trace_event t event =
    [rthv_stolen_slot_us] the per-slot interference eq. (14) budgets. *)
 module Sink = Rthv_obs.Sink
 module Labels = Rthv_obs.Labels
+module Span = Rthv_obs.Span
 
 let obs_active = Sink.active
 
@@ -185,6 +190,27 @@ let obs_irq_completed t p =
   Sink.observe "rthv_irq_latency_us"
     (Labels.v [ ("source", source); ("class", cls) ])
     (Cycles.to_us (Cycles.( - ) t.now p.p_arrival))
+
+(* One causal span per completed IRQ instance, timestamps in us.  The
+   decision point and bottom-half start are clamped for robustness, but
+   with the capture sites below both are always set before completion. *)
+let obs_span t p =
+  let us = Cycles.to_us in
+  let decision = if p.p_decision < 0 then p.p_top_end else p.p_decision in
+  let bh_start = if p.p_bh_start < 0 then t.now else p.p_bh_start in
+  Sink.span
+    {
+      Span.sp_irq = p.p_irq;
+      sp_line = p.p_source.cfg.Config.line;
+      sp_source = p.p_source.cfg.Config.name;
+      sp_class = Irq_record.classification_name p.p_class;
+      sp_arrival = us p.p_arrival;
+      sp_top_start = us p.p_top_start;
+      sp_top_end = us p.p_top_end;
+      sp_decision = us decision;
+      sp_bh_start = us bh_start;
+      sp_completion = us t.now;
+    }
 
 let obs_monitor_decision src verdict =
   Sink.incr "rthv_monitor_decisions_total"
@@ -238,7 +264,10 @@ let finalize_completion t (item : Irq_queue.item) =
       trace_event t
         (Hyp_trace.Bottom_handler_done
            { irq = p.p_irq; partition = p.p_source.cfg.Config.subscriber });
-      if obs_active () then obs_irq_completed t p;
+      if obs_active () then begin
+        obs_irq_completed t p;
+        obs_span t p
+      end;
       (* uC/OS pattern: the bottom handler posts to an application task. *)
       match p.p_source.cfg.Config.activates with
       | Some spec ->
@@ -273,6 +302,7 @@ let schedule_next_arrival t src =
    monitoring function ran: admit the interposition or fall back to delayed
    handling. *)
 let monitor_done t src p shaper =
+  p.p_decision <- t.now;
   let conforms = shaper_check shaper p.p_arrival in
   let subscriber = src.cfg.Config.subscriber in
   let decision verdict =
@@ -342,12 +372,14 @@ let top_handler_done t src p =
   in
   Irq_queue.push (Guest.queue t.guests.(subscriber)) item;
   if t.slot_owner = subscriber then begin
+    p.p_decision <- t.now;
     p.p_class <- Irq_record.Direct;
     t.n_direct <- t.n_direct + 1
   end
   else
     match src.shaper with
     | No_shaper ->
+        p.p_decision <- t.now;
         p.p_class <- Irq_record.Delayed;
         t.n_delayed <- t.n_delayed + 1
     | (Delta_monitor _ | Bucket _) as shaper ->
@@ -371,9 +403,12 @@ let deliver t line =
           p_top_start = t.now;
           p_top_end = t.now;
           p_class = Irq_record.Delayed;
+          p_decision = -1;
+          p_bh_start = -1;
         }
       in
       Hashtbl.add t.pending irq p;
+      trace_event t (Hyp_trace.Irq_raised { irq; line = src.cfg.Config.line });
       enqueue_hyp_with_start t ~label:"top_handler" ~steals:false
         ~cost:src.cfg.Config.c_th
         ~on_start:(fun time -> p.p_top_start <- time)
@@ -619,6 +654,21 @@ let segment_end t runner =
   in
   Cycles.min candidate next_event
 
+(* First cycle ever attributed to this instance's bottom handler: record
+   the span timestamp and trace event at the segment start.  [attribute]
+   is the first action after [t.now] advances, so the retro-dated start
+   time is still >= every previously recorded trace timestamp. *)
+let note_bh_start t (item : Irq_queue.item) elapsed =
+  if item.Irq_queue.remaining = item.Irq_queue.total then
+    match Hashtbl.find_opt t.pending item.Irq_queue.irq with
+    | Some p when p.p_bh_start < 0 ->
+        let start = Cycles.( - ) t.now elapsed in
+        p.p_bh_start <- start;
+        trace_event_at t start
+          (Hyp_trace.Bottom_handler_start
+             { irq = p.p_irq; partition = p.p_source.cfg.Config.subscriber })
+    | Some _ | None -> ()
+
 let attribute t runner elapsed =
   match runner with
   | Hyp_work item ->
@@ -629,11 +679,15 @@ let attribute t runner elapsed =
       item.remaining <- Cycles.( - ) item.remaining elapsed;
       if item.steals then steal t elapsed
   | Interp_work (ip, item) ->
+      note_bh_start t item elapsed;
       ip.budget_left <- Cycles.( - ) ip.budget_left elapsed;
       steal t elapsed;
       Guest.consume t.guests.(ip.target) ~now:t.now ~elapsed
         (Guest.Bottom_handler item)
   | Part_work (owner, demand) ->
+      (match demand with
+      | Guest.Bottom_handler item -> note_bh_start t item elapsed
+      | Guest.Task_job _ | Guest.Filler | Guest.Idle -> ());
       Guest.consume t.guests.(owner) ~now:t.now ~elapsed demand
 
 let post_attribution t runner =

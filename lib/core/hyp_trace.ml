@@ -3,6 +3,7 @@ module Cycles = Rthv_engine.Cycles
 type event =
   | Slot_switch of { from_partition : int; to_partition : int }
   | Boundary_deferred of { owner : int; until : Cycles.t }
+  | Irq_raised of { irq : int; line : int }
   | Top_handler_run of { irq : int; line : int }
   | Monitor_decision of {
       irq : int;
@@ -16,6 +17,7 @@ type event =
       reason : [ `Budget_exhausted | `Queue_empty ];
     }
   | Interposition_crossed_boundary of { target : int }
+  | Bottom_handler_start of { irq : int; partition : int }
   | Bottom_handler_done of { irq : int; partition : int }
   | Irq_coalesced of { line : int }
 
@@ -64,6 +66,8 @@ let pp_event ppf = function
   | Boundary_deferred { owner; until } ->
       Format.fprintf ppf "boundary deferred for p%d until %a" owner Cycles.pp
         until
+  | Irq_raised { irq; line } ->
+      Format.fprintf ppf "irq#%d raised (line %d)" irq line
   | Top_handler_run { irq; line } ->
       Format.fprintf ppf "top handler irq#%d (line %d)" irq line
   | Monitor_decision { irq; line; arrival; verdict } ->
@@ -82,6 +86,8 @@ let pp_event ppf = function
         | `Queue_empty -> "queue empty")
   | Interposition_crossed_boundary { target } ->
       Format.fprintf ppf "interposition in p%d crossed a slot boundary" target
+  | Bottom_handler_start { irq; partition } ->
+      Format.fprintf ppf "bottom handler start irq#%d (p%d)" irq partition
   | Bottom_handler_done { irq; partition } ->
       Format.fprintf ppf "bottom handler done irq#%d (p%d)" irq partition
   | Irq_coalesced { line } ->

@@ -8,6 +8,11 @@
 type event =
   | Slot_switch of { from_partition : int; to_partition : int }
   | Boundary_deferred of { owner : int; until : Rthv_engine.Cycles.t }
+  | Irq_raised of { irq : int; line : int }
+      (** A hardware raise entered the simulator as a fresh IRQ instance —
+          the root of that instance's causal span.  Coalesced raises (see
+          {!Irq_coalesced}) do not create a new instance and therefore do
+          not produce this event. *)
   | Top_handler_run of { irq : int; line : int }
   | Monitor_decision of {
       irq : int;
@@ -27,6 +32,11 @@ type event =
       reason : [ `Budget_exhausted | `Queue_empty ];
     }
   | Interposition_crossed_boundary of { target : int }
+  | Bottom_handler_start of { irq : int; partition : int }
+      (** First cycle of the instance's bottom-half execution (inside the
+          subscriber's slot or an interposition window).  Together with
+          {!Bottom_handler_done} this brackets the bottom-handler slice of
+          the span. *)
   | Bottom_handler_done of { irq : int; partition : int }
   | Irq_coalesced of { line : int }
       (** A raise hit a line whose non-counting pending flag was already

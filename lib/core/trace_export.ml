@@ -19,15 +19,17 @@ let max_partition entries =
         | Hyp_trace.Interposition_end { target; _ }
         | Hyp_trace.Interposition_crossed_boundary { target } ->
             target
-        | Hyp_trace.Bottom_handler_done { partition; _ } -> partition
-        | Hyp_trace.Top_handler_run _ | Hyp_trace.Monitor_decision _
-        | Hyp_trace.Irq_coalesced _ ->
+        | Hyp_trace.Bottom_handler_start { partition; _ }
+        | Hyp_trace.Bottom_handler_done { partition; _ } ->
+            partition
+        | Hyp_trace.Irq_raised _ | Hyp_trace.Top_handler_run _
+        | Hyp_trace.Monitor_decision _ | Hyp_trace.Irq_coalesced _ ->
             -1
       in
       Stdlib.max acc p)
     0 entries
 
-let event ~ph ~ts ~tid ~name ?cat ?(args = []) () =
+let event ~ph ~ts ~tid ~name ?cat ?id ?(args = []) () =
   Json.Obj
     ([
        ("name", Json.String name);
@@ -37,6 +39,9 @@ let event ~ph ~ts ~tid ~name ?cat ?(args = []) () =
        ("tid", Json.Int tid);
      ]
     @ (match cat with Some c -> [ ("cat", Json.String c) ] | None -> [])
+    @ (match id with
+      | Some i -> [ ("id", Json.String (string_of_int i)) ]
+      | None -> [])
     @ match args with [] -> [] | args -> [ ("args", Json.Obj args) ])
 
 let metadata ~name ~tid args =
@@ -86,6 +91,11 @@ let chrome_json ?partition_names trace =
   let open_slot = ref (if Hyp_trace.dropped trace = 0 then Some (0, 0) else None)
   and open_interp = ref None
   and last_time = ref 0 in
+  (* Async spans (lowercase b/e, keyed by cat + id): one "irq" span per
+     instance from raise to completion, one "bh" span bracketing its
+     bottom-half execution.  An end is only emitted when its begin was seen
+     — a truncated ring buffer must not produce orphan "e" phases. *)
+  let irq_open = Hashtbl.create 64 and bh_open = Hashtbl.create 64 in
   let close_slot ts =
     match !open_slot with
     | Some (owner, _) ->
@@ -133,6 +143,12 @@ let chrome_json ?partition_names trace =
                ~name:"boundary deferred" ~cat:"tdma"
                ~args:[ ("until_us", Json.Float (Cycles.to_us until)) ]
                ())
+      | Hyp_trace.Irq_raised { irq; line } ->
+          Hashtbl.replace irq_open irq ();
+          emit
+            (event ~ph:"b" ~ts ~tid:hyp_tid ~name:"irq" ~cat:"irq" ~id:irq
+               ~args:[ ("line", Json.Int line) ]
+               ())
       | Hyp_trace.Top_handler_run { irq; line } ->
           emit
             (event ~ph:"i" ~ts ~tid:hyp_tid ~name:"top handler" ~cat:"irq"
@@ -166,7 +182,26 @@ let chrome_json ?partition_names trace =
           emit
             (event ~ph:"i" ~ts ~tid:(tid_of_partition target)
                ~name:"crossed boundary" ~cat:"interposition" ())
+      | Hyp_trace.Bottom_handler_start { irq; partition } ->
+          Hashtbl.replace bh_open irq ();
+          emit
+            (event ~ph:"b" ~ts ~tid:(tid_of_partition partition)
+               ~name:"bottom handler" ~cat:"bh" ~id:irq
+               ~args:[ ("irq", Json.Int irq) ]
+               ())
       | Hyp_trace.Bottom_handler_done { irq; partition } ->
+          if Hashtbl.mem bh_open irq then begin
+            Hashtbl.remove bh_open irq;
+            emit
+              (event ~ph:"e" ~ts ~tid:(tid_of_partition partition)
+                 ~name:"bottom handler" ~cat:"bh" ~id:irq ())
+          end;
+          if Hashtbl.mem irq_open irq then begin
+            Hashtbl.remove irq_open irq;
+            emit
+              (event ~ph:"e" ~ts ~tid:hyp_tid ~name:"irq" ~cat:"irq" ~id:irq
+                 ())
+          end;
           emit
             (event ~ph:"i" ~ts ~tid:(tid_of_partition partition)
                ~name:"bottom handler done" ~cat:"irq"
@@ -212,6 +247,12 @@ let json_of_event = function
         ("owner", Json.Int owner);
         ("until", Json.Int until);
       ]
+  | Hyp_trace.Irq_raised { irq; line } ->
+      [
+        ("ev", Json.String "irq_raised");
+        ("irq", Json.Int irq);
+        ("line", Json.Int line);
+      ]
   | Hyp_trace.Top_handler_run { irq; line } ->
       [
         ("ev", Json.String "top_handler");
@@ -242,6 +283,12 @@ let json_of_event = function
       [
         ("ev", Json.String "interposition_crossed_boundary");
         ("target", Json.Int target);
+      ]
+  | Hyp_trace.Bottom_handler_start { irq; partition } ->
+      [
+        ("ev", Json.String "bottom_handler_start");
+        ("irq", Json.Int irq);
+        ("partition", Json.Int partition);
       ]
   | Hyp_trace.Bottom_handler_done { irq; partition } ->
       [
@@ -290,6 +337,10 @@ let event_of_json json =
       let* owner = int "owner" in
       let* until = int "until" in
       Ok (Hyp_trace.Boundary_deferred { owner; until })
+  | "irq_raised" ->
+      let* irq = int "irq" in
+      let* line = int "line" in
+      Ok (Hyp_trace.Irq_raised { irq; line })
   | "top_handler" ->
       let* irq = int "irq" in
       let* line = int "line" in
@@ -324,6 +375,10 @@ let event_of_json json =
   | "interposition_crossed_boundary" ->
       let* target = int "target" in
       Ok (Hyp_trace.Interposition_crossed_boundary { target })
+  | "bottom_handler_start" ->
+      let* irq = int "irq" in
+      let* partition = int "partition" in
+      Ok (Hyp_trace.Bottom_handler_start { irq; partition })
   | "bottom_handler_done" ->
       let* irq = int "irq" in
       let* partition = int "partition" in

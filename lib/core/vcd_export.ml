@@ -9,6 +9,8 @@ let id_admit = "%"
 let id_deny = "&"
 let id_cross = "'"
 let id_coalesced = "("
+let id_raised = ")"
+let id_bh_start = "*"
 
 let header buf =
   Buffer.add_string buf "$date rthv hypervisor trace $end\n";
@@ -29,6 +31,10 @@ let header buf =
     (Printf.sprintf "$var wire 1 %s boundary_cross $end\n" id_cross);
   Buffer.add_string buf
     (Printf.sprintf "$var wire 1 %s irq_coalesced $end\n" id_coalesced);
+  Buffer.add_string buf
+    (Printf.sprintf "$var wire 1 %s irq_raised $end\n" id_raised);
+  Buffer.add_string buf
+    (Printf.sprintf "$var wire 1 %s bh_start $end\n" id_bh_start);
   Buffer.add_string buf "$upscope $end\n";
   Buffer.add_string buf "$enddefinitions $end\n"
 
@@ -87,6 +93,8 @@ let to_buffer trace =
   scalar buf id_deny 0;
   scalar buf id_cross 0;
   scalar buf id_coalesced 0;
+  scalar buf id_raised 0;
+  scalar buf id_bh_start 0;
   Buffer.add_string buf "$end\n";
   let st = { buf; current_time = 0; time_emitted = false; pending_clears = [] } in
   Hyp_trace.iter trace (fun entry ->
@@ -115,6 +123,8 @@ let to_buffer trace =
           (* The interposition keeps running in the new slot; the pulse
              marks the bounded spill charged to the incoming owner. *)
           pulse st time id_cross
+      | Hyp_trace.Irq_raised _ -> pulse st time id_raised
+      | Hyp_trace.Bottom_handler_start _ -> pulse st time id_bh_start
       | Hyp_trace.Bottom_handler_done _ -> pulse st time id_bh
       | Hyp_trace.Irq_coalesced _ -> pulse st time id_coalesced);
   (* Flush trailing pulse clears. *)

@@ -75,8 +75,8 @@ let monitor_depth_variants ~d_min depths =
       })
     depths
 
-let run_on_arrivals ?pool ~interarrivals variants =
-  Rthv_par.Par.map ?pool
+let run_on_arrivals ?pool ?metrics ~interarrivals variants =
+  Rthv_par.Par.map ?pool ?metrics
     (fun variant ->
       let config =
         Config.make ~platform:variant.platform
@@ -105,14 +105,15 @@ let run_on_arrivals ?pool ~interarrivals variants =
       })
     variants
 
-let run ?(seed = Params.default_seed) ?(count = 5000) ?pool ~d_min variants =
+let run ?(seed = Params.default_seed) ?(count = 5000) ?pool ?metrics ~d_min
+    variants =
   let interarrivals =
     Gen.exponential_clamped ~seed ~mean:d_min ~d_min ~count
   in
-  run_on_arrivals ?pool ~interarrivals variants
+  run_on_arrivals ?pool ?metrics ~interarrivals variants
 
 let shaper_comparison ?(seed = Params.default_seed) ?(count = 5000) ?pool
-    ~d_min () =
+    ?metrics ~d_min () =
   (* Bursts of 3 activations, inner distance d_min/8, burst gaps sized so
      the long-term rate equals one activation per d_min. *)
   let interarrivals =
@@ -147,7 +148,7 @@ let shaper_comparison ?(seed = Params.default_seed) ?(count = 5000) ?pool
       };
     ]
   in
-  run_on_arrivals ?pool ~interarrivals variants
+  run_on_arrivals ?pool ?metrics ~interarrivals variants
 
 let print ppf measurements =
   List.iter

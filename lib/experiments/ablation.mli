@@ -34,6 +34,7 @@ val run :
   ?seed:int ->
   ?count:int ->
   ?pool:Rthv_par.Par.pool ->
+  ?metrics:Rthv_obs.Registry.t ->
   d_min:Rthv_engine.Cycles.t ->
   variant list ->
   measurement list
@@ -45,6 +46,7 @@ val shaper_comparison :
   ?seed:int ->
   ?count:int ->
   ?pool:Rthv_par.Par.pool ->
+  ?metrics:Rthv_obs.Registry.t ->
   d_min:Rthv_engine.Cycles.t ->
   unit ->
   measurement list

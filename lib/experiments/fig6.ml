@@ -102,9 +102,9 @@ let assemble scenario per_load =
   }
 
 let run ?(seed = Params.default_seed) ?(count_per_load = Params.irqs_per_load)
-    ?(loads = Params.loads) ?pool scenario =
+    ?(loads = Params.loads) ?pool ?metrics scenario =
   let per_load =
-    Rthv_par.Par.mapi ?pool
+    Rthv_par.Par.mapi ?pool ?metrics
       (fun i load ->
         run_load
           ~seed:(Rthv_par.Par.derive_seed ~base:seed ~index:i)
@@ -116,7 +116,7 @@ let run ?(seed = Params.default_seed) ?(count_per_load = Params.irqs_per_load)
 let scenarios = [ Unmonitored; Monitored; Monitored_conforming ]
 
 let run_all ?(seed = Params.default_seed)
-    ?(count_per_load = Params.irqs_per_load) ?pool () =
+    ?(count_per_load = Params.irqs_per_load) ?pool ?metrics () =
   (* Flatten the scenario x load grid into one sweep so all nine
      simulations shard across the pool at once (the 1 %-load runs simulate
      ~10x longer than the 10 % ones; chunked claiming balances them).  The
@@ -129,7 +129,7 @@ let run_all ?(seed = Params.default_seed)
       scenarios
   in
   let runs =
-    Rthv_par.Par.map ?pool
+    Rthv_par.Par.map ?pool ?metrics
       (fun (scenario, i, load) ->
         ( scenario,
           run_load

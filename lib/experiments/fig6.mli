@@ -38,6 +38,7 @@ val run :
   ?count_per_load:int ->
   ?loads:float list ->
   ?pool:Rthv_par.Par.pool ->
+  ?metrics:Rthv_obs.Registry.t ->
   scenario ->
   result
 (** Defaults: the paper's seed-reproducible 5000 IRQs at each of
@@ -46,7 +47,11 @@ val run :
     any job count produces byte-identical results. *)
 
 val run_all :
-  ?seed:int -> ?count_per_load:int -> ?pool:Rthv_par.Par.pool -> unit ->
+  ?seed:int ->
+  ?count_per_load:int ->
+  ?pool:Rthv_par.Par.pool ->
+  ?metrics:Rthv_obs.Registry.t ->
+  unit ->
   result list
 (** Figures 6a, 6b and 6c in order; all nine scenario x load simulations
     run as one sharded sweep. *)

@@ -46,6 +46,7 @@ val run_all :
   ?seed:int ->
   ?profile:Rthv_workload.Ecu_trace.profile ->
   ?pool:Rthv_par.Par.pool ->
+  ?metrics:Rthv_obs.Registry.t ->
   unit ->
   result list
 (** The paper's four graphs, a-d, as one sharded sweep (byte-identical at

@@ -71,8 +71,8 @@ let run ?(seed = Params.default_seed) ?(count_per_source = 1000)
     union_bound_us = Cycles.to_us union_bound;
   }
 
-let sweep ?seed ?count_per_source ?total_load ?pool ns =
-  Rthv_par.Par.map ?pool
+let sweep ?seed ?count_per_source ?total_load ?pool ?metrics ns =
+  Rthv_par.Par.map ?pool ?metrics
     (fun n_sources -> run ?seed ?count_per_source ?total_load ~n_sources ())
     ns
 

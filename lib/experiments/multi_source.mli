@@ -37,6 +37,7 @@ val sweep :
   ?count_per_source:int ->
   ?total_load:float ->
   ?pool:Rthv_par.Par.pool ->
+  ?metrics:Rthv_obs.Registry.t ->
   int list ->
   row list
 (** One independent simulation per source count, sharded across [pool]

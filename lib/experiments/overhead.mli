@@ -47,6 +47,7 @@ val run :
   ?count_per_load:int ->
   ?loads:float list ->
   ?pool:Rthv_par.Par.pool ->
+  ?metrics:Rthv_obs.Registry.t ->
   unit ->
   t
 (** Each load's baseline/monitored pair is one sweep task, seeded

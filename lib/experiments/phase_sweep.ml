@@ -33,7 +33,7 @@ let probe ~monitored ~arrival =
       failwith
         (Printf.sprintf "phase probe produced %d records" (List.length records))
 
-let run ?(samples = 140) ?(cycle_index = 3) ?pool ~monitored () =
+let run ?(samples = 140) ?(cycle_index = 3) ?pool ?metrics ~monitored () =
   if samples < 2 then invalid_arg "Phase_sweep.run: need >= 2 samples";
   if cycle_index < 0 then invalid_arg "Phase_sweep.run: negative cycle index";
   let cycle = Rthv_core.Tdma.cycle_length Params.tdma in
@@ -42,7 +42,7 @@ let run ?(samples = 140) ?(cycle_index = 3) ?pool ~monitored () =
   (* One self-contained simulation per probe point: the sweep's natural
      grain, sharded across the pool. *)
   let samples =
-    Rthv_par.Par.init ?pool samples (fun i ->
+    Rthv_par.Par.init ?pool ?metrics samples (fun i ->
         let phase = Cycles.( * ) step i in
         let latency_us, classification =
           probe ~monitored ~arrival:(Cycles.( + ) base phase)

@@ -32,6 +32,7 @@ val run :
   ?samples:int ->
   ?cycle_index:int ->
   ?pool:Rthv_par.Par.pool ->
+  ?metrics:Rthv_obs.Registry.t ->
   monitored:bool ->
   unit ->
   result

@@ -12,13 +12,16 @@ type row = {
 
 let default_seeds = List.init 10 (fun i -> i + 1)
 
-let run ?(seeds = default_seeds) ?(count_per_load = 1000) ?pool scenario =
+let run ?(seeds = default_seeds) ?(count_per_load = 1000) ?pool ?metrics
+    scenario =
   if seeds = [] then invalid_arg "Robustness.run: need at least one seed";
   (* One Fig6 run per seed; the outer sweep shards across the pool, the
      inner per-load sweep then runs sequentially (nested sweeps do not
-     oversubscribe). *)
+     oversubscribe).  [?metrics] wraps only the outer tasks — the inner
+     runs execute in the same domain and report through the installed
+     per-task recorder. *)
   let means_us =
-    Rthv_par.Par.map ?pool
+    Rthv_par.Par.map ?pool ?metrics
       (fun seed ->
         let result = Fig6.run ~seed ~count_per_load ?pool scenario in
         result.Fig6.latency.Summary.mean)
@@ -35,9 +38,9 @@ let run ?(seeds = default_seeds) ?(count_per_load = 1000) ?pool scenario =
     max_mean_us = s.Summary.max;
   }
 
-let run_all ?seeds ?count_per_load ?pool () =
+let run_all ?seeds ?count_per_load ?pool ?metrics () =
   List.map
-    (fun scenario -> run ?seeds ?count_per_load ?pool scenario)
+    (fun scenario -> run ?seeds ?count_per_load ?pool ?metrics scenario)
     [ Fig6.Unmonitored; Fig6.Monitored; Fig6.Monitored_conforming ]
 
 let print ppf rows =

@@ -19,6 +19,7 @@ val run :
   ?seeds:int list ->
   ?count_per_load:int ->
   ?pool:Rthv_par.Par.pool ->
+  ?metrics:Rthv_obs.Registry.t ->
   Fig6.scenario ->
   row
 (** Defaults: seeds 1..10 and 1000 IRQs per load (lighter than the headline
@@ -29,6 +30,7 @@ val run_all :
   ?seeds:int list ->
   ?count_per_load:int ->
   ?pool:Rthv_par.Par.pool ->
+  ?metrics:Rthv_obs.Registry.t ->
   unit ->
   row list
 

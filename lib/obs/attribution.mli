@@ -1,0 +1,36 @@
+(** Latency attribution over per-IRQ spans.
+
+    Streams {!Span.t} values into per-(source, handling-class) waterfalls:
+    one {!Quantile} digest per latency component plus the end-to-end
+    distribution and the single worst span.  Memory is O(groups), not
+    O(IRQs).  Feed it by installing {!sink} (alone, or combined with a
+    {!Recorder} via {!Sink.tee}) around a simulation, then read {!rows}. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Span.t -> unit
+
+val sink : t -> Sink.t
+(** A sink that captures only spans (counters/gauges/observations pass
+    through to nothing). *)
+
+type stats = { st_p50 : float; st_p99 : float; st_max : float; st_mean : float }
+
+type row = {
+  r_source : string;
+  r_class : string;
+  r_count : int;
+  r_latency : stats;
+  r_components : (string * stats) list;
+      (** Per-component stats in causal order; only components that
+          occurred in this group appear. *)
+  r_worst : Span.t option;
+      (** The span with the maximum end-to-end latency. *)
+}
+
+val rows : t -> row list
+(** Sorted by source name, then class. *)
+
+val total_spans : t -> int

@@ -49,6 +49,24 @@ let cumulative h =
 let total h = h.h_total
 let sum h = h.h_sum
 
+let copy h =
+  {
+    h_bounds = Array.copy h.h_bounds;
+    counts = Array.copy h.counts;
+    h_sum = h.h_sum;
+    h_total = h.h_total;
+  }
+
+let merge a b =
+  if a.h_bounds <> b.h_bounds then
+    invalid_arg "Metric.merge: histogram bucket bounds differ";
+  {
+    h_bounds = Array.copy a.h_bounds;
+    counts = Array.map2 ( + ) a.counts b.counts;
+    h_sum = a.h_sum +. b.h_sum;
+    h_total = a.h_total + b.h_total;
+  }
+
 type value =
   | Counter of int ref
   | Gauge of float ref
@@ -60,3 +78,9 @@ let kind_name = function
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
   | Summary _ -> "summary"
+
+let copy_value = function
+  | Counter r -> Counter (ref !r)
+  | Gauge r -> Gauge (ref !r)
+  | Histogram h -> Histogram (copy h)
+  | Summary q -> Summary (Quantile.copy q)

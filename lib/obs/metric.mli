@@ -32,6 +32,14 @@ val cumulative : histogram -> (float * int) list
 val total : histogram -> int
 val sum : histogram -> float
 
+val copy : histogram -> histogram
+(** Independent deep copy. *)
+
+val merge : histogram -> histogram -> histogram
+(** Fresh histogram with bucket counts, sum and total added (exact and
+    associative; neither input is mutated).
+    @raise Invalid_argument if the bucket bounds differ. *)
+
 (** {2 The stored value} *)
 
 type value =
@@ -41,3 +49,6 @@ type value =
   | Summary of Quantile.t
 
 val kind_name : value -> string
+
+val copy_value : value -> value
+(** Independent deep copy of any stored value. *)

@@ -160,6 +160,68 @@ let quantiles t =
       (fun (p, e) -> Option.map (fun v -> (p, v)) (estimate e))
       t.estimators
 
+(* --- merge -------------------------------------------------------------- *)
+
+let copy_estimator e =
+  {
+    e with
+    q = Array.copy e.q;
+    n = Array.copy e.n;
+    n' = Array.copy e.n';
+    dn = Array.copy e.dn;
+  }
+
+(* The P² state is lossy, so a merge cannot be exact in general.  Below five
+   observations the q array still holds the raw samples; past that the five
+   markers are a piecewise-linear sketch of the empirical CDF, and we
+   reconstruct one pseudo-sample per rank from it.  Replaying those into a
+   fresh estimator is deterministic (no clocks, no randomness), exact when
+   the combined count fits in the small-sample regime, and keeps min/max
+   exact because markers 0 and 4 are the true extremes. *)
+let pseudo_samples e =
+  Array.init e.count (fun i ->
+      let r = i + 1 in
+      let rec seg j = if j >= 3 || r <= e.n.(j + 1) then j else seg (j + 1) in
+      let j = seg 0 in
+      let n0 = e.n.(j) and n1 = e.n.(j + 1) in
+      if n1 = n0 then e.q.(j)
+      else
+        let frac = float_of_int (r - n0) /. float_of_int (n1 - n0) in
+        e.q.(j) +. (frac *. (e.q.(j + 1) -. e.q.(j))))
+
+let samples_of e =
+  if e.count <= 5 then Array.sub e.q 0 e.count else pseudo_samples e
+
+let merge_estimator p ea eb =
+  if ea.count = 0 then copy_estimator eb
+  else if eb.count = 0 then copy_estimator ea
+  else begin
+    let m = estimator p in
+    Array.iter (add m) (samples_of ea);
+    Array.iter (add m) (samples_of eb);
+    m
+  end
+
+let copy t =
+  {
+    t with
+    estimators = List.map (fun (p, e) -> (p, copy_estimator e)) t.estimators;
+  }
+
+let merge a b =
+  if List.map fst a.estimators <> List.map fst b.estimators then
+    invalid_arg "Quantile.merge: tracked quantile sets differ";
+  {
+    estimators =
+      List.map2
+        (fun (p, ea) (_, eb) -> (p, merge_estimator p ea eb))
+        a.estimators b.estimators;
+    d_count = a.d_count + b.d_count;
+    sum = a.sum +. b.sum;
+    min_v = Float.min a.min_v b.min_v;
+    max_v = Float.max a.max_v b.max_v;
+  }
+
 let pp ppf t =
   if t.d_count = 0 then Format.fprintf ppf "n=0"
   else begin

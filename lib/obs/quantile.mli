@@ -47,4 +47,19 @@ val quantiles : t -> (float * float) list
 (** All tracked [(p, estimate)] pairs, ascending in [p]; empty before the
     first observation. *)
 
+val copy : t -> t
+(** Independent deep copy; further observations on either side do not
+    affect the other. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh digest summarising both inputs (neither is
+    mutated).  Count, sum, min and max are combined exactly.  Quantile
+    estimates are exact while the combined count is at most five; beyond
+    that each side's markers are expanded into one pseudo-sample per rank
+    (piecewise-linear in the marker sketch) and replayed, which is fully
+    deterministic — merging the same digests in the same order always
+    yields bit-identical results — but approximate, like P² itself.
+    @raise Invalid_argument if the two digests track different quantile
+    sets. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,5 +1,24 @@
 type t = { reg : Registry.t; r_sink : Sink.t }
 
+let span_labels sp =
+  Labels.v
+    [ ("source", sp.Span.sp_source); ("class", sp.Span.sp_class) ]
+
+let record_span reg sp =
+  Registry.incr reg ~labels:(span_labels sp) "rthv_irq_spans_total" 1;
+  List.iter
+    (fun (component, v) ->
+      Registry.observe_summary reg
+        ~labels:
+          (Labels.v
+             [
+               ("source", sp.Span.sp_source);
+               ("class", sp.Span.sp_class);
+               ("component", component);
+             ])
+        "rthv_irq_component_us" v)
+    (Span.components sp)
+
 let create ?registry () =
   let reg =
     match registry with Some r -> r | None -> Registry.create ()
@@ -9,6 +28,7 @@ let create ?registry () =
       Sink.incr = (fun name labels n -> Registry.incr reg ~labels name n);
       gauge = (fun name labels v -> Registry.set_gauge reg ~labels name v);
       observe = (fun name labels x -> Registry.observe_summary reg ~labels name x);
+      span = (fun sp -> record_span reg sp);
     }
   in
   { reg; r_sink }

@@ -4,7 +4,10 @@
     simulations, then read its {!registry} (text, JSON or Prometheus via
     {!Registry}).  [incr] lands in counters, [gauge] in gauges and
     [observe] in streaming-quantile summaries, so latency percentiles are
-    tracked online without sample retention. *)
+    tracked online without sample retention.  Spans are folded into
+    [rthv_irq_spans_total{source,class}] counters and one
+    [rthv_irq_component_us{source,class,component}] summary per latency
+    component (see {!Span.components}). *)
 
 type t
 

@@ -71,6 +71,35 @@ let snapshot t =
 
 let cardinality t = Hashtbl.length t.table
 
+(* Deterministic fold of [src] into [into]: counters and histogram bins
+   add, gauges take the source's value (so folding per-task registries in
+   input order leaves the last writer by task index), summaries merge via
+   {!Quantile.merge}.  Iterating the sorted snapshot — not the hash table —
+   keeps the result independent of insertion order on the source side. *)
+let merge ~into src =
+  List.iter
+    (fun { name; labels; value } ->
+      let key = { k_name = name; k_labels = labels } in
+      match Hashtbl.find_opt into.table key with
+      | None -> Hashtbl.add into.table key (Metric.copy_value value)
+      | Some existing -> (
+          match (existing, value) with
+          | Metric.Counter d, Metric.Counter s -> d := !d + !s
+          | Metric.Gauge d, Metric.Gauge s -> d := !s
+          | Metric.Histogram d, Metric.Histogram s ->
+              Hashtbl.replace into.table key
+                (Metric.Histogram (Metric.merge d s))
+          | Metric.Summary d, Metric.Summary s ->
+              Hashtbl.replace into.table key
+                (Metric.Summary (Quantile.merge d s))
+          | d, s ->
+              invalid_arg
+                (Format.asprintf
+                   "Registry.merge: %s%a is a %s here but a %s in the source"
+                   name Labels.pp labels (Metric.kind_name d)
+                   (Metric.kind_name s))))
+    (snapshot src)
+
 let pp ppf t =
   List.iter
     (fun { name; labels; value } ->

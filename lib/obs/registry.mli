@@ -43,6 +43,16 @@ val snapshot : t -> row list
 
 val cardinality : t -> int
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every series of [src] into [into] (leaving
+    [src] untouched): counters add, gauges take the source value
+    (last-writer when folding in order), histogram bins add (bounds must
+    match), summaries merge deterministically via {!Quantile.merge}.
+    Series missing from [into] are deep-copied in.  Merging per-task
+    registries in task-index order yields the same exposition bytes at any
+    worker count — see {!Rthv_par.Par}.
+    @raise Invalid_argument on a kind clash or histogram-bound mismatch. *)
+
 val pp : Format.formatter -> t -> unit
 (** Human-readable text dump, one series per line. *)
 

@@ -2,6 +2,7 @@ type t = {
   incr : string -> Labels.t -> int -> unit;
   gauge : string -> Labels.t -> float -> unit;
   observe : string -> Labels.t -> float -> unit;
+  span : Span.t -> unit;
 }
 
 let noop =
@@ -9,26 +10,70 @@ let noop =
     incr = (fun _ _ _ -> ());
     gauge = (fun _ _ _ -> ());
     observe = (fun _ _ _ -> ());
+    span = (fun _ -> ());
   }
 
-let current = ref noop
-let enabled = ref false
+(* The installed sink is domain-local: installing from a worker domain
+   affects only that domain, so parallel sweep tasks can each record into
+   their own registry without racing (see Rthv_par.Par's [?metrics]).
+   Fresh domains start with the no-op sink.  The mutable record keeps the
+   hot-path check at one DLS lookup plus one field read. *)
+type state = { mutable s_current : t; mutable s_enabled : bool }
+
+let state_key =
+  Domain.DLS.new_key (fun () -> { s_current = noop; s_enabled = false })
+
+let state () = Domain.DLS.get state_key
 
 let install sink =
-  current := sink;
-  enabled := not (sink == noop)
+  let st = state () in
+  st.s_current <- sink;
+  st.s_enabled <- not (sink == noop)
 
 let uninstall () =
-  current := noop;
-  enabled := false
+  let st = state () in
+  st.s_current <- noop;
+  st.s_enabled <- false
 
-let active () = !enabled
+let active () = (state ()).s_enabled
 
 let with_sink sink f =
-  let previous = !current in
+  let previous = (state ()).s_current in
   install sink;
   Fun.protect ~finally:(fun () -> install previous) f
 
-let incr name labels n = if !enabled then !current.incr name labels n
-let gauge name labels v = if !enabled then !current.gauge name labels v
-let observe name labels x = if !enabled then !current.observe name labels x
+let incr name labels n =
+  let st = state () in
+  if st.s_enabled then st.s_current.incr name labels n
+
+let gauge name labels v =
+  let st = state () in
+  if st.s_enabled then st.s_current.gauge name labels v
+
+let observe name labels x =
+  let st = state () in
+  if st.s_enabled then st.s_current.observe name labels x
+
+let span sp =
+  let st = state () in
+  if st.s_enabled then st.s_current.span sp
+
+let tee a b =
+  {
+    incr =
+      (fun name labels n ->
+        a.incr name labels n;
+        b.incr name labels n);
+    gauge =
+      (fun name labels v ->
+        a.gauge name labels v;
+        b.gauge name labels v);
+    observe =
+      (fun name labels x ->
+        a.observe name labels x;
+        b.observe name labels x);
+    span =
+      (fun sp ->
+        a.span sp;
+        b.span sp);
+  }

@@ -93,32 +93,67 @@ let run_tasks ~jobs n f =
 let parallel pool n =
   pool.pool_jobs > 1 && n > 1 && not (Domain.DLS.get in_worker)
 
-let mapi ?pool f xs =
+module Registry = Rthv_obs.Registry
+module Recorder = Rthv_obs.Recorder
+module Sink = Rthv_obs.Sink
+
+(* Per-task metric isolation: task [i] records into its own registry
+   through a domain-locally installed recorder sink, and the registries are
+   folded into [into] in task-index order once every task has finished.
+   The fold structure is identical at every job count — sequential included
+   — so the merged registry's exposition output is byte-identical whatever
+   [--jobs] says. *)
+let instrumented metrics n task =
+  match metrics with
+  | None -> (task, ignore)
+  | Some into ->
+      let regs = Array.init n (fun _ -> Registry.create ()) in
+      let task' i =
+        let recorder = Recorder.create ~registry:regs.(i) () in
+        Sink.with_sink (Recorder.sink recorder) (fun () -> task i)
+      in
+      let finish () = Array.iter (fun reg -> Registry.merge ~into reg) regs in
+      (task', finish)
+
+(* Index order 0..n-1 guaranteed (List.init's evaluation order is not). *)
+let build_in_order n task =
+  let rec go i acc = if i = n then List.rev acc else go (i + 1) (task i :: acc) in
+  go 0 []
+
+let run ?metrics pool n task =
+  let task, finish = instrumented metrics n task in
+  let out =
+    if not (parallel pool n) then build_in_order n task
+    else Array.to_list (run_tasks ~jobs:pool.pool_jobs n task)
+  in
+  finish ();
+  out
+
+let mapi ?pool ?metrics f xs =
   let pool = resolve pool in
   let n = List.length xs in
-  if not (parallel pool n) then List.mapi f xs
+  if Option.is_none metrics && not (parallel pool n) then List.mapi f xs
   else begin
     let input = Array.of_list xs in
-    let out = run_tasks ~jobs:pool.pool_jobs n (fun i -> f i input.(i)) in
-    Array.to_list out
+    run ?metrics pool n (fun i -> f i input.(i))
   end
 
-let map ?pool f xs = mapi ?pool (fun _ x -> f x) xs
+let map ?pool ?metrics f xs = mapi ?pool ?metrics (fun _ x -> f x) xs
 
-let init ?pool n f =
+let init ?pool ?metrics n f =
   if n < 0 then invalid_arg "Par.init";
   let pool = resolve pool in
-  if not (parallel pool n) then List.init n f
-  else Array.to_list (run_tasks ~jobs:pool.pool_jobs n f)
+  if Option.is_none metrics && not (parallel pool n) then List.init n f
+  else run ?metrics pool n f
 
-let map_array ?pool f input =
+let map_array ?pool ?metrics f input =
   let pool = resolve pool in
   let n = Array.length input in
-  if not (parallel pool n) then Array.map f input
-  else run_tasks ~jobs:pool.pool_jobs n (fun i -> f input.(i))
+  if Option.is_none metrics && not (parallel pool n) then Array.map f input
+  else Array.of_list (run ?metrics pool n (fun i -> f input.(i)))
 
-let map_reduce ?pool ~map:f ~reduce ~init xs =
+let map_reduce ?pool ?metrics ~map:f ~reduce ~init xs =
   let pool = resolve pool in
-  if not (parallel pool (List.length xs)) then
+  if Option.is_none metrics && not (parallel pool (List.length xs)) then
     List.fold_left (fun acc x -> reduce acc (f x)) init xs
-  else List.fold_left reduce init (map ~pool f xs)
+  else List.fold_left reduce init (map ~pool ?metrics f xs)

@@ -31,10 +31,15 @@
 
     {b Caveat}: tasks run concurrently in separate domains, so they must not
     share mutable state.  Every simulation ([Hyp_sim.create] + [run]) is
-    self-contained; the global audit hook and the [Rthv_obs] sink are only
-    {e read} on the hot path, which is safe — but installing a metrics
-    recorder sink around a parallel sweep races on the recorder's tables and
-    is not supported (record single runs, or use [jobs = 1]). *)
+    self-contained, and the [Rthv_obs] sink is domain-local (fresh domains
+    start with the no-op sink), so a recorder installed in the calling
+    domain simply does not see worker-domain runs.  To collect metrics
+    {e across} a sweep, pass [?metrics]: each task then records into its own
+    private registry (a recorder sink installed domain-locally for the
+    task's duration), and the per-task registries are folded into the given
+    registry {e in task-index order} once all tasks have finished.  The fold
+    structure is identical at every job count, so the merged registry's
+    exposition output is byte-identical whatever [--jobs] says. *)
 
 type pool
 (** A job-count handle.  Workers are spawned per call and joined before the
@@ -68,21 +73,32 @@ val derive_seed : base:int -> index:int -> int
     used, so parallel and sequential sweeps feed identical seeds to
     identical tasks. *)
 
-val map : ?pool:pool -> ('a -> 'b) -> 'a list -> 'b list
-(** Order-preserving parallel [List.map]. *)
+val map :
+  ?pool:pool -> ?metrics:Rthv_obs.Registry.t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.map].  With [?metrics], each task's
+    telemetry is captured in a private registry and deterministically
+    merged (task-index order) into the given one — see the module caveat. *)
 
-val mapi : ?pool:pool -> (int -> 'a -> 'b) -> 'a list -> 'b list
+val mapi :
+  ?pool:pool ->
+  ?metrics:Rthv_obs.Registry.t ->
+  (int -> 'a -> 'b) ->
+  'a list ->
+  'b list
 (** Order-preserving parallel [List.mapi] — the workhorse for [seed + i]
     sweeps. *)
 
-val init : ?pool:pool -> int -> (int -> 'a) -> 'a list
+val init :
+  ?pool:pool -> ?metrics:Rthv_obs.Registry.t -> int -> (int -> 'a) -> 'a list
 (** Parallel [List.init].  @raise Invalid_argument on negative length. *)
 
-val map_array : ?pool:pool -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?pool:pool -> ?metrics:Rthv_obs.Registry.t -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel [Array.map]. *)
 
 val map_reduce :
   ?pool:pool ->
+  ?metrics:Rthv_obs.Registry.t ->
   map:('a -> 'b) ->
   reduce:('acc -> 'b -> 'acc) ->
   init:'acc ->

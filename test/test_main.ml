@@ -36,6 +36,8 @@ let () =
       ("core.vcd_export", Test_vcd_export.suite);
       ("core.trace_export", Test_trace_export.suite);
       ("obs", Test_obs.suite);
+      ("obs.merge", Test_obs_merge.suite);
+      ("obs.span", Test_span.suite);
       ("check.lint", Test_lint.suite);
       ("check.trace_oracle", Test_trace_oracle.suite);
       ("workload", Test_workload.suite);

@@ -187,6 +187,7 @@ let test_sink_switch () =
       Sink.incr = (fun _ _ n -> hits := !hits + n);
       gauge = (fun _ _ _ -> incr hits);
       observe = (fun _ _ _ -> incr hits);
+      span = (fun _ -> incr hits);
     }
   in
   Sink.with_sink sink (fun () ->

@@ -1,0 +1,182 @@
+(* Per-IRQ causal spans: component decomposition, the attribution
+   waterfalls fed by a live simulation, and bound headroom against the
+   paper's analytic latency bounds. *)
+
+module Obs = Rthv_obs
+module Span = Obs.Span
+module Sink = Obs.Sink
+module Attribution = Obs.Attribution
+module Registry = Obs.Registry
+module Hyp_sim = Rthv_core.Hyp_sim
+module Scenarios = Rthv_check.Scenarios
+module Headroom = Rthv_check.Headroom
+
+(* --- span decomposition -------------------------------------------------- *)
+
+let span ?(cls = "interposed") () =
+  {
+    Span.sp_irq = 3;
+    sp_line = 0;
+    sp_source = "nic";
+    sp_class = cls;
+    sp_arrival = 100.0;
+    sp_top_start = 102.5;
+    sp_top_end = 107.5;
+    sp_decision = 108.25;
+    sp_bh_start = 120.0;
+    sp_completion = 160.0;
+  }
+
+let test_components_sum_to_latency () =
+  List.iter
+    (fun cls ->
+      let sp = span ~cls () in
+      Alcotest.(check bool) "valid" true (Span.valid sp);
+      let total =
+        List.fold_left (fun acc (_, v) -> acc +. v) 0.0 (Span.components sp)
+      in
+      Alcotest.(check (float 1e-9)) "sum = latency" (Span.latency sp) total;
+      Alcotest.(check (float 1e-9)) "latency = completion - arrival" 60.0
+        (Span.latency sp);
+      Alcotest.(check (list string))
+        "component order"
+        [ "top_wait"; "top_handler"; "decision_wait"; Span.wait_component cls;
+          "bottom_handler" ]
+        (Span.component_names sp))
+    [ "direct"; "interposed"; "delayed" ]
+
+let test_invalid_span_detected () =
+  let sp = { (span ()) with Span.sp_bh_start = 99.0 } in
+  Alcotest.(check bool) "backwards timestamp invalid" false (Span.valid sp)
+
+(* --- attribution over a live simulation ---------------------------------- *)
+
+let test_attribution_collects_simulation () =
+  let attr = Attribution.create () in
+  let config = Scenarios.quickstart () in
+  let sim = Hyp_sim.create config in
+  Sink.with_sink (Attribution.sink attr) (fun () -> Hyp_sim.run sim);
+  let stats = Hyp_sim.stats sim in
+  Alcotest.(check int) "one span per completion"
+    stats.Hyp_sim.completed_irqs (Attribution.total_spans attr);
+  let rows = Attribution.rows attr in
+  Alcotest.(check bool) "several classes" true (List.length rows >= 2);
+  Alcotest.(check int) "row counts add up" stats.Hyp_sim.completed_irqs
+    (List.fold_left (fun acc r -> acc + r.Attribution.r_count) 0 rows);
+  List.iter
+    (fun r ->
+      let s = r.Attribution.r_latency in
+      Alcotest.(check bool) "p50 <= p99 <= max" true
+        (s.Attribution.st_p50 <= s.Attribution.st_p99 +. 1e-9
+        && s.Attribution.st_p99 <= s.Attribution.st_max +. 1e-9);
+      (* Linearity: component means sum to the end-to-end mean. *)
+      let component_mean_sum =
+        List.fold_left
+          (fun acc (_, c) -> acc +. c.Attribution.st_mean)
+          0.0 r.Attribution.r_components
+      in
+      Alcotest.(check (float 1e-6)) "component means sum to latency mean"
+        s.Attribution.st_mean component_mean_sum;
+      match r.Attribution.r_worst with
+      | None -> Alcotest.fail "worst span missing"
+      | Some w ->
+          Alcotest.(check bool) "worst span valid" true (Span.valid w);
+          Alcotest.(check (float 1e-6)) "worst matches max"
+            s.Attribution.st_max (Span.latency w))
+    rows
+
+(* --- bound headroom ------------------------------------------------------ *)
+
+let measure config =
+  let registry = Registry.create () in
+  let recorder = Obs.Recorder.create ~registry () in
+  let sim = Hyp_sim.create config in
+  Sink.with_sink (Obs.Recorder.sink recorder) (fun () -> Hyp_sim.run sim);
+  registry
+
+let test_headroom_non_negative_on_good_scenarios () =
+  (* The acceptance property: on every conformant scenario the measured
+     worst case stays below the analytic bound for every handling class. *)
+  List.iter
+    (fun (name, build) ->
+      let config = build () in
+      let registry = measure config in
+      let verdicts = Headroom.verdicts config registry in
+      Alcotest.(check bool)
+        (name ^ ": some series measured")
+        true (verdicts <> []);
+      List.iter
+        (fun v ->
+          match v.Headroom.hv_headroom_us with
+          | Some h when h < 0.0 ->
+              Alcotest.failf
+                "%s: %s/%s measured %.1fus exceeds bound %.1fus" name
+                v.Headroom.hv_source v.Headroom.hv_class
+                v.Headroom.hv_measured_us
+                (Option.get v.Headroom.hv_bound_us)
+          | _ -> ())
+        verdicts)
+    Scenarios.good
+
+let test_headroom_gauges_surface () =
+  let config = Scenarios.quickstart () in
+  let registry = measure config in
+  Headroom.gauges config registry;
+  let rows = Registry.snapshot registry in
+  let count name =
+    List.length (List.filter (fun r -> r.Registry.name = name) rows)
+  in
+  Alcotest.(check bool) "bound gauges present" true
+    (count "rthv_latency_bound_us" > 0);
+  Alcotest.(check bool) "headroom gauges present" true
+    (count "rthv_bound_headroom_us" > 0)
+
+let test_interposed_bound_tighter_when_conformant () =
+  (* On the statically conformant stream, eq. (16) applies and must beat
+     the baseline (eq. 11-12) bound used for the delayed class. *)
+  let config = Scenarios.conformant () in
+  let bounds = Headroom.bounds config in
+  match
+    ( Headroom.bound_for bounds ~source:"nic" ~cls:"interposed",
+      Headroom.bound_for bounds ~source:"nic" ~cls:"delayed" )
+  with
+  | Some interposed, Some delayed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "eq.16 (%.1f) < baseline (%.1f)" interposed delayed)
+        true
+        (interposed < delayed)
+  | _ -> Alcotest.fail "expected finite bounds for both classes"
+
+let test_unshaped_source_has_no_interposed_bound () =
+  let config = Scenarios.quickstart () in
+  let unmonitored =
+    {
+      config with
+      Rthv_core.Config.sources =
+        List.map
+          (fun s -> { s with Rthv_core.Config.shaping = Rthv_core.Config.No_shaping })
+          config.Rthv_core.Config.sources;
+    }
+  in
+  let bounds = Headroom.bounds unmonitored in
+  Alcotest.(check (option (float 1e-9)))
+    "no eq.16 bound without a monitor" None
+    (Headroom.bound_for bounds ~source:"nic" ~cls:"interposed")
+
+let suite =
+  [
+    Alcotest.test_case "components sum to latency" `Quick
+      test_components_sum_to_latency;
+    Alcotest.test_case "invalid span detected" `Quick
+      test_invalid_span_detected;
+    Alcotest.test_case "attribution over a live simulation" `Quick
+      test_attribution_collects_simulation;
+    Alcotest.test_case "headroom non-negative on good scenarios" `Slow
+      test_headroom_non_negative_on_good_scenarios;
+    Alcotest.test_case "headroom gauges surface" `Quick
+      test_headroom_gauges_surface;
+    Alcotest.test_case "eq.16 tighter than baseline when conformant" `Quick
+      test_interposed_bound_tighter_when_conformant;
+    Alcotest.test_case "no interposed bound when unshaped" `Quick
+      test_unshaped_source_has_no_interposed_bound;
+  ]

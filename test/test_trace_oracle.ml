@@ -173,6 +173,49 @@ let test_window_bound_violation_caught () =
   Alcotest.(check (list string)) "spaced ok" []
     (error_codes (Oracle.audit_entries spec spaced))
 
+let test_raise_completion_matching () =
+  let raised irq t = e t (Hyp_trace.Irq_raised { irq; line = 0 }) in
+  (* Raised + matching completion pairs: clean. *)
+  let clean =
+    [ raised 0 (us 90) ]
+    @ interposition ~irq:0 ~arrival:(us 100) ~start:(us 160) ~finish:(us 180)
+    @ [ raised 1 (us 2_190) ]
+    @ interposition ~irq:1 ~arrival:(us 2_200) ~start:(us 2_260)
+        ~finish:(us 2_290)
+  in
+  Alcotest.(check (list string)) "matched pairs clean" []
+    (error_codes (Oracle.audit_entries (spec ()) clean));
+  (* A completion for an instance that was never raised, in a trace that
+     does carry raise events: orphan. *)
+  let orphan =
+    [ raised 0 (us 90) ]
+    @ interposition ~irq:0 ~arrival:(us 100) ~start:(us 160) ~finish:(us 180)
+    @ interposition ~irq:1 ~arrival:(us 2_200) ~start:(us 2_260)
+        ~finish:(us 2_290)
+  in
+  Alcotest.(check (list string)) "orphan completion" [ "RTHV108" ]
+    (error_codes (Oracle.audit_entries (spec ()) orphan));
+  (* The same instance id raised twice: not exactly-one. *)
+  let dup_raise = [ raised 0 (us 90); raised 0 (us 95) ] in
+  Alcotest.(check (list string)) "duplicate raise" [ "RTHV108" ]
+    (error_codes (Oracle.audit_entries (spec ()) dup_raise));
+  (* The same instance completed twice (in-slot, so no RTHV105 noise). *)
+  let dup_done =
+    [
+      raised 0 (us 4_900);
+      e (us 5_000)
+        (Hyp_trace.Slot_switch { from_partition = 0; to_partition = 1 });
+      e (us 5_100) (Hyp_trace.Bottom_handler_done { irq = 0; partition = 1 });
+      e (us 5_150) (Hyp_trace.Bottom_handler_done { irq = 0; partition = 1 });
+    ]
+  in
+  Alcotest.(check (list string)) "duplicate completion" [ "RTHV108" ]
+    (error_codes (Oracle.audit_entries (spec ()) dup_done));
+  (* A raise on an unconfigured line is structural, not a matching issue. *)
+  let bad_line = [ e (us 100) (Hyp_trace.Irq_raised { irq = 0; line = 9 }) ] in
+  Alcotest.(check (list string)) "unconfigured line" [ "RTHV106" ]
+    (error_codes (Oracle.audit_entries (spec ()) bad_line))
+
 let test_dropped_entries_skip_audit () =
   let trace = Hyp_trace.create ~capacity:2 () in
   for i = 0 to 5 do
@@ -255,6 +298,8 @@ let suite =
       test_structural_violations_caught;
     Alcotest.test_case "RTHV104 window bound" `Quick
       test_window_bound_violation_caught;
+    Alcotest.test_case "RTHV108 raise/completion matching" `Quick
+      test_raise_completion_matching;
     Alcotest.test_case "RTHV107 dropped entries" `Quick
       test_dropped_entries_skip_audit;
     Alcotest.test_case "simulated quickstart clean" `Quick
