@@ -12,7 +12,13 @@
 
    Allocation estimates are machine-independent, so they get an *absolute*
    slack in minor words (default 8.0): the allocation-free hot paths must
-   stay allocation-free wherever the bench runs.
+   stay allocation-free wherever the bench runs.  Rows that allocate by
+   design (a full simulator run is hundreds of thousands of words) carry
+   run-to-run noise in the OLS estimate that dwarfs any absolute slack, so
+   a *relative* component (--words-ratio, default 1.02) is OR-ed in: a row
+   regresses only when current exceeds both [base + slack] and
+   [base * words-ratio].  An allocation-free baseline row (0 words) is
+   unaffected — 0 * ratio is 0, the absolute slack alone governs it.
 
    Rows present only in the baseline fail the diff (a silently dropped
    bench is a lost regression gate); rows only in the current file are
@@ -66,6 +72,7 @@ let load path =
 let () =
   let ratio = ref 5.0 in
   let words_slack = ref 8.0 in
+  let words_ratio = ref 1.02 in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
@@ -74,6 +81,9 @@ let () =
         parse rest
     | "--words-slack" :: v :: rest ->
         words_slack := float_of_string v;
+        parse rest
+    | "--words-ratio" :: v :: rest ->
+        words_ratio := float_of_string v;
         parse rest
     | arg :: rest ->
         files := arg :: !files;
@@ -86,7 +96,7 @@ let () =
     | _ ->
         fail
           "usage: diff BASELINE.json CURRENT.json [--ratio R] [--words-slack \
-           W]"
+           W] [--words-ratio WR]"
   in
   let baseline = load baseline_path and current = load current_path in
   let failures = ref 0 in
@@ -100,7 +110,10 @@ let () =
       | Some c ->
           let r = if b.ns > 0.0 then c.ns /. b.ns else Float.infinity in
           let time_bad = r > !ratio in
-          let words_bad = c.words > b.words +. !words_slack in
+          let words_bad =
+            c.words > b.words +. !words_slack
+            && c.words > b.words *. !words_ratio
+          in
           if time_bad || words_bad then incr failures;
           Printf.printf "%-48s %12.1f %12.1f %7.2fx%s%s\n" name b.ns c.ns r
             (if time_bad then "  TIME REGRESSION" else "")
@@ -116,8 +129,8 @@ let () =
     current;
   if !failures > 0 then begin
     Printf.printf "\n%d regression(s) against %s (ratio > %.1fx or > %+.1f \
-                   minor words)\n"
-      !failures baseline_path !ratio !words_slack;
+                   minor words and > %.2fx)\n"
+      !failures baseline_path !ratio !words_slack !words_ratio;
     exit 1
   end;
   Printf.printf "\nno regressions against %s\n" baseline_path

@@ -180,17 +180,20 @@ let robustness () =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let micro_tests () =
-  let open Bechamel in
+(* Each micro-benchmark is a raw named closure.  Bechamel times them; the
+   allocation column is measured directly (below) because the OLS
+   minor-allocated estimate carries run-to-run intercept noise of hundreds
+   of words on identical code, which no tight regression gate survives. *)
+let micro_bodies () : (string * (unit -> unit)) list =
   let monitor_check =
-    Test.make ~name:"monitor.check (l=5)"
-      (Staged.stage (fun () ->
+    ( "monitor.check (l=5)",
+      fun () ->
            let m =
              Monitor.fixed (DF.of_entries [| 100; 200; 300; 400; 500 |])
            in
            for i = 0 to 99 do
              if Monitor.check m (i * 600) then Monitor.admit m (i * 600)
-           done))
+           done)
   in
   (* Steady-state monitor benches on a preallocated monitor: these are the
      per-IRQ hot-path costs (the create+100-admits bench above includes
@@ -201,29 +204,29 @@ let micro_tests () =
   in
   let steady_ts = ref 0 in
   let monitor_admit_steady =
-    Test.make ~name:"monitor admit+check steady (l=5)"
-      (Staged.stage (fun () ->
+    ( "monitor admit+check steady (l=5)",
+      fun () ->
            steady_ts := !steady_ts + 600;
            if Monitor.check steady_monitor !steady_ts then
-             Monitor.admit steady_monitor !steady_ts))
+             Monitor.admit steady_monitor !steady_ts)
   in
   let conforms_ts = ref 0 in
   let monitor_conforms =
-    Test.make ~name:"monitor.conforms read-only (l=5)"
-      (Staged.stage (fun () ->
+    ( "monitor.conforms read-only (l=5)",
+      fun () ->
            conforms_ts := !conforms_ts + 600;
-           ignore (Monitor.conforms steady_monitor !conforms_ts)))
+           ignore (Monitor.conforms steady_monitor !conforms_ts))
   in
   let event_queue =
-    Test.make ~name:"event_queue push+pop x100"
-      (Staged.stage (fun () ->
+    ( "event_queue push+pop x100",
+      fun () ->
            let q = Rthv_engine.Event_queue.create () in
            for i = 0 to 99 do
              Rthv_engine.Event_queue.push q ~time:(i * 7919 mod 1000) i
            done;
            while not (Rthv_engine.Event_queue.is_empty q) do
              ignore (Rthv_engine.Event_queue.pop q)
-           done))
+           done)
   in
   (* Steady-state queue at the simulator's typical occupancy: one push +
      one pop against a warm 64-entry heap, no construction cost. *)
@@ -235,16 +238,16 @@ let micro_tests () =
   in
   let queue_ts = ref (64 * 97) in
   let event_queue_steady =
-    Test.make ~name:"event_queue push+pop steady (64)"
-      (Staged.stage (fun () ->
+    ( "event_queue push+pop steady (64)",
+      fun () ->
            queue_ts := !queue_ts + 97;
            Rthv_engine.Event_queue.push steady_queue ~time:!queue_ts 0;
-           ignore (Rthv_engine.Event_queue.pop steady_queue)))
+           ignore (Rthv_engine.Event_queue.pop steady_queue))
   in
   let busy_window =
     let curve = AC.sporadic ~d_min_us:1544 in
-    Test.make ~name:"busy-window fixed point (eq. 11)"
-      (Staged.stage (fun () ->
+    ( "busy-window fixed point (eq. 11)",
+      fun () ->
            let tdma =
              Rthv_analysis.Tdma_interference.make ~cycle:(Cycles.of_us 14_000)
                ~slot:(Cycles.of_us 6_000)
@@ -255,25 +258,25 @@ let micro_tests () =
            in
            ignore
              (BW.response_time ~wcet:(Cycles.of_us 50)
-                ~delta:(AC.delta_min curve) ~interference ())))
+                ~delta:(AC.delta_min curve) ~interference ()))
   in
   let learner =
-    Test.make ~name:"delta-learner observe x1000 (Alg. 1)"
-      (Staged.stage (fun () ->
+    ( "delta-learner observe x1000 (Alg. 1)",
+      fun () ->
            let l = Rthv_core.Delta_learner.create ~l:5 in
            for i = 0 to 999 do
              Rthv_core.Delta_learner.observe l (i * 321)
-           done))
+           done)
   in
   let interarrivals =
     Gen.exponential ~seed:1 ~mean:(Cycles.of_us 1544) ~count:200
   in
   let shaping = Config.Fixed_monitor (DF.d_min (Cycles.of_us 1544)) in
   let sim_throughput =
-    Test.make ~name:"hypervisor sim, 200 IRQs (monitored)"
-      (Staged.stage (fun () ->
+    ( "hypervisor sim, 200 IRQs (monitored)",
+      fun () ->
            let sim = Hyp_sim.create (Params.config ~interarrivals ~shaping) in
-           Hyp_sim.run sim))
+           Hyp_sim.run sim)
   in
   (* One full Figure-6-sized run: the unit of work the sweep engine
      distributes, so its wall-clock anchors the sweep speedup numbers. *)
@@ -281,48 +284,48 @@ let micro_tests () =
     Gen.exponential ~seed:1 ~mean:(Cycles.of_us 1544) ~count:15_000
   in
   let sim_15k =
-    Test.make ~name:"hypervisor sim, 15000 IRQs (monitored)"
-      (Staged.stage (fun () ->
+    ( "hypervisor sim, 15000 IRQs (monitored)",
+      fun () ->
            let sim =
              Hyp_sim.create
                (Params.config ~interarrivals:interarrivals_15k ~shaping)
            in
-           Hyp_sim.run sim))
+           Hyp_sim.run sim)
   in
   (* The zero-cost-when-disabled claim for the lib/obs sink: the guarded
      call sites reduce to one flag read per event when no sink is
      installed, and the same simulation under a recorder sink shows the
      full price of live metrics. *)
   let sim_observed =
-    Test.make ~name:"hypervisor sim, 200 IRQs (recorder sink)"
-      (Staged.stage (fun () ->
+    ( "hypervisor sim, 200 IRQs (recorder sink)",
+      fun () ->
            let recorder = Rthv_obs.Recorder.create () in
            Rthv_obs.Sink.with_sink (Rthv_obs.Recorder.sink recorder)
              (fun () ->
                let sim =
                  Hyp_sim.create (Params.config ~interarrivals ~shaping)
                in
-               Hyp_sim.run sim)))
+               Hyp_sim.run sim))
   in
   let sink_disabled =
-    Test.make ~name:"obs guarded incr x1000 (no sink)"
-      (Staged.stage (fun () ->
+    ( "obs guarded incr x1000 (no sink)",
+      fun () ->
            for _ = 1 to 1000 do
              if Rthv_obs.Sink.active () then
                Rthv_obs.Sink.incr "bench_ops_total" Rthv_obs.Labels.empty 1
-           done))
+           done)
   in
   let sink_recorder =
     let recorder = Rthv_obs.Recorder.create () in
-    Test.make ~name:"obs guarded incr x1000 (recorder)"
-      (Staged.stage (fun () ->
+    ( "obs guarded incr x1000 (recorder)",
+      fun () ->
            Rthv_obs.Sink.with_sink (Rthv_obs.Recorder.sink recorder)
              (fun () ->
                for _ = 1 to 1000 do
                  if Rthv_obs.Sink.active () then
                    Rthv_obs.Sink.incr "bench_ops_total"
                      Rthv_obs.Labels.empty 1
-               done)))
+               done))
   in
   [
     monitor_check;
@@ -339,13 +342,37 @@ let micro_tests () =
     sink_recorder;
   ]
 
+let micro_tests () =
+  let open Bechamel in
+  List.map
+    (fun (name, fn) -> Test.make ~name (Staged.stage fn))
+    (micro_bodies ())
+
+(* Exact per-run minor allocation: warm the closure, then average the
+   [Gc.minor_words] delta over a fixed number of runs.  The closures are
+   deterministic, so this is reproducible to the word across machines —
+   unlike the bechamel OLS estimate, whose intercept noise on identical
+   code exceeds any slack a regression gate could reasonably grant.
+   A fresh set of bodies (fresh warm state) keeps the measurement
+   independent of how many iterations the timing pass happened to run. *)
+let direct_minor_words () =
+  List.map
+    (fun (name, fn) ->
+      for _ = 1 to 3 do fn () done;
+      let runs = 10 in
+      let before = Gc.minor_words () in
+      for _ = 1 to runs do fn () done;
+      let after = Gc.minor_words () in
+      ("rthv " ^ name, (after -. before) /. float_of_int runs))
+    (micro_bodies ())
+
 let micro () =
   banner "Bechamel micro-benchmarks";
   let open Bechamel in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let instances = Toolkit.Instance.[ monotonic_clock; minor_allocated ] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
@@ -354,7 +381,7 @@ let micro () =
       (Test.make_grouped ~name:"rthv" ~fmt:"%s %s" (micro_tests ()))
   in
   let times = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let allocs = Analyze.all ols Toolkit.Instance.minor_allocated raw in
+  let allocs = direct_minor_words () in
   let estimate tbl name =
     match Hashtbl.find_opt tbl name with
     | None -> None
@@ -367,7 +394,7 @@ let micro () =
   Format.fprintf ppf "  %-48s %12s  %s@." "" "ns/run" "minor words/run";
   List.iter
     (fun name ->
-      match (estimate times name, estimate allocs name) with
+      match (estimate times name, List.assoc_opt name allocs) with
       | Some ns, words ->
           let words = Option.value words ~default:Float.nan in
           Format.fprintf ppf "  %-48s %12.1f  %15.1f@." name ns words;

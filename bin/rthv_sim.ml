@@ -17,19 +17,28 @@ module Ecu_trace = Rthv_workload.Ecu_trace
 module Histogram = Rthv_stats.Histogram
 module Summary = Rthv_stats.Summary
 
-type monitor_kind = Monitor_off | Monitor_dmin | Monitor_learn
+type monitor_kind =
+  | Monitor_off
+  | Monitor_dmin
+  | Monitor_learn
+  | Monitor_budget
+  | Monitor_combo
 
 let monitor_kind_conv =
   let parse = function
     | "off" -> Ok Monitor_off
     | "dmin" -> Ok Monitor_dmin
     | "learn" -> Ok Monitor_learn
+    | "budget" -> Ok Monitor_budget
+    | "combo" -> Ok Monitor_combo
     | s -> Error (`Msg (Printf.sprintf "unknown monitor kind %S" s))
   in
   let print ppf = function
     | Monitor_off -> Format.fprintf ppf "off"
     | Monitor_dmin -> Format.fprintf ppf "dmin"
     | Monitor_learn -> Format.fprintf ppf "learn"
+    | Monitor_budget -> Format.fprintf ppf "budget"
+    | Monitor_combo -> Format.fprintf ppf "combo"
   in
   Cmdliner.Arg.conv (parse, print)
 
@@ -87,8 +96,8 @@ let write_metrics ~path registry =
       0
 
 let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
-    monitor strict_tdma show_histogram csv_out vcd_out trace_out metrics_out
-    trace =
+    monitor budget weighted_cycle_us strict_tdma show_histogram csv_out
+    vcd_out trace_out metrics_out trace =
   let partitions =
     List.mapi
       (fun i slot_us ->
@@ -111,15 +120,40 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
         in
         Config.Self_learning
           { l = 5; learn_events = activations / 10; bound = None }
+    | Monitor_budget -> Config.Budgeted { per_cycle = budget }
+    | Monitor_combo ->
+        (* d_min condition plus a capacity-[budget] burst cap refilled at the
+           monitoring distance. *)
+        Config.Monitor_and_bucket
+          {
+            fn = DF.d_min (Cycles.of_us effective_d_min_us);
+            capacity = budget;
+            refill = Cycles.of_us effective_d_min_us;
+          }
   in
   let source =
     Config.source ~name:"irq0" ~line:0 ~subscriber ~c_th_us ~c_bh_us
       ~interarrivals ~shaping ()
   in
-  let config =
-    Config.make ~finish_bh_at_boundary:(not strict_tdma) ~partitions
-      ~sources:[ source ] ()
+  let boundary =
+    if strict_tdma then Rthv_core.Boundary_policy.Strict_cut
+    else Rthv_core.Boundary_policy.Finish_bottom_handler
   in
+  (* --weighted-cycle-us reinterprets --slots as integer weights over a
+     fixed TDMA cycle apportioned by Slot_plan. *)
+  let plan =
+    match weighted_cycle_us with
+    | None -> Config.Partition_slots
+    | Some cycle_us ->
+        Config.Weighted_plan
+          { cycle = Cycles.of_us cycle_us; weights = Array.of_list slots }
+  in
+  let config =
+    Config.make ~boundary ~plan ~partitions ~sources:[ source ] ()
+  in
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
   (* Attach a trace whenever any timeline export was requested. *)
   let trace =
     match (vcd_out, trace_out) with
@@ -252,8 +286,8 @@ let run_experiment metrics_out name =
     | Some path -> write_metrics ~path registry
 
 let main jobs experiment slots subscriber c_th_us c_bh_us mean_us d_min_us
-    count seed monitor strict_tdma histogram csv_out vcd_out trace_out
-    metrics_out trace =
+    count seed monitor budget weighted_cycle_us strict_tdma histogram csv_out
+    vcd_out trace_out metrics_out trace =
   Option.iter Rthv_par.Par.set_default_jobs jobs;
   match experiment with
   | Some name -> run_experiment metrics_out name
@@ -263,10 +297,14 @@ let main jobs experiment slots subscriber c_th_us c_bh_us mean_us d_min_us
           subscriber (List.length slots);
         1
       end
+      else if budget < 1 then begin
+        Format.eprintf "--budget must be >= 1@.";
+        1
+      end
       else
         run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count
-          seed monitor strict_tdma histogram csv_out vcd_out trace_out
-          metrics_out trace
+          seed monitor budget weighted_cycle_us strict_tdma histogram csv_out
+          vcd_out trace_out metrics_out trace
 
 open Cmdliner
 
@@ -339,8 +377,31 @@ let monitor =
   Arg.(
     value
     & opt monitor_kind_conv Monitor_off
-    & info [ "monitor"; "m" ] ~docv:"off|dmin|learn"
-        ~doc:"Interrupt shaping mode.")
+    & info [ "monitor"; "m" ] ~docv:"off|dmin|learn|budget|combo"
+        ~doc:
+          "Interrupt shaping mode: $(b,off) (Figure 4a), $(b,dmin) \
+           (delta^- monitor), $(b,learn) (self-learning monitor), \
+           $(b,budget) (at most $(b,--budget) interpositions per aligned \
+           TDMA cycle window), $(b,combo) (d_min monitor AND a \
+           capacity-$(b,--budget) token bucket).")
+
+let budget =
+  Arg.(
+    value & opt int 1
+    & info [ "budget" ] ~docv:"N"
+        ~doc:
+          "Admissions per TDMA cycle for $(b,--monitor budget), or the \
+           bucket capacity for $(b,--monitor combo).")
+
+let weighted_cycle_us =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "weighted-cycle-us" ] ~docv:"US"
+        ~doc:
+          "Use a weighted slot plan: keep the TDMA cycle at this length and \
+           reinterpret $(b,--slots) as integer weights apportioned over it \
+           (largest-remainder method).")
 
 let strict_tdma =
   Arg.(
@@ -410,7 +471,8 @@ let cmd =
     (Cmd.info "rthv_sim" ~doc)
     Term.(
       const main $ jobs $ experiment $ slots $ subscriber $ c_th_us $ c_bh_us
-      $ mean_us $ d_min_us $ count $ seed $ monitor $ strict_tdma $ histogram
-      $ csv_out $ vcd_out $ trace_out $ metrics_out $ trace_arg)
+      $ mean_us $ d_min_us $ count $ seed $ monitor $ budget
+      $ weighted_cycle_us $ strict_tdma $ histogram $ csv_out $ vcd_out
+      $ trace_out $ metrics_out $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

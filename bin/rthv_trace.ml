@@ -209,9 +209,9 @@ let source =
       & opt (some string) None
       & info [ "s"; "scenario" ] ~docv:"NAME"
           ~doc:
-            "Simulate a named scenario (see $(b,rthv_lint) for the list: \
-             quickstart, avionics_ima, automotive_ecu, demo_bad) with a \
-             trace attached.")
+            (Printf.sprintf
+               "Simulate a named scenario (%s) with a trace attached."
+               (String.concat ", " (List.map fst Scenarios.all))))
   in
   let from_jsonl =
     Arg.(

@@ -1,0 +1,111 @@
+module Cycles = Rthv_engine.Cycles
+module DF = Distance_fn
+
+type policy =
+  | Unshaped
+  | Monitored of DF.t
+  | Bucketed of { capacity : int; refill : Cycles.t }
+  | Budgeted of { per_cycle : int; cycle : Cycles.t }
+  | Shaped_opaque
+  | Composite of policy list
+
+let rec shaped = function
+  | Unshaped -> false
+  | Monitored _ | Bucketed _ | Budgeted _ | Shaped_opaque -> true
+  | Composite ps -> List.exists shaped ps
+
+let degenerate fn = DF.delta fn (DF.length fn + 1) = 0
+
+let rec condition = function
+  | Monitored fn -> Some fn
+  | Unshaped | Bucketed _ | Budgeted _ | Shaped_opaque -> None
+  | Composite ps -> List.find_map condition ps
+
+(* A rate-limiting component is vacuous relative to a delta^- condition when
+   it can never deny an activation the condition admits: the condition's own
+   admission rate already stays within the component's allowance. *)
+let vacuous_against fn = function
+  | Monitored _ | Unshaped -> true
+  | Bucketed { capacity; refill } ->
+      (* Each admission is at least delta^-(2) after the previous one; with
+         refill <= delta^-(2) at least one token is back by then, so a
+         bucket that starts full (capacity >= 1) never runs dry. *)
+      capacity >= 1 && refill <= DF.delta fn 2
+  | Budgeted { per_cycle; cycle } ->
+      (* A conforming stream raises at most eta^+(cycle) activations in any
+         window of one cycle, aligned windows included. *)
+      (not (degenerate fn)) && per_cycle >= DF.eta_plus fn cycle
+  | Shaped_opaque | Composite _ -> false
+
+let per_instance_condition = function
+  | Monitored fn -> Some fn
+  | Unshaped | Bucketed _ | Budgeted _ | Shaped_opaque -> None
+  | Composite ps -> (
+      match List.find_map (function Monitored fn -> Some fn | _ -> None) ps with
+      | None -> None
+      | Some fn ->
+          if
+            List.for_all
+              (function Monitored _ -> true | p -> vacuous_against fn p)
+              ps
+          then Some fn
+          else None)
+
+let pointwise_min a b dt = Cycles.min (a dt) (b dt)
+
+let rec interference policy ~c_bh_eff =
+  match policy with
+  | Unshaped | Shaped_opaque -> None
+  | Monitored fn ->
+      if degenerate fn then None
+      else Some (Independence.interposed_bound ~monitor:fn ~c_bh_eff)
+  | Bucketed { capacity; refill } ->
+      Some (Independence.token_bucket_bound ~capacity ~refill ~c_bh_eff)
+  | Budgeted { per_cycle; cycle } ->
+      Some (Independence.budget_bound ~per_cycle ~cycle ~c_bh_eff)
+  | Composite ps ->
+      (* Admitted activations satisfy every component, so every component's
+         curve bounds the composite; the pointwise minimum is the tightest
+         of them. *)
+      List.fold_left
+        (fun acc p ->
+          match (acc, interference p ~c_bh_eff) with
+          | None, c | c, None -> c
+          | Some a, Some b -> Some (pointwise_min a b))
+        None ps
+
+type latency_bound = No_bound | Baseline | Baseline_monitored | Interposed
+
+let for_class policy ~stream_conforms cls =
+  match cls with
+  | `Direct | `Delayed -> if shaped policy then Baseline_monitored else Baseline
+  | `Interposed -> (
+      if not (shaped policy) then No_bound
+      else
+        match per_instance_condition policy with
+        | Some fn when stream_conforms fn -> Interposed
+        | Some _ | None -> Baseline_monitored)
+
+let compute bound ~tdma ~costs ~self ~interferers =
+  match bound with
+  | No_bound -> Error "source is not shaped: no interposed bound exists"
+  | Baseline -> Irq_latency.baseline ~tdma ~self ~interferers ()
+  | Baseline_monitored ->
+      Irq_latency.baseline ~tdma ~self ~interferers ~monitoring:costs ()
+  | Interposed -> Irq_latency.interposed ~costs ~self ~interferers ()
+
+let rec pp ppf = function
+  | Unshaped -> Format.fprintf ppf "unshaped"
+  | Monitored fn -> Format.fprintf ppf "monitored %a" DF.pp fn
+  | Bucketed { capacity; refill } ->
+      Format.fprintf ppf "bucketed (capacity %d, refill %a)" capacity Cycles.pp
+        refill
+  | Budgeted { per_cycle; cycle } ->
+      Format.fprintf ppf "budgeted (%d per %a)" per_cycle Cycles.pp cycle
+  | Shaped_opaque -> Format.fprintf ppf "shaped (no static envelope)"
+  | Composite ps ->
+      Format.fprintf ppf "composite [%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           pp)
+        ps

@@ -1,0 +1,92 @@
+(** Policy-to-bound dispatch: which latency bound and interference curve the
+    analysis owes each admission policy.
+
+    The simulator core routes IRQs through pluggable admission policies
+    ({!Rthv_core.Admission}); this module is the analysis-side mirror.  A
+    {!policy} descriptor states what is statically known about a policy's
+    admitted stream, and the dispatchers below select the matching paper
+    equation: the eq.-(11)/(12) baseline, the eq.-(16) interposed bound, and
+    the eq.-(14)-style interference curve.  [Rthv_check] maps configuration
+    shaping onto descriptors once, so the linter, the trace oracle and the
+    headroom gate all draw from the same dispatch. *)
+
+type policy =
+  | Unshaped  (** Original top handler (Figure 4a): never interposes. *)
+  | Monitored of Distance_fn.t
+      (** delta^- monitor: the admitted stream conforms to the condition by
+          construction, and a conforming input stream is admitted in full. *)
+  | Bucketed of { capacity : int; refill : Rthv_engine.Cycles.t }
+      (** Token-bucket throttle: admissions are rate-limited but carry no
+          distance condition. *)
+  | Budgeted of { per_cycle : int; cycle : Rthv_engine.Cycles.t }
+      (** Per-source interposition budget: at most [per_cycle] admissions in
+          each aligned window of length [cycle]. *)
+  | Shaped_opaque
+      (** Shaped, but nothing is statically known about the admitted stream
+          (e.g. a self-learning monitor without a load bound). *)
+  | Composite of policy list
+      (** Admission requires every component's consent. *)
+
+val shaped : policy -> bool
+(** The source runs the modified top handler (the monitoring function's
+    C_Mon applies to its activations). *)
+
+val condition : policy -> Distance_fn.t option
+(** The statically known delta^- envelope of the {e admitted} stream — what
+    the trace oracle's RTHV102 and the certificate's eq.-(14) grants rely
+    on.  Sound because admission commits into the monitor's history, so the
+    admitted stream conforms by construction (composites inherit their
+    monitored component's envelope). *)
+
+val per_instance_condition : policy -> Distance_fn.t option
+(** The envelope under the stronger guarantee that {e every conforming
+    activation is admitted} — the eq.-(16) gate.  For a composite this holds
+    only when every rate-limiting component is provably vacuous against the
+    monitored condition ({!vacuous_against}); otherwise a conforming
+    activation can be denied, queue behind delayed predecessors, and exceed
+    the per-instance bound. *)
+
+val vacuous_against : Distance_fn.t -> policy -> bool
+(** [vacuous_against fn p]: policy component [p] can never deny an
+    activation that conforms to [fn].  A bucket is vacuous when
+    [refill <= delta fn 2] (a token is always back before the condition
+    admits again); a budget when [per_cycle >= eta^+_fn(cycle)]. *)
+
+val interference : policy -> c_bh_eff:Rthv_engine.Cycles.t -> Independence.interference_curve option
+(** The eq.-(14)-style interference curve of the policy's admitted stream,
+    or [None] when no bound exists (unshaped, degenerate condition, opaque).
+    Composites take the pointwise minimum of their components' curves — the
+    admitted stream satisfies all of them. *)
+
+val degenerate : Distance_fn.t -> bool
+(** All entries zero: eta^+ is unbounded, eq. (14) yields no bound. *)
+
+type latency_bound =
+  | No_bound  (** The class cannot occur / has no analytic bound. *)
+  | Baseline  (** Eq. (11)/(12), plain top handler. *)
+  | Baseline_monitored
+      (** Eq. (11)/(12) with C'_TH = C_TH + C_Mon (Section 5.1, case 2). *)
+  | Interposed  (** Eq. (16). *)
+
+val for_class :
+  policy ->
+  stream_conforms:(Distance_fn.t -> bool) ->
+  [ `Direct | `Delayed | `Interposed ] ->
+  latency_bound
+(** Select the bound for a completion class.  Direct and delayed completions
+    take the baseline (monitored when shaped — the monitoring function runs
+    either way); interposed completions take eq. (16) only when the policy
+    has a per-instance condition and the caller certifies the {e whole}
+    input stream conforms to it, and fall back to the monitored baseline
+    otherwise. *)
+
+val compute :
+  latency_bound ->
+  tdma:Tdma_interference.t ->
+  costs:Irq_latency.costs ->
+  self:Irq_latency.source ->
+  interferers:Irq_latency.source list ->
+  (Busy_window.result, string) result
+(** Evaluate the selected bound through {!Irq_latency}. *)
+
+val pp : Format.formatter -> policy -> unit

@@ -26,6 +26,9 @@ let of_entries entries =
   { entries = normalise entries }
 
 let d_min d = of_entries [| d |]
+
+let finite t = Array.for_all (fun e -> e < huge) t.entries
+
 let unbounded ~l =
   if l <= 0 then invalid_arg "Distance_fn.unbounded: l must be positive";
   { entries = Array.make l 0 }

@@ -35,6 +35,13 @@ val unbounded : l:int -> t
 (** Entries all zero: permits any pattern (the "monitoring disabled"
     degenerate case). *)
 
+val finite : t -> bool
+(** Every entry is below the "no bound learned" sentinel that {!of_trace}
+    leaves in never-observed positions.  A function with sentinel entries is
+    not a usable monitoring condition: the superadditive extension of
+    {!delta} sums entries, so sentinel-sized values overflow the eq.-(14)
+    arithmetic.  {!Rthv_core.Config.validate} rejects such conditions. *)
+
 val delta : t -> int -> Rthv_engine.Cycles.t
 (** [delta t q] is the minimum span of [q] consecutive events.  [delta t 0]
     and [delta t 1] are 0.  Beyond the stored horizon the superadditive

@@ -16,6 +16,17 @@ let token_bucket_bound ~capacity ~refill ~c_bh_eff dt =
   if dt <= 0 then 0
   else Cycles.( * ) c_bh_eff (capacity + (dt / refill))
 
+let budget_bound ~per_cycle ~cycle ~c_bh_eff dt =
+  if per_cycle < 1 || cycle < 1 then
+    invalid_arg "Independence.budget_bound: bad budget parameters";
+  if dt <= 0 then 0
+  else
+    (* Admissions are counted per aligned window of length [cycle] and capped
+       at [per_cycle].  A half-open interval of length dt overlaps at most
+       floor((dt-1)/cycle) + 2 such windows (one partial window at each end),
+       so the admitted count is affine in dt like the token bucket's. *)
+    Cycles.( * ) c_bh_eff (Cycles.( * ) per_cycle (((dt - 1) / cycle) + 2))
+
 let sum curves dt =
   List.fold_left (fun acc curve -> Cycles.( + ) acc (curve dt)) 0 curves
 

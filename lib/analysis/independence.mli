@@ -38,6 +38,21 @@ val token_bucket_bound :
     the burst allowance is exactly the extra interference a partition must
     absorb. *)
 
+val budget_bound :
+  per_cycle:int ->
+  cycle:Rthv_engine.Cycles.t ->
+  c_bh_eff:Rthv_engine.Cycles.t ->
+  interference_curve
+(** Interference bound for a per-cycle interposition budget: admissions are
+    counted in aligned windows of length [cycle] and capped at [per_cycle]
+    per window, so any half-open interval of length dt overlaps at most
+    [floor((dt-1)/cycle) + 2] windows and admits at most [per_cycle] times
+    that many interpositions.  Affine like the token-bucket curve; the
+    window-straddling factor 2 is the burst a partition must absorb when a
+    full budget at the end of one window abuts a full budget at the start of
+    the next.  @raise Invalid_argument unless [per_cycle >= 1] and
+    [cycle >= 1]. *)
+
 val sum : interference_curve list -> interference_curve
 (** Total interference from several independent interposing sources. *)
 

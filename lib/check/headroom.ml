@@ -5,6 +5,7 @@ module Arrival_curve = Rthv_analysis.Arrival_curve
 module Busy_window = Rthv_analysis.Busy_window
 module Irq_latency = Rthv_analysis.Irq_latency
 module Tdma_interference = Rthv_analysis.Tdma_interference
+module Bound = Rthv_analysis.Bound
 module Registry = Rthv_obs.Registry
 module Labels = Rthv_obs.Labels
 module Metric = Rthv_obs.Metric
@@ -39,15 +40,31 @@ let arrival_model s = Arrival_curve.of_trace ~l:64 (raise_times s)
 
 (* Equation (16) bounds an activation handled by its own interposition
    (case 1).  That is guaranteed per-instance only when the whole stream
-   satisfies the monitoring condition — otherwise an admitted activation can
-   queue behind earlier delayed ones and complete in the subscriber's slot,
-   where only the baseline bound applies.  Conformance of the programmed
-   distances implies conformance of the actual raises in both arrival modes
-   (gaps only stretch, coalescing only drops events). *)
-let stream_conforms (s : Config.source) =
-  match Lint.static_condition s.Config.shaping with
-  | None -> false
-  | Some fn -> Rthv_analysis.Distance_fn.conforms fn (raise_times s)
+   satisfies the monitoring condition AND the policy provably admits every
+   conforming activation (Bound.per_instance_condition) — otherwise an
+   admitted activation can queue behind earlier delayed ones and complete in
+   the subscriber's slot, where only the baseline bound applies.
+   Conformance of the programmed distances implies conformance of the actual
+   raises in both arrival modes (gaps only stretch, coalescing only drops
+   events).
+
+   One more denial source exists beyond the policy itself: the hypervisor
+   runs at most one interposition at a time, so with a second shaped source
+   in the system a conforming activation can be denied because the OTHER
+   source's interposition is pending — and a later admitted activation of
+   this source then queues behind the denied one and completes in the
+   subscriber's slot.  The paper's setup has a single monitored source, so
+   eq. (16) applies per-instance only when this source is the sole shaped
+   source; otherwise we fall back to the monitored baseline. *)
+let sole_interposer (config : Config.t) (s : Config.source) =
+  not
+    (List.exists
+       (fun (o : Config.source) ->
+         o.Config.line <> s.Config.line && Lint.shaped o)
+       config.Config.sources)
+
+let stream_conforms (s : Config.source) fn =
+  Rthv_analysis.Distance_fn.conforms fn (raise_times s)
 
 let bounds (config : Config.t) =
   let costs = Irq_latency.costs_of_platform config.Config.platform in
@@ -92,22 +109,16 @@ let bounds (config : Config.t) =
           costs.Irq_latency.c_ctx
       in
       let analysis_tdma = Tdma_interference.make ~cycle ~slot in
-      let baseline =
-        let monitoring = if Lint.shaped s then Some costs else None in
+      let policy = Lint.bound_policy ~cycle s.Config.shaping in
+      let per_instance fn = sole_interposer config s && stream_conforms s fn in
+      let eval cls =
         match
-          Irq_latency.baseline ~tdma:analysis_tdma ~self ~interferers
-            ?monitoring ()
+          Bound.compute
+            (Bound.for_class policy ~stream_conforms:per_instance cls)
+            ~tdma:analysis_tdma ~costs ~self ~interferers
         with
         | Ok r -> Some (Cycles.to_us r.Busy_window.response_time)
         | Error _ -> None
-      in
-      let interposed =
-        if not (Lint.shaped s) then None
-        else if not (stream_conforms s) then baseline
-        else
-          match Irq_latency.interposed ~costs ~self ~interferers () with
-          | Ok r -> Some (Cycles.to_us r.Busy_window.response_time)
-          | Error _ -> None
       in
       let mk cls b =
         { hb_source = s.Config.name; hb_class = cls; hb_bound_us = b }
@@ -115,7 +126,11 @@ let bounds (config : Config.t) =
       (* Direct handling runs in the subscriber's own open slot: its latency
          is dominated by the delayed case, so the eq.-(11)/(12) baseline is a
          sound (conservative) bound for it too. *)
-      [ mk "direct" baseline; mk "delayed" baseline; mk "interposed" interposed ])
+      [
+        mk "direct" (eval `Direct);
+        mk "delayed" (eval `Delayed);
+        mk "interposed" (eval `Interposed);
+      ])
     config.Config.sources
 
 let bound_for bounds ~source ~cls =

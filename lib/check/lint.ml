@@ -5,6 +5,7 @@ module Task = Rthv_rtos.Task
 module DF = Rthv_analysis.Distance_fn
 module Independence = Rthv_analysis.Independence
 module Certificate = Rthv_analysis.Certificate
+module Bound = Rthv_analysis.Bound
 module GS = Rthv_analysis.Guest_sched
 module D = Diagnostic
 
@@ -18,19 +19,37 @@ let c_bh_eff ~platform ~c_bh =
    monitor without a load bound has no static envelope; a bounded one admits
    at most what the bound allows (Algorithm 2 raises every learned entry to
    the bound, so conformance to the adjusted condition implies conformance
-   to the bound). *)
+   to the bound).  A composite inherits its monitored component's envelope;
+   a budget maintains no distance condition. *)
 let static_condition = function
   | Config.Fixed_monitor fn -> Some fn
   | Config.Self_learning { bound = Some b; _ } -> Some b
+  | Config.Monitor_and_bucket { fn; _ } -> Some fn
   | Config.Self_learning { bound = None; _ }
-  | Config.No_shaping | Config.Token_bucket _ ->
+  | Config.No_shaping | Config.Token_bucket _ | Config.Budgeted _ ->
       None
 
 let shaped source =
   match source.Config.shaping with
   | Config.No_shaping -> false
-  | Config.Fixed_monitor _ | Config.Self_learning _ | Config.Token_bucket _ ->
+  | Config.Fixed_monitor _ | Config.Self_learning _ | Config.Token_bucket _
+  | Config.Budgeted _ | Config.Monitor_and_bucket _ ->
       true
+
+(* The analysis-side descriptor of a shaping policy: the single point where
+   configuration variants map onto [Bound.policy], shared by this linter,
+   the trace oracle and the headroom gate. *)
+let bound_policy ~cycle = function
+  | Config.No_shaping -> Bound.Unshaped
+  | Config.Fixed_monitor fn -> Bound.Monitored fn
+  | Config.Self_learning { bound = Some b; _ } -> Bound.Monitored b
+  | Config.Self_learning { bound = None; _ } -> Bound.Shaped_opaque
+  | Config.Token_bucket { capacity; refill } ->
+      Bound.Bucketed { capacity; refill }
+  | Config.Budgeted { per_cycle } -> Bound.Budgeted { per_cycle; cycle }
+  | Config.Monitor_and_bucket { fn; capacity; refill } ->
+      Bound.Composite
+        [ Bound.Monitored fn; Bound.Bucketed { capacity; refill } ]
 
 (* A condition whose superadditive extension never grows admits an unbounded
    number of events in some finite window: eq. (14) yields no bound. *)
@@ -40,6 +59,9 @@ type ctx = {
   config : Config.t;
   cycle : Cycles.t;
   c_ctx : Cycles.t;
+  slots : Cycles.t array;
+      (* effective per-partition slot lengths — [Config.effective_slots], so
+         weighted plans are linted against the schedule actually run *)
 }
 
 let source_loc (s : Config.source) = Printf.sprintf "source %s" s.Config.name
@@ -52,18 +74,20 @@ let eff ctx (s : Config.source) =
 (* RTHV002: a slot that cannot even cover the slot-entry context switch
    provides zero service; the TDMA supply bound (eq. 8) is vacuous. *)
 let rule_slot_covers_ctx ctx =
-  List.filter_map
-    (fun (p : Config.partition) ->
-      if p.Config.slot <= ctx.c_ctx then
-        Some
-          (D.error ~code:"RTHV002" ~loc:(partition_loc p)
-             ~hint:"grow the slot beyond C_ctx or drop the partition"
-             (Format.asprintf
-                "slot %a cannot cover the slot-entry context switch C_ctx = \
-                 %a: the partition never executes"
-                Cycles.pp p.Config.slot Cycles.pp ctx.c_ctx))
-      else None)
-    ctx.config.Config.partitions
+  List.concat
+    (List.mapi
+       (fun i (p : Config.partition) ->
+         if ctx.slots.(i) <= ctx.c_ctx then
+           [
+             D.error ~code:"RTHV002" ~loc:(partition_loc p)
+               ~hint:"grow the slot beyond C_ctx or drop the partition"
+               (Format.asprintf
+                  "slot %a cannot cover the slot-entry context switch C_ctx = \
+                   %a: the partition never executes"
+                  Cycles.pp ctx.slots.(i) Cycles.pp ctx.c_ctx);
+           ]
+         else [])
+       ctx.config.Config.partitions)
 
 (* RTHV003: eq. (14) reads I(dt) = eta+_monitor(dt) * C'_BH; a degenerate
    condition has eta+ = infinity for any positive window. *)
@@ -85,19 +109,34 @@ let rule_monitor_bounded ctx =
    >= 1.0 the interposed handlers alone overload the core; eq. (2) cannot
    hold for any partition. *)
 let rule_interference_utilisation ctx =
+  let source_loss (s : Config.source) =
+    let monitor_loss fn =
+      if degenerate fn then None
+      else
+        Some (Independence.utilisation_loss ~monitor:fn ~c_bh_eff:(eff ctx s))
+    in
+    match s.Config.shaping with
+    | Config.Token_bucket { refill; _ } ->
+        Some (float_of_int (eff ctx s) /. float_of_int refill)
+    | Config.Budgeted { per_cycle } ->
+        Some
+          (float_of_int (per_cycle * eff ctx s) /. float_of_int ctx.cycle)
+    | Config.Monitor_and_bucket { fn; refill; _ } ->
+        (* The admitted stream satisfies both components: the smaller
+           long-term loss governs. *)
+        let bucket = float_of_int (eff ctx s) /. float_of_int refill in
+        Some
+          (match monitor_loss fn with
+          | Some m -> Float.min m bucket
+          | None -> bucket)
+    | shaping -> (
+        match static_condition shaping with
+        | Some fn -> monitor_loss fn
+        | None -> None)
+  in
   let loss =
     List.fold_left
-      (fun acc (s : Config.source) ->
-        match s.Config.shaping with
-        | Config.Token_bucket { refill; _ } ->
-            acc +. (float_of_int (eff ctx s) /. float_of_int refill)
-        | shaping -> (
-            match static_condition shaping with
-            | Some fn when not (degenerate fn) ->
-                acc
-                +. Independence.utilisation_loss ~monitor:fn
-                     ~c_bh_eff:(eff ctx s)
-            | Some _ | None -> acc))
+      (fun acc s -> acc +. Option.value ~default:0. (source_loss s))
       0. ctx.config.Config.sources
   in
   if loss >= 1. -. 1e-9 then
@@ -139,7 +178,7 @@ let rule_certificate ctx =
         {
           Certificate.p_index = i;
           p_name = p.Config.pname;
-          slot = p.Config.slot;
+          slot = ctx.slots.(i);
           tasks = List.map GS.of_spec p.Config.tasks;
         })
       ctx.config.Config.partitions
@@ -149,7 +188,7 @@ let rule_certificate ctx =
   in
   List.filter_map
     (fun (v : Certificate.verdict) ->
-      let slot = (List.nth ctx.config.Config.partitions v.Certificate.v_index).Config.slot in
+      let slot = ctx.slots.(v.Certificate.v_index) in
       if v.Certificate.schedulable || slot <= ctx.c_ctx (* RTHV002's case *)
       then None
       else
@@ -178,26 +217,28 @@ let rule_certificate ctx =
 (* RTHV006: a necessary condition cheaper than the certificate — demand
    above the partition's TDMA share can never converge. *)
 let rule_partition_utilisation ctx =
-  List.filter_map
-    (fun (p : Config.partition) ->
-      if p.Config.slot <= ctx.c_ctx then None
-      else
-        let share =
-          float_of_int (Cycles.( - ) p.Config.slot ctx.c_ctx)
-          /. float_of_int ctx.cycle
-        in
-        let u = Task.utilisation p.Config.tasks in
-        if u > share +. 1e-9 then
-          Some
-            (D.error ~code:"RTHV006" ~loc:(partition_loc p)
-               ~hint:"the slot share is (T_i - C_ctx) / T_TDMA; lengthen the \
-                      slot or lighten the tasks"
-               (Printf.sprintf
-                  "task utilisation %.1f%% exceeds the partition's TDMA \
-                   share %.1f%%: unschedulable regardless of interference"
-                  (100. *. u) (100. *. share)))
-        else None)
-    ctx.config.Config.partitions
+  List.concat
+    (List.mapi
+       (fun i (p : Config.partition) ->
+         if ctx.slots.(i) <= ctx.c_ctx then []
+         else
+           let share =
+             float_of_int (Cycles.( - ) ctx.slots.(i) ctx.c_ctx)
+             /. float_of_int ctx.cycle
+           in
+           let u = Task.utilisation p.Config.tasks in
+           if u > share +. 1e-9 then
+             [
+               D.error ~code:"RTHV006" ~loc:(partition_loc p)
+                 ~hint:"the slot share is (T_i - C_ctx) / T_TDMA; lengthen \
+                        the slot or lighten the tasks"
+                 (Printf.sprintf
+                    "task utilisation %.1f%% exceeds the partition's TDMA \
+                     share %.1f%%: unschedulable regardless of interference"
+                    (100. *. u) (100. *. share));
+             ]
+           else [])
+       ctx.config.Config.partitions)
 
 (* RTHV007: self-learning monitors that can never do useful work. *)
 let rule_learning_useful ctx =
@@ -315,7 +356,7 @@ let rule_handler_fits_slot ctx =
       match List.nth_opt ctx.config.Config.partitions s.Config.subscriber with
       | None -> None (* RTHV001 territory *)
       | Some p ->
-          let slot = p.Config.slot in
+          let slot = ctx.slots.(s.Config.subscriber) in
           if shaped s && eff ctx s > slot then
             Some
               (D.error ~code:"RTHV012" ~loc:(source_loc s)
@@ -339,6 +380,134 @@ let rule_handler_fits_slot ctx =
           else None)
     ctx.config.Config.sources
 
+(* RTHV013: a budgeted grant large enough to consume a whole foreign slot.
+   The aligned-window bound (Independence.budget_bound) over a window of one
+   slot length caps the stolen time; if that cap meets or exceeds the slot,
+   a single slot instance can be starved entirely — the per-slot analogue of
+   RTHV004's long-term overload. *)
+let rule_budget_fits_slots ctx =
+  List.filter_map
+    (fun (s : Config.source) ->
+      match s.Config.shaping with
+      | Config.Budgeted { per_cycle } ->
+          let starved =
+            List.concat
+              (List.mapi
+                 (fun i (p : Config.partition) ->
+                   if i = s.Config.subscriber then []
+                     (* interpositions steal only from foreign slots *)
+                   else
+                     let slot = ctx.slots.(i) in
+                     if
+                       slot > 0
+                       && Independence.budget_bound ~per_cycle ~cycle:ctx.cycle
+                            ~c_bh_eff:(eff ctx s) slot
+                          >= slot
+                     then [ p.Config.pname ]
+                     else [])
+                 ctx.config.Config.partitions)
+          in
+          if starved = [] then None
+          else
+            Some
+              (D.error ~code:"RTHV013" ~loc:(source_loc s)
+                 ~hint:"shrink per_cycle (or C_BH) until the aligned-window \
+                        bound stays below every foreign slot"
+                 (Printf.sprintf
+                    "interposition budget (%d per cycle, C'_BH = %s) can \
+                     consume the entire slot of partition(s) %s in the worst \
+                     case"
+                    per_cycle
+                    (Format.asprintf "%a" Cycles.pp (eff ctx s))
+                    (String.concat ", " starved)))
+      | _ -> None)
+    ctx.config.Config.sources
+
+(* RTHV014: how the composite's bucket relates to its monitor — either the
+   bucket is provably vacuous (policy degenerates to the monitor alone, the
+   eq.-(16) per-instance bound applies) or it can deny conforming
+   activations (eq. (16) does not apply; only the interference bound
+   tightens). *)
+let rule_composite_bucket ctx =
+  List.filter_map
+    (fun (s : Config.source) ->
+      match s.Config.shaping with
+      | Config.Monitor_and_bucket { fn; capacity; refill }
+        when not (degenerate fn) ->
+          let bucket = Bound.Bucketed { capacity; refill } in
+          if Bound.vacuous_against fn bucket then
+            Some
+              (D.info ~code:"RTHV014" ~loc:(source_loc s)
+                 ~hint:"drop the bucket, or tighten it below delta^-(2) if \
+                        burst capping is the intent"
+                 (Format.asprintf
+                    "composite's bucket (capacity %d, refill %a) is vacuous \
+                     against the monitoring condition: a token is always \
+                     back before the condition admits again, so the policy \
+                     equals the monitor alone and eq. (16) applies"
+                    capacity Cycles.pp refill))
+          else
+            Some
+              (D.warning ~code:"RTHV014" ~loc:(source_loc s)
+                 ~hint:"conforming activations can be denied by the bucket; \
+                        latency verdicts for interposed completions fall \
+                        back to the monitored baseline bound"
+                 (Format.asprintf
+                    "composite's bucket (capacity %d, refill %a) binds \
+                     before the monitoring condition: the eq.-(16) \
+                     per-instance bound does not apply to this source"
+                    capacity Cycles.pp refill))
+      | _ -> None)
+    ctx.config.Config.sources
+
+(* RTHV015: a budget the workload can never exhaust is dead configuration —
+   admission degenerates to always-admit while still paying C_Mon per
+   check. *)
+let rule_budget_binds ctx =
+  List.filter_map
+    (fun (s : Config.source) ->
+      match s.Config.shaping with
+      | Config.Budgeted { per_cycle }
+        when Array.length s.Config.interarrivals > 0 ->
+          (* Earliest possible arrival times are the running distance sums
+             (top-handler reprogramming only spreads them further apart);
+             the densest aligned cycle window over those times bounds how
+             many admissions the workload can ever request per window. *)
+          let n = Array.length s.Config.interarrivals in
+          let times = Array.make n 0 in
+          let acc = ref 0 in
+          Array.iteri
+            (fun i d ->
+              acc := Cycles.( + ) !acc d;
+              times.(i) <- !acc)
+            s.Config.interarrivals;
+          let max_per_window = ref 0 in
+          let count = ref 0 in
+          let window = ref (-1) in
+          Array.iter
+            (fun ts ->
+              let w = ts / ctx.cycle in
+              if w <> !window then begin
+                window := w;
+                count := 0
+              end;
+              incr count;
+              if !count > !max_per_window then max_per_window := !count)
+            times;
+          if !max_per_window <= per_cycle then
+            Some
+              (D.info ~code:"RTHV015" ~loc:(source_loc s)
+                 ~hint:"shrink per_cycle until it can bind, or drop the \
+                        budget and save the C_Mon checks"
+                 (Printf.sprintf
+                    "interposition budget never binds: the workload requests \
+                     at most %d admissions in any aligned TDMA-cycle window \
+                     but the budget allows %d"
+                    !max_per_window per_cycle))
+          else None
+      | _ -> None)
+    ctx.config.Config.sources
+
 let rules =
   [
     ("RTHV001", "configuration fails Config.validate");
@@ -353,6 +522,9 @@ let rules =
     ("RTHV010", "token-bucket burst allowance dominates the d_min bound");
     ("RTHV011", "duplicate partition names");
     ("RTHV012", "bottom handler / grant does not fit the subscriber's slot");
+    ("RTHV013", "interposition budget can starve a whole foreign slot");
+    ("RTHV014", "composite bucket vacuous or binding against its monitor");
+    ("RTHV015", "interposition budget never binds for the workload");
   ]
 
 let analyze config =
@@ -364,11 +536,13 @@ let analyze config =
           msg;
       ]
   | Ok () ->
+      let plan = Config.slot_plan config in
       let ctx =
         {
           config;
-          cycle = Rthv_core.Tdma.cycle_length (Config.tdma config);
+          cycle = Rthv_core.Slot_plan.cycle_length plan;
           c_ctx = Platform.ctx_switch_cost config.Config.platform;
+          slots = Rthv_core.Slot_plan.slots plan;
         }
       in
       Diagnostic.sort
@@ -386,4 +560,7 @@ let analyze config =
              rule_bucket_burst;
              rule_unique_partition_names;
              rule_handler_fits_slot;
+             rule_budget_fits_slots;
+             rule_composite_bucket;
+             rule_budget_binds;
            ])

@@ -31,7 +31,17 @@
       equivalent d_min bound (Warning);
     - [RTHV011] duplicate partition names (Warning);
     - [RTHV012] a bottom handler does not fit its subscriber's slot / a
-      grant's effective cost exceeds the subscriber's slot (Warning/Error). *)
+      grant's effective cost exceeds the subscriber's slot (Warning/Error);
+    - [RTHV013] a per-source interposition budget's aligned-window bound can
+      consume an entire foreign slot (Error);
+    - [RTHV014] a composite monitor-and-bucket's bucket is provably vacuous
+      against its monitoring condition (Info) or can deny conforming
+      activations so eq. (16) does not apply (Warning);
+    - [RTHV015] a per-source interposition budget the workload can never
+      exhaust — dead configuration still paying C_Mon (Info).
+
+    All slot-dependent rules evaluate {!Rthv_core.Config.effective_slots},
+    so weighted slot plans are linted against the schedule actually run. *)
 
 val analyze : Rthv_core.Config.t -> Diagnostic.t list
 (** Run every rule; diagnostics are returned sorted most severe first.  If
@@ -58,3 +68,12 @@ val degenerate : Rthv_analysis.Distance_fn.t -> bool
 
 val shaped : Rthv_core.Config.source -> bool
 (** The source uses the modified top handler or the throttle baseline. *)
+
+val bound_policy :
+  cycle:Rthv_engine.Cycles.t ->
+  Rthv_core.Config.shaping ->
+  Rthv_analysis.Bound.policy
+(** The analysis-side descriptor of a shaping policy — the single mapping
+    from configuration variants onto {!Rthv_analysis.Bound.policy}, shared
+    by this linter, {!Trace_oracle} and {!Headroom}.  [cycle] (the TDMA
+    cycle length) parameterizes budgeted policies. *)

@@ -193,12 +193,59 @@ let conformant () =
   in
   Config.make ~partitions ~sources:[ nic ] ()
 
+(* --- post-paper policy mix ---------------------------------------------- *)
+
+(* Every policy-core extension in one configuration: a weighted slot plan
+   (3:3:1 over the quickstart's 14 ms cycle), a composite
+   monitor-AND-bucket source whose bucket is provably vacuous (eq. (16)
+   still applies, RTHV014 reports info), and a per-cycle interposition
+   budget source (no distance condition, so only the aligned-window
+   interference cap and the baseline latency bound apply). *)
+let mixed_policies_d_min = Cycles.of_us 2_000
+
+let mixed_policies () =
+  let partitions =
+    [
+      Config.partition ~name:"control" ~slot_us:6_000 ();
+      Config.partition ~name:"io" ~slot_us:6_000 ();
+      Config.partition ~name:"hk" ~slot_us:2_000 ();
+    ]
+  in
+  let plan =
+    Config.Weighted_plan
+      { cycle = Cycles.of_us 14_000; weights = [| 3; 3; 1 |] }
+  in
+  let cam =
+    Config.source ~name:"cam" ~line:0 ~subscriber:1 ~c_th_us:5 ~c_bh_us:40
+      ~interarrivals:
+        (Gen.exponential_clamped ~seed:11 ~mean:mixed_policies_d_min
+           ~d_min:mixed_policies_d_min ~count:1_500)
+      ~shaping:
+        (Config.Monitor_and_bucket
+           {
+             fn = DF.d_min mixed_policies_d_min;
+             capacity = 1;
+             refill = mixed_policies_d_min;
+           })
+      ()
+  in
+  let telemetry =
+    Config.source ~name:"telemetry" ~line:1 ~subscriber:0 ~c_th_us:5
+      ~c_bh_us:50
+      ~interarrivals:
+        (Gen.exponential ~seed:12 ~mean:(Cycles.of_us 3_000) ~count:1_500)
+      ~shaping:(Config.Budgeted { per_cycle = 2 })
+      ()
+  in
+  Config.make ~partitions ~plan ~sources:[ cam; telemetry ] ()
+
 let good =
   [
     ("quickstart", fun () -> quickstart ());
     ("conformant", conformant);
     ("avionics_ima", avionics_ima);
     ("automotive_ecu", automotive_ecu);
+    ("mixed_policies", mixed_policies);
   ]
 
 let all = good @ [ ("demo_bad", demo_bad) ]

@@ -51,14 +51,23 @@ val conformant : unit -> Rthv_core.Config.t
     to the granted d_min, so every activation satisfies the monitoring
     condition and the eq.-(16) bound applies per interposed instance. *)
 
+val mixed_policies_d_min : Rthv_engine.Cycles.t
+(** The camera source's granted d_min in {!mixed_policies} (2 ms). *)
+
+val mixed_policies : unit -> Rthv_core.Config.t
+(** The policy-core extensions in one configuration: a weighted slot plan
+    (3:3:1 over a 14 ms cycle), a composite monitor-AND-bucket source with
+    a provably vacuous bucket, and a per-cycle interposition-budget
+    source. *)
+
 val demo_bad : unit -> Rthv_core.Config.t
 (** A structurally valid configuration that trips every static rule from
     RTHV002 to RTHV012 — the linter's demonstration input. *)
 
 val good : (string * (unit -> Rthv_core.Config.t)) list
 (** [("quickstart", _); ("conformant", _); ("avionics_ima", _);
-    ("automotive_ecu", _)] — the scenarios expected to lint clean of
-    errors. *)
+    ("automotive_ecu", _); ("mixed_policies", _)] — the scenarios expected
+    to lint clean of errors. *)
 
 val all : (string * (unit -> Rthv_core.Config.t)) list
 (** {!good} plus [("demo_bad", _)]. *)

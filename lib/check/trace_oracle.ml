@@ -4,6 +4,7 @@ module Config = Rthv_core.Config
 module Hyp_trace = Rthv_core.Hyp_trace
 module DF = Rthv_analysis.Distance_fn
 module Independence = Rthv_analysis.Independence
+module Bound = Rthv_analysis.Bound
 module D = Diagnostic
 
 type source_spec = {
@@ -30,23 +31,18 @@ type spec = {
 
 let of_config (config : Config.t) =
   let platform = config.Config.platform in
+  let plan = Config.slot_plan config in
+  let cycle = Rthv_core.Slot_plan.cycle_length plan in
   let sources =
     List.map
       (fun (s : Config.source) ->
-        let condition = Lint.static_condition s.Config.shaping in
+        let policy = Lint.bound_policy ~cycle s.Config.shaping in
         let condition =
-          match condition with
-          | Some fn when Lint.degenerate fn -> None
+          match Bound.condition policy with
+          | Some fn when Bound.degenerate fn -> None
           | c -> c
         in
         let c_bh_eff = Lint.c_bh_eff ~platform ~c_bh:s.Config.c_bh in
-        let bound =
-          match (condition, s.Config.shaping) with
-          | Some fn, _ -> Some (Independence.interposed_bound ~monitor:fn ~c_bh_eff)
-          | None, Config.Token_bucket { capacity; refill } ->
-              Some (Independence.token_bucket_bound ~capacity ~refill ~c_bh_eff)
-          | None, _ -> None
-        in
         {
           ss_line = s.Config.line;
           ss_name = s.Config.name;
@@ -54,17 +50,16 @@ let of_config (config : Config.t) =
           ss_c_th = s.Config.c_th;
           ss_budget = s.Config.c_bh;
           ss_c_bh_eff = c_bh_eff;
-          ss_shaped = Lint.shaped s;
+          ss_shaped = Bound.shaped policy;
           ss_condition = condition;
-          ss_bound = bound;
+          ss_bound = Bound.interference policy ~c_bh_eff;
         })
       config.Config.sources
   in
-  let tdma = Config.tdma config in
   {
     partitions = List.length config.Config.partitions;
-    slots = List.map (fun (p : Config.partition) -> p.Config.slot) config.Config.partitions;
-    cycle = Rthv_core.Tdma.cycle_length tdma;
+    slots = Array.to_list (Rthv_core.Slot_plan.slots plan);
+    cycle;
     c_mon = Platform.monitor_cost platform;
     c_sched = Platform.sched_manip_cost platform;
     c_ctx = Platform.ctx_switch_cost platform;

@@ -1,0 +1,148 @@
+module Cycles = Rthv_engine.Cycles
+
+type t = {
+  name : string;
+  active : bool;
+  decide : Cycles.t -> bool;
+  commit : Cycles.t -> unit;
+  observe : Cycles.t -> unit;
+  checks : unit -> int;
+  monitor : Monitor.t option;
+}
+
+let name t = t.name
+let active t = t.active
+let decide t ts = t.decide ts
+let commit t ts = t.commit ts
+let observe t ts = t.observe ts
+let checks t = t.checks ()
+let monitor t = t.monitor
+
+let ignore_ts (_ : Cycles.t) = ()
+
+let never () =
+  {
+    name = "never";
+    active = false;
+    decide = (fun _ -> false);
+    commit =
+      (fun _ -> invalid_arg "Admission.never: nothing is ever admitted");
+    observe = ignore_ts;
+    checks = (fun () -> 0);
+    monitor = None;
+  }
+
+let of_monitor m =
+  {
+    name = "monitor";
+    active = true;
+    decide = Monitor.check m;
+    commit = Monitor.admit m;
+    observe = Monitor.note_arrival m;
+    checks = (fun () -> Monitor.checked_count m);
+    monitor = Some m;
+  }
+
+let custom ?(observe = ignore_ts) ?monitor ~name ~decide ~commit () =
+  (* The paid-check counter lives here, not in user code: every decide is
+     one C_Mon-priced predicate execution whichever policy runs it. *)
+  let checked = ref 0 in
+  {
+    name;
+    active = true;
+    decide =
+      (fun ts ->
+        incr checked;
+        decide ts);
+    commit;
+    observe;
+    checks = (fun () -> !checked);
+    monitor;
+  }
+
+let of_throttle th =
+  {
+    name = "bucket";
+    active = true;
+    decide = Throttle.check th;
+    commit = Throttle.admit th;
+    observe = ignore_ts;
+    checks = (fun () -> Throttle.checked_count th);
+    monitor = None;
+  }
+
+let budgeted ~per_cycle ~cycle =
+  if per_cycle < 1 then invalid_arg "Admission.budgeted: per_cycle must be >= 1";
+  if cycle < 1 then invalid_arg "Admission.budgeted: cycle must be >= 1";
+  (* Aligned windows [k*cycle, (k+1)*cycle): the analysis-side affine bound
+     (Independence.budget_bound) counts overlapped windows, so alignment —
+     not a sliding window — is what the bound is proved against. *)
+  let window = ref (-1) in
+  let used = ref 0 in
+  let checked = ref 0 in
+  let sync ts =
+    let w = ts / cycle in
+    if w <> !window then begin
+      window := w;
+      used := 0
+    end
+  in
+  {
+    name = Printf.sprintf "budget(%d/cycle)" per_cycle;
+    active = true;
+    decide =
+      (fun ts ->
+        incr checked;
+        sync ts;
+        !used < per_cycle);
+    commit =
+      (fun ts ->
+        sync ts;
+        if !used >= per_cycle then
+          invalid_arg "Admission.budgeted: budget exhausted";
+        incr used);
+    observe = ignore_ts;
+    checks = (fun () -> !checked);
+    monitor = None;
+  }
+
+let all_of components =
+  match components with
+  | [] -> invalid_arg "Admission.all_of: no components"
+  | [ c ] -> c
+  | _ ->
+      let monitor = List.find_map (fun c -> c.monitor) components in
+      {
+        name =
+          String.concat "+" (List.map (fun c -> c.name) components);
+        active = List.for_all (fun c -> c.active) components;
+        decide =
+          (fun ts ->
+            (* Every component's check runs (and is counted) even once one
+               has said no: each models a paid execution on the real top
+               handler, which evaluates its whole predicate. *)
+            List.fold_left (fun acc c -> c.decide ts && acc) true components);
+        commit = (fun ts -> List.iter (fun c -> c.commit ts) components);
+        observe = (fun ts -> List.iter (fun c -> c.observe ts) components);
+        checks =
+          (fun () -> List.fold_left (fun acc c -> acc + c.checks ()) 0 components);
+        monitor;
+      }
+
+let monitor_and_bucket ~fn ~capacity ~refill =
+  all_of
+    [
+      of_monitor (Monitor.fixed fn);
+      of_throttle (Throttle.create ~capacity ~refill);
+    ]
+
+let of_shaping ~cycle = function
+  | Config.No_shaping -> never ()
+  | Config.Fixed_monitor fn -> of_monitor (Monitor.fixed fn)
+  | Config.Self_learning { l; learn_events; bound } ->
+      of_monitor (Monitor.self_learning ~l ~learn_events ?bound ())
+  | Config.Token_bucket { capacity; refill } ->
+      of_throttle (Throttle.create ~capacity ~refill)
+  | Config.Budgeted { per_cycle } -> budgeted ~per_cycle ~cycle
+  | Config.Monitor_and_bucket { fn; capacity; refill } ->
+      monitor_and_bucket ~fn ~capacity ~refill

@@ -10,6 +10,12 @@ type shaping =
       bound : Distance_fn.t option;
     }
   | Token_bucket of { capacity : int; refill : Cycles.t }
+  | Budgeted of { per_cycle : int }
+  | Monitor_and_bucket of {
+      fn : Distance_fn.t;
+      capacity : int;
+      refill : Cycles.t;
+    }
 
 type arrival_mode = Reprogram | Absolute
 
@@ -33,12 +39,17 @@ type partition = {
   policy : Rthv_rtos.Guest.policy;
 }
 
+type plan_spec =
+  | Partition_slots
+  | Weighted_plan of { cycle : Cycles.t; weights : int array }
+
 type t = {
   platform : Rthv_hw.Platform.t;
   partitions : partition list;
   sources : source list;
   ports : (string * int) list;
-  finish_bh_at_boundary : bool;
+  boundary : Boundary_policy.t;
+  plan : plan_spec;
 }
 
 let partition ~name ~slot_us ?(tasks = []) ?(busy_loop = true)
@@ -63,8 +74,45 @@ let source ~name ~line ~subscriber ~c_th_us ~c_bh_us ~interarrivals
   }
 
 let make ?(platform = Rthv_hw.Platform.arm926ejs_200mhz)
-    ?(finish_bh_at_boundary = true) ?(ports = []) ~partitions ~sources () =
-  { platform; partitions; sources; ports; finish_bh_at_boundary }
+    ?finish_bh_at_boundary ?boundary ?(plan = Partition_slots) ?(ports = [])
+    ~partitions ~sources () =
+  let boundary =
+    match (boundary, finish_bh_at_boundary) with
+    | Some b, _ -> b
+    | None, Some flag -> Boundary_policy.of_bool flag
+    | None, None -> Boundary_policy.default
+  in
+  { platform; partitions; sources; ports; boundary; plan }
+
+let finish_bh_at_boundary t = Boundary_policy.defers t.boundary
+
+let slot_plan t =
+  match t.plan with
+  | Partition_slots ->
+      Slot_plan.static (Array.of_list (List.map (fun p -> p.slot) t.partitions))
+  | Weighted_plan { cycle; weights } -> Slot_plan.weighted ~cycle ~weights
+
+let effective_slots t = Slot_plan.slots (slot_plan t)
+
+let tdma t = Slot_plan.tdma (slot_plan t)
+
+(* A monitoring condition is usable only if its entries are below the
+   "no bound learned" sentinel Distance_fn.of_trace leaves in never-observed
+   positions: the superadditive extension sums entries, so sentinel-sized
+   values overflow the eq.-(14) arithmetic downstream. *)
+let check_condition what fn =
+  if Distance_fn.finite fn then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "%s contains unlearned (sentinel) entries: not a usable monitoring \
+          condition"
+         what)
+
+let check_bucket ~capacity ~refill =
+  if capacity < 1 then Error "bucket capacity must be >= 1"
+  else if refill < 1 then Error "bucket refill must be >= 1"
+  else Ok ()
 
 let validate t =
   let n_partitions = List.length t.partitions in
@@ -85,11 +133,17 @@ let validate t =
         else
           let shaping_ok =
             match source.shaping with
-            | No_shaping | Fixed_monitor _ -> Ok ()
+            | No_shaping -> Ok ()
+            | Fixed_monitor fn -> check_condition "monitoring condition" fn
             | Token_bucket { capacity; refill } ->
-                if capacity < 1 then Error "bucket capacity must be >= 1"
-                else if refill < 1 then Error "bucket refill must be >= 1"
+                check_bucket ~capacity ~refill
+            | Budgeted { per_cycle } ->
+                if per_cycle < 1 then Error "budget must admit >= 1 per cycle"
                 else Ok ()
+            | Monitor_and_bucket { fn; capacity; refill } -> (
+                match check_condition "monitoring condition" fn with
+                | Error _ as e -> e
+                | Ok () -> check_bucket ~capacity ~refill)
             | Self_learning { l; learn_events; bound } ->
                 if l <= 0 then Error "l must be positive"
                 else if learn_events < 0 then Error "negative learn_events"
@@ -97,7 +151,8 @@ let validate t =
                   match bound with
                   | Some b when Distance_fn.length b <> l ->
                       Error "bound length mismatch"
-                  | Some _ | None -> Ok ())
+                  | Some b -> check_condition "load bound" b
+                  | None -> Ok ())
           in
           (match shaping_ok with
           | Error msg ->
@@ -134,19 +189,36 @@ let validate t =
         | [] -> Ok ()
         | port :: _ -> Error (Printf.sprintf "undeclared port %S" port))
   in
+  let check_plan () =
+    match t.plan with
+    | Partition_slots -> Ok ()
+    | Weighted_plan { cycle; weights } ->
+        if Array.length weights <> n_partitions then
+          Error
+            (Printf.sprintf
+               "weighted plan has %d weights for %d partitions"
+               (Array.length weights) n_partitions)
+        else if Array.exists (fun w -> w <= 0) weights then
+          Error "weighted plan: non-positive weight"
+        else if cycle < n_partitions then
+          Error "weighted plan: cycle shorter than one cycle per partition"
+        else Ok ()
+  in
   if n_partitions = 0 then Error "no partitions"
   else
-    match List.fold_left check_source (Ok []) t.sources with
+    match check_plan () with
     | Error _ as e -> e
-    | Ok _ -> check_ports ()
-
-let tdma t =
-  Tdma.make (Array.of_list (List.map (fun p -> p.slot) t.partitions))
+    | Ok () -> (
+        match List.fold_left check_source (Ok []) t.sources with
+        | Error _ as e -> e
+        | Ok _ -> check_ports ())
 
 let monitoring_enabled t =
   List.exists
     (fun source ->
       match source.shaping with
       | No_shaping -> false
-      | Fixed_monitor _ | Self_learning _ | Token_bucket _ -> true)
+      | Fixed_monitor _ | Self_learning _ | Token_bucket _ | Budgeted _
+      | Monitor_and_bucket _ ->
+          true)
     t.sources

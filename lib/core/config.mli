@@ -14,6 +14,23 @@ type shaping =
   | Token_bucket of { capacity : int; refill : Rthv_engine.Cycles.t }
       (** Related-work baseline (Regehr & Duongsaa): rate-based throttling
           with a burst allowance instead of a distance condition. *)
+  | Budgeted of { per_cycle : int }
+      (** Per-source interposition budget: at most [per_cycle] admissions in
+          any aligned TDMA-cycle window; further conforming arrivals are
+          delayed to the subscriber slot.  No distance condition is
+          maintained, so the eq.-(16) per-instance bound never applies —
+          only the interference cap of [per_cycle] interpositions per
+          cycle window. *)
+  | Monitor_and_bucket of {
+      fn : Rthv_analysis.Distance_fn.t;
+      capacity : int;
+      refill : Rthv_engine.Cycles.t;
+    }
+      (** Composite: a δ⁻ monitor AND a token bucket must both admit.  The
+          monitor gives the interference bound of eq. (14); the bucket caps
+          bursts the condition happens to permit.  The eq.-(16) per-instance
+          bound applies only when the bucket is provably vacuous against
+          [fn] (see {!Rthv_analysis.Bound.per_instance_condition}). *)
 
 type arrival_mode =
   | Reprogram
@@ -51,6 +68,15 @@ type partition = {
   policy : Rthv_rtos.Guest.policy;
 }
 
+type plan_spec =
+  | Partition_slots
+      (** The paper's schedule: each partition's [slot] field is its slot
+          length, in declaration order. *)
+  | Weighted_plan of { cycle : Rthv_engine.Cycles.t; weights : int array }
+      (** A fixed TDMA cycle apportioned over integer weights (one per
+          partition, in declaration order) by {!Slot_plan.weighted}; the
+          partitions' [slot] fields are ignored. *)
+
 type t = {
   platform : Rthv_hw.Platform.t;
   partitions : partition list;  (** In TDMA cycle order. *)
@@ -58,12 +84,10 @@ type t = {
   ports : (string * int) list;
       (** Hypervisor-owned IPC queuing ports: (name, capacity).  Tasks refer
           to them through {!Rthv_rtos.Task.spec}'s [produces]/[consumes]. *)
-  finish_bh_at_boundary : bool;
-      (** When true (default), a bottom handler that is already executing
-          when its slot ends is allowed to finish before the partition
-          switch — an overrun bounded by C_BH, symmetric to the bounded
-          spill of an interposed handler.  When false, the handler is cut
-          and resumes in the partition's next slot (strict TDMA). *)
+  boundary : Boundary_policy.t;
+      (** What happens to a bottom handler still executing at its own slot's
+          end; see {!Boundary_policy}. *)
+  plan : plan_spec;  (** How per-partition slot lengths are produced. *)
 }
 
 val partition :
@@ -94,19 +118,38 @@ val source :
 val make :
   ?platform:Rthv_hw.Platform.t ->
   ?finish_bh_at_boundary:bool ->
+  ?boundary:Boundary_policy.t ->
+  ?plan:plan_spec ->
   ?ports:(string * int) list ->
   partitions:partition list ->
   sources:source list ->
   unit ->
   t
 (** Defaults to the paper's ARM926ej-s platform,
-    [finish_bh_at_boundary:true], and no IPC ports. *)
+    {!Boundary_policy.default}, [Partition_slots], and no IPC ports.
+    [finish_bh_at_boundary] is the legacy boolean encoding of [boundary];
+    if both are given, [boundary] wins. *)
+
+val finish_bh_at_boundary : t -> bool
+(** [Boundary_policy.defers t.boundary] — the legacy boolean view. *)
 
 val validate : t -> (unit, string) result
 (** Checks subscriber indices, line uniqueness and ranges, positive WCETs,
-    non-negative interarrivals, shaping parameter sanity, and that every
-    port referenced by a task is declared (with positive capacity and a
-    unique name). *)
+    non-negative interarrivals, shaping parameter sanity — including that
+    every monitoring condition ({!Fixed_monitor}, {!Monitor_and_bucket},
+    and a {!Self_learning} seed bound) is {!Rthv_analysis.Distance_fn.finite},
+    i.e. free of the unlearned-position sentinel whose superadditive sums
+    overflow the analysis — plan/weight consistency, and that every port
+    referenced by a task is declared (with positive capacity and a unique
+    name). *)
+
+val slot_plan : t -> Slot_plan.t
+(** The slot schedule described by [t.plan]. *)
+
+val effective_slots : t -> Rthv_engine.Cycles.t array
+(** Compiled per-partition slot lengths — [Slot_plan.slots (slot_plan t)].
+    Analyses must use this rather than the partitions' [slot] fields so
+    that weighted plans are bounded against the schedule actually run. *)
 
 val tdma : t -> Tdma.t
 

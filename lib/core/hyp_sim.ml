@@ -1,3 +1,9 @@
+(* Façade over the policy-core layers: construction ({!Admission},
+   {!Slot_plan}, {!Boundary_policy} instances from a {!Config}), the
+   cycle-accurate stepping engine, and the public read API.  Routing
+   decisions live in {!Sim_route}, boundary handling in {!Sim_boundary},
+   state and accounting in {!Sim_state}, statistics in {!Sim_stats}. *)
+
 module Cycles = Rthv_engine.Cycles
 module Event_queue = Rthv_engine.Event_queue
 module Guest = Rthv_rtos.Guest
@@ -5,8 +11,11 @@ module Ipc = Rthv_rtos.Ipc
 module Irq_queue = Rthv_rtos.Irq_queue
 module Platform = Rthv_hw.Platform
 module Intc = Rthv_hw.Intc
+open Sim_state
 
-type stats = {
+type t = Sim_state.t
+
+type stats = Sim_stats.t = {
   completed_irqs : int;
   direct : int;
   interposed : int;
@@ -25,87 +34,6 @@ type stats = {
   sim_time : Cycles.t;
 }
 
-(* Hypervisor-context work item: highest priority, FIFO, non-preemptible. *)
-type hyp_item = {
-  label : string;
-  steals : bool;  (* counts towards eq.-(14) interference on the slot owner *)
-  mutable remaining : Cycles.t;
-  mutable started : bool;
-  on_start : Cycles.t -> unit;
-  on_done : unit -> unit;
-}
-
-type interposition = { target : int; mutable budget_left : Cycles.t }
-
-type shaper =
-  | No_shaper
-  | Delta_monitor of Monitor.t
-  | Bucket of Throttle.t
-
-type runtime_source = {
-  cfg : Config.source;
-  s_idx : int;
-  shaper : shaper;
-  mutable next_arrival : int;
-}
-
-type pending_irq = {
-  p_irq : int;
-  p_source : runtime_source;
-  p_arrival : Cycles.t;
-  mutable p_top_start : Cycles.t;
-  mutable p_top_end : Cycles.t;
-  mutable p_decision : Cycles.t;  (* classification fixed; -1 until then *)
-  mutable p_bh_start : Cycles.t;  (* first bottom-half cycle; -1 until then *)
-  mutable p_class : Irq_record.classification;
-}
-
-type event = Arrival of int | Boundary
-
-type t = {
-  platform : Platform.t;
-  config : Config.t;
-  finish_bh : bool;
-  trace : Hyp_trace.t option;
-  tdma : Tdma.t;
-  ipc : Ipc.t;
-  guests : Guest.t array;
-  sources : runtime_source array;
-  source_by_line : runtime_source option array;
-  intc : Intc.t;
-  events : event Event_queue.t;
-  hyp : hyp_item Queue.t;
-  pending : (int, pending_irq) Hashtbl.t;
-  c_mon : Cycles.t;
-  c_sched : Cycles.t;
-  c_ctx : Cycles.t;
-  mutable now : Cycles.t;
-  mutable interposition : interposition option;
-  mutable interposition_pending : bool;
-  mutable records : Irq_record.t list;  (* newest first *)
-  mutable next_irq_id : int;
-  mutable slot_owner : int;
-  mutable slot_end : Cycles.t;
-  mutable stolen_in_slot : Cycles.t;
-  stolen_total : Cycles.t array;
-  stolen_slot_max : Cycles.t array;
-  activation_specs : Rthv_rtos.Task.spec list;
-  mutable scheduled_arrivals : int;
-  mutable live_irqs : int;
-  mutable live_aperiodic : int;
-  mutable slot_switches : int;
-  mutable interposition_switches : int;
-  mutable interpositions_started : int;
-  mutable boundary_crossings : int;
-  mutable bh_boundary_deferrals : int;
-  mutable admissions : int;
-  mutable denials : int;
-  mutable n_direct : int;
-  mutable n_interposed : int;
-  mutable n_delayed : int;
-  mutable finished : bool;
-}
-
 (* Opt-in post-run audit: when a hook is installed, every simulation created
    without an explicit trace buffer gets one attached, and [run] hands the
    configuration plus the recorded trace to the hook once the run finishes.
@@ -117,375 +45,23 @@ let audit_trace_capacity = 1 lsl 20
 let set_audit_hook hook = audit_hook := hook
 let audit_hook_installed () = Option.is_some !audit_hook
 
-let shaper_of_shaping = function
-  | Config.No_shaping -> No_shaper
-  | Config.Fixed_monitor fn -> Delta_monitor (Monitor.fixed fn)
-  | Config.Self_learning { l; learn_events; bound } ->
-      Delta_monitor (Monitor.self_learning ~l ~learn_events ?bound ())
-  | Config.Token_bucket { capacity; refill } ->
-      Bucket (Throttle.create ~capacity ~refill)
-
-let shaper_check shaper ts =
-  match shaper with
-  | No_shaper -> false
-  | Delta_monitor m -> Monitor.check m ts
-  | Bucket b -> Throttle.check b ts
-
-let shaper_admit shaper ts =
-  match shaper with
-  | No_shaper -> ()
-  | Delta_monitor m -> Monitor.admit m ts
-  | Bucket b -> Throttle.admit b ts
-
-let enqueue_hyp t ~label ~steals ~cost ~on_done =
-  if cost < 0 then invalid_arg "Hyp_sim: negative hypervisor work";
-  Queue.push
-    {
-      label;
-      steals;
-      remaining = cost;
-      started = false;
-      on_start = (fun _ -> ());
-      on_done;
-    }
-    t.hyp
-
-let enqueue_hyp_with_start t ~label ~steals ~cost ~on_start ~on_done =
-  Queue.push
-    { label; steals; remaining = cost; started = false; on_start; on_done }
-    t.hyp
-
-let trace_event_at t time event =
-  match t.trace with
-  | Some trace -> Hyp_trace.record trace ~time event
-  | None -> ()
-
-let trace_event t event = trace_event_at t t.now event
-
-(* --- telemetry ----------------------------------------------------------
-   Every site is guarded by [Sink.active] so the default no-op sink costs a
-   single flag read — no labels are built, no calls dispatched.  Metric
-   names map onto the paper's quantities: [rthv_irq_latency_us] is the
-   simulated counterpart of the eq. (11)/(16) latency bounds,
-   [rthv_stolen_slot_us] the per-slot interference eq. (14) budgets. *)
-module Sink = Rthv_obs.Sink
-module Labels = Rthv_obs.Labels
-module Span = Rthv_obs.Span
-
-let obs_active = Sink.active
-
-let obs_count name = Sink.incr name Labels.empty 1
-
-let obs_irq_completed t p =
-  let source = p.p_source.cfg.Config.name in
-  let cls = Irq_record.classification_name p.p_class in
-  Sink.incr "rthv_irq_completed_total"
-    (Labels.v
-       [
-         ("source", source);
-         ("class", cls);
-         ("partition", string_of_int p.p_source.cfg.Config.subscriber);
-       ])
-    1;
-  Sink.observe "rthv_irq_latency_us"
-    (Labels.v [ ("source", source); ("class", cls) ])
-    (Cycles.to_us (Cycles.( - ) t.now p.p_arrival))
-
-(* One causal span per completed IRQ instance, timestamps in us.  The
-   decision point and bottom-half start are clamped for robustness, but
-   with the capture sites below both are always set before completion. *)
-let obs_span t p =
-  let us = Cycles.to_us in
-  let decision = if p.p_decision < 0 then p.p_top_end else p.p_decision in
-  let bh_start = if p.p_bh_start < 0 then t.now else p.p_bh_start in
-  Sink.span
-    {
-      Span.sp_irq = p.p_irq;
-      sp_line = p.p_source.cfg.Config.line;
-      sp_source = p.p_source.cfg.Config.name;
-      sp_class = Irq_record.classification_name p.p_class;
-      sp_arrival = us p.p_arrival;
-      sp_top_start = us p.p_top_start;
-      sp_top_end = us p.p_top_end;
-      sp_decision = us decision;
-      sp_bh_start = us bh_start;
-      sp_completion = us t.now;
-    }
-
-let obs_monitor_decision src verdict =
-  Sink.incr "rthv_monitor_decisions_total"
-    (Labels.v
-       [
-         ("source", src.cfg.Config.name);
-         ( "verdict",
-           match verdict with
-           | `Admitted -> "admitted"
-           | `Denied -> "denied"
-           | `Fallback_direct -> "fallback_direct" );
-       ])
-    1
-
-let steal t elapsed =
-  t.stolen_in_slot <- Cycles.( + ) t.stolen_in_slot elapsed
-
-let close_slot_accounting t =
-  let owner = t.slot_owner in
-  t.stolen_total.(owner) <- Cycles.( + ) t.stolen_total.(owner) t.stolen_in_slot;
-  if t.stolen_in_slot > t.stolen_slot_max.(owner) then
-    t.stolen_slot_max.(owner) <- t.stolen_in_slot;
-  if obs_active () then
-    Sink.observe "rthv_stolen_slot_us"
-      (Labels.of_int "partition" owner)
-      (Cycles.to_us t.stolen_in_slot);
-  t.stolen_in_slot <- 0
-
-let finalize_completion t (item : Irq_queue.item) =
-  match Hashtbl.find_opt t.pending item.Irq_queue.irq with
-  | None ->
-      (* Completion must be unique: items are dropped from the queue the
-         moment their work reaches zero. *)
-      assert false
-  | Some p ->
-      let record =
-        {
-          Irq_record.irq = p.p_irq;
-          source = p.p_source.cfg.Config.name;
-          line = p.p_source.cfg.Config.line;
-          arrival = p.p_arrival;
-          top_start = p.p_top_start;
-          top_end = p.p_top_end;
-          classification = p.p_class;
-          completion = t.now;
-        }
-      in
-      t.records <- record :: t.records;
-      Hashtbl.remove t.pending p.p_irq;
-      t.live_irqs <- t.live_irqs - 1;
-      trace_event t
-        (Hyp_trace.Bottom_handler_done
-           { irq = p.p_irq; partition = p.p_source.cfg.Config.subscriber });
-      if obs_active () then begin
-        obs_irq_completed t p;
-        obs_span t p
-      end;
-      (* uC/OS pattern: the bottom handler posts to an application task. *)
-      match p.p_source.cfg.Config.activates with
-      | Some spec ->
-          t.live_aperiodic <- t.live_aperiodic + 1;
-          Guest.release_aperiodic
-            t.guests.(p.p_source.cfg.Config.subscriber)
-            ~spec ~now:t.now
-      | None -> ()
-
-let end_interposition t ~reason =
-  (match t.interposition with
-  | Some ip ->
-      trace_event t (Hyp_trace.Interposition_end { target = ip.target; reason })
-  | None -> ());
-  t.interposition <- None;
-  enqueue_hyp t ~label:"ctx_back" ~steals:true ~cost:t.c_ctx ~on_done:(fun () ->
-      t.interposition_switches <- t.interposition_switches + 1;
-      t.interposition_pending <- false)
-
-let schedule_next_arrival t src =
-  let distances = src.cfg.Config.interarrivals in
-  if src.cfg.Config.arrival_mode = Config.Reprogram
-     && src.next_arrival < Array.length distances
-  then begin
-    let d = distances.(src.next_arrival) in
-    src.next_arrival <- src.next_arrival + 1;
-    Event_queue.push t.events ~time:(Cycles.( + ) t.now d) (Arrival src.s_idx);
-    t.scheduled_arrivals <- t.scheduled_arrivals + 1
-  end
-
-(* Decision point of the modified top handler (Figure 4b), reached after the
-   monitoring function ran: admit the interposition or fall back to delayed
-   handling. *)
-let monitor_done t src p shaper =
-  p.p_decision <- t.now;
-  let conforms = shaper_check shaper p.p_arrival in
-  let subscriber = src.cfg.Config.subscriber in
-  let decision verdict =
-    trace_event t
-      (Hyp_trace.Monitor_decision
-         {
-           irq = p.p_irq;
-           line = src.cfg.Config.line;
-           arrival = p.p_arrival;
-           verdict;
-         });
-    if obs_active () then obs_monitor_decision src verdict
-  in
-  if t.slot_owner = subscriber then begin
-    (* The subscriber's slot opened between the arrival and the monitoring
-       decision: the queued event is processed right away in its own slot —
-       direct handling, no interposition machinery needed. *)
-    decision `Fallback_direct;
-    p.p_class <- Irq_record.Direct;
-    t.n_direct <- t.n_direct + 1
-  end
-  else if conforms && not t.interposition_pending then begin
-    shaper_admit shaper p.p_arrival;
-    t.admissions <- t.admissions + 1;
-    p.p_class <- Irq_record.Interposed;
-    t.n_interposed <- t.n_interposed + 1;
-    t.interposition_pending <- true;
-    decision `Admitted;
-    enqueue_hyp t ~label:"sched_manip" ~steals:true ~cost:t.c_sched
-      ~on_done:(fun () ->
-        enqueue_hyp t ~label:"ctx_to" ~steals:true ~cost:t.c_ctx
-          ~on_done:(fun () ->
-            t.interposition_switches <- t.interposition_switches + 1;
-            t.interpositions_started <- t.interpositions_started + 1;
-            trace_event t
-              (Hyp_trace.Interposition_start
-                 { irq = p.p_irq; target = subscriber });
-            if obs_active () then
-              Sink.incr "rthv_interpositions_total"
-                (Labels.of_int "partition" subscriber)
-                1;
-            t.interposition <-
-              Some { target = subscriber; budget_left = src.cfg.Config.c_bh }))
-  end
-  else begin
-    t.denials <- t.denials + 1;
-    p.p_class <- Irq_record.Delayed;
-    t.n_delayed <- t.n_delayed + 1;
-    decision `Denied
-  end
-
-let top_handler_done t src p =
-  p.p_top_end <- t.now;
-  trace_event t
-    (Hyp_trace.Top_handler_run { irq = p.p_irq; line = src.cfg.Config.line });
-  Intc.ack t.intc src.cfg.Config.line;
-  (* The paper's experiment setup: the trigger timer is reprogrammed with the
-     next pre-generated interarrival from within the top handler. *)
-  schedule_next_arrival t src;
-  (match src.shaper with
-  | Delta_monitor m -> Monitor.note_arrival m p.p_arrival
-  | Bucket _ | No_shaper -> ());
-  let subscriber = src.cfg.Config.subscriber in
-  let item =
-    Irq_queue.make_item ~irq:p.p_irq ~line:src.cfg.Config.line
-      ~arrival:p.p_arrival ~work:src.cfg.Config.c_bh
-  in
-  Irq_queue.push (Guest.queue t.guests.(subscriber)) item;
-  if t.slot_owner = subscriber then begin
-    p.p_decision <- t.now;
-    p.p_class <- Irq_record.Direct;
-    t.n_direct <- t.n_direct + 1
-  end
-  else
-    match src.shaper with
-    | No_shaper ->
-        p.p_decision <- t.now;
-        p.p_class <- Irq_record.Delayed;
-        t.n_delayed <- t.n_delayed + 1
-    | (Delta_monitor _ | Bucket _) as shaper ->
-        enqueue_hyp t ~label:"monitor" ~steals:false ~cost:t.c_mon
-          ~on_done:(fun () -> monitor_done t src p shaper)
-
-(* Interrupt-controller delivery: the hardware IRQ preempts partition code
-   and enters the hypervisor's top handler. *)
-let deliver t line =
-  match t.source_by_line.(line) with
-  | None -> ()
-  | Some src ->
-      let irq = t.next_irq_id in
-      t.next_irq_id <- t.next_irq_id + 1;
-      t.live_irqs <- t.live_irqs + 1;
-      let p =
-        {
-          p_irq = irq;
-          p_source = src;
-          p_arrival = t.now;
-          p_top_start = t.now;
-          p_top_end = t.now;
-          p_class = Irq_record.Delayed;
-          p_decision = -1;
-          p_bh_start = -1;
-        }
-      in
-      Hashtbl.add t.pending irq p;
-      trace_event t (Hyp_trace.Irq_raised { irq; line = src.cfg.Config.line });
-      enqueue_hyp_with_start t ~label:"top_handler" ~steals:false
-        ~cost:src.cfg.Config.c_th
-        ~on_start:(fun time -> p.p_top_start <- time)
-        ~on_done:(fun () -> top_handler_done t src p)
-
-let handle_arrival t s_idx =
-  t.scheduled_arrivals <- t.scheduled_arrivals - 1;
-  let src = t.sources.(s_idx) in
-  let line = src.cfg.Config.line in
-  if Intc.is_pending t.intc line then begin
-    (* The non-counting pending flag is already set: this raise coalesces
-       into the earlier one and is lost.  Intc counts it; the trace makes
-       it visible on the timeline. *)
-    trace_event t (Hyp_trace.Irq_coalesced { line });
-    if obs_active () then
-      Sink.incr "rthv_irq_coalesced_total" (Labels.of_int "line" line) 1
-  end;
-  Intc.raise_line t.intc line
-
-(* Defer the partition switch while the slot owner is in the middle of a
-   bottom handler: let it finish, bounded by the handler's remaining budget.
-   Returns the new deferred boundary time, or None to switch now. *)
-let boundary_deferral t =
-  if not t.finish_bh then None
-  else if Option.is_some t.interposition then None
-  else
-    match Irq_queue.peek (Guest.queue t.guests.(t.slot_owner)) with
-    | Some item
-      when item.Irq_queue.remaining > 0
-           && item.Irq_queue.remaining < item.Irq_queue.total ->
-        Some (Cycles.( + ) t.now item.Irq_queue.remaining)
-    | Some _ | None -> None
-
-let handle_boundary t =
-  match boundary_deferral t with
-  | Some deferred ->
-      t.bh_boundary_deferrals <- t.bh_boundary_deferrals + 1;
-      trace_event t
-        (Hyp_trace.Boundary_deferred { owner = t.slot_owner; until = deferred });
-      if obs_active () then obs_count "rthv_bh_boundary_deferrals_total";
-      (* Keep the old owner in place; extend its slot to the deferred check
-         so execution can proceed, and re-examine then. *)
-      t.slot_end <- deferred;
-      Event_queue.push t.events ~time:deferred Boundary
-  | None ->
-      (* A running interposition is NOT cut at the boundary: its budget
-         bounds the overrun by C_BH, so worst-case latency of conforming
-         interrupts stays independent of the TDMA cycle (Section 5's
-         claim).  The spill is charged to the incoming slot's owner as
-         stolen time. *)
-      (match t.interposition with
-      | Some ip ->
-          t.boundary_crossings <- t.boundary_crossings + 1;
-          trace_event t
-            (Hyp_trace.Interposition_crossed_boundary { target = ip.target });
-          if obs_active () then obs_count "rthv_boundary_crossings_total"
-      | None -> ());
-      close_slot_accounting t;
-      let previous_owner = t.slot_owner in
-      let owner, _slot_start, slot_end = Tdma.slot_bounds_at t.tdma t.now in
-      trace_event t
-        (Hyp_trace.Slot_switch
-           { from_partition = previous_owner; to_partition = owner });
-      if obs_active () then obs_count "rthv_slot_switches_total";
-      t.slot_owner <- owner;
-      t.slot_end <- slot_end;
-      enqueue_hyp t ~label:"slot_switch" ~steals:false ~cost:t.c_ctx
-        ~on_done:(fun () -> t.slot_switches <- t.slot_switches + 1);
-      Event_queue.push t.events ~time:(Tdma.next_boundary t.tdma t.now)
-        Boundary
-
-let create ?trace config =
+let create ?trace ?(policies = []) config =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Hyp_sim.create: " ^ msg));
+  List.iter
+    (fun (name, _) ->
+      if
+        not
+          (List.exists
+             (fun (s : Config.source) -> s.Config.name = name)
+             config.Config.sources)
+      then invalid_arg ("Hyp_sim.create: policy for unknown source " ^ name))
+    policies;
   let platform = config.Config.platform in
-  let tdma = Config.tdma config in
+  let plan = Config.slot_plan config in
+  let tdma = Slot_plan.tdma plan in
+  let cycle = Slot_plan.cycle_length plan in
   let ipc = Ipc.create () in
   List.iter
     (fun (name, capacity) -> ignore (Ipc.declare ipc ~name ~capacity : Ipc.port))
@@ -505,7 +81,10 @@ let create ?trace config =
            {
              cfg;
              s_idx;
-             shaper = shaper_of_shaping cfg.Config.shaping;
+             admission =
+               (match List.assoc_opt cfg.Config.name policies with
+               | Some p -> p
+               | None -> Admission.of_shaping ~cycle cfg.Config.shaping);
              next_arrival = 0;
            })
          config.Config.sources)
@@ -531,7 +110,7 @@ let create ?trace config =
     {
       platform;
       config;
-      finish_bh = config.Config.finish_bh_at_boundary;
+      boundary = config.Config.boundary;
       trace;
       tdma;
       ipc;
@@ -572,7 +151,7 @@ let create ?trace config =
       finished = false;
     }
   in
-  Intc.set_handler intc (deliver t);
+  Intc.set_handler intc (Sim_route.deliver t);
   Event_queue.push t.events ~time:(Tdma.next_boundary tdma 0) Boundary;
   Array.iter
     (fun src ->
@@ -720,8 +299,8 @@ let post_attribution t runner =
         assert (entry.Event_queue.time = t.now);
         ignore (Event_queue.pop t.events : event Event_queue.entry option);
         (match entry.Event_queue.payload with
-        | Arrival s_idx -> handle_arrival t s_idx
-        | Boundary -> handle_boundary t);
+        | Arrival s_idx -> Sim_route.handle_arrival t s_idx
+        | Boundary -> Sim_boundary.handle_boundary t);
         drain ()
     | Some _ | None -> ()
   in
@@ -763,47 +342,21 @@ let records t =
     (fun a b -> Stdlib.compare a.Irq_record.irq b.Irq_record.irq)
     t.records
 
-let stats t =
-  let monitor_checks =
-    Array.fold_left
-      (fun acc src ->
-        match src.shaper with
-        | Delta_monitor m -> acc + Monitor.checked_count m
-        | Bucket b -> acc + Throttle.checked_count b
-        | No_shaper -> acc)
-      0 t.sources
-  in
-  {
-    completed_irqs = List.length t.records;
-    direct = t.n_direct;
-    interposed = t.n_interposed;
-    delayed = t.n_delayed;
-    slot_switches = t.slot_switches;
-    interposition_switches = t.interposition_switches;
-    interpositions_started = t.interpositions_started;
-    boundary_crossings = t.boundary_crossings;
-    bh_boundary_deferrals = t.bh_boundary_deferrals;
-    monitor_checks;
-    admissions = t.admissions;
-    denials = t.denials;
-    coalesced_irqs = (Intc.stats t.intc).Intc.coalesced;
-    stolen_total = Array.copy t.stolen_total;
-    stolen_slot_max = Array.copy t.stolen_slot_max;
-    sim_time = t.now;
-  }
+let stats t = Sim_stats.assemble t
 
 let guest t i = t.guests.(i)
 let ipc t = t.ipc
 let port t name = Ipc.find t.ipc name
 
-let monitor t ~source =
+let admission t ~source =
   Array.fold_left
     (fun acc src ->
-      if src.cfg.Config.name = source then
-        match src.shaper with
-        | Delta_monitor m -> Some m
-        | Bucket _ | No_shaper -> None
-      else acc)
+      if src.cfg.Config.name = source then Some src.admission else acc)
     None t.sources
+
+let monitor t ~source =
+  match admission t ~source with
+  | Some a -> Admission.monitor a
+  | None -> None
 
 let now t = t.now

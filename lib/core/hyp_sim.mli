@@ -24,12 +24,21 @@
       slot;
     - a bottom handler executing when its own slot ends is allowed to finish
       (switch deferred by at most its remaining budget) under the default
-      [finish_bh_at_boundary]; in strict mode it is cut, keeps its remaining
-      work at the queue head and resumes in its partition's next slot. *)
+      {!Boundary_policy.Finish_bottom_handler}; under
+      {!Boundary_policy.Strict_cut} it is cut, keeps its remaining work at
+      the queue head and resumes in its partition's next slot.
 
-type t
+    Internally this module is only the stepping engine and a façade: routing
+    decisions live in {!Sim_route}, boundary handling in {!Sim_boundary},
+    runtime state in {!Sim_state}, statistics assembly in {!Sim_stats}.  The
+    policy questions — admit this interposition?  what are the slot lengths?
+    cut the handler at the boundary? — are answered by the {!Admission},
+    {!Slot_plan} and {!Boundary_policy} values built from the configuration,
+    so new policies plug in without touching any code here. *)
 
-type stats = {
+type t = Sim_state.t
+
+type stats = Sim_stats.t = {
   completed_irqs : int;
   direct : int;
   interposed : int;
@@ -58,14 +67,25 @@ type stats = {
   sim_time : Rthv_engine.Cycles.t;  (** Final simulated clock. *)
 }
 
-val create : ?trace:Hyp_trace.t -> Config.t -> t
+val create :
+  ?trace:Hyp_trace.t -> ?policies:(string * Admission.t) list -> Config.t -> t
 (** [?trace] attaches a hypervisor event trace buffer; every scheduling
     decision (slot switches, deferrals, top handlers, monitor decisions,
     interpositions, completions) is recorded into it.  When an audit hook is
     installed (see {!set_audit_hook}) and no trace is passed, a buffer of
     {!audit_trace_capacity} entries is attached automatically so the hook has
     something to audit.
-    @raise Invalid_argument if [Config.validate] fails. *)
+
+    [?policies] overrides the admission policy of the named sources,
+    bypassing the {!Config.shaping} dispatch — the injection point for
+    policies the configuration grammar cannot express ({!Admission.custom}).
+    Sources not named keep the policy their shaping describes.  Note that
+    the static linter and the trace-invariant oracle derive their bounds
+    from the configuration: a run whose real policy is an override should
+    not be audited against shaping-derived rules unless the override is at
+    least as strict as the declared shaping.
+    @raise Invalid_argument if [Config.validate] fails or a policy names an
+    unknown source. *)
 
 val set_audit_hook : (Config.t -> Hyp_trace.t -> unit) option -> unit
 (** Install (or clear) the global post-run audit hook.  While installed,
@@ -99,7 +119,12 @@ val ipc : t -> Rthv_rtos.Ipc.t
 val port : t -> string -> Rthv_rtos.Ipc.port
 (** Look up a declared port.  @raise Not_found if undeclared. *)
 
+val admission : t -> source:string -> Admission.t option
+(** The named source's admission policy instance (introspection — checks,
+    underlying monitor). *)
+
 val monitor : t -> source:string -> Monitor.t option
-(** The monitor of the named source, if it is shaped. *)
+(** The underlying delta^- monitor of the named source's admission policy,
+    if it has one. *)
 
 val now : t -> Rthv_engine.Cycles.t

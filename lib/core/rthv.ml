@@ -3,8 +3,9 @@
     [Rthv_core.Rthv] re-exports the public surface so applications can write
     [module R = Rthv_core.Rthv] and reach every piece through one name:
 
-    - {!Tdma}: the static partition schedule;
+    - {!Tdma} and {!Slot_plan}: the partition schedule and its plans;
     - {!Monitor} and {!Delta_learner}: the delta^- shaping mechanism;
+    - {!Admission} and {!Boundary_policy}: the pluggable policy layers;
     - {!Config}, {!Hyp_sim}, {!Irq_record}: building and running systems;
     - the substrate libraries are re-exported under their short names. *)
 
@@ -25,8 +26,11 @@ module Propagation = Rthv_analysis.Propagation
 module Sensitivity = Rthv_analysis.Sensitivity
 module Certificate = Rthv_analysis.Certificate
 module Tdma = Tdma
+module Slot_plan = Slot_plan
 module Monitor = Monitor
 module Throttle = Throttle
+module Admission = Admission
+module Boundary_policy = Boundary_policy
 module Delta_learner = Delta_learner
 module Config = Config
 module Hyp_sim = Hyp_sim

@@ -1,0 +1,139 @@
+(* Top-handler routing: delivery of a raised line, the paid admission check
+   and the direct / interposed / delayed classification.  All policy
+   questions are delegated to the source's {!Admission} policy — this layer
+   never looks inside it. *)
+
+module Cycles = Rthv_engine.Cycles
+module Irq_queue = Rthv_rtos.Irq_queue
+module Guest = Rthv_rtos.Guest
+module Intc = Rthv_hw.Intc
+open Sim_state
+
+(* Decision point of the modified top handler (Figure 4b), reached after the
+   admission predicate ran: admit the interposition or fall back to delayed
+   handling. *)
+let monitor_done t src p =
+  p.p_decision <- t.now;
+  let conforms = Admission.decide src.admission p.p_arrival in
+  let subscriber = src.cfg.Config.subscriber in
+  let decision verdict =
+    trace_event t
+      (Hyp_trace.Monitor_decision
+         {
+           irq = p.p_irq;
+           line = src.cfg.Config.line;
+           arrival = p.p_arrival;
+           verdict;
+         });
+    if obs_active () then obs_monitor_decision src verdict
+  in
+  if t.slot_owner = subscriber then begin
+    (* The subscriber's slot opened between the arrival and the monitoring
+       decision: the queued event is processed right away in its own slot —
+       direct handling, no interposition machinery needed. *)
+    decision `Fallback_direct;
+    p.p_class <- Irq_record.Direct;
+    t.n_direct <- t.n_direct + 1
+  end
+  else if conforms && not t.interposition_pending then begin
+    Admission.commit src.admission p.p_arrival;
+    t.admissions <- t.admissions + 1;
+    p.p_class <- Irq_record.Interposed;
+    t.n_interposed <- t.n_interposed + 1;
+    t.interposition_pending <- true;
+    decision `Admitted;
+    enqueue_hyp t ~label:"sched_manip" ~steals:true ~cost:t.c_sched
+      ~on_done:(fun () ->
+        enqueue_hyp t ~label:"ctx_to" ~steals:true ~cost:t.c_ctx
+          ~on_done:(fun () ->
+            t.interposition_switches <- t.interposition_switches + 1;
+            t.interpositions_started <- t.interpositions_started + 1;
+            trace_event t
+              (Hyp_trace.Interposition_start
+                 { irq = p.p_irq; target = subscriber });
+            if obs_active () then
+              Sink.incr "rthv_interpositions_total"
+                (Labels.of_int "partition" subscriber)
+                1;
+            t.interposition <-
+              Some { target = subscriber; budget_left = src.cfg.Config.c_bh }))
+  end
+  else begin
+    t.denials <- t.denials + 1;
+    p.p_class <- Irq_record.Delayed;
+    t.n_delayed <- t.n_delayed + 1;
+    decision `Denied
+  end
+
+let top_handler_done t src p =
+  p.p_top_end <- t.now;
+  trace_event t
+    (Hyp_trace.Top_handler_run { irq = p.p_irq; line = src.cfg.Config.line });
+  Intc.ack t.intc src.cfg.Config.line;
+  (* The paper's experiment setup: the trigger timer is reprogrammed with the
+     next pre-generated interarrival from within the top handler. *)
+  schedule_next_arrival t src;
+  Admission.observe src.admission p.p_arrival;
+  let subscriber = src.cfg.Config.subscriber in
+  let item =
+    Irq_queue.make_item ~irq:p.p_irq ~line:src.cfg.Config.line
+      ~arrival:p.p_arrival ~work:src.cfg.Config.c_bh
+  in
+  Irq_queue.push (Guest.queue t.guests.(subscriber)) item;
+  if t.slot_owner = subscriber then begin
+    p.p_decision <- t.now;
+    p.p_class <- Irq_record.Direct;
+    t.n_direct <- t.n_direct + 1
+  end
+  else if not (Admission.active src.admission) then begin
+    (* Original Figure-4a top handler: no admission machinery, every
+       foreign-slot IRQ is delayed to the subscriber's slot. *)
+    p.p_decision <- t.now;
+    p.p_class <- Irq_record.Delayed;
+    t.n_delayed <- t.n_delayed + 1
+  end
+  else
+    enqueue_hyp t ~label:"monitor" ~steals:false ~cost:t.c_mon
+      ~on_done:(fun () -> monitor_done t src p)
+
+(* Interrupt-controller delivery: the hardware IRQ preempts partition code
+   and enters the hypervisor's top handler. *)
+let deliver t line =
+  match t.source_by_line.(line) with
+  | None -> ()
+  | Some src ->
+      let irq = t.next_irq_id in
+      t.next_irq_id <- t.next_irq_id + 1;
+      t.live_irqs <- t.live_irqs + 1;
+      let p =
+        {
+          p_irq = irq;
+          p_source = src;
+          p_arrival = t.now;
+          p_top_start = t.now;
+          p_top_end = t.now;
+          p_class = Irq_record.Delayed;
+          p_decision = -1;
+          p_bh_start = -1;
+        }
+      in
+      Hashtbl.add t.pending irq p;
+      trace_event t (Hyp_trace.Irq_raised { irq; line = src.cfg.Config.line });
+      enqueue_hyp_with_start t ~label:"top_handler" ~steals:false
+        ~cost:src.cfg.Config.c_th
+        ~on_start:(fun time -> p.p_top_start <- time)
+        ~on_done:(fun () -> top_handler_done t src p)
+
+let handle_arrival t s_idx =
+  t.scheduled_arrivals <- t.scheduled_arrivals - 1;
+  let src = t.sources.(s_idx) in
+  let line = src.cfg.Config.line in
+  if Intc.is_pending t.intc line then begin
+    (* The non-counting pending flag is already set: this raise coalesces
+       into the earlier one and is lost.  Intc counts it; the trace makes
+       it visible on the timeline. *)
+    trace_event t (Hyp_trace.Irq_coalesced { line });
+    if obs_active () then
+      Sink.incr "rthv_irq_coalesced_total" (Labels.of_int "line" line) 1
+  end;
+  Intc.raise_line t.intc line

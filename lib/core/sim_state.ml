@@ -1,0 +1,250 @@
+(* Runtime state of the hypervisor simulation plus the accounting helpers
+   shared by the routing ({!Sim_route}), boundary ({!Sim_boundary}) and
+   stepping ({!Hyp_sim}) layers.  This module owns the mutable world; the
+   layers above it own the decisions. *)
+
+module Cycles = Rthv_engine.Cycles
+module Event_queue = Rthv_engine.Event_queue
+module Guest = Rthv_rtos.Guest
+module Ipc = Rthv_rtos.Ipc
+module Irq_queue = Rthv_rtos.Irq_queue
+module Platform = Rthv_hw.Platform
+module Intc = Rthv_hw.Intc
+
+(* Hypervisor-context work item: highest priority, FIFO, non-preemptible. *)
+type hyp_item = {
+  label : string;
+  steals : bool;  (* counts towards eq.-(14) interference on the slot owner *)
+  mutable remaining : Cycles.t;
+  mutable started : bool;
+  on_start : Cycles.t -> unit;
+  on_done : unit -> unit;
+}
+
+type interposition = { target : int; mutable budget_left : Cycles.t }
+
+type runtime_source = {
+  cfg : Config.source;
+  s_idx : int;
+  admission : Admission.t;
+  mutable next_arrival : int;
+}
+
+type pending_irq = {
+  p_irq : int;
+  p_source : runtime_source;
+  p_arrival : Cycles.t;
+  mutable p_top_start : Cycles.t;
+  mutable p_top_end : Cycles.t;
+  mutable p_decision : Cycles.t;  (* classification fixed; -1 until then *)
+  mutable p_bh_start : Cycles.t;  (* first bottom-half cycle; -1 until then *)
+  mutable p_class : Irq_record.classification;
+}
+
+type event = Arrival of int | Boundary
+
+type t = {
+  platform : Platform.t;
+  config : Config.t;
+  boundary : Boundary_policy.t;
+  trace : Hyp_trace.t option;
+  tdma : Tdma.t;
+  ipc : Ipc.t;
+  guests : Guest.t array;
+  sources : runtime_source array;
+  source_by_line : runtime_source option array;
+  intc : Intc.t;
+  events : event Event_queue.t;
+  hyp : hyp_item Queue.t;
+  pending : (int, pending_irq) Hashtbl.t;
+  c_mon : Cycles.t;
+  c_sched : Cycles.t;
+  c_ctx : Cycles.t;
+  mutable now : Cycles.t;
+  mutable interposition : interposition option;
+  mutable interposition_pending : bool;
+  mutable records : Irq_record.t list;  (* newest first *)
+  mutable next_irq_id : int;
+  mutable slot_owner : int;
+  mutable slot_end : Cycles.t;
+  mutable stolen_in_slot : Cycles.t;
+  stolen_total : Cycles.t array;
+  stolen_slot_max : Cycles.t array;
+  activation_specs : Rthv_rtos.Task.spec list;
+  mutable scheduled_arrivals : int;
+  mutable live_irqs : int;
+  mutable live_aperiodic : int;
+  mutable slot_switches : int;
+  mutable interposition_switches : int;
+  mutable interpositions_started : int;
+  mutable boundary_crossings : int;
+  mutable bh_boundary_deferrals : int;
+  mutable admissions : int;
+  mutable denials : int;
+  mutable n_direct : int;
+  mutable n_interposed : int;
+  mutable n_delayed : int;
+  mutable finished : bool;
+}
+
+let enqueue_hyp t ~label ~steals ~cost ~on_done =
+  if cost < 0 then invalid_arg "Hyp_sim: negative hypervisor work";
+  Queue.push
+    {
+      label;
+      steals;
+      remaining = cost;
+      started = false;
+      on_start = (fun _ -> ());
+      on_done;
+    }
+    t.hyp
+
+let enqueue_hyp_with_start t ~label ~steals ~cost ~on_start ~on_done =
+  Queue.push
+    { label; steals; remaining = cost; started = false; on_start; on_done }
+    t.hyp
+
+let trace_event_at t time event =
+  match t.trace with
+  | Some trace -> Hyp_trace.record trace ~time event
+  | None -> ()
+
+let trace_event t event = trace_event_at t t.now event
+
+(* --- telemetry ----------------------------------------------------------
+   Every site is guarded by [Sink.active] so the default no-op sink costs a
+   single flag read — no labels are built, no calls dispatched.  Metric
+   names map onto the paper's quantities: [rthv_irq_latency_us] is the
+   simulated counterpart of the eq. (11)/(16) latency bounds,
+   [rthv_stolen_slot_us] the per-slot interference eq. (14) budgets. *)
+module Sink = Rthv_obs.Sink
+module Labels = Rthv_obs.Labels
+module Span = Rthv_obs.Span
+
+let obs_active = Sink.active
+
+let obs_count name = Sink.incr name Labels.empty 1
+
+let obs_irq_completed t p =
+  let source = p.p_source.cfg.Config.name in
+  let cls = Irq_record.classification_name p.p_class in
+  Sink.incr "rthv_irq_completed_total"
+    (Labels.v
+       [
+         ("source", source);
+         ("class", cls);
+         ("partition", string_of_int p.p_source.cfg.Config.subscriber);
+       ])
+    1;
+  Sink.observe "rthv_irq_latency_us"
+    (Labels.v [ ("source", source); ("class", cls) ])
+    (Cycles.to_us (Cycles.( - ) t.now p.p_arrival))
+
+(* One causal span per completed IRQ instance, timestamps in us.  The
+   decision point and bottom-half start are clamped for robustness, but
+   with the capture sites in [Hyp_sim] both are always set before
+   completion. *)
+let obs_span t p =
+  let us = Cycles.to_us in
+  let decision = if p.p_decision < 0 then p.p_top_end else p.p_decision in
+  let bh_start = if p.p_bh_start < 0 then t.now else p.p_bh_start in
+  Sink.span
+    {
+      Span.sp_irq = p.p_irq;
+      sp_line = p.p_source.cfg.Config.line;
+      sp_source = p.p_source.cfg.Config.name;
+      sp_class = Irq_record.classification_name p.p_class;
+      sp_arrival = us p.p_arrival;
+      sp_top_start = us p.p_top_start;
+      sp_top_end = us p.p_top_end;
+      sp_decision = us decision;
+      sp_bh_start = us bh_start;
+      sp_completion = us t.now;
+    }
+
+let obs_monitor_decision src verdict =
+  Sink.incr "rthv_monitor_decisions_total"
+    (Labels.v
+       [
+         ("source", src.cfg.Config.name);
+         ( "verdict",
+           match verdict with
+           | `Admitted -> "admitted"
+           | `Denied -> "denied"
+           | `Fallback_direct -> "fallback_direct" );
+       ])
+    1
+
+let steal t elapsed =
+  t.stolen_in_slot <- Cycles.( + ) t.stolen_in_slot elapsed
+
+let close_slot_accounting t =
+  let owner = t.slot_owner in
+  t.stolen_total.(owner) <- Cycles.( + ) t.stolen_total.(owner) t.stolen_in_slot;
+  if t.stolen_in_slot > t.stolen_slot_max.(owner) then
+    t.stolen_slot_max.(owner) <- t.stolen_in_slot;
+  if obs_active () then
+    Sink.observe "rthv_stolen_slot_us"
+      (Labels.of_int "partition" owner)
+      (Cycles.to_us t.stolen_in_slot);
+  t.stolen_in_slot <- 0
+
+let finalize_completion t (item : Irq_queue.item) =
+  match Hashtbl.find_opt t.pending item.Irq_queue.irq with
+  | None ->
+      (* Completion must be unique: items are dropped from the queue the
+         moment their work reaches zero. *)
+      assert false
+  | Some p ->
+      let record =
+        {
+          Irq_record.irq = p.p_irq;
+          source = p.p_source.cfg.Config.name;
+          line = p.p_source.cfg.Config.line;
+          arrival = p.p_arrival;
+          top_start = p.p_top_start;
+          top_end = p.p_top_end;
+          classification = p.p_class;
+          completion = t.now;
+        }
+      in
+      t.records <- record :: t.records;
+      Hashtbl.remove t.pending p.p_irq;
+      t.live_irqs <- t.live_irqs - 1;
+      trace_event t
+        (Hyp_trace.Bottom_handler_done
+           { irq = p.p_irq; partition = p.p_source.cfg.Config.subscriber });
+      if obs_active () then begin
+        obs_irq_completed t p;
+        obs_span t p
+      end;
+      (* uC/OS pattern: the bottom handler posts to an application task. *)
+      match p.p_source.cfg.Config.activates with
+      | Some spec ->
+          t.live_aperiodic <- t.live_aperiodic + 1;
+          Guest.release_aperiodic
+            t.guests.(p.p_source.cfg.Config.subscriber)
+            ~spec ~now:t.now
+      | None -> ()
+
+let end_interposition t ~reason =
+  (match t.interposition with
+  | Some ip ->
+      trace_event t (Hyp_trace.Interposition_end { target = ip.target; reason })
+  | None -> ());
+  t.interposition <- None;
+  enqueue_hyp t ~label:"ctx_back" ~steals:true ~cost:t.c_ctx ~on_done:(fun () ->
+      t.interposition_switches <- t.interposition_switches + 1;
+      t.interposition_pending <- false)
+
+let schedule_next_arrival t src =
+  let distances = src.cfg.Config.interarrivals in
+  if src.cfg.Config.arrival_mode = Config.Reprogram
+     && src.next_arrival < Array.length distances
+  then begin
+    let d = distances.(src.next_arrival) in
+    src.next_arrival <- src.next_arrival + 1;
+    Event_queue.push t.events ~time:(Cycles.( + ) t.now d) (Arrival src.s_idx);
+    t.scheduled_arrivals <- t.scheduled_arrivals + 1
+  end

@@ -1,0 +1,89 @@
+module Cycles = Rthv_engine.Cycles
+
+type t =
+  | Static of Cycles.t array
+  | Weighted of { cycle : Cycles.t; weights : int array }
+
+let static slots =
+  if Array.length slots = 0 then invalid_arg "Slot_plan.static: no slots";
+  Array.iter
+    (fun s -> if s <= 0 then invalid_arg "Slot_plan.static: non-positive slot")
+    slots;
+  Static (Array.copy slots)
+
+let weighted ~cycle ~weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Slot_plan.weighted: no weights";
+  Array.iter
+    (fun w -> if w <= 0 then invalid_arg "Slot_plan.weighted: non-positive weight")
+    weights;
+  if cycle < n then
+    invalid_arg "Slot_plan.weighted: cycle shorter than one cycle per slot";
+  Weighted { cycle; weights = Array.copy weights }
+
+(* Largest-remainder apportionment of [cycle] cycles over the weights, then
+   a sweep that lifts zero-length slots to one cycle at the expense of the
+   largest.  Deterministic: remainder ties go to the lowest index. *)
+let apportion ~cycle ~weights =
+  let n = Array.length weights in
+  let total = Array.fold_left ( + ) 0 weights in
+  let slots = Array.make n 0 in
+  let remainders = Array.make n (0, 0) in
+  let allotted = ref 0 in
+  for i = 0 to n - 1 do
+    let exact_num = cycle * weights.(i) in
+    slots.(i) <- exact_num / total;
+    remainders.(i) <- (exact_num mod total, i);
+    allotted := !allotted + slots.(i)
+  done;
+  let order = Array.copy remainders in
+  Array.sort
+    (fun (ra, ia) (rb, ib) -> if rb <> ra then compare rb ra else compare ia ib)
+    order;
+  let leftover = cycle - !allotted in
+  for k = 0 to leftover - 1 do
+    let _, i = order.(k mod n) in
+    slots.(i) <- slots.(i) + 1
+  done;
+  let largest () =
+    let best = ref 0 in
+    Array.iteri (fun i s -> if s > slots.(!best) then best := i) slots;
+    !best
+  in
+  for i = 0 to n - 1 do
+    if slots.(i) = 0 then begin
+      let j = largest () in
+      slots.(j) <- slots.(j) - 1;
+      slots.(i) <- slots.(i) + 1
+    end
+  done;
+  slots
+
+let slots = function
+  | Static slots -> Array.copy slots
+  | Weighted { cycle; weights } -> apportion ~cycle ~weights
+
+let partitions = function
+  | Static s -> Array.length s
+  | Weighted { weights; _ } -> Array.length weights
+
+let cycle_length = function
+  | Static s -> Array.fold_left Cycles.( + ) 0 s
+  | Weighted { cycle; _ } -> cycle
+
+let tdma plan = Tdma.make (slots plan)
+
+let pp ppf plan =
+  match plan with
+  | Static s ->
+      Format.fprintf ppf "static [%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           Cycles.pp)
+        (Array.to_list s)
+  | Weighted { cycle; weights } ->
+      Format.fprintf ppf "weighted (cycle %a, weights [%a])" Cycles.pp cycle
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           Format.pp_print_int)
+        (Array.to_list weights)

@@ -1,0 +1,36 @@
+(** Slot-schedule plans: how per-partition slot lengths are produced.
+
+    Generalizes the static round-robin {!Tdma} schedule: a plan describes
+    the slot lengths, and {!tdma} compiles it to the static table the
+    simulator's hot path runs on — so every plan pays exactly the same
+    per-cycle cost as the paper's static schedule.  Two implementations:
+
+    - {b static}: the paper's schedule, slot lengths given directly;
+    - {b weighted}: a fixed TDMA cycle length apportioned over integer
+      weights by the largest-remainder method (deterministic, remainder
+      ties to the lowest index), with every partition guaranteed at least
+      one cycle. *)
+
+type t
+
+val static : Rthv_engine.Cycles.t array -> t
+(** Slot lengths in cycle order.  @raise Invalid_argument if empty or any
+    slot is non-positive. *)
+
+val weighted : cycle:Rthv_engine.Cycles.t -> weights:int array -> t
+(** Apportion [cycle] over [weights].  @raise Invalid_argument if the
+    weights are empty or non-positive, or [cycle] is shorter than one cycle
+    per partition. *)
+
+val slots : t -> Rthv_engine.Cycles.t array
+(** The compiled per-partition slot lengths.  For a weighted plan these sum
+    to exactly the requested cycle and every entry is positive. *)
+
+val partitions : t -> int
+
+val cycle_length : t -> Rthv_engine.Cycles.t
+
+val tdma : t -> Tdma.t
+(** Compile to the static schedule the simulator executes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -6,11 +6,12 @@ module DF = Rthv_analysis.Distance_fn
 module Gen = Rthv_workload.Gen
 module Summary = Rthv_stats.Summary
 module Platform = Rthv_hw.Platform
+module Boundary_policy = Rthv_core.Boundary_policy
 
 type variant = {
   label : string;
   platform : Platform.t;
-  finish_bh : bool;
+  boundary : Boundary_policy.t;
   shaping : Config.shaping;
 }
 
@@ -30,19 +31,19 @@ let boundary_variants ~d_min =
     {
       label = "monitored (paper config)";
       platform = Params.platform;
-      finish_bh = true;
+      boundary = Boundary_policy.Finish_bottom_handler;
       shaping = monitored d_min;
     };
     {
       label = "monitored, strict TDMA cut";
       platform = Params.platform;
-      finish_bh = false;
+      boundary = Boundary_policy.Strict_cut;
       shaping = monitored d_min;
     };
     {
       label = "unmonitored baseline";
       platform = Params.platform;
-      finish_bh = true;
+      boundary = Boundary_policy.Finish_bottom_handler;
       shaping = Config.No_shaping;
     };
   ]
@@ -58,7 +59,7 @@ let ctx_cost_variants ~d_min factors =
             Platform.ctx =
               Rthv_hw.Ctx_cost.scaled Params.platform.Platform.ctx factor;
           };
-        finish_bh = true;
+        boundary = Boundary_policy.Finish_bottom_handler;
         shaping = monitored d_min;
       })
     factors
@@ -70,17 +71,55 @@ let monitor_depth_variants ~d_min depths =
       {
         label = Printf.sprintf "monitor l = %d" l;
         platform = Params.platform;
-        finish_bh = true;
+        boundary = Boundary_policy.Finish_bottom_handler;
         shaping = Config.Fixed_monitor (DF.of_entries entries);
       })
     depths
+
+(* One variant per admission-policy family at the same nominal rate: the
+   unmonitored baseline, the paper's d_min monitor, a per-cycle budget with
+   the same long-term admission rate, and the monitor composed with a
+   burst-capping bucket. *)
+let admission_variants ~d_min ~cycle =
+  let paper = Boundary_policy.Finish_bottom_handler in
+  (* Admissions per cycle window at the monitor's long-term rate (at least
+     one, or the budget could never admit anything). *)
+  let per_cycle = Stdlib.max 1 (cycle / Stdlib.max 1 d_min) in
+  [
+    {
+      label = "unmonitored baseline";
+      platform = Params.platform;
+      boundary = paper;
+      shaping = Config.No_shaping;
+    };
+    {
+      label = "d_min monitor";
+      platform = Params.platform;
+      boundary = paper;
+      shaping = monitored d_min;
+    };
+    {
+      label = Printf.sprintf "budget %d/cycle" per_cycle;
+      platform = Params.platform;
+      boundary = paper;
+      shaping = Config.Budgeted { per_cycle };
+    };
+    {
+      label = "monitor + bucket";
+      platform = Params.platform;
+      boundary = paper;
+      shaping =
+        Config.Monitor_and_bucket
+          { fn = DF.d_min d_min; capacity = 1; refill = d_min };
+    };
+  ]
 
 let run_on_arrivals ?pool ?metrics ~interarrivals variants =
   Rthv_par.Par.map ?pool ?metrics
     (fun variant ->
       let config =
         Config.make ~platform:variant.platform
-          ~finish_bh_at_boundary:variant.finish_bh
+          ~boundary:variant.boundary
           ~partitions:Params.partitions
           ~sources:[ Params.source ~interarrivals ~shaping:variant.shaping ]
           ()
@@ -125,25 +164,25 @@ let shaper_comparison ?(seed = Params.default_seed) ?(count = 5000) ?pool
       {
         label = "unmonitored";
         platform = Params.platform;
-        finish_bh = true;
+        boundary = Boundary_policy.Finish_bottom_handler;
         shaping = Config.No_shaping;
       };
       {
         label = "d_min monitor";
         platform = Params.platform;
-        finish_bh = true;
+        boundary = Boundary_policy.Finish_bottom_handler;
         shaping = monitored d_min;
       };
       {
         label = "token bucket, capacity 1";
         platform = Params.platform;
-        finish_bh = true;
+        boundary = Boundary_policy.Finish_bottom_handler;
         shaping = Config.Token_bucket { capacity = 1; refill = d_min };
       };
       {
         label = "token bucket, capacity 3";
         platform = Params.platform;
-        finish_bh = true;
+        boundary = Boundary_policy.Finish_bottom_handler;
         shaping = Config.Token_bucket { capacity = 3; refill = d_min };
       };
     ]

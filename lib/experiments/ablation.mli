@@ -8,7 +8,7 @@
 type variant = {
   label : string;
   platform : Rthv_hw.Platform.t;
-  finish_bh : bool;
+  boundary : Rthv_core.Boundary_policy.t;
   shaping : Rthv_core.Config.shaping;
 }
 
@@ -29,6 +29,14 @@ val ctx_cost_variants : d_min:Rthv_engine.Cycles.t -> float list -> variant list
 
 val monitor_depth_variants : d_min:Rthv_engine.Cycles.t -> int list -> variant list
 (** Monitored runs with linear l-entry envelopes of the given depths. *)
+
+val admission_variants :
+  d_min:Rthv_engine.Cycles.t -> cycle:Rthv_engine.Cycles.t -> variant list
+(** One variant per admission-policy family at the same nominal long-term
+    rate: unmonitored, the paper's d_min monitor, a per-cycle interposition
+    budget (per_cycle = cycle / d_min admissions per aligned window), and
+    the monitor composed with a capacity-1 token bucket.  [cycle] should be
+    the TDMA cycle length of {!Params.partitions}. *)
 
 val run :
   ?seed:int ->

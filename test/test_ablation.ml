@@ -64,6 +64,35 @@ let test_same_arrivals_across_variants () =
         m.Ablation.m_stats.Hyp_sim.completed_irqs)
     ms
 
+let test_admission_axis () =
+  let cycle = Testutil.us 14_000 in
+  let ms =
+    Ablation.run ~count:1200 ~d_min (Ablation.admission_variants ~d_min ~cycle)
+  in
+  Alcotest.(check int) "four variants" 4 (List.length ms);
+  let baseline = find "unmonitored baseline" ms in
+  let monitor = find "d_min monitor" ms in
+  let composite = find "monitor + bucket" ms in
+  Alcotest.(check int) "baseline never interposes" 0
+    baseline.Ablation.m_stats.Hyp_sim.interposed;
+  Alcotest.(check bool) "every shaped variant interposes" true
+    (List.for_all
+       (fun m ->
+         m.Ablation.m_label = "unmonitored baseline"
+         || m.Ablation.m_stats.Hyp_sim.interposed > 0)
+       ms);
+  (* On conforming arrivals a capacity-1 bucket refilled at d_min is vacuous
+     against the d_min condition: the composite admits exactly what the
+     monitor admits. *)
+  Alcotest.(check int) "vacuous bucket changes nothing"
+    monitor.Ablation.m_stats.Hyp_sim.admissions
+    composite.Ablation.m_stats.Hyp_sim.admissions;
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "paired arrivals" 1200
+        m.Ablation.m_stats.Hyp_sim.completed_irqs)
+    ms
+
 let test_shaper_comparison () =
   let ms = Ablation.shaper_comparison ~count:1200 ~d_min () in
   Alcotest.(check int) "four variants" 4 (List.length ms);
@@ -89,6 +118,7 @@ let test_shaper_comparison () =
 let suite =
   [
     Alcotest.test_case "shaper comparison" `Slow test_shaper_comparison;
+    Alcotest.test_case "admission-policy axis" `Slow test_admission_axis;
     Alcotest.test_case "boundary semantics" `Slow test_boundary_semantics;
     Alcotest.test_case "context-switch cost sweep" `Slow test_ctx_cost_sweep;
     Alcotest.test_case "monitor depth equivalence" `Slow

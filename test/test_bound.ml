@@ -1,0 +1,161 @@
+module Bound = Rthv_analysis.Bound
+module DF = Rthv_analysis.Distance_fn
+module Independence = Rthv_analysis.Independence
+
+let fn = DF.d_min 1_000
+let zero_fn = DF.unbounded ~l:1
+
+let bucket = Bound.Bucketed { capacity = 1; refill = 1_000 }
+let slow_bucket = Bound.Bucketed { capacity = 1; refill = 5_000 }
+let budget = Bound.Budgeted { per_cycle = 2; cycle = 10_000 }
+
+let test_shaped () =
+  Alcotest.(check bool) "unshaped" false (Bound.shaped Bound.Unshaped);
+  Alcotest.(check bool) "monitored" true (Bound.shaped (Bound.Monitored fn));
+  Alcotest.(check bool) "bucketed" true (Bound.shaped bucket);
+  Alcotest.(check bool) "budgeted" true (Bound.shaped budget);
+  Alcotest.(check bool) "opaque" true (Bound.shaped Bound.Shaped_opaque);
+  Alcotest.(check bool) "composite" true
+    (Bound.shaped (Bound.Composite [ Bound.Monitored fn; bucket ]))
+
+let test_condition () =
+  Alcotest.(check bool) "monitored has condition" true
+    (Option.is_some (Bound.condition (Bound.Monitored fn)));
+  Alcotest.(check bool) "bucketed has none" true
+    (Option.is_none (Bound.condition bucket));
+  Alcotest.(check bool) "composite inherits monitor's" true
+    (Option.is_some
+       (Bound.condition (Bound.Composite [ slow_bucket; Bound.Monitored fn ])))
+
+let test_vacuous_against () =
+  (* refill 1000 <= delta(2) = 1000: a token is always back in time. *)
+  Alcotest.(check bool) "fast bucket vacuous" true
+    (Bound.vacuous_against fn bucket);
+  Alcotest.(check bool) "slow bucket binds" false
+    (Bound.vacuous_against fn slow_bucket);
+  (* eta^+ over a 10000-cycle window of a d_min-1000 stream is 10 events:
+     per_cycle 2 can deny conforming activations. *)
+  Alcotest.(check bool) "tight budget binds" false
+    (Bound.vacuous_against fn budget);
+  Alcotest.(check bool) "loose budget vacuous" true
+    (Bound.vacuous_against fn
+       (Bound.Budgeted { per_cycle = 11; cycle = 10_000 }))
+
+let test_per_instance_condition () =
+  Alcotest.(check bool) "plain monitor qualifies" true
+    (Option.is_some (Bound.per_instance_condition (Bound.Monitored fn)));
+  Alcotest.(check bool) "monitor + vacuous bucket qualifies" true
+    (Option.is_some
+       (Bound.per_instance_condition
+          (Bound.Composite [ Bound.Monitored fn; bucket ])));
+  Alcotest.(check bool) "monitor + binding bucket does not" true
+    (Option.is_none
+       (Bound.per_instance_condition
+          (Bound.Composite [ Bound.Monitored fn; slow_bucket ])));
+  Alcotest.(check bool) "bucket alone has no condition" true
+    (Option.is_none (Bound.per_instance_condition bucket))
+
+let test_interference () =
+  let c_bh_eff = 100 in
+  let curve p = Bound.interference p ~c_bh_eff in
+  Alcotest.(check bool) "unshaped unbounded" true
+    (Option.is_none (curve Bound.Unshaped));
+  Alcotest.(check bool) "degenerate monitor unbounded" true
+    (Option.is_none (curve (Bound.Monitored zero_fn)));
+  (match curve (Bound.Monitored fn) with
+  | None -> Alcotest.fail "monitored bound missing"
+  | Some c ->
+      Alcotest.(check int) "matches eq. 14"
+        (Independence.interposed_bound ~monitor:fn ~c_bh_eff 5_000)
+        (c 5_000));
+  (match curve (Bound.Composite [ Bound.Monitored fn; slow_bucket ]) with
+  | None -> Alcotest.fail "composite bound missing"
+  | Some c ->
+      let m = Independence.interposed_bound ~monitor:fn ~c_bh_eff in
+      let b =
+        Independence.token_bucket_bound ~capacity:1 ~refill:5_000 ~c_bh_eff
+      in
+      List.iter
+        (fun dt ->
+          Alcotest.(check int)
+            (Printf.sprintf "pointwise min at %d" dt)
+            (min (m dt) (b dt)) (c dt))
+        [ 0; 1; 1_000; 50_000 ])
+
+let test_budget_curve () =
+  let c_bh_eff = 100 in
+  match Bound.interference budget ~c_bh_eff with
+  | None -> Alcotest.fail "budget bound missing"
+  | Some c ->
+      Alcotest.(check int) "zero window" 0 (c 0);
+      (* A window of one cycle overlaps at most 2 aligned windows. *)
+      Alcotest.(check int) "one cycle" (100 * 2 * 2) (c 10_000);
+      Alcotest.(check int) "three cycles" (100 * 2 * 4) (c 30_000)
+
+let conforms_always (_ : DF.t) = true
+let conforms_never (_ : DF.t) = false
+
+let test_for_class () =
+  let fc policy conforms cls =
+    Bound.for_class policy ~stream_conforms:conforms cls
+  in
+  let check msg exp got =
+    Alcotest.(check bool) msg true (exp = got)
+  in
+  check "unshaped direct is plain baseline" Bound.Baseline
+    (fc Bound.Unshaped conforms_always `Direct);
+  check "unshaped never interposes" Bound.No_bound
+    (fc Bound.Unshaped conforms_always `Interposed);
+  check "monitored direct pays C_Mon" Bound.Baseline_monitored
+    (fc (Bound.Monitored fn) conforms_always `Direct);
+  check "monitored delayed pays C_Mon" Bound.Baseline_monitored
+    (fc (Bound.Monitored fn) conforms_always `Delayed);
+  check "conforming stream gets eq. 16" Bound.Interposed
+    (fc (Bound.Monitored fn) conforms_always `Interposed);
+  check "non-conforming stream falls back" Bound.Baseline_monitored
+    (fc (Bound.Monitored fn) conforms_never `Interposed);
+  check "binding bucket composite falls back" Bound.Baseline_monitored
+    (fc
+       (Bound.Composite [ Bound.Monitored fn; slow_bucket ])
+       conforms_always `Interposed);
+  check "vacuous bucket composite gets eq. 16" Bound.Interposed
+    (fc
+       (Bound.Composite [ Bound.Monitored fn; bucket ])
+       conforms_always `Interposed);
+  check "budget alone never gets eq. 16" Bound.Baseline_monitored
+    (fc budget conforms_always `Interposed)
+
+let test_budget_bound_props () =
+  let b = Independence.budget_bound ~per_cycle:3 ~cycle:100 ~c_bh_eff:7 in
+  Alcotest.(check int) "dt=0" 0 (b 0);
+  Alcotest.(check int) "within one window" (7 * 3 * 2) (b 1);
+  Alcotest.(check int) "exactly one cycle" (7 * 3 * 2) (b 100);
+  Alcotest.(check int) "one past a cycle" (7 * 3 * 3) (b 101);
+  Alcotest.(check bool) "invalid per_cycle" true
+    (try
+       ignore (Independence.budget_bound ~per_cycle:0 ~cycle:100 ~c_bh_eff:7 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_finite () =
+  Alcotest.(check bool) "d_min finite" true (DF.finite fn);
+  Alcotest.(check bool) "all-zero is finite" true (DF.finite zero_fn);
+  (* of_trace leaves never-observed positions at the sentinel: two events
+     can never populate the 3-event distance entry. *)
+  Alcotest.(check bool) "sentinel entries are not" false
+    (DF.finite (DF.of_trace ~l:2 [ 0; 100 ]))
+
+let suite =
+  [
+    Alcotest.test_case "shaped" `Quick test_shaped;
+    Alcotest.test_case "condition" `Quick test_condition;
+    Alcotest.test_case "vacuous_against" `Quick test_vacuous_against;
+    Alcotest.test_case "per_instance_condition (eq. 16 gate)" `Quick
+      test_per_instance_condition;
+    Alcotest.test_case "interference curves" `Quick test_interference;
+    Alcotest.test_case "budget interference curve" `Quick test_budget_curve;
+    Alcotest.test_case "for_class dispatch" `Quick test_for_class;
+    Alcotest.test_case "Independence.budget_bound" `Quick
+      test_budget_bound_props;
+    Alcotest.test_case "Distance_fn.finite" `Quick test_finite;
+  ]

@@ -37,6 +37,129 @@ let test_bad_self_learning () =
   (* bound has l = 1, monitor wants l = 2 *)
   expect_error (make [ source ~shaping () ])
 
+(* A distance function learned from too short a trace keeps the "no bound
+   learned" sentinel in unobserved positions; such a function must be
+   rejected as a monitoring condition (its superadditive extension would
+   overflow the eq.-(14) arithmetic), while an all-zero (degenerate but
+   finite) condition stays structurally valid — the linter flags it as
+   RTHV003 instead. *)
+let test_sentinel_condition_rejected () =
+  let sentinel_fn = DF.of_trace ~l:2 [ 0; 100 ] in
+  expect_error
+    (make [ source ~shaping:(Config.Fixed_monitor sentinel_fn) () ]);
+  expect_error
+    (make
+       [
+         source
+           ~shaping:
+             (Config.Monitor_and_bucket
+                { fn = sentinel_fn; capacity = 1; refill = 100 })
+           ();
+       ]);
+  expect_error
+    (make
+       [
+         source
+           ~shaping:
+             (Config.Self_learning
+                { l = 2; learn_events = 5; bound = Some sentinel_fn })
+           ();
+       ]);
+  match
+    Config.validate
+      (make [ source ~shaping:(Config.Fixed_monitor (DF.unbounded ~l:1)) () ])
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "degenerate-but-finite rejected: %s" msg
+
+let test_bad_bucket_and_budget () =
+  expect_error
+    (make
+       [
+         source ~shaping:(Config.Token_bucket { capacity = 0; refill = 100 }) ();
+       ]);
+  expect_error
+    (make
+       [
+         source
+           ~shaping:
+             (Config.Monitor_and_bucket
+                { fn = DF.d_min 100; capacity = 1; refill = 0 })
+           ();
+       ]);
+  expect_error (make [ source ~shaping:(Config.Budgeted { per_cycle = 0 }) () ])
+
+let test_plan_validation () =
+  let sources = [ source () ] in
+  let partitions = [ partition "a" 100; partition "b" 100 ] in
+  expect_error
+    (Config.make ~partitions ~sources
+       ~plan:(Config.Weighted_plan { cycle = Testutil.us 300; weights = [| 1 |] })
+       ());
+  expect_error
+    (Config.make ~partitions ~sources
+       ~plan:
+         (Config.Weighted_plan { cycle = Testutil.us 300; weights = [| 1; 0 |] })
+       ());
+  expect_error
+    (Config.make ~partitions ~sources
+       ~plan:(Config.Weighted_plan { cycle = 1; weights = [| 1; 1 |] })
+       ());
+  match
+    Config.validate
+      (Config.make ~partitions ~sources
+         ~plan:
+           (Config.Weighted_plan
+              { cycle = Testutil.us 300; weights = [| 2; 1 |] })
+         ())
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid weighted plan rejected: %s" msg
+
+let test_effective_slots () =
+  let partitions = [ partition "a" 100; partition "b" 100 ] in
+  let config =
+    Config.make ~partitions ~sources:[ source () ]
+      ~plan:
+        (Config.Weighted_plan { cycle = Testutil.us 300; weights = [| 2; 1 |] })
+      ()
+  in
+  Alcotest.(check (array int))
+    "weighted plan overrides partition slots"
+    [| Testutil.us 200; Testutil.us 100 |]
+    (Config.effective_slots config);
+  Testutil.check_cycles "tdma follows the plan" (Testutil.us 300)
+    (Rthv_core.Tdma.cycle_length (Config.tdma config))
+
+let test_boundary_policy () =
+  let open Rthv_core in
+  let default = make [ source () ] in
+  Alcotest.(check bool) "default defers" true
+    (Config.finish_bh_at_boundary default);
+  let strict =
+    Config.make
+      ~partitions:[ partition "a" 100; partition "b" 100 ]
+      ~sources:[ source () ] ~boundary:Boundary_policy.Strict_cut ()
+  in
+  Alcotest.(check bool) "strict cut does not defer" false
+    (Config.finish_bh_at_boundary strict);
+  (* The legacy flag still works and the explicit policy wins over it. *)
+  let legacy =
+    Config.make
+      ~partitions:[ partition "a" 100; partition "b" 100 ]
+      ~sources:[ source () ] ~finish_bh_at_boundary:false ()
+  in
+  Alcotest.(check bool) "legacy flag mapped" false
+    (Config.finish_bh_at_boundary legacy);
+  let explicit_wins =
+    Config.make
+      ~partitions:[ partition "a" 100; partition "b" 100 ]
+      ~sources:[ source () ] ~finish_bh_at_boundary:false
+      ~boundary:Boundary_policy.Finish_bottom_handler ()
+  in
+  Alcotest.(check bool) "explicit policy wins" true
+    (Config.finish_bh_at_boundary explicit_wins)
+
 let test_monitoring_enabled () =
   Alcotest.(check bool) "off without shaping" false
     (Config.monitoring_enabled (make [ source () ]));
@@ -81,6 +204,14 @@ let suite =
     Alcotest.test_case "line range checked" `Quick test_line_out_of_range;
     Alcotest.test_case "self-learning params checked" `Quick
       test_bad_self_learning;
+    Alcotest.test_case "sentinel monitoring conditions rejected" `Quick
+      test_sentinel_condition_rejected;
+    Alcotest.test_case "bucket/budget params checked" `Quick
+      test_bad_bucket_and_budget;
+    Alcotest.test_case "weighted plan validation" `Quick test_plan_validation;
+    Alcotest.test_case "effective_slots follows the plan" `Quick
+      test_effective_slots;
+    Alcotest.test_case "boundary policy promotion" `Quick test_boundary_policy;
     Alcotest.test_case "monitoring_enabled" `Quick test_monitoring_enabled;
     Alcotest.test_case "tdma derivation" `Quick test_tdma_derivation;
     Alcotest.test_case "constructor validation" `Quick

@@ -208,6 +208,77 @@ let test_rthv012_handler_slot_fit () =
   | ds -> Alcotest.failf "expected one RTHV012, got %d" (List.length ds));
   check_silent "fits" "RTHV012" (Lint.analyze (baseline ()))
 
+let test_rthv013_budget_starves_slot () =
+  (* C'_BH ~ 28877 cycles; a foreign 5000us slot (1M cycles at 200MHz) is
+     consumed once the aligned-window bound 2 * per_cycle * C'_BH reaches
+     it — per_cycle 20 does, per_cycle 2 stays far below. *)
+  let budget per_cycle = baseline ~shaping:(Config.Budgeted { per_cycle }) () in
+  let diags = Lint.analyze (budget 20) in
+  check_fires "greedy budget" "RTHV013" diags;
+  (match List.filter (fun d -> d.D.code = "RTHV013") diags with
+  | d :: _ ->
+      Alcotest.(check string) "error severity" "error"
+        (D.severity_name d.D.severity)
+  | [] -> Alcotest.fail "RTHV013 missing");
+  check_silent "modest budget" "RTHV013" (Lint.analyze (budget 2));
+  check_silent "not a budget" "RTHV013" (Lint.analyze (baseline ()))
+
+let test_rthv014_composite_bucket () =
+  let composite refill_us =
+    baseline
+      ~shaping:
+        (Config.Monitor_and_bucket
+           { fn = DF.d_min (us 2_000); capacity = 1; refill = us refill_us })
+      ()
+  in
+  let severity config =
+    match
+      List.filter (fun d -> d.D.code = "RTHV014") (Lint.analyze config)
+    with
+    | [ d ] -> D.severity_name d.D.severity
+    | ds -> Alcotest.failf "expected one RTHV014, got %d" (List.length ds)
+  in
+  (* refill <= delta^-(2): a token is always back in time — vacuous. *)
+  Alcotest.(check string) "vacuous bucket is info" "info"
+    (severity (composite 2_000));
+  (* refill > delta^-(2): the bucket can deny conforming activations. *)
+  Alcotest.(check string) "binding bucket is warning" "warning"
+    (severity (composite 5_000));
+  check_silent "plain monitor" "RTHV014" (Lint.analyze (baseline ()))
+
+let test_rthv015_budget_never_binds () =
+  (* The 4000us-period workload puts at most 3 arrivals in any aligned
+     10000us cycle window: a budget of 5 is dead configuration. *)
+  let budget per_cycle = baseline ~shaping:(Config.Budgeted { per_cycle }) () in
+  check_fires "oversized budget" "RTHV015" (Lint.analyze (budget 5));
+  check_silent "budget that can bind" "RTHV015" (Lint.analyze (budget 2));
+  check_silent "not a budget" "RTHV015" (Lint.analyze (baseline ()))
+
+let test_weighted_plan_linted_on_effective_slots () =
+  (* The partition record says 5000us each, but the weighted plan squeezes
+     partition "tiny" to ~25us — too small to cover the 50us slot-entry
+     context switch.  The linter must see the plan's slots, not the
+     partition records. *)
+  let partitions =
+    [
+      Config.partition ~name:"tiny" ~slot_us:5_000 ();
+      Config.partition ~name:"big" ~slot_us:5_000 ();
+    ]
+  in
+  let config =
+    Config.make ~partitions
+      ~plan:(Config.Weighted_plan { cycle = us 10_000; weights = [| 1; 400 |] })
+      ~sources:
+        [
+          Config.source ~name:"s" ~line:0 ~subscriber:1 ~c_th_us:5 ~c_bh_us:40
+            ~interarrivals:(Rthv_workload.Gen.constant ~period:(us 4_000) ~count:50)
+            ~shaping:(Config.Fixed_monitor (DF.d_min (us 2_000)))
+            ();
+        ]
+      ()
+  in
+  check_fires "squeezed slot" "RTHV002" (Lint.analyze config)
+
 let test_c_bh_eff_eq13 () =
   (* C'_BH = C_BH + C_sched + 2*C_ctx = 8000 + 877 + 2*10000 cycles. *)
   Testutil.check_cycles "eq. (13)" 28_877
@@ -229,7 +300,7 @@ let test_demo_bad_fires_every_rule () =
     [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
 
 let test_rules_catalogue () =
-  Alcotest.(check int) "12 static rules" 12 (List.length Lint.rules);
+  Alcotest.(check int) "15 static rules" 15 (List.length Lint.rules);
   let rule_codes = List.map fst Lint.rules in
   Alcotest.(check (list string)) "distinct codes"
     (List.sort_uniq compare rule_codes)
@@ -261,6 +332,14 @@ let suite =
     Alcotest.test_case "RTHV011 duplicate names" `Quick
       test_rthv011_duplicate_names;
     Alcotest.test_case "RTHV012 handler fit" `Quick test_rthv012_handler_slot_fit;
+    Alcotest.test_case "RTHV013 budget vs foreign slots" `Quick
+      test_rthv013_budget_starves_slot;
+    Alcotest.test_case "RTHV014 composite bucket" `Quick
+      test_rthv014_composite_bucket;
+    Alcotest.test_case "RTHV015 budget never binds" `Quick
+      test_rthv015_budget_never_binds;
+    Alcotest.test_case "weighted plans linted on effective slots" `Quick
+      test_weighted_plan_linted_on_effective_slots;
     Alcotest.test_case "eq. (13) helper" `Quick test_c_bh_eff_eq13;
     Alcotest.test_case "example scenarios error-free" `Quick
       test_example_scenarios_error_free;

@@ -40,6 +40,10 @@ let () =
       ("obs.span", Test_span.suite);
       ("check.lint", Test_lint.suite);
       ("check.trace_oracle", Test_trace_oracle.suite);
+      ("core.admission", Test_admission.suite);
+      ("core.slot_plan", Test_slot_plan.suite);
+      ("analysis.bound", Test_bound.suite);
+      ("golden", Test_golden.suite);
       ("workload", Test_workload.suite);
       ("workload.trace_io", Test_trace_io.suite);
       ("stats", Test_stats.suite);

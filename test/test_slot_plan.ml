@@ -1,0 +1,75 @@
+module Slot_plan = Rthv_core.Slot_plan
+module Tdma = Rthv_core.Tdma
+
+let check_slots msg expected plan =
+  Alcotest.(check (array int)) msg expected (Slot_plan.slots plan)
+
+let test_static () =
+  let plan = Slot_plan.static [| 100; 200; 50 |] in
+  check_slots "slots preserved" [| 100; 200; 50 |] plan;
+  Alcotest.(check int) "partitions" 3 (Slot_plan.partitions plan);
+  Alcotest.(check int) "cycle" 350 (Slot_plan.cycle_length plan);
+  Alcotest.(check int) "compiled tdma cycle" 350
+    (Tdma.cycle_length (Slot_plan.tdma plan))
+
+let test_static_validation () =
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Slot_plan.static [||]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "non-positive slot rejected" true
+    (try
+       ignore (Slot_plan.static [| 100; 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_weighted_exact () =
+  (* 1000 over 2:3 splits exactly. *)
+  let plan = Slot_plan.weighted ~cycle:1_000 ~weights:[| 2; 3 |] in
+  check_slots "exact apportionment" [| 400; 600 |] plan;
+  Alcotest.(check int) "cycle conserved" 1_000 (Slot_plan.cycle_length plan)
+
+let test_weighted_remainders () =
+  (* 100 over 1:1:1 -> floors 33/33/33, one leftover cycle; the
+     largest-remainder order ties to the lowest index. *)
+  let plan = Slot_plan.weighted ~cycle:100 ~weights:[| 1; 1; 1 |] in
+  check_slots "remainder to lowest index" [| 34; 33; 33 |] plan
+
+let test_weighted_min_slot () =
+  (* A tiny weight must still get one cycle, lifted from the largest slot. *)
+  let plan = Slot_plan.weighted ~cycle:1_000 ~weights:[| 1; 10_000 |] in
+  let slots = Slot_plan.slots plan in
+  Alcotest.(check bool) "every slot positive" true
+    (Array.for_all (fun s -> s > 0) slots);
+  Alcotest.(check int) "cycle conserved" 1_000
+    (Array.fold_left ( + ) 0 slots)
+
+let test_weighted_validation () =
+  let rejected f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty weights" true
+    (rejected (fun () -> ignore (Slot_plan.weighted ~cycle:10 ~weights:[||])));
+  Alcotest.(check bool) "non-positive weight" true
+    (rejected (fun () ->
+         ignore (Slot_plan.weighted ~cycle:10 ~weights:[| 1; 0 |])));
+  Alcotest.(check bool) "cycle shorter than partitions" true
+    (rejected (fun () ->
+         ignore (Slot_plan.weighted ~cycle:2 ~weights:[| 1; 1; 1 |])))
+
+let test_deterministic () =
+  let mk () = Slot_plan.slots (Slot_plan.weighted ~cycle:977 ~weights:[| 3; 1; 5; 2 |]) in
+  Alcotest.(check (array int)) "same plan twice" (mk ()) (mk ())
+
+let suite =
+  [
+    Alcotest.test_case "static plan" `Quick test_static;
+    Alcotest.test_case "static validation" `Quick test_static_validation;
+    Alcotest.test_case "weighted: exact split" `Quick test_weighted_exact;
+    Alcotest.test_case "weighted: largest remainder" `Quick
+      test_weighted_remainders;
+    Alcotest.test_case "weighted: minimum one cycle per slot" `Quick
+      test_weighted_min_slot;
+    Alcotest.test_case "weighted validation" `Quick test_weighted_validation;
+    Alcotest.test_case "weighted apportionment is deterministic" `Quick
+      test_deterministic;
+  ]

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Source hygiene gate for CI: no tabs, no trailing whitespace, and a final
+# newline in every OCaml source file and dune stanza.  Deliberately
+# toolchain-free (no ocamlformat dependency) so it runs anywhere a POSIX
+# shell does; it checks the invariants that break diffs and blame, not
+# style preferences.
+#
+# Usage: tools/check_format.sh [ROOT]   (default: the repository root)
+
+set -u
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+status=0
+
+files=$(find "$root" \
+  -name _build -prune -o -name .git -prune -o \
+  \( -name '*.ml' -o -name '*.mli' -o -name 'dune' -o -name 'dune-project' \) \
+  -type f -print | LC_ALL=C sort)
+
+for f in $files; do
+  if grep -n "$(printf '\t')" "$f" >/dev/null; then
+    echo "$f: contains tab characters:" >&2
+    grep -n "$(printf '\t')" "$f" | head -3 >&2
+    status=1
+  fi
+  if grep -n ' $' "$f" >/dev/null; then
+    echo "$f: trailing whitespace:" >&2
+    grep -n ' $' "$f" | head -3 >&2
+    status=1
+  fi
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f" | od -An -c | tr -d ' ')" != '\n' ]; then
+    echo "$f: missing final newline" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "format check: $(echo "$files" | wc -l | tr -d ' ') files clean"
+else
+  echo "format check: FAILED" >&2
+fi
+exit $status
