@@ -76,7 +76,64 @@ let parse_grant spec =
   | _ ->
       Error (Printf.sprintf "bad grant %S (want name:dmin_us:cbh_eff_us)" spec)
 
-let main cycle_us ctx_us partition_specs grant_specs =
+(* Machine-readable artifact (--json): the closed-form certificate in the
+   same shape as the [closed_certificate] block of a full "rthv-cert/1"
+   proof artifact (rthv_lint --certify), so integrator tooling parses one
+   schema for both the CLI and the certified pipeline. *)
+let cert_to_json (cert : C.t) =
+  let module J = Rthv_obs.Json in
+  let task_result_to_json (task, result) =
+    J.Obj
+      [
+        ("task", J.String task.GS.name);
+        ("period", J.Int task.GS.period);
+        ("wcet", J.Int task.GS.wcet);
+        ( "result",
+          match result with
+          | Ok r ->
+              let module BW = Rthv_analysis.Busy_window in
+              J.Obj
+                [
+                  ("response_time", J.Int r.BW.response_time);
+                  ("q_max", J.Int r.BW.q_max);
+                  ("met", J.Bool (r.BW.response_time <= task.GS.period));
+                ]
+          | Error e -> J.Obj [ ("diverged", J.String e) ] );
+      ]
+  in
+  let verdict_to_json (v : C.verdict) =
+    J.Obj
+      [
+        ("index", J.Int v.C.v_index);
+        ("name", J.String v.C.v_name);
+        ("interference_budget", J.Int v.C.interference_budget);
+        ("utilisation_loss", J.Float v.C.utilisation_loss);
+        ("tasks", J.List (List.map task_result_to_json v.C.task_results));
+        ("schedulable", J.Bool v.C.schedulable);
+      ]
+  in
+  let grant_to_json (g : C.grant) =
+    J.Obj
+      [
+        ("source", J.String g.C.source_name);
+        ("c_bh_eff", J.Int g.C.c_bh_eff);
+        ("subscriber", J.Int g.C.subscriber);
+        ("d_min_entries", J.List
+           (List.map (fun d -> J.Int d)
+              (Array.to_list (DF.entries g.C.monitor))));
+      ]
+  in
+  J.Obj
+    [
+      ("schema", J.String "rthv-closed-cert/1");
+      ("cycle", J.Int cert.C.cycle);
+      ("c_ctx", J.Int cert.C.c_ctx);
+      ("grants", J.List (List.map grant_to_json cert.C.grants));
+      ("verdicts", J.List (List.map verdict_to_json cert.C.verdicts));
+      ("holds", J.Bool cert.C.holds);
+    ]
+
+let main cycle_us ctx_us partition_specs grant_specs json =
   let rec parse_list f i acc = function
     | [] -> Ok (List.rev acc)
     | spec :: rest -> (
@@ -109,7 +166,9 @@ let main cycle_us ctx_us partition_specs grant_specs =
         let cert =
           C.check ~cycle ~c_ctx:(Cycles.of_us ctx_us) ~partitions ~grants
         in
-        C.pp Format.std_formatter cert;
+        if json then
+          print_string (Rthv_obs.Json.to_string (cert_to_json cert) ^ "\n")
+        else C.pp Format.std_formatter cert;
         if cert.C.holds then 0 else 2
       end
 
@@ -139,6 +198,14 @@ let grants =
     & info [ "grant"; "g" ] ~docv:"NAME:DMIN_US:CBH_EFF_US"
         ~doc:"Interposition grant to audit.  Repeatable.")
 
+let json =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the certificate as a machine-readable JSON artifact \
+           (schema $(b,rthv-closed-cert/1)) instead of the text report.")
+
 let cmd =
   let doc =
     "audit sufficient temporal independence for a set of interposition \
@@ -147,6 +214,6 @@ let cmd =
   Cmd.v
     (Cmd.info "rthv_certify" ~doc ~exits:
        (Cmd.Exit.info 2 ~doc:"the certificate does not hold" :: Cmd.Exit.defaults))
-    Term.(const main $ cycle_us $ ctx_us $ partitions $ grants)
+    Term.(const main $ cycle_us $ ctx_us $ partitions $ grants $ json)
 
 let () = exit (Cmd.eval' cmd)

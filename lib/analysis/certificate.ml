@@ -31,6 +31,46 @@ type t = {
   holds : bool;
 }
 
+let analyse_curves ~cycle ~c_ctx ~partitions ~interference ~carry_in
+    ~utilisation_loss =
+  List.map
+    (fun p ->
+      let slot_eff = Cycles.( - ) p.slot c_ctx in
+      let budget = Cycles.( + ) (interference p.slot) carry_in in
+      if slot_eff <= 0 then
+        {
+          v_index = p.p_index;
+          v_name = p.p_name;
+          interference_budget = budget;
+          utilisation_loss;
+          task_results =
+            List.map (fun t -> (t, Error "slot shorter than C_ctx")) p.tasks;
+          schedulable = false;
+        }
+      else begin
+        let tdma = Tdma_interference.make ~cycle ~slot:slot_eff in
+        let task_results =
+          Guest_sched.analyse ~tdma ~interference ~blocking:carry_in p.tasks
+        in
+        let schedulable =
+          List.for_all
+            (fun ((task : Guest_sched.task), result) ->
+              match result with
+              | Ok r -> r.Busy_window.response_time <= task.Guest_sched.period
+              | Error _ -> false)
+            task_results
+        in
+        {
+          v_index = p.p_index;
+          v_name = p.p_name;
+          interference_budget = budget;
+          utilisation_loss;
+          task_results;
+          schedulable;
+        }
+      end)
+    partitions
+
 let check ~cycle ~c_ctx ~partitions ~grants =
   let curves =
     List.map
@@ -52,43 +92,8 @@ let check ~cycle ~c_ctx ~partitions ~grants =
       0. grants
   in
   let verdicts =
-    List.map
-      (fun p ->
-        let slot_eff = Cycles.( - ) p.slot c_ctx in
-        let budget = Cycles.( + ) (interference p.slot) carry_in in
-        if slot_eff <= 0 then
-          {
-            v_index = p.p_index;
-            v_name = p.p_name;
-            interference_budget = budget;
-            utilisation_loss;
-            task_results =
-              List.map (fun t -> (t, Error "slot shorter than C_ctx")) p.tasks;
-            schedulable = false;
-          }
-        else begin
-          let tdma = Tdma_interference.make ~cycle ~slot:slot_eff in
-          let task_results =
-            Guest_sched.analyse ~tdma ~interference ~blocking:carry_in p.tasks
-          in
-          let schedulable =
-            List.for_all
-              (fun ((task : Guest_sched.task), result) ->
-                match result with
-                | Ok r -> r.Busy_window.response_time <= task.Guest_sched.period
-                | Error _ -> false)
-              task_results
-          in
-          {
-            v_index = p.p_index;
-            v_name = p.p_name;
-            interference_budget = budget;
-            utilisation_loss;
-            task_results;
-            schedulable;
-          }
-        end)
-      partitions
+    analyse_curves ~cycle ~c_ctx ~partitions ~interference ~carry_in
+      ~utilisation_loss
   in
   {
     cycle;

@@ -61,5 +61,23 @@ val check :
     is analysed with its slot shortened by [c_ctx] (the slot-entry switch)
     and a blocking term of one largest [c_bh_eff] (carry-in). *)
 
+val analyse_curves :
+  cycle:Rthv_engine.Cycles.t ->
+  c_ctx:Rthv_engine.Cycles.t ->
+  partitions:partition_input list ->
+  interference:Independence.interference_curve ->
+  carry_in:Rthv_engine.Cycles.t ->
+  utilisation_loss:float ->
+  verdict list
+(** The certification core behind {!check}, generalised from δ⁻ grants to an
+    arbitrary summed interference curve — the entry point for policies whose
+    admitted stream carries no distance condition (token buckets, per-cycle
+    budgets, composites): pass the pointwise sum of their eq.-(14)-style
+    curves ({!Rthv_analysis.Bound.interference}) plus one carry-in.  [check]
+    is exactly [analyse_curves] applied to the grants' summed eq.-(14)
+    curves; the abstract interpreter ([Rthv_check.Absint]) calls this with
+    every shaped source's curve to close the bucket/budget blind spot of the
+    grant-only certificate. *)
+
 val pp : Format.formatter -> t -> unit
 (** Human-readable certificate. *)

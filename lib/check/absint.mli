@@ -1,0 +1,206 @@
+(** Interval-domain abstract interpreter over the policy-parameterized
+    configuration graph.
+
+    The linter's closed-form rules each evaluate one paper equation in
+    isolation; this module runs the whole configuration through a generic
+    worklist fixed-point and produces, for every source and partition, an
+    {e interval} of interference rather than a single bound:
+
+    - the {b upper} end is the proved eq.-(14)-style bound of the source's
+      admission policy ({!Rthv_analysis.Bound.interference}), [None] when no
+      bound exists (unshaped-opaque or degenerate conditions);
+    - the {b lower} end is the {e achievable} interference realised by the
+      greedy earliest-conforming adversarial schedule
+      ({!adversarial_schedule}, ROADMAP item 4's back-to-back δ⁻-conforming
+      burst) under the hypervisor's serialization rule (at most one
+      interposition in flight, so consecutive admissions are at least one
+      {!footprint} apart).
+
+    A refutation derived from the lower end is {e witnessable} — the
+    schedule that produced it replays through {!Rthv_core.Hyp_sim}
+    ({!Witness}); a certification derived from the upper end is
+    {e proof-carrying} — the certificate artifact re-derives it without
+    re-running the analysis ({!Certify}).
+
+    The fixed-point is genuinely a dataflow problem, not a map: a source's
+    eq.-(16) per-instance gate depends on which {e other} sources can
+    interpose at all, partition facts fold every source's interval, and the
+    system utilisation folds both — {!Fix.solve} propagates until stable.
+
+    The shared policy primitives ([c_bh_eff], [bound_policy], …) live here
+    and are re-exported by {!Lint} for compatibility. *)
+
+module Itv : sig
+  (** Closed integer intervals [\[lo, hi\]] with [hi = None] meaning
+      unbounded above.  [lo] is an achievability claim (a witness can
+      realise at least this much), [hi] a soundness claim (no run exceeds
+      it); [lo <= hi] is the analyzer's internal consistency invariant that
+      [Certify.recheck] re-validates. *)
+
+  type t = { lo : int; hi : int option }
+
+  val exact : int -> t
+  val between : int -> int -> t
+  val unbounded : lo:int -> t
+  val zero : t
+  val add : t -> t -> t
+  val scale : t -> int -> t
+  val join : t -> t -> t
+  (** Smallest interval containing both. *)
+
+  val consistent : t -> bool
+  (** [lo >= 0] and [lo <= hi] when bounded. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Fix : sig
+  (** A tiny generic worklist fixed-point solver over string-named nodes.
+      Deterministic: nodes are seeded in declaration order and re-queued
+      FIFO, so iteration counts and results are reproducible. *)
+
+  type 'a system = {
+    nodes : string list;  (** In evaluation-seed order. *)
+    deps : string -> string list;
+        (** Nodes whose value this node's transfer reads. *)
+    init : string -> 'a;
+    transfer : (string -> 'a) -> string -> 'a;
+        (** Recompute a node from current neighbour values. *)
+    equal : 'a -> 'a -> bool;
+  }
+
+  val solve : 'a system -> (string -> 'a) * int
+  (** Least fixed-point by worklist iteration; returns the solution and the
+      number of transfer applications.  @raise Failure on divergence (a
+      non-monotone system). *)
+end
+
+type verdict = Proved | Refuted | Unknown
+
+val verdict_name : verdict -> string
+
+type source_fact = {
+  sf_name : string;
+  sf_line : int;
+  sf_subscriber : int;
+  sf_policy : Rthv_analysis.Bound.policy;
+  sf_c_bh_eff : Rthv_engine.Cycles.t;  (** Equation (13). *)
+  sf_footprint : Rthv_engine.Cycles.t;
+      (** Serialized cost of one admitted interposition,
+          [C_TH + C_Mon + C'_BH]. *)
+  sf_degenerate : bool;
+      (** The static condition exists but admits unbounded load. *)
+  sf_active : bool;
+      (** The source can interpose at all: shaped, and its workload fires. *)
+  sf_per_instance : bool;
+      (** The eq.-(16) per-instance gate holds: the policy has a
+          per-instance condition {e and} no other active source interposes
+          (the sole-interposer assumption, RTHV016). *)
+  sf_admissions : (Rthv_engine.Cycles.t * Itv.t) list;
+      (** Per analysis window: interval of admitted interpositions. *)
+  sf_interference : (Rthv_engine.Cycles.t * Itv.t) list;
+      (** Per analysis window: interval of stolen time (eq. 14). *)
+  sf_ceiling : (Rthv_engine.Cycles.t * int) list;
+      (** Per analysis window: the serialization ceiling — more completions
+          than this cannot physically fit (RTHV019's slack detector). *)
+  sf_util_loss : float option;
+      (** Long-term utilisation loss claimed by the closed-form rules
+          (RTHV004's per-source term); [None] when unbounded/degenerate. *)
+  sf_workload_max_per_cycle : int option;
+      (** Densest aligned-cycle arrival count of the pre-generated workload
+          (RTHV015's envelope); [None] when the source never fires. *)
+}
+
+type partition_fact = {
+  pf_index : int;
+  pf_name : string;
+  pf_declared : Rthv_engine.Cycles.t;  (** The partition record's slot. *)
+  pf_slot : Rthv_engine.Cycles.t;  (** Effective slot actually scheduled. *)
+  pf_share : float;
+      (** TDMA supply share [(slot - C_ctx) / T_TDMA], 0 when the slot
+          cannot cover the entry switch. *)
+  pf_task_util : float;
+  pf_demand : float;
+      (** Task utilisation plus the sustained bottom-half demand of the
+          sources subscribed to this partition (RTHV020). *)
+  pf_interference : Itv.t;
+      (** Foreign-source interference interval in one slot window. *)
+  pf_verdict : verdict;
+      (** [Proved] iff the all-curves certificate holds and every
+          interferer is bounded; [Refuted] on a demand or certificate
+          refutation; [Unknown] when an unbounded interferer blocks both. *)
+}
+
+type t = {
+  cycle : Rthv_engine.Cycles.t;
+  c_ctx : Rthv_engine.Cycles.t;
+  windows : Rthv_engine.Cycles.t list;
+      (** The analysis windows: every distinct effective slot plus the
+          cycle, ascending — the same set the trace oracle's RTHV104
+          audits. *)
+  sources : source_fact list;  (** In configuration order. *)
+  partitions : partition_fact list;  (** In TDMA order. *)
+  util_loss_closed : float;
+      (** The closed-form total of RTHV004 — byte-compatible with the
+          pre-Absint rule. *)
+  util : float * float option;
+      (** Achievable/proved interval of total interference utilisation. *)
+  closed : Rthv_analysis.Certificate.t;
+      (** The grant-only certificate (RTHV005's proof obligation). *)
+  full_verdicts : Rthv_analysis.Certificate.verdict list option;
+      (** The interval certificate: every active source's policy curve
+          summed ({!Rthv_analysis.Certificate.analyse_curves}); [None] when
+          an active source has no curve (nothing can be proved). *)
+  iterations : int;  (** Transfer applications until the fixed-point. *)
+}
+
+val analyze : Rthv_core.Config.t -> t
+(** Run the abstract interpretation.  The configuration must pass
+    [Config.validate] (the linter's RTHV001 short-circuits before calling
+    this). *)
+
+(** {2 Shared policy primitives} *)
+
+val c_bh_eff :
+  platform:Rthv_hw.Platform.t -> c_bh:Rthv_engine.Cycles.t -> Rthv_engine.Cycles.t
+(** Equation (13): [C'_BH = C_BH + C_sched + 2*C_ctx]. *)
+
+val footprint :
+  platform:Rthv_hw.Platform.t ->
+  c_th:Rthv_engine.Cycles.t ->
+  c_bh_eff:Rthv_engine.Cycles.t ->
+  Rthv_engine.Cycles.t
+(** [C_TH + C_Mon + C'_BH]: the serialized wall-clock cost of one admitted
+    interposition, i.e. the minimum spacing at which back-to-back
+    activations are all admitted despite the
+    at-most-one-interposition-in-flight rule.  Used as the adversarial
+    schedule's [min_gap] and as RTHV019's physical ceiling. *)
+
+val static_condition :
+  Rthv_core.Config.shaping -> Rthv_analysis.Distance_fn.t option
+(** See {!Lint.static_condition}. *)
+
+val degenerate : Rthv_analysis.Distance_fn.t -> bool
+
+val shaped : Rthv_core.Config.source -> bool
+
+val bound_policy :
+  cycle:Rthv_engine.Cycles.t ->
+  Rthv_core.Config.shaping ->
+  Rthv_analysis.Bound.policy
+
+val adversarial_schedule :
+  policy:Rthv_analysis.Bound.policy ->
+  footprint:Rthv_engine.Cycles.t ->
+  horizon:Rthv_engine.Cycles.t ->
+  Rthv_engine.Cycles.t list
+(** Greedy earliest arrival times (ascending, starting at 1) admitted by the
+    policy when spaced at least [footprint] apart, up to [horizon].  Returns
+    [[]] for policies that never interpose ([Unshaped]) or whose admission
+    cannot be predicted ([Shaped_opaque]).  This is the witness
+    synthesizer's arrival source and the lower-interval generator: every
+    returned time is an admission the simulator will actually grant. *)
+
+val max_in_window :
+  Rthv_engine.Cycles.t list -> window:Rthv_engine.Cycles.t -> int
+(** Densest count of the (sorted) timestamps in any half-open window. *)

@@ -1,0 +1,36 @@
+(** Proof-carrying certification artifacts — schema ["rthv-cert/1"].
+
+    [rthv_lint --certify] runs the full pipeline (validation → {!Lint} →
+    {!Absint} → {!Witness}) once and serializes everything a reviewer
+    needs into one self-contained JSON artifact: the configuration (via
+    {!Config_codec}), the interval analysis (every per-window admission
+    and interference interval, per-partition verdicts), the sorted
+    deduplicated diagnostics, and — for every Error with a witness
+    channel — the synthesized adversarial arrival streams together with
+    the oracle's confirmation.
+
+    {!recheck} then re-validates an artifact {e without re-running the
+    analysis}: it re-derives the tamper digest, re-decodes and re-encodes
+    the embedded configuration, checks every serialized interval for
+    {!Absint.Itv.consistent}, checks verdict/diagnostic cross-consistency
+    and checks that every channelled Error carries a confirmed witness
+    whose arrival digest matches its streams.  A single flipped byte in
+    any load-bearing field breaks either the JSON, the digest, or a
+    consistency check. *)
+
+val schema : string
+(** ["rthv-cert/1"]. *)
+
+val build : ?scenario:string -> Rthv_core.Config.t -> (Rthv_obs.Json.t, string) result
+(** Produce the artifact.  Invalid configurations (RTHV001) certify with a
+    [null] analysis section and no witnesses; [Error _] only when the
+    configuration cannot serialize at all ({!Config_codec.to_json}). *)
+
+val build_string : ?scenario:string -> Rthv_core.Config.t -> (string, string) result
+
+val recheck : Rthv_obs.Json.t -> (unit, string list) result
+(** Structural re-validation; [Error vs] lists every violated obligation. *)
+
+val recheck_string : string -> (unit, string list) result
+(** Parse then {!recheck}; a parse failure is a one-element violation
+    list. *)

@@ -1,0 +1,34 @@
+(** JSON serialization of {!Rthv_core.Config.t} — the fleet interchange
+    format.
+
+    Batch linting ({!Fleet}) and the CI-generated config corpus need
+    configurations as files; this codec round-trips the analyzable surface
+    of a configuration through {!Rthv_obs.Json}:
+
+    - the named platforms ([arm926ejs_200mhz], [ideal]) by name;
+    - both slot plans, both boundary policies, both guest policies, both
+      arrival modes and all six shaping variants (δ⁻ functions as their
+      entry arrays);
+    - partitions with their guest task sets and sources with their
+      pre-generated interarrival streams.
+
+    Hypervisor IPC ports, task IPC endpoints and task-activating sources
+    do not serialize (no fleet scenario uses them); {!to_json} refuses
+    such configurations rather than dropping fields silently.  Decoding is
+    structural only — a decoded configuration may still fail
+    {!Rthv_core.Config.validate}, which is exactly what lint rule RTHV001
+    reports. *)
+
+val to_json : Rthv_core.Config.t -> (Rthv_obs.Json.t, string) result
+(** [Error _] on unnamed platforms or configurations using the
+    non-serializable features listed above. *)
+
+val to_string : Rthv_core.Config.t -> (string, string) result
+(** [to_json] rendered to a string. *)
+
+val of_json : Rthv_obs.Json.t -> (Rthv_core.Config.t, string) result
+(** Decode; missing [boundary]/[plan]/[shaping]/[arrival_mode]/[tasks]
+    fields take the same defaults as the {!Rthv_core.Config} constructors. *)
+
+val of_string : string -> (Rthv_core.Config.t, string) result
+(** Parse then {!of_json}. *)

@@ -37,6 +37,15 @@ let sort diagnostics =
       | c -> c)
     diagnostics
 
+let dedupe diagnostics =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | (d', n) :: rest when d' = d -> (d', n + 1) :: rest
+      | _ -> (d, 1) :: acc)
+    [] (sort diagnostics)
+  |> List.rev
+
 let pp ppf d =
   Format.fprintf ppf "%s[%s] %s: %s" (severity_name d.severity) d.code d.loc
     d.message;
@@ -44,8 +53,18 @@ let pp ppf d =
   | Some hint -> Format.fprintf ppf "@.  hint: %s" hint
   | None -> ()
 
+let pp_counted ppf (d, n) =
+  Format.fprintf ppf "%s[%s] %s: %s" (severity_name d.severity) d.code d.loc
+    d.message;
+  if n > 1 then Format.fprintf ppf "  (x%d)" n;
+  match d.hint with
+  | Some hint -> Format.fprintf ppf "@.  hint: %s" hint
+  | None -> ()
+
 let pp_report ppf diagnostics =
-  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) (sort diagnostics);
+  List.iter
+    (fun entry -> Format.fprintf ppf "%a@." pp_counted entry)
+    (dedupe diagnostics);
   Format.fprintf ppf "%d error(s), %d warning(s), %d info@."
     (count Error diagnostics)
     (count Warning diagnostics)

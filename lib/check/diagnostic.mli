@@ -33,11 +33,21 @@ val count : severity -> t list -> int
 val sort : t list -> t list
 (** Stable sort, most severe first, then by code and location. *)
 
+val dedupe : t list -> (t * int) list
+(** {!sort}, then collapse runs of identical findings (all fields equal)
+    into one entry with its multiplicity — the deterministic, deduplicated
+    view the CLI renders and the certificate serializes. *)
+
 val pp : Format.formatter -> t -> unit
 (** One finding: ["error[RTHV005] partition ctl: message" + hint line]. *)
 
+val pp_counted : Format.formatter -> t * int -> unit
+(** {!pp} with an ["  (xN)"] multiplicity suffix when [N > 1]. *)
+
 val pp_report : Format.formatter -> t list -> unit
-(** All findings (sorted) followed by a one-line severity tally. *)
+(** All findings, {!dedupe}d (sorted, repeats collapsed with a
+    multiplicity suffix), followed by a one-line severity tally over the
+    {e full} list — so the totals still count every occurrence. *)
 
 val to_json : ?extra:(string * string) list -> t -> string
 (** One JSON object; [extra] prepends additional string fields (e.g. the

@@ -1,0 +1,191 @@
+module Config = Rthv_core.Config
+module Gen = Rthv_workload.Gen
+module Par = Rthv_par.Par
+module D = Diagnostic
+
+(* --- deterministic fleet generation -------------------------------------- *)
+
+(* Splitmix-style avalanche; the whole fleet derives from (seed, index)
+   through this, so generation is reproducible on any host. *)
+let mix x =
+  let x = x land max_int in
+  let x = (x lxor (x lsr 30)) * 0x5851f42d4c957f2d land max_int in
+  let x = (x lxor (x lsr 27)) * 0x14057b7ef767814f land max_int in
+  x lxor (x lsr 31)
+
+type rng = { mutable state : int }
+
+let rng ~seed i = { state = mix ((seed * 0x9e3779b9) lxor mix i) }
+
+let next r =
+  r.state <- mix (r.state + 0x9e3779b9);
+  r.state
+
+(* Uniform in [lo, hi], inclusive. *)
+let pick r lo hi = lo + (next r mod (hi - lo + 1))
+
+let gen_tasks r =
+  List.init (pick r 0 2) (fun k ->
+      let period_us = pick r 10 60 * 1_000 in
+      Rthv_rtos.Task.spec
+        ~name:(Printf.sprintf "t%d" k)
+        ~period_us
+        ~wcet_us:(pick r 1 (Stdlib.max 1 (period_us / 8_000)) * 500)
+        ~priority:(k + 1) ())
+
+let gen_shaping r ~cycle_us =
+  match pick r 0 4 with
+  | 0 -> Config.No_shaping
+  | 1 ->
+      let d_min_us = pick r 1 8 * 500 in
+      Config.Fixed_monitor
+        (Rthv_analysis.Distance_fn.d_min (d_min_us * 200))
+  | 2 ->
+      Config.Token_bucket
+        { capacity = pick r 1 4; refill = pick r 2 20 * 100 * 200 }
+  | 3 -> Config.Budgeted { per_cycle = pick r 2 16 }
+  | _ ->
+      let d_min_us = Stdlib.max 200 (cycle_us / pick r 4 16) in
+      Config.Monitor_and_bucket
+        {
+          fn = Rthv_analysis.Distance_fn.d_min (d_min_us * 200);
+          capacity = pick r 1 3;
+          refill = pick r 5 30 * 100 * 200;
+        }
+
+let gen_workload r =
+  let count = pick r 32 128 in
+  match pick r 0 2 with
+  | 0 -> Gen.constant ~period:(pick r 2 12 * 500 * 200) ~count
+  | 1 ->
+      Gen.exponential ~seed:(next r land 0xffff) ~mean:(pick r 2 10 * 1_000 * 200)
+        ~count
+  | _ ->
+      Gen.bursty ~seed:(next r land 0xffff) ~burst_len:(pick r 2 5)
+        ~inner:(pick r 1 4 * 100 * 200)
+        ~gap_mean:(pick r 4 12 * 1_000 * 200)
+        ~count
+
+let gen_config ~seed i =
+  let r = rng ~seed i in
+  let n_parts = pick r 2 4 in
+  let slots_us = List.init n_parts (fun _ -> pick r 4 20 * 500) in
+  let partitions =
+    List.mapi
+      (fun k slot_us ->
+        Config.partition
+          ~name:(Printf.sprintf "p%d" k)
+          ~slot_us ~tasks:(gen_tasks r) ())
+      slots_us
+  in
+  let cycle_us = List.fold_left ( + ) 0 slots_us in
+  let plan =
+    if pick r 0 3 = 0 then
+      Config.Weighted_plan
+        {
+          cycle = cycle_us * 200;
+          weights = Array.init n_parts (fun _ -> pick r 1 8);
+        }
+    else Config.Partition_slots
+  in
+  let n_sources = pick r 1 3 in
+  let sources =
+    List.init n_sources (fun line ->
+        Config.source
+          ~name:(Printf.sprintf "irq%d" line)
+          ~line
+          ~subscriber:(pick r 0 (n_parts - 1))
+          ~c_th_us:(pick r 2 8)
+          ~c_bh_us:(pick r 1 15 * 10)
+          ~interarrivals:(gen_workload r)
+          ~shaping:(gen_shaping r ~cycle_us)
+          ())
+  in
+  let boundary =
+    if pick r 0 3 = 0 then Rthv_core.Boundary_policy.Strict_cut
+    else Rthv_core.Boundary_policy.Finish_bottom_handler
+  in
+  Config.make ~plan ~boundary ~partitions ~sources ()
+
+let gen_batch ~seed ~count =
+  List.init count (fun i ->
+      (Printf.sprintf "cfg-%04d" i, gen_config ~seed i))
+
+(* --- directory IO -------------------------------------------------------- *)
+
+let write_batch ~dir configs =
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (name, config) ->
+        match Config_codec.to_string config with
+        | Error e -> failwith (Printf.sprintf "%s: %s" name e)
+        | Ok s ->
+            let oc = open_out (Filename.concat dir (name ^ ".json")) in
+            output_string oc s;
+            output_char oc '\n';
+            close_out oc)
+      configs;
+    Ok (List.length configs)
+  with
+  | Failure e -> Error e
+  | Sys_error e -> Error e
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error e -> Error e
+  | entries ->
+      let files =
+        Array.to_list entries
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.sort String.compare
+      in
+      List.fold_left
+        (fun acc file ->
+          Result.bind acc (fun acc ->
+              let path = Filename.concat dir file in
+              let ic = open_in_bin path in
+              let n = in_channel_length ic in
+              let s = really_input_string ic n in
+              close_in ic;
+              match Config_codec.of_string s with
+              | Ok config -> Ok ((Filename.chop_suffix file ".json", config) :: acc)
+              | Error e -> Error (Printf.sprintf "%s: %s" file e)))
+        (Ok []) files
+      |> Result.map List.rev
+
+(* --- batch runs ---------------------------------------------------------- *)
+
+let lint_batch ?pool configs =
+  Par.map ?pool
+    (fun (name, config) -> (name, Lint.analyze config))
+    configs
+
+let certify_batch ?pool configs =
+  Par.map ?pool
+    (fun (name, config) -> (name, Certify.build_string ~scenario:name config))
+    configs
+
+let report results =
+  let buf = Buffer.create 4096 in
+  let te = ref 0 and tw = ref 0 and ti = ref 0 in
+  List.iter
+    (fun (name, diags) ->
+      let e = D.count D.Error diags
+      and w = D.count D.Warning diags
+      and i = D.count D.Info diags in
+      te := !te + e;
+      tw := !tw + w;
+      ti := !ti + i;
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %d error(s), %d warning(s), %d info\n" name e w i);
+      List.iter
+        (fun entry ->
+          Buffer.add_string buf
+            (Format.asprintf "  %a@." D.pp_counted entry))
+        (D.dedupe diags))
+    results;
+  Buffer.add_string buf
+    (Printf.sprintf "batch: %d config(s), %d error(s), %d warning(s), %d info\n"
+       (List.length results) !te !tw !ti);
+  Buffer.contents buf

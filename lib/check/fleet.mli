@@ -1,0 +1,49 @@
+(** Config-fleet batch linting and certification ([rthv_lint --batch]).
+
+    A fleet is a directory of {!Config_codec} JSON files.  Batch runs fan
+    the per-config pipeline (lint, or lint + certify) over
+    {!Rthv_par.Par.map}'s domain pool — each configuration is
+    self-contained, so the sweep parallelises without sharing state, and
+    because the pool is order-preserving the rendered report and every
+    written artifact are {e byte-identical at any job count} ([--jobs 1]
+    and [--jobs 8] diff clean).
+
+    {!gen_batch} derives a deterministic synthetic fleet from a seed (the
+    CI corpus): partition counts, slot plans, task sets, shaping policies
+    and workloads are all drawn from a splitmix-style hash of
+    [(seed, index)], so the same seed always yields the same configs. *)
+
+val gen_config : seed:int -> int -> Rthv_core.Config.t
+(** The deterministic config for fleet index [i] under [seed]; mixes
+    partition counts (2–4), both slot plans, guest task sets and all
+    shaping families so a batch exercises every analysis path. *)
+
+val gen_batch : seed:int -> count:int -> (string * Rthv_core.Config.t) list
+(** [("cfg-0000", _); ...] — {!gen_config} over [0 .. count-1]. *)
+
+val write_batch :
+  dir:string -> (string * Rthv_core.Config.t) list -> (int, string) result
+(** Serialize each config to [dir/<name>.json] (creating [dir]); returns
+    the number written. *)
+
+val load_dir : string -> ((string * Rthv_core.Config.t) list, string) result
+(** Read every [*.json] in the directory (sorted by name) through
+    {!Config_codec.of_string}.  A file that fails to parse or decode fails
+    the whole load with its filename in the message. *)
+
+val lint_batch :
+  ?pool:Rthv_par.Par.pool ->
+  (string * Rthv_core.Config.t) list ->
+  (string * Diagnostic.t list) list
+(** {!Lint.analyze} per config on the pool, input order preserved. *)
+
+val certify_batch :
+  ?pool:Rthv_par.Par.pool ->
+  (string * Rthv_core.Config.t) list ->
+  (string * (string, string) result) list
+(** {!Certify.build_string} per config on the pool — the expensive fan-out
+    (each certificate replays its witnesses). *)
+
+val report : (string * Diagnostic.t list) list -> string
+(** Deterministic plain-text batch report: per config a one-line tally,
+    then each deduplicated finding, then a fleet-wide summary line. *)

@@ -9,51 +9,15 @@ module Bound = Rthv_analysis.Bound
 module GS = Rthv_analysis.Guest_sched
 module D = Diagnostic
 
-let c_bh_eff ~platform ~c_bh =
-  Cycles.( + ) c_bh
-    (Cycles.( + )
-       (Platform.sched_manip_cost platform)
-       (Cycles.( * ) (Platform.ctx_switch_cost platform) 2))
-
-(* The statically known envelope of the admitted stream.  A self-learning
-   monitor without a load bound has no static envelope; a bounded one admits
-   at most what the bound allows (Algorithm 2 raises every learned entry to
-   the bound, so conformance to the adjusted condition implies conformance
-   to the bound).  A composite inherits its monitored component's envelope;
-   a budget maintains no distance condition. *)
-let static_condition = function
-  | Config.Fixed_monitor fn -> Some fn
-  | Config.Self_learning { bound = Some b; _ } -> Some b
-  | Config.Monitor_and_bucket { fn; _ } -> Some fn
-  | Config.Self_learning { bound = None; _ }
-  | Config.No_shaping | Config.Token_bucket _ | Config.Budgeted _ ->
-      None
-
-let shaped source =
-  match source.Config.shaping with
-  | Config.No_shaping -> false
-  | Config.Fixed_monitor _ | Config.Self_learning _ | Config.Token_bucket _
-  | Config.Budgeted _ | Config.Monitor_and_bucket _ ->
-      true
-
-(* The analysis-side descriptor of a shaping policy: the single point where
-   configuration variants map onto [Bound.policy], shared by this linter,
-   the trace oracle and the headroom gate. *)
-let bound_policy ~cycle = function
-  | Config.No_shaping -> Bound.Unshaped
-  | Config.Fixed_monitor fn -> Bound.Monitored fn
-  | Config.Self_learning { bound = Some b; _ } -> Bound.Monitored b
-  | Config.Self_learning { bound = None; _ } -> Bound.Shaped_opaque
-  | Config.Token_bucket { capacity; refill } ->
-      Bound.Bucketed { capacity; refill }
-  | Config.Budgeted { per_cycle } -> Bound.Budgeted { per_cycle; cycle }
-  | Config.Monitor_and_bucket { fn; capacity; refill } ->
-      Bound.Composite
-        [ Bound.Monitored fn; Bound.Bucketed { capacity; refill } ]
-
-(* A condition whose superadditive extension never grows admits an unbounded
-   number of events in some finite window: eq. (14) yields no bound. *)
-let degenerate fn = DF.delta fn (DF.length fn + 1) = 0
+(* The policy primitives live in Absint (the abstract interpreter needs them
+   below this module in the dependency order); re-exported here because the
+   trace oracle, the headroom gate and the scenarios all import them from
+   Lint. *)
+let c_bh_eff = Absint.c_bh_eff
+let static_condition = Absint.static_condition
+let shaped = Absint.shaped
+let bound_policy = Absint.bound_policy
+let degenerate = Absint.degenerate
 
 type ctx = {
   config : Config.t;
@@ -62,6 +26,9 @@ type ctx = {
   slots : Cycles.t array;
       (* effective per-partition slot lengths — [Config.effective_slots], so
          weighted plans are linted against the schedule actually run *)
+  ai : Absint.t;
+      (* the interval analysis: closed-form rules read its facts, the
+         whole-config rules (RTHV016..020) exist because of it *)
 }
 
 let source_loc (s : Config.source) = Printf.sprintf "source %s" s.Config.name
@@ -70,6 +37,12 @@ let partition_loc (p : Config.partition) =
 
 let eff ctx (s : Config.source) =
   c_bh_eff ~platform:ctx.config.Config.platform ~c_bh:s.Config.c_bh
+
+(* Facts are produced in configuration order; pair them back with the
+   declarations they describe. *)
+let source_facts ctx = List.combine ctx.config.Config.sources ctx.ai.Absint.sources
+let partition_facts ctx =
+  List.combine ctx.config.Config.partitions ctx.ai.Absint.partitions
 
 (* RTHV002: a slot that cannot even cover the slot-entry context switch
    provides zero service; the TDMA supply bound (eq. 8) is vacuous. *)
@@ -90,55 +63,28 @@ let rule_slot_covers_ctx ctx =
        ctx.config.Config.partitions)
 
 (* RTHV003: eq. (14) reads I(dt) = eta+_monitor(dt) * C'_BH; a degenerate
-   condition has eta+ = infinity for any positive window. *)
+   condition has eta+ = infinity for any positive window.  The abstract
+   interpretation records exactly this as an unbounded interference
+   interval. *)
 let rule_monitor_bounded ctx =
   List.filter_map
-    (fun (s : Config.source) ->
-      match static_condition s.Config.shaping with
-      | Some fn when degenerate fn ->
-          Some
-            (D.error ~code:"RTHV003" ~loc:(source_loc s)
-               ~hint:"use a positive d_min (or load bound) so eq. (14) bounds \
-                      the interference"
-               "monitoring condition admits unbounded load: every delta^- \
-                entry is 0, so the eq.-(14) interference bound does not exist")
-      | Some _ | None -> None)
-    ctx.config.Config.sources
+    (fun ((s : Config.source), (f : Absint.source_fact)) ->
+      if f.Absint.sf_degenerate then
+        Some
+          (D.error ~code:"RTHV003" ~loc:(source_loc s)
+             ~hint:"use a positive d_min (or load bound) so eq. (14) bounds \
+                    the interference"
+             "monitoring condition admits unbounded load: every delta^- \
+              entry is 0, so the eq.-(14) interference bound does not exist")
+      else None)
+    (source_facts ctx)
 
 (* RTHV004: long-term processor share stolen by all grants together.  At
    >= 1.0 the interposed handlers alone overload the core; eq. (2) cannot
-   hold for any partition. *)
+   hold for any partition.  The total is the abstract interpreter's
+   closed-form utilisation fold. *)
 let rule_interference_utilisation ctx =
-  let source_loss (s : Config.source) =
-    let monitor_loss fn =
-      if degenerate fn then None
-      else
-        Some (Independence.utilisation_loss ~monitor:fn ~c_bh_eff:(eff ctx s))
-    in
-    match s.Config.shaping with
-    | Config.Token_bucket { refill; _ } ->
-        Some (float_of_int (eff ctx s) /. float_of_int refill)
-    | Config.Budgeted { per_cycle } ->
-        Some
-          (float_of_int (per_cycle * eff ctx s) /. float_of_int ctx.cycle)
-    | Config.Monitor_and_bucket { fn; refill; _ } ->
-        (* The admitted stream satisfies both components: the smaller
-           long-term loss governs. *)
-        let bucket = float_of_int (eff ctx s) /. float_of_int refill in
-        Some
-          (match monitor_loss fn with
-          | Some m -> Float.min m bucket
-          | None -> bucket)
-    | shaping -> (
-        match static_condition shaping with
-        | Some fn -> monitor_loss fn
-        | None -> None)
-  in
-  let loss =
-    List.fold_left
-      (fun acc s -> acc +. Option.value ~default:0. (source_loss s))
-      0. ctx.config.Config.sources
-  in
+  let loss = ctx.ai.Absint.util_loss_closed in
   if loss >= 1. -. 1e-9 then
     [
       D.error ~code:"RTHV004" ~loc:"system"
@@ -152,55 +98,27 @@ let rule_interference_utilisation ctx =
     ]
   else []
 
+let failing_tasks (v : Certificate.verdict) =
+  List.filter_map
+    (fun ((task : GS.task), result) ->
+      match result with
+      | Ok r when r.Rthv_analysis.Busy_window.response_time <= task.GS.period
+        -> None
+      | Ok _ | Error _ -> Some task.GS.name)
+    v.Certificate.task_results
+
 (* RTHV005: the full certification argument — eq. (2) with eq.-(14)
    interference, checked through the busy-window analysis of Guest_sched.
    This is a proof obligation, not a heuristic: the rule fails exactly when
-   Certificate.check does. *)
+   the abstract interpreter's grant-only certificate does. *)
 let rule_certificate ctx =
-  let grants =
-    List.filter_map
-      (fun (s : Config.source) ->
-        match static_condition s.Config.shaping with
-        | Some fn when not (degenerate fn) ->
-            Some
-              {
-                Certificate.source_name = s.Config.name;
-                monitor = fn;
-                c_bh_eff = eff ctx s;
-                subscriber = s.Config.subscriber;
-              }
-        | Some _ | None -> None)
-      ctx.config.Config.sources
-  in
-  let partitions =
-    List.mapi
-      (fun i (p : Config.partition) ->
-        {
-          Certificate.p_index = i;
-          p_name = p.Config.pname;
-          slot = ctx.slots.(i);
-          tasks = List.map GS.of_spec p.Config.tasks;
-        })
-      ctx.config.Config.partitions
-  in
-  let cert =
-    Certificate.check ~cycle:ctx.cycle ~c_ctx:ctx.c_ctx ~partitions ~grants
-  in
+  let cert = ctx.ai.Absint.closed in
   List.filter_map
     (fun (v : Certificate.verdict) ->
       let slot = ctx.slots.(v.Certificate.v_index) in
       if v.Certificate.schedulable || slot <= ctx.c_ctx (* RTHV002's case *)
       then None
       else
-        let failing =
-          List.filter_map
-            (fun ((task : GS.task), result) ->
-              match result with
-              | Ok r when r.Rthv_analysis.Busy_window.response_time <= task.GS.period
-                -> None
-              | Ok _ | Error _ -> Some task.GS.name)
-            v.Certificate.task_results
-        in
         Some
           (D.error ~code:"RTHV005"
              ~loc:(Printf.sprintf "partition %s" v.Certificate.v_name)
@@ -211,34 +129,31 @@ let rule_certificate ctx =
                  grants' eq.-(14) interference budget %s (eq. 2 violated): \
                  failing task(s) %s"
                 (Format.asprintf "%a" Cycles.pp v.Certificate.interference_budget)
-                (String.concat ", " failing))))
+                (String.concat ", " (failing_tasks v)))))
     cert.Certificate.verdicts
 
 (* RTHV006: a necessary condition cheaper than the certificate — demand
-   above the partition's TDMA share can never converge. *)
+   above the partition's TDMA share can never converge.  Share and task
+   utilisation come straight from the partition facts. *)
 let rule_partition_utilisation ctx =
-  List.concat
-    (List.mapi
-       (fun i (p : Config.partition) ->
-         if ctx.slots.(i) <= ctx.c_ctx then []
-         else
-           let share =
-             float_of_int (Cycles.( - ) ctx.slots.(i) ctx.c_ctx)
-             /. float_of_int ctx.cycle
-           in
-           let u = Task.utilisation p.Config.tasks in
-           if u > share +. 1e-9 then
-             [
-               D.error ~code:"RTHV006" ~loc:(partition_loc p)
-                 ~hint:"the slot share is (T_i - C_ctx) / T_TDMA; lengthen \
-                        the slot or lighten the tasks"
-                 (Printf.sprintf
-                    "task utilisation %.1f%% exceeds the partition's TDMA \
-                     share %.1f%%: unschedulable regardless of interference"
-                    (100. *. u) (100. *. share));
-             ]
-           else [])
-       ctx.config.Config.partitions)
+  List.concat_map
+    (fun ((p : Config.partition), (pf : Absint.partition_fact)) ->
+      if pf.Absint.pf_slot <= ctx.c_ctx then []
+      else
+        let share = pf.Absint.pf_share in
+        let u = pf.Absint.pf_task_util in
+        if u > share +. 1e-9 then
+          [
+            D.error ~code:"RTHV006" ~loc:(partition_loc p)
+              ~hint:"the slot share is (T_i - C_ctx) / T_TDMA; lengthen \
+                     the slot or lighten the tasks"
+              (Printf.sprintf
+                 "task utilisation %.1f%% exceeds the partition's TDMA \
+                  share %.1f%%: unschedulable regardless of interference"
+                 (100. *. u) (100. *. share));
+          ]
+        else [])
+    (partition_facts ctx)
 
 (* RTHV007: self-learning monitors that can never do useful work. *)
 let rule_learning_useful ctx =
@@ -381,15 +296,20 @@ let rule_handler_fits_slot ctx =
     ctx.config.Config.sources
 
 (* RTHV013: a budgeted grant large enough to consume a whole foreign slot.
-   The aligned-window bound (Independence.budget_bound) over a window of one
-   slot length caps the stolen time; if that cap meets or exceeds the slot,
-   a single slot instance can be starved entirely — the per-slot analogue of
+   The source fact's proved interference interval over a window of one slot
+   length caps the stolen time; if that cap meets or exceeds the slot, a
+   single slot instance can be starved entirely — the per-slot analogue of
    RTHV004's long-term overload. *)
 let rule_budget_fits_slots ctx =
   List.filter_map
-    (fun (s : Config.source) ->
+    (fun ((s : Config.source), (f : Absint.source_fact)) ->
       match s.Config.shaping with
       | Config.Budgeted { per_cycle } ->
+          let stolen_in slot =
+            match List.assoc_opt slot f.Absint.sf_interference with
+            | Some { Absint.Itv.hi = Some hi; _ } -> hi
+            | Some { Absint.Itv.hi = None; _ } | None -> 0
+          in
           let starved =
             List.concat
               (List.mapi
@@ -398,12 +318,8 @@ let rule_budget_fits_slots ctx =
                      (* interpositions steal only from foreign slots *)
                    else
                      let slot = ctx.slots.(i) in
-                     if
-                       slot > 0
-                       && Independence.budget_bound ~per_cycle ~cycle:ctx.cycle
-                            ~c_bh_eff:(eff ctx s) slot
-                          >= slot
-                     then [ p.Config.pname ]
+                     if slot > 0 && stolen_in slot >= slot then
+                       [ p.Config.pname ]
                      else [])
                  ctx.config.Config.partitions)
           in
@@ -418,10 +334,10 @@ let rule_budget_fits_slots ctx =
                      consume the entire slot of partition(s) %s in the worst \
                      case"
                     per_cycle
-                    (Format.asprintf "%a" Cycles.pp (eff ctx s))
+                    (Format.asprintf "%a" Cycles.pp f.Absint.sf_c_bh_eff)
                     (String.concat ", " starved)))
       | _ -> None)
-    ctx.config.Config.sources
+    (source_facts ctx)
 
 (* RTHV014: how the composite's bucket relates to its monitor — either the
    bucket is provably vacuous (policy degenerates to the monitor alone, the
@@ -462,51 +378,201 @@ let rule_composite_bucket ctx =
 
 (* RTHV015: a budget the workload can never exhaust is dead configuration —
    admission degenerates to always-admit while still paying C_Mon per
-   check. *)
+   check.  The workload's densest aligned-cycle window is a source fact. *)
 let rule_budget_binds ctx =
   List.filter_map
-    (fun (s : Config.source) ->
-      match s.Config.shaping with
-      | Config.Budgeted { per_cycle }
-        when Array.length s.Config.interarrivals > 0 ->
-          (* Earliest possible arrival times are the running distance sums
-             (top-handler reprogramming only spreads them further apart);
-             the densest aligned cycle window over those times bounds how
-             many admissions the workload can ever request per window. *)
-          let n = Array.length s.Config.interarrivals in
-          let times = Array.make n 0 in
-          let acc = ref 0 in
-          Array.iteri
-            (fun i d ->
-              acc := Cycles.( + ) !acc d;
-              times.(i) <- !acc)
-            s.Config.interarrivals;
-          let max_per_window = ref 0 in
-          let count = ref 0 in
-          let window = ref (-1) in
-          Array.iter
-            (fun ts ->
-              let w = ts / ctx.cycle in
-              if w <> !window then begin
-                window := w;
-                count := 0
-              end;
-              incr count;
-              if !count > !max_per_window then max_per_window := !count)
-            times;
-          if !max_per_window <= per_cycle then
-            Some
-              (D.info ~code:"RTHV015" ~loc:(source_loc s)
-                 ~hint:"shrink per_cycle until it can bind, or drop the \
-                        budget and save the C_Mon checks"
-                 (Printf.sprintf
-                    "interposition budget never binds: the workload requests \
-                     at most %d admissions in any aligned TDMA-cycle window \
-                     but the budget allows %d"
-                    !max_per_window per_cycle))
-          else None
+    (fun ((s : Config.source), (f : Absint.source_fact)) ->
+      match (s.Config.shaping, f.Absint.sf_workload_max_per_cycle) with
+      | Config.Budgeted { per_cycle }, Some max_per_window
+        when max_per_window <= per_cycle ->
+          Some
+            (D.info ~code:"RTHV015" ~loc:(source_loc s)
+               ~hint:"shrink per_cycle until it can bind, or drop the \
+                      budget and save the C_Mon checks"
+               (Printf.sprintf
+                  "interposition budget never binds: the workload requests \
+                   at most %d admissions in any aligned TDMA-cycle window \
+                   but the budget allows %d"
+                  max_per_window per_cycle))
       | _ -> None)
-    ctx.config.Config.sources
+    (source_facts ctx)
+
+(* RTHV016: eq. (16) is a sole-interposer argument — it bounds the latency
+   of an admitted activation assuming no other source's interposition can
+   queue ahead of it.  The moment a second shaped source is active, an
+   admitted activation can wait behind a foreign bottom handler (hypervisor
+   work is serialized) and exceed the per-instance bound. *)
+let rule_sole_interposer ctx =
+  let facts = List.map snd (source_facts ctx) in
+  List.filter_map
+    (fun ((s : Config.source), (f : Absint.source_fact)) ->
+      let has_condition =
+        match Bound.per_instance_condition f.Absint.sf_policy with
+        | Some fn -> not (degenerate fn)
+        | None -> false
+      in
+      let others =
+        List.filter_map
+          (fun (o : Absint.source_fact) ->
+            if o.Absint.sf_name <> f.Absint.sf_name && o.Absint.sf_active then
+              Some o.Absint.sf_name
+            else None)
+          facts
+      in
+      if has_condition && f.Absint.sf_active && others <> [] then
+        Some
+          (D.warning ~code:"RTHV016" ~loc:(source_loc s)
+             ~hint:"latency verdicts for interposed completions fall back \
+                    to the monitored baseline; drop the other grants to \
+                    restore eq. (16)"
+             (Printf.sprintf
+                "eq.-(16) per-instance bound assumes this source is the \
+                 sole interposer, but %d other shaped source(s) (%s) can \
+                 interpose: cross-source queueing can delay an admitted \
+                 activation past the per-instance bound"
+                (List.length others)
+                (String.concat ", " others)))
+      else None)
+    (source_facts ctx)
+
+(* RTHV017: a weighted plan ignores the partitions' declared slot fields.
+   When the apportioned slot can no longer complete one bottom handler that
+   the declared slot could, the plan — not the handler — starves the
+   subscriber: every execution in its own slot now spans slot boundaries. *)
+let rule_weighted_starves_subscriber ctx =
+  match ctx.config.Config.plan with
+  | Config.Partition_slots -> []
+  | Config.Weighted_plan _ ->
+      List.filter_map
+        (fun (s : Config.source) ->
+          match
+            List.nth_opt ctx.config.Config.partitions s.Config.subscriber
+          with
+          | None -> None (* RTHV001 territory *)
+          | Some p ->
+              let declared = p.Config.slot in
+              let effective = ctx.slots.(s.Config.subscriber) in
+              let fits slot = s.Config.c_bh <= Cycles.( - ) slot ctx.c_ctx in
+              if fits declared && not (fits effective) then
+                Some
+                  (D.error ~code:"RTHV017" ~loc:(source_loc s)
+                     ~hint:"raise the subscriber's weight or shrink C_BH; \
+                            declared slot fields are ignored under a \
+                            weighted plan"
+                     (Format.asprintf
+                        "weighted plan starves subscriber %s: the bottom \
+                         handler (%a) fits the declared slot (%a, %a after \
+                         C_ctx) but not the effective weighted slot (%a, %a \
+                         after C_ctx)"
+                        p.Config.pname Cycles.pp s.Config.c_bh Cycles.pp
+                        declared Cycles.pp
+                        (Cycles.( - ) declared ctx.c_ctx)
+                        Cycles.pp effective Cycles.pp
+                        (Cycles.( - ) effective ctx.c_ctx)))
+              else None)
+        ctx.config.Config.sources
+
+(* RTHV018: the grant-only certificate (RTHV005) counts only delta^-
+   monitored sources; buckets and budgets interfere just as physically.  The
+   interval certificate sums every active policy's curve — when it refutes a
+   partition the closed form passed, the configuration is certified by a
+   blind spot, not by an argument. *)
+let rule_interval_certificate ctx =
+  match ctx.ai.Absint.full_verdicts with
+  | None -> []
+  | Some full ->
+      List.filter_map
+        (fun (v : Certificate.verdict) ->
+          let slot = ctx.slots.(v.Certificate.v_index) in
+          let closed_ok =
+            List.exists
+              (fun (c : Certificate.verdict) ->
+                c.Certificate.v_index = v.Certificate.v_index
+                && c.Certificate.schedulable)
+              ctx.ai.Absint.closed.Certificate.verdicts
+          in
+          if v.Certificate.schedulable || (not closed_ok) || slot <= ctx.c_ctx
+          then None
+          else
+            Some
+              (D.error ~code:"RTHV018"
+                 ~loc:(Printf.sprintf "partition %s" v.Certificate.v_name)
+                 ~hint:"tighten the bucket/budget policies or lighten the \
+                        task set; the grant-only certificate (RTHV005) does \
+                        not see rate-based admissions"
+                 (Printf.sprintf
+                    "task set passes the grant-only eq.-(14) certificate but \
+                     fails under the full policy-curve interference budget \
+                     %s (bucket/budget admissions included): failing \
+                     task(s) %s"
+                    (Format.asprintf "%a" Cycles.pp
+                       v.Certificate.interference_budget)
+                    (String.concat ", " (failing_tasks v)))))
+        full
+
+(* RTHV019: admissions are serialized — at most one interposition is in
+   flight, each occupying C'_BH of hypervisor-serialized time — so no window
+   can physically complete more than the serialization ceiling.  A condition
+   admitting more than that makes the eq.-(14) budget provably conservative:
+   the certificate charges partitions for interference that cannot occur. *)
+let rule_serialization_ceiling ctx =
+  List.filter_map
+    (fun ((s : Config.source), (f : Absint.source_fact)) ->
+      if not f.Absint.sf_active then None
+      else
+        let admitted =
+          match List.assoc_opt ctx.cycle f.Absint.sf_admissions with
+          | Some { Absint.Itv.hi = Some hi; _ } -> Some hi
+          | Some { Absint.Itv.hi = None; _ } | None -> None
+        in
+        let ceiling = List.assoc_opt ctx.cycle f.Absint.sf_ceiling in
+        match (admitted, ceiling) with
+        | Some eta, Some cap when eta > cap ->
+            Some
+              (D.info ~code:"RTHV019" ~loc:(source_loc s)
+                 ~hint:"the certificate over-budgets this source; a \
+                        condition near the serialization rate (one \
+                        admission per C'_BH) frees budget for other grants"
+                 (Printf.sprintf
+                    "admission policy allows %d interpositions per TDMA \
+                     cycle but serialization (one in flight, C'_BH = %s \
+                     each) fits at most %d: the eq.-(14) budget is provably \
+                     conservative"
+                    eta
+                    (Format.asprintf "%a" Cycles.pp f.Absint.sf_c_bh_eff)
+                    cap))
+        | _ -> None)
+    (source_facts ctx)
+
+(* RTHV020: sustained overload of a partition's service capacity.  Task
+   utilisation plus the workload-derived bottom-half demand of the
+   subscribed sources above the TDMA share means the backlog grows without
+   bound — IRQ completion latency diverges even if every individual rule
+   above is silent. *)
+let rule_sustained_demand ctx =
+  List.concat_map
+    (fun ((p : Config.partition), (pf : Absint.partition_fact)) ->
+      if pf.Absint.pf_slot <= ctx.c_ctx then []
+      else
+        let irq_demand = pf.Absint.pf_demand -. pf.Absint.pf_task_util in
+        if irq_demand > 1e-12 && pf.Absint.pf_demand > pf.Absint.pf_share +. 1e-9
+        then
+          [
+            D.error ~code:"RTHV020" ~loc:(partition_loc p)
+              ~hint:"lengthen the slot, shed sources, or shrink C_BH; \
+                     sustainable demand must stay within (T_i - C_ctx) / \
+                     T_TDMA"
+              (Printf.sprintf
+                 "sustained demand (task utilisation %.1f%% plus bottom-half \
+                  demand %.1f%% of the subscribed sources) exceeds the \
+                  partition's TDMA share %.1f%%: the IRQ backlog grows \
+                  without bound"
+                 (100. *. pf.Absint.pf_task_util)
+                 (100. *. irq_demand)
+                 (100. *. pf.Absint.pf_share));
+          ]
+        else [])
+    (partition_facts ctx)
 
 let rules =
   [
@@ -525,42 +591,57 @@ let rules =
     ("RTHV013", "interposition budget can starve a whole foreign slot");
     ("RTHV014", "composite bucket vacuous or binding against its monitor");
     ("RTHV015", "interposition budget never binds for the workload");
+    ("RTHV016", "cross-source queueing voids the eq.-(16) sole-interposer gate");
+    ("RTHV017", "weighted plan starves a subscriber below its declared slot");
+    ("RTHV018", "full policy-curve certificate refutes a grant-only pass");
+    ("RTHV019", "admission policy exceeds the serialization ceiling");
+    ("RTHV020", "sustained partition demand exceeds the TDMA share");
+  ]
+
+let analyze_ctx config =
+  match Config.validate config with
+  | Error msg -> Error msg
+  | Ok () ->
+      let ai = Absint.analyze config in
+      Ok
+        {
+          config;
+          cycle = ai.Absint.cycle;
+          c_ctx = ai.Absint.c_ctx;
+          slots = Rthv_core.Slot_plan.slots (Config.slot_plan config);
+          ai;
+        }
+
+let all_rules =
+  [
+    rule_slot_covers_ctx;
+    rule_monitor_bounded;
+    rule_interference_utilisation;
+    rule_certificate;
+    rule_partition_utilisation;
+    rule_learning_useful;
+    rule_vacuous_grant;
+    rule_workload_within_condition;
+    rule_bucket_burst;
+    rule_unique_partition_names;
+    rule_handler_fits_slot;
+    rule_budget_fits_slots;
+    rule_composite_bucket;
+    rule_budget_binds;
+    rule_sole_interposer;
+    rule_weighted_starves_subscriber;
+    rule_interval_certificate;
+    rule_serialization_ceiling;
+    rule_sustained_demand;
   ]
 
 let analyze config =
-  match Config.validate config with
+  match analyze_ctx config with
   | Error msg ->
       [
         D.error ~code:"RTHV001" ~loc:"config"
           ~hint:"remaining rules assume a structurally valid configuration"
           msg;
       ]
-  | Ok () ->
-      let plan = Config.slot_plan config in
-      let ctx =
-        {
-          config;
-          cycle = Rthv_core.Slot_plan.cycle_length plan;
-          c_ctx = Platform.ctx_switch_cost config.Config.platform;
-          slots = Rthv_core.Slot_plan.slots plan;
-        }
-      in
-      Diagnostic.sort
-        (List.concat_map
-           (fun rule -> rule ctx)
-           [
-             rule_slot_covers_ctx;
-             rule_monitor_bounded;
-             rule_interference_utilisation;
-             rule_certificate;
-             rule_partition_utilisation;
-             rule_learning_useful;
-             rule_vacuous_grant;
-             rule_workload_within_condition;
-             rule_bucket_burst;
-             rule_unique_partition_names;
-             rule_handler_fits_slot;
-             rule_budget_fits_slots;
-             rule_composite_bucket;
-             rule_budget_binds;
-           ])
+  | Ok ctx ->
+      Diagnostic.sort (List.concat_map (fun rule -> rule ctx) all_rules)

@@ -38,10 +38,28 @@
       against its monitoring condition (Info) or can deny conforming
       activations so eq. (16) does not apply (Warning);
     - [RTHV015] a per-source interposition budget the workload can never
-      exhaust — dead configuration still paying C_Mon (Info).
+      exhaust — dead configuration still paying C_Mon (Info);
+    - [RTHV016] a source claims the eq.-(16) per-instance bound but other
+      shaped sources can interpose — cross-source queueing voids the
+      sole-interposer assumption (Warning);
+    - [RTHV017] a weighted plan's effective slot can no longer complete a
+      bottom handler that the partition's declared slot could — the plan
+      starves the subscriber (Error);
+    - [RTHV018] the interval certificate (every active policy's curve,
+      buckets and budgets included) refutes a partition the grant-only
+      closed form passed (Error);
+    - [RTHV019] an admission policy allows more interpositions per cycle
+      than the serialization ceiling can physically complete — the eq.-(14)
+      budget is provably conservative (Info);
+    - [RTHV020] sustained demand (tasks plus subscribed sources' bottom-half
+      load) exceeds the partition's TDMA share — unbounded backlog (Error).
 
     All slot-dependent rules evaluate {!Rthv_core.Config.effective_slots},
-    so weighted slot plans are linted against the schedule actually run. *)
+    so weighted slot plans are linted against the schedule actually run.
+
+    Rules RTHV002..RTHV006 and RTHV013/RTHV015..RTHV020 read the interval
+    facts of {!Absint} — one abstract interpretation per [analyze] call —
+    and the remaining rules the configuration directly. *)
 
 val analyze : Rthv_core.Config.t -> Diagnostic.t list
 (** Run every rule; diagnostics are returned sorted most severe first.  If

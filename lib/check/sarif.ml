@@ -1,0 +1,108 @@
+module D = Diagnostic
+module J = Rthv_obs.Json
+
+let version = "2.1.0"
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+
+(* The static rules and the trace invariants share one driver: a SARIF
+   result's ruleIndex must resolve inside the run's single rule table, and
+   the CLI can emit both kinds of finding in one report. *)
+let rules = Lint.rules @ Trace_oracle.invariants
+
+let level_of = function
+  | D.Error -> "error"
+  | D.Warning -> "warning"
+  | D.Info -> "note"
+
+let rule_to_json (code, description) =
+  J.Obj
+    [
+      ("id", J.String code);
+      ("shortDescription", J.Obj [ ("text", J.String description) ]);
+    ]
+
+let rule_index code =
+  let rec find i = function
+    | [] -> None
+    | (c, _) :: _ when c = code -> Some i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 rules
+
+let result_to_json ?scenario ((d : D.t), count) =
+  let qualified =
+    match scenario with
+    | Some s -> s ^ "/" ^ d.D.loc
+    | None -> d.D.loc
+  in
+  let message =
+    match d.D.hint with
+    | Some hint -> d.D.message ^ "  hint: " ^ hint
+    | None -> d.D.message
+  in
+  J.Obj
+    ([ ("ruleId", J.String d.D.code) ]
+    @ (match rule_index d.D.code with
+      | Some i -> [ ("ruleIndex", J.Int i) ]
+      | None -> [])
+    @ [
+        ("level", J.String (level_of d.D.severity));
+        ("message", J.Obj [ ("text", J.String message) ]);
+        ( "locations",
+          J.List
+            [
+              J.Obj
+                [
+                  ( "logicalLocations",
+                    J.List
+                      [
+                        J.Obj
+                          [
+                            ("name", J.String d.D.loc);
+                            ("fullyQualifiedName", J.String qualified);
+                          ];
+                      ] );
+                ];
+            ] );
+      ]
+    @ if count > 1 then [ ("occurrenceCount", J.Int count) ] else [])
+
+(* [findings] pairs an optional scenario name with its diagnostics; one
+   SARIF run covers them all. *)
+let to_json findings =
+  let results =
+    List.concat_map
+      (fun (scenario, diags) ->
+        List.map (result_to_json ?scenario) (D.dedupe diags))
+      findings
+  in
+  J.Obj
+    [
+      ("$schema", J.String schema_uri);
+      ("version", J.String version);
+      ( "runs",
+        J.List
+          [
+            J.Obj
+              [
+                ( "tool",
+                  J.Obj
+                    [
+                      ( "driver",
+                        J.Obj
+                          [
+                            ("name", J.String "rthv_lint");
+                            ("version", J.String "1.0.0");
+                            ( "informationUri",
+                              J.String
+                                "https://github.com/rthv/rthv#static-analysis"
+                            );
+                            ("rules", J.List (List.map rule_to_json rules));
+                          ] );
+                    ] );
+                ("results", J.List results);
+              ];
+          ] );
+    ]
+
+let to_string findings = J.to_string (to_json findings)

@@ -1,0 +1,23 @@
+(** SARIF 2.1.0 export of diagnostics — the CI/code-scanning interchange
+    format ([rthv_lint --format sarif]).
+
+    One run, one driver ([rthv_lint]) whose rule table concatenates the
+    static rules ({!Lint.rules}) with the trace invariants
+    ({!Trace_oracle.invariants}) so results from both the linter and the
+    trace-audit mode resolve a [ruleIndex].  Diagnostics are deduplicated
+    ({!Diagnostic.dedupe}); collapsed repeats carry an [occurrenceCount]
+    property.  Severities map error→[error], warning→[warning],
+    info→[note]; locations are logical (partition/source/trace position),
+    qualified by scenario name when one is given. *)
+
+val version : string
+(** ["2.1.0"]. *)
+
+val rules : (string * string) list
+(** The driver's rule table: {!Lint.rules} then
+    {!Trace_oracle.invariants}. *)
+
+val to_json : (string option * Diagnostic.t list) list -> Rthv_obs.Json.t
+(** One SARIF log covering every [(scenario, diagnostics)] group. *)
+
+val to_string : (string option * Diagnostic.t list) list -> string

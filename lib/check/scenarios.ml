@@ -168,6 +168,60 @@ let demo_bad () =
   in
   Config.make ~partitions ~sources ()
 
+(* --- the policy-layer demonstration input ------------------------------- *)
+
+(* Structurally valid and clean under the grant-only closed forms, yet
+   wrong in the ways only the interval analysis over the full policy set
+   can catch: a weighted plan whose effective slot starves a subscriber
+   that its declared slot could serve (RTHV017), a per-cycle interposition
+   budget whose aligned-window bound swallows the foreign slots entirely
+   (RTHV013), and a partition whose task set passes the grant-only
+   certificate but fails once the budget and bucket curves are added to
+   the interference budget (RTHV018).  A dead per-cycle budget (RTHV015)
+   and a bursty token bucket (RTHV010) ride along. *)
+let demo_policy_bad () =
+  let partitions =
+    [
+      Config.partition ~name:"sys" ~slot_us:6_000
+        ~tasks:[ Task.spec ~name:"plan" ~period_us:20_000 ~wcet_us:1_000 () ]
+        ();
+      Config.partition ~name:"app" ~slot_us:6_000 ();
+      Config.partition ~name:"hk" ~slot_us:2_000 ();
+    ]
+  in
+  (* 10:3:1 over 14 ms: sys grows to 10 ms, app shrinks to 3 ms, hk to
+     1 ms — app's declared 6 ms slot could complete the DMA bottom
+     handler, its effective 3 ms slot cannot. *)
+  let plan =
+    Config.Weighted_plan
+      { cycle = Cycles.of_us 14_000; weights = [| 10; 3; 1 |] }
+  in
+  let sources =
+    [
+      Config.source ~name:"dma" ~line:0 ~subscriber:1 ~c_th_us:5
+        ~c_bh_us:4_000
+        ~interarrivals:(Gen.constant ~period:(Cycles.of_us 40_000) ~count:64)
+        ();
+      Config.source ~name:"radar" ~line:1 ~subscriber:0 ~c_th_us:5
+        ~c_bh_us:25
+        ~interarrivals:(Gen.constant ~period:(Cycles.of_us 2_000) ~count:512)
+        ~shaping:(Config.Budgeted { per_cycle = 40 })
+        ();
+      Config.source ~name:"tick" ~line:2 ~subscriber:2 ~c_th_us:5 ~c_bh_us:1
+        ~interarrivals:(Gen.constant ~period:(Cycles.of_us 4_000) ~count:256)
+        ~shaping:(Config.Budgeted { per_cycle = 8 })
+        ();
+      Config.source ~name:"uplink" ~line:3 ~subscriber:2 ~c_th_us:5
+        ~c_bh_us:60
+        ~interarrivals:
+          (Gen.exponential ~seed:21 ~mean:(Cycles.of_us 3_000) ~count:256)
+        ~shaping:
+          (Config.Token_bucket { capacity = 2; refill = Cycles.of_us 600 })
+        ();
+    ]
+  in
+  Config.make ~partitions ~plan ~sources ()
+
 (* --- the paper's conforming workload (Section 6.1, scenario 2) ---------- *)
 
 (* The quickstart topology with interarrivals clamped from below to the
@@ -248,5 +302,6 @@ let good =
     ("mixed_policies", mixed_policies);
   ]
 
-let all = good @ [ ("demo_bad", demo_bad) ]
+let bad = [ ("demo_bad", demo_bad); ("demo_policy_bad", demo_policy_bad) ]
+let all = good @ bad
 let find name = List.assoc_opt name all

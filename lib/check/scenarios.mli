@@ -61,16 +61,29 @@ val mixed_policies : unit -> Rthv_core.Config.t
     source. *)
 
 val demo_bad : unit -> Rthv_core.Config.t
-(** A structurally valid configuration that trips every static rule from
-    RTHV002 to RTHV012 — the linter's demonstration input. *)
+(** A structurally valid configuration built to trip the closed-form
+    static rules — the linter's demonstration input.  The authoritative
+    list of rules it fires is derived by running {!Lint.analyze}, not
+    maintained here; the tests pin it that way. *)
+
+val demo_policy_bad : unit -> Rthv_core.Config.t
+(** A configuration that is clean under the grant-only closed forms but
+    refuted by the interval analysis over the full policy set: a weighted
+    plan starving a subscriber (RTHV017), a per-cycle budget swallowing
+    foreign slots (RTHV013), and a task set that passes the grant-only
+    certificate yet fails the policy-curve budget (RTHV018). *)
 
 val good : (string * (unit -> Rthv_core.Config.t)) list
 (** [("quickstart", _); ("conformant", _); ("avionics_ima", _);
     ("automotive_ecu", _); ("mixed_policies", _)] — the scenarios expected
     to lint clean of errors. *)
 
+val bad : (string * (unit -> Rthv_core.Config.t)) list
+(** [("demo_bad", _); ("demo_policy_bad", _)] — the scenarios expected to
+    lint with at least one error. *)
+
 val all : (string * (unit -> Rthv_core.Config.t)) list
-(** {!good} plus [("demo_bad", _)]. *)
+(** {!good} plus {!bad}. *)
 
 val find : string -> (unit -> Rthv_core.Config.t) option
 (** Look up a scenario in {!all} by name. *)

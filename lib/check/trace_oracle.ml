@@ -19,6 +19,8 @@ type source_spec = {
   ss_bound : Independence.interference_curve option;
 }
 
+type service_claim = { sc_partition : int; sc_min_total : Cycles.t }
+
 type spec = {
   partitions : int;
   slots : Cycles.t list;
@@ -27,6 +29,7 @@ type spec = {
   c_sched : Cycles.t;
   c_ctx : Cycles.t;
   sources : source_spec list;
+  claims : service_claim list;
 }
 
 let of_config (config : Config.t) =
@@ -64,6 +67,7 @@ let of_config (config : Config.t) =
     c_sched = Platform.sched_manip_cost platform;
     c_ctx = Platform.ctx_switch_cost platform;
     sources;
+    claims = [];
   }
 
 (* --- replay state ------------------------------------------------------- *)
@@ -93,7 +97,14 @@ type state = {
          hypervisor items are queued behind the admission's ctx switch and
          drain inside the upcoming window. *)
   mutable active : active option;
-  mutable completed : (Cycles.t * Cycles.t) list;  (* (charge time, cost) *)
+  mutable completed : (Cycles.t * Cycles.t * int option) list;
+      (* (charge time, cost, source line) *)
+  service : Cycles.t array;
+      (* Per-partition net service: owned span length minus the slot-entry
+         switch and the hypervisor/bottom-half work that ran inside it. *)
+  mutable span_start : Cycles.t;
+  mutable span_stolen : Cycles.t;  (* steals inside the current span *)
+  admitted_count : (int, int ref) Hashtbl.t;  (* line -> admissions *)
   raised : (int, unit) Hashtbl.t;  (* irq ids seen in Irq_raised *)
   bh_done : (int, unit) Hashtbl.t;  (* irq ids whose bottom handler completed *)
   mutable raise_seen : bool;
@@ -144,6 +155,23 @@ let check_admission st ~loc ss arrival =
       in
       Hashtbl.replace st.history ss.ss_line (take l (arrival :: hist))
 
+(* Close the current ownership span at [time] and credit the owner with its
+   net service: span length minus the slot-entry switch and the steals that
+   accumulated inside it (never below zero). *)
+let close_span st time =
+  if st.owner >= 0 && st.owner < Array.length st.service then begin
+    let span = Cycles.( - ) time st.span_start in
+    let net =
+      Cycles.max 0
+        (Cycles.( - ) (Cycles.( - ) span st.spec.c_ctx) st.span_stolen)
+    in
+    st.service.(st.owner) <- Cycles.( + ) st.service.(st.owner) net
+  end;
+  st.span_start <- time;
+  st.span_stolen <- Cycles.zero
+
+let steal st cost = st.span_stolen <- Cycles.( + ) st.span_stolen cost
+
 let finish_interposition st ~loc ~time a =
   let execution = Cycles.( - ) (Cycles.( - ) time a.a_start) a.a_allowance in
   (match a.a_source with
@@ -169,7 +197,11 @@ let finish_interposition st ~loc ~time a =
       (Cycles.( + ) st.spec.c_sched (Cycles.( * ) st.spec.c_ctx 2))
       (Cycles.max execution 0)
   in
-  st.completed <- (charge_time, cost) :: st.completed;
+  let line = Hashtbl.find_opt st.irq_line a.a_irq in
+  st.completed <- (charge_time, cost, line) :: st.completed;
+  (* The window plus its bracketing hypervisor work ran inside the slot that
+     owns [time]: that slot's tasks lose the whole charge. *)
+  steal st cost;
   st.active <- None
 
 let entry_loc index (e : Hyp_trace.entry) =
@@ -218,22 +250,29 @@ let step st index (e : Hyp_trace.entry) =
           (Printf.sprintf
              "slot switch from partition %d, but partition %d owned the slot"
              from_partition st.owner);
+      close_span st time;
       st.owner <- to_partition;
       (match st.pending with Some (_, n) -> incr n | None -> ())
   | Hyp_trace.Top_handler_run { irq; line } -> (
       Hashtbl.replace st.irq_line irq line;
       match source_by_line st line with
-      | Some ss -> bump_allowance ss.ss_c_th
+      | Some ss ->
+          bump_allowance ss.ss_c_th;
+          steal st ss.ss_c_th
       | None ->
           structural st ~loc
             (Printf.sprintf "top handler on unconfigured line %d" line))
   | Hyp_trace.Monitor_decision { irq; line; arrival; verdict } -> (
       Hashtbl.replace st.irq_line irq line;
       bump_allowance st.spec.c_mon;
+      steal st st.spec.c_mon;
       match verdict with
       | `Denied | `Fallback_direct -> ()
       | `Admitted -> (
           Hashtbl.replace st.admitted_arrival irq arrival;
+          (match Hashtbl.find_opt st.admitted_count line with
+          | Some n -> incr n
+          | None -> Hashtbl.replace st.admitted_count line (ref 1));
           (match st.pending with
           | Some (previous, _) ->
               structural st ~loc
@@ -347,6 +386,17 @@ let step st index (e : Hyp_trace.entry) =
                    matching raise"
                   irq))
       end;
+      (* An own-slot completion executed its C_BH inside the owner's span
+         (interposed completions are charged at Interposition_end). *)
+      (match st.active with
+      | None when partition = st.owner -> (
+          match Hashtbl.find_opt st.irq_line irq with
+          | Some line -> (
+              match source_by_line st line with
+              | Some ss -> steal st ss.ss_budget
+              | None -> ())
+          | None -> ())
+      | None | Some _ -> ());
       if partition <> st.owner then
         match st.active with
         | Some a when a.a_target = partition -> ()
@@ -373,7 +423,7 @@ let check_interference st =
   let charges =
     List.sort
       (fun (a, _) (b, _) -> Cycles.compare a b)
-      (List.rev st.completed)
+      (List.rev_map (fun (t, cost, _line) -> (t, cost)) st.completed)
   in
   if unbounded || charges = [] then ()
   else begin
@@ -422,7 +472,29 @@ let check_interference st =
       windows
   end
 
-let audit_entries spec entries =
+(* RTHV109: a service claim asserts the analysis-level supply bound — the
+   partition receives at least [sc_min_total] of net service over the run.
+   Measuring less refutes the claimed bound; this is the confirmation
+   channel for service-side refutations (RTHV006/RTHV017/RTHV020), as
+   RTHV104 with claim curves is for interference-side ones. *)
+let check_claims st =
+  List.iter
+    (fun { sc_partition; sc_min_total } ->
+      if sc_partition >= 0 && sc_partition < Array.length st.service then
+        let measured = st.service.(sc_partition) in
+        if measured < sc_min_total then
+          report st
+            (D.error ~code:"RTHV109"
+               ~loc:(Printf.sprintf "partition %d" sc_partition)
+               ~hint:"the claimed supply bound does not hold on this run: \
+                      the refutation's witness trace is confirmed"
+               (Format.asprintf
+                  "partition received %a of net service but the claim \
+                   requires at least %a"
+                  Cycles.pp measured Cycles.pp sc_min_total)))
+    st.spec.claims
+
+let replay spec entries =
   let st =
     {
       spec;
@@ -435,16 +507,45 @@ let audit_entries spec entries =
       pending = None;
       active = None;
       completed = [];
+      service = Array.make (Stdlib.max 1 spec.partitions) Cycles.zero;
+      span_start = Cycles.zero;
+      span_stolen = Cycles.zero;
+      admitted_count = Hashtbl.create 8;
       raised = Hashtbl.create 64;
       bh_done = Hashtbl.create 64;
       raise_seen = false;
     }
   in
   List.iteri (fun index e -> step st index e) entries;
+  close_span st st.last_time;
+  st
+
+let audit_entries spec entries =
+  let st = replay spec entries in
   (* A trace cut mid-window (horizon) is not judged; only terminated
      interpositions enter the interference accounting. *)
   check_interference st;
+  check_claims st;
   D.sort (List.rev st.diags)
+
+type measurement = {
+  m_horizon : Cycles.t;
+  m_service : Cycles.t array;
+  m_charges : (int option * Cycles.t * Cycles.t) list;
+  m_admitted : (int * int) list;
+}
+
+let measure spec entries =
+  let st = replay spec entries in
+  {
+    m_horizon = st.last_time;
+    m_service = st.service;
+    m_charges =
+      List.rev_map (fun (t, cost, line) -> (line, t, cost)) st.completed;
+    m_admitted =
+      List.sort compare
+        (Hashtbl.fold (fun line n acc -> (line, !n) :: acc) st.admitted_count []);
+  }
 
 let audit spec trace =
   let dropped = Hyp_trace.dropped trace in
@@ -470,4 +571,5 @@ let invariants =
     ("RTHV106", "structurally inconsistent interposition event stream");
     ("RTHV107", "trace buffer dropped entries; audit skipped");
     ("RTHV108", "bottom-handler completion without exactly one matching raise");
+    ("RTHV109", "measured net service refutes a claimed supply bound");
   ]

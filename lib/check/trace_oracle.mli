@@ -35,7 +35,14 @@
       flight, events naming an unconfigured interrupt line, a slot switch
       from a partition that did not own the slot (Error);
     - [RTHV107] the trace ring buffer dropped entries, so no verdict is
-      possible — the audit is skipped (Info).
+      possible — the audit is skipped (Info);
+    - [RTHV108] a bottom-handler completion without exactly one matching
+      raise (Error);
+    - [RTHV109] a {!service_claim} asserts a minimum of net service for a
+      partition and the replay measured less (Error) — the oracle-side
+      refutation channel for claimed supply bounds, used by {!Witness} the
+      way RTHV104 with claim curves is used for interference bounds.  Never
+      fires from {!of_config} specs ([claims] is empty there).
 
     A trace that ends mid-interposition (horizon cut) is not an error; the
     unfinished window is simply not judged. *)
@@ -56,6 +63,14 @@ type source_spec = {
       (** Static eq.-(14)-style interference curve, when one exists. *)
 }
 
+type service_claim = {
+  sc_partition : int;
+  sc_min_total : Rthv_engine.Cycles.t;
+      (** Net service (owned span length minus the slot-entry switch, the
+          hypervisor work and the bottom-half executions inside it) the
+          partition must accumulate over the whole trace. *)
+}
+
 type spec = {
   partitions : int;
   slots : Rthv_engine.Cycles.t list;
@@ -64,11 +79,14 @@ type spec = {
   c_sched : Rthv_engine.Cycles.t;
   c_ctx : Rthv_engine.Cycles.t;
   sources : source_spec list;
+  claims : service_claim list;
+      (** Analysis-level supply bounds to audit against the replay
+          (RTHV109); empty from {!of_config}. *)
 }
 
 val of_config : Rthv_core.Config.t -> spec
 (** Derive the oracle's expectations from a configuration (the same values
-    {!Rthv_core.Hyp_sim} runs under). *)
+    {!Rthv_core.Hyp_sim} runs under).  [claims] is empty. *)
 
 val audit_entries :
   spec -> Rthv_core.Hyp_trace.entry list -> Diagnostic.t list
@@ -79,6 +97,24 @@ val audit : spec -> Rthv_core.Hyp_trace.t -> Diagnostic.t list
 (** Audit a recorded trace.  If the ring buffer dropped entries the result
     is a single [RTHV107] warning and nothing else is checked — a skipped
     audit is a blind spot, not mere trivia, so {!Audit_hook} surfaces it. *)
+
+type measurement = {
+  m_horizon : Rthv_engine.Cycles.t;  (** Last trace timestamp. *)
+  m_service : Rthv_engine.Cycles.t array;
+      (** Per-partition net service accumulated over the run. *)
+  m_charges : (int option * Rthv_engine.Cycles.t * Rthv_engine.Cycles.t) list;
+      (** Completed interpositions, newest first:
+          [(source line, charge time, C_sched + 2*C_ctx + execution)] — the
+          exact quantities RTHV104 audits, tagged by line so witnesses can
+          report the measured interference of the refuted source. *)
+  m_admitted : (int * int) list;
+      (** Admissions per line, ascending by line. *)
+}
+
+val measure : spec -> Rthv_core.Hyp_trace.entry list -> measurement
+(** Replay without judging: the measured quantities a {!Witness} embeds in
+    its artifact so a reviewer can compare prediction against observation
+    without re-running the simulation. *)
 
 val invariants : (string * string) list
 (** [(code, one-line description)] for every trace invariant, in code

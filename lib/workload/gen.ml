@@ -40,6 +40,38 @@ let bursty ~seed ~burst_len ~inner ~gap_mean ~count =
         Stdlib.max inner (int_of_float (Float.round gap))
       else inner)
 
+let adversarial ?fn ~min_gap ~count () =
+  check_count count;
+  if min_gap <= 0 then invalid_arg "Gen.adversarial: min_gap must be positive";
+  if count = 0 then [||]
+  else begin
+    (* Greedy earliest-conforming schedule: arrival i is placed at the
+       smallest time keeping min_gap to its predecessor and, when a
+       monitoring condition is given, delta^-(j+1) to each of the previous
+       j arrivals within the condition's horizon.  The resulting stream is
+       admitted in full by a delta^- monitor, yet every window is as dense
+       as the condition permits — the eq.-(14) worst case realised. *)
+    let times = Array.make count 0 in
+    times.(0) <- 1;
+    for i = 1 to count - 1 do
+      let t = ref (Cycles.( + ) times.(i - 1) min_gap) in
+      (match fn with
+      | None -> ()
+      | Some fn ->
+          let l = Rthv_analysis.Distance_fn.length fn in
+          for j = 1 to Stdlib.min l i do
+            let need = Rthv_analysis.Distance_fn.delta fn (j + 1) in
+            let earliest = Cycles.( + ) times.(i - j) need in
+            if earliest > !t then t := earliest
+          done);
+      times.(i) <- !t
+    done;
+    Array.mapi
+      (fun i t ->
+        if i = 0 then t else Cycles.( - ) t times.(i - 1))
+      times
+  end
+
 let mean_for_load ~c_bh_eff ~load =
   if load <= 0. || load > 1. then
     invalid_arg "Gen.mean_for_load: load must be in (0, 1]";

@@ -43,6 +43,24 @@ val bursty :
 (** Bursts of [burst_len] events [inner] apart, separated by exponential
     gaps of the given mean.  Exercises monitors with l > 1. *)
 
+val adversarial :
+  ?fn:Rthv_analysis.Distance_fn.t ->
+  min_gap:Rthv_engine.Cycles.t ->
+  count:int ->
+  unit ->
+  Rthv_engine.Cycles.t array
+(** Back-to-back conforming burst: the greedy earliest arrival schedule that
+    keeps [min_gap] between consecutive events and, when [fn] is given,
+    conforms to every stored delta^- distance — so a monitor enforcing [fn]
+    admits the whole stream while every window is as dense as the condition
+    permits.  [min_gap] is typically the serialization footprint
+    [C_TH + C_Mon + C'_BH] (only one interposition can be in flight, so a
+    tighter spacing only produces denials).  The first distance is the first
+    arrival's offset from the stream start (1 cycle).  This is the witness
+    synthesizer's arrival generator: it realises the eq.-(14) worst case the
+    static analysis predicts.  @raise Invalid_argument on non-positive
+    [min_gap] or negative [count]. *)
+
 val mean_for_load :
   c_bh_eff:Rthv_engine.Cycles.t -> load:float -> Rthv_engine.Cycles.t
 (** Equation (17): lambda = C'_BH / U_IRQ.

@@ -1,0 +1,109 @@
+(* Interval-domain abstract interpreter: consistency of every emitted
+   interval (achievable lower end never exceeds the proved upper end) and
+   agreement of the rate-policy models with the simulator's admission
+   machinery. *)
+
+module Config = Rthv_core.Config
+module A = Rthv_check.Absint
+module Fleet = Rthv_check.Fleet
+module Scenarios = Rthv_check.Scenarios
+
+let check_itv msg (itv : A.Itv.t) =
+  if not (A.Itv.consistent itv) then
+    Alcotest.failf "%s: inconsistent interval [%d, %s]" msg itv.A.Itv.lo
+      (match itv.A.Itv.hi with Some h -> string_of_int h | None -> "inf")
+
+let check_analysis name config =
+  match Config.validate config with
+  | Error _ -> ()
+  | Ok () ->
+      let ai = A.analyze config in
+      if ai.A.cycle <= 0 then Alcotest.failf "%s: cycle %d" name ai.A.cycle;
+      let sorted = List.sort_uniq compare ai.A.windows in
+      Alcotest.(check (list int)) (name ^ " windows ascending") sorted
+        ai.A.windows;
+      List.iter
+        (fun (sf : A.source_fact) ->
+          List.iter
+            (fun (w, itv) ->
+              check_itv (Printf.sprintf "%s %s adm@%d" name sf.A.sf_name w) itv)
+            sf.A.sf_admissions;
+          List.iter
+            (fun (w, itv) ->
+              check_itv (Printf.sprintf "%s %s intf@%d" name sf.A.sf_name w) itv)
+            sf.A.sf_interference)
+        ai.A.sources;
+      List.iter
+        (fun (pf : A.partition_fact) ->
+          check_itv
+            (Printf.sprintf "%s %s interference" name pf.A.pf_name)
+            pf.A.pf_interference)
+        ai.A.partitions;
+      let lo, hi = ai.A.util in
+      if lo < 0. then Alcotest.failf "%s: negative util lo" name;
+      match hi with
+      | Some hi when hi < lo -> Alcotest.failf "%s: util lo > hi" name
+      | _ -> ()
+
+let test_scenario_intervals () =
+  List.iter (fun (name, build) -> check_analysis name (build ())) Scenarios.all
+
+(* The randomized-fleet version is the regression net that caught a
+   token-bucket model divergence (the abstract model refilled at the
+   long-term rate, the simulator refills one token per period): random
+   configs mix every policy family, and an achievable count above the
+   proved curve is exactly how such a divergence surfaces. *)
+let test_fleet_intervals =
+  Testutil.qtest ~count:40 "fleet intervals consistent"
+    QCheck2.Gen.(int_range 0 500)
+    (fun i ->
+      check_analysis (Printf.sprintf "fleet-%d" i)
+        (Fleet.gen_config ~seed:97 i);
+      true)
+
+let test_adversarial_schedule_conforms () =
+  (* The greedy schedule must itself satisfy the policy it attacks: replay
+     each prefix through the same earliest-admission logic. *)
+  List.iter
+    (fun (name, config) ->
+      match Config.validate config with
+      | Error _ -> ()
+      | Ok () ->
+          let ai = A.analyze config in
+          List.iter
+            (fun (sf : A.source_fact) ->
+              let horizon = 2 * ai.A.cycle in
+              let schedule =
+                A.adversarial_schedule ~policy:sf.A.sf_policy
+                  ~footprint:sf.A.sf_footprint ~horizon
+              in
+              let sorted = List.sort_uniq compare schedule in
+              if sorted <> schedule then
+                Alcotest.failf "%s/%s: schedule not strictly increasing" name
+                  sf.A.sf_name;
+              List.iter
+                (fun t ->
+                  if t < 1 || t > horizon then
+                    Alcotest.failf "%s/%s: admission %d outside (0, %d]" name
+                      sf.A.sf_name t horizon)
+                schedule;
+              let rec gaps = function
+                | a :: (b :: _ as rest) ->
+                    if b - a < sf.A.sf_footprint then
+                      Alcotest.failf "%s/%s: gap %d under footprint %d" name
+                        sf.A.sf_name (b - a) sf.A.sf_footprint;
+                    gaps rest
+                | _ -> ()
+              in
+              gaps schedule)
+            ai.A.sources)
+    (Fleet.gen_batch ~seed:5 ~count:10)
+
+let suite =
+  [
+    Alcotest.test_case "scenario intervals consistent" `Quick
+      test_scenario_intervals;
+    test_fleet_intervals;
+    Alcotest.test_case "adversarial schedules well-formed" `Quick
+      test_adversarial_schedule_conforms;
+  ]

@@ -1,0 +1,107 @@
+(* Config JSON codec and fleet generation: the interchange layer under
+   rthv_lint --batch / --gen-batch. *)
+
+module Config = Rthv_core.Config
+module Codec = Rthv_check.Config_codec
+module Fleet = Rthv_check.Fleet
+module Lint = Rthv_check.Lint
+module D = Rthv_check.Diagnostic
+module Scenarios = Rthv_check.Scenarios
+
+let codes diags = List.map (fun d -> d.D.code) diags
+
+let roundtrip name config =
+  match Codec.to_string config with
+  | Error e -> Alcotest.failf "%s: encode failed: %s" name e
+  | Ok s -> (
+      match Codec.of_string s with
+      | Error e -> Alcotest.failf "%s: decode failed: %s" name e
+      | Ok config' ->
+          (* The decoded config must be analysis-equivalent (same lint
+             verdicts) and re-encode byte-identically (canonical form). *)
+          Alcotest.(check (list string))
+            (name ^ " lint-equivalent")
+            (codes (Lint.analyze config))
+            (codes (Lint.analyze config'));
+          (match Codec.to_string config' with
+          | Error e -> Alcotest.failf "%s: re-encode failed: %s" name e
+          | Ok s' -> Alcotest.(check string) (name ^ " canonical") s s'))
+
+let test_scenarios_roundtrip () =
+  List.iter (fun (name, build) -> roundtrip name (build ())) Scenarios.all
+
+let test_fleet_roundtrip () =
+  List.iter
+    (fun (name, config) -> roundtrip name config)
+    (Fleet.gen_batch ~seed:7 ~count:20)
+
+let test_decode_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Codec.of_string s with
+      | Ok _ -> Alcotest.failf "decoded %S" s
+      | Error _ -> ())
+    [ ""; "42"; "{}"; "{\"partitions\":3}"; "[1,2]"; "{\"partitions" ]
+
+let test_fleet_deterministic () =
+  let names b = List.map fst b in
+  let b1 = Fleet.gen_batch ~seed:42 ~count:30
+  and b2 = Fleet.gen_batch ~seed:42 ~count:30 in
+  Alcotest.(check (list string)) "names" (names b1) (names b2);
+  List.iter2
+    (fun (n, c1) (_, c2) ->
+      Alcotest.(check string) (n ^ " identical")
+        (Result.get_ok (Codec.to_string c1))
+        (Result.get_ok (Codec.to_string c2)))
+    b1 b2;
+  (* A different seed must actually change the fleet. *)
+  let b3 = Fleet.gen_batch ~seed:43 ~count:30 in
+  if
+    List.for_all2
+      (fun (_, c1) (_, c3) ->
+        Result.get_ok (Codec.to_string c1)
+        = Result.get_ok (Codec.to_string c3))
+      b1 b3
+  then Alcotest.fail "seed 42 and 43 generated identical fleets"
+
+let test_write_load_roundtrip () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "rthv-fleet-test" in
+  (try
+     Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+   with Sys_error _ -> ());
+  let batch = Fleet.gen_batch ~seed:11 ~count:10 in
+  (match Fleet.write_batch ~dir batch with
+  | Error e -> Alcotest.failf "write_batch: %s" e
+  | Ok n -> Alcotest.(check int) "written" 10 n);
+  match Fleet.load_dir dir with
+  | Error e -> Alcotest.failf "load_dir: %s" e
+  | Ok loaded ->
+      Alcotest.(check (list string)) "names back in order" (List.map fst batch)
+        (List.map fst loaded);
+      List.iter2
+        (fun (n, c) (_, c') ->
+          Alcotest.(check string) (n ^ " survives disk")
+            (Result.get_ok (Codec.to_string c))
+            (Result.get_ok (Codec.to_string c')))
+        batch loaded
+
+let test_batch_report_job_invariant () =
+  let batch = Fleet.gen_batch ~seed:42 ~count:16 in
+  let report jobs =
+    Fleet.report
+      (Fleet.lint_batch ~pool:(Rthv_par.Par.create ~jobs ()) batch)
+  in
+  Alcotest.(check string) "jobs 1 = jobs 4" (report 1) (report 4)
+
+let suite =
+  [
+    Alcotest.test_case "scenarios round-trip" `Quick test_scenarios_roundtrip;
+    Alcotest.test_case "fleet round-trip" `Quick test_fleet_roundtrip;
+    Alcotest.test_case "decode rejects garbage" `Quick
+      test_decode_rejects_garbage;
+    Alcotest.test_case "fleet generation deterministic" `Quick
+      test_fleet_deterministic;
+    Alcotest.test_case "write/load round-trip" `Quick test_write_load_roundtrip;
+    Alcotest.test_case "batch report job-invariant" `Quick
+      test_batch_report_job_invariant;
+  ]

@@ -254,6 +254,102 @@ let test_rthv015_budget_never_binds () =
   check_silent "budget that can bind" "RTHV015" (Lint.analyze (budget 2));
   check_silent "not a budget" "RTHV015" (Lint.analyze (baseline ()))
 
+let test_rthv016_sole_interposer () =
+  (* A second active shaped source voids eq. (16)'s sole-interposer
+     assumption for the monitored one. *)
+  let two_sources =
+    Config.make
+      ~partitions:
+        [
+          Config.partition ~name:"a" ~slot_us:5_000 ();
+          Config.partition ~name:"b" ~slot_us:5_000 ();
+        ]
+      ~sources:
+        [
+          Config.source ~name:"s" ~line:0 ~subscriber:1 ~c_th_us:5 ~c_bh_us:40
+            ~interarrivals:(Rthv_workload.Gen.constant ~period:(us 4_000) ~count:50)
+            ~shaping:(Config.Fixed_monitor (DF.d_min (us 2_000)))
+            ();
+          Config.source ~name:"rival" ~line:1 ~subscriber:0 ~c_th_us:5
+            ~c_bh_us:40
+            ~interarrivals:(Rthv_workload.Gen.constant ~period:(us 4_000) ~count:50)
+            ~shaping:(Config.Token_bucket { capacity = 1; refill = us 4_000 })
+            ();
+        ]
+      ()
+  in
+  let diags = Lint.analyze two_sources in
+  check_fires "two interposers" "RTHV016" diags;
+  (match List.filter (fun d -> d.D.code = "RTHV016") diags with
+  | d :: _ ->
+      Alcotest.(check string) "warning severity" "warning"
+        (D.severity_name d.D.severity)
+  | [] -> Alcotest.fail "RTHV016 missing");
+  check_silent "sole interposer" "RTHV016" (Lint.analyze (baseline ()))
+
+let test_rthv017_weighted_starves_subscriber () =
+  (* The bottom handler fits the declared 6000us slot but not the 3000us
+     the weighted plan actually apportions. *)
+  let config =
+    Config.make
+      ~plan:(Config.Weighted_plan { cycle = us 12_000; weights = [| 1; 3 |] })
+      ~partitions:
+        [
+          Config.partition ~name:"starved" ~slot_us:6_000 ();
+          Config.partition ~name:"fat" ~slot_us:6_000 ();
+        ]
+      ~sources:
+        [
+          Config.source ~name:"s" ~line:0 ~subscriber:0 ~c_th_us:5
+            ~c_bh_us:4_000
+            ~interarrivals:(Rthv_workload.Gen.constant ~period:(us 20_000) ~count:50)
+            ~shaping:(Config.Fixed_monitor (DF.d_min (us 20_000)))
+            ();
+        ]
+      ()
+  in
+  check_fires "weighted starvation" "RTHV017" (Lint.analyze config);
+  check_silent "declared slots in force" "RTHV017" (Lint.analyze (baseline ()))
+
+let test_rthv018_interval_refutes_closed () =
+  check_fires "policy-curve refutation" "RTHV018"
+    (Lint.analyze (Scenarios.demo_policy_bad ()));
+  check_silent "grant-only system" "RTHV018" (Lint.analyze (baseline ()))
+
+let test_rthv019_serialization_ceiling () =
+  (* d_min 100us admits ~100 interpositions per 10000us cycle, but one
+     serialized C'_BH of ~194us fits at most ~51: provably conservative. *)
+  let config =
+    baseline ~c_bh_us:150 ~shaping:(Config.Fixed_monitor (DF.d_min (us 100))) ()
+  in
+  check_fires "over-admitting condition" "RTHV019" (Lint.analyze config);
+  check_silent "condition under the ceiling" "RTHV019"
+    (Lint.analyze (baseline ()))
+
+let test_rthv020_sustained_demand () =
+  (* 300us of bottom half every 1000us lands ~40% demand (after eq. 13)
+     on a 10% TDMA share. *)
+  let partitions =
+    [
+      Config.partition ~name:"starved" ~slot_us:1_000 ();
+      Config.partition ~name:"rest" ~slot_us:9_000 ();
+    ]
+  in
+  let config =
+    Config.make ~partitions
+      ~sources:
+        [
+          Config.source ~name:"s" ~line:0 ~subscriber:0 ~c_th_us:5
+            ~c_bh_us:300
+            ~interarrivals:(Rthv_workload.Gen.constant ~period:(us 1_000) ~count:200)
+            ~shaping:(Config.Fixed_monitor (DF.d_min (us 1_000)))
+            ();
+        ]
+      ()
+  in
+  check_fires "sustained overload" "RTHV020" (Lint.analyze config);
+  check_silent "sustainable demand" "RTHV020" (Lint.analyze (baseline ()))
+
 let test_weighted_plan_linted_on_effective_slots () =
   (* The partition record says 5000us each, but the weighted plan squeezes
      partition "tiny" to ~25us — too small to cover the 50us slot-entry
@@ -297,14 +393,62 @@ let test_demo_bad_fires_every_rule () =
   let diags = Lint.analyze (Scenarios.demo_bad ()) in
   List.iter
     (fun i -> check_fires "demo_bad" (Printf.sprintf "RTHV%03d" i) diags)
-    [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 16; 19; 20 ]
+
+(* The per-scenario expected-rule lists are derived from the linter itself
+   (see the Scenarios mli), not maintained by hand: the pinned property is
+   that the derivation is deterministic and that the scenario set as a
+   whole exercises every catalogued rule except RTHV001 (which no valid
+   configuration can fire — a crafted invalid one covers it above). *)
+let test_scenario_rules_derived_from_linter () =
+  let derive () =
+    List.map
+      (fun (name, build) -> (name, codes (Lint.analyze (build ()))))
+    Scenarios.all
+  in
+  let derived = derive () in
+  Alcotest.(check (list (pair string (list string))))
+    "derivation is deterministic" derived (derive ());
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check (list string))
+        (name ^ " error-free") []
+        (codes (D.errors (Lint.analyze ((Option.get (Scenarios.find name)) ())))))
+    Scenarios.good;
+  List.iter
+    (fun (name, _) ->
+      let fired = List.assoc name derived in
+      if fired = [] then Alcotest.failf "%s fires no rules" name)
+    Scenarios.bad;
+  let union = List.sort_uniq compare (List.concat_map snd derived) in
+  List.iter
+    (fun (code, _) ->
+      if code <> "RTHV001" && not (List.mem code union) then
+        Alcotest.failf "rule %s fires on no scenario" code)
+    Lint.rules
 
 let test_rules_catalogue () =
-  Alcotest.(check int) "15 static rules" 15 (List.length Lint.rules);
+  Alcotest.(check int) "20 static rules" 20 (List.length Lint.rules);
   let rule_codes = List.map fst Lint.rules in
   Alcotest.(check (list string)) "distinct codes"
     (List.sort_uniq compare rule_codes)
     (List.sort compare rule_codes)
+
+let test_diagnostic_dedupe () =
+  let d1 = D.error ~code:"RTHV005" ~loc:"partition a" "m" in
+  let d2 = D.warning ~code:"RTHV010" ~loc:"source s" "w" in
+  let deduped = D.dedupe [ d2; d1; d2; d1; d2 ] in
+  Alcotest.(check int) "two groups" 2 (List.length deduped);
+  (match deduped with
+  | [ (a, na); (b, nb) ] ->
+      Alcotest.(check string) "errors first" "RTHV005" a.D.code;
+      Alcotest.(check int) "error count" 2 na;
+      Alcotest.(check string) "then warnings" "RTHV010" b.D.code;
+      Alcotest.(check int) "warning count" 3 nb
+  | _ -> Alcotest.fail "unexpected dedupe shape");
+  Alcotest.(check string) "counted rendering"
+    "warning[RTHV010] source s: w  (x3)"
+    (Format.asprintf "%a" D.pp_counted (d2, 3))
 
 let test_diagnostic_json () =
   let d = D.error ~code:"RTHV001" ~loc:"config" ~hint:"h\"int" "a\nb" in
@@ -338,6 +482,16 @@ let suite =
       test_rthv014_composite_bucket;
     Alcotest.test_case "RTHV015 budget never binds" `Quick
       test_rthv015_budget_never_binds;
+    Alcotest.test_case "RTHV016 sole interposer" `Quick
+      test_rthv016_sole_interposer;
+    Alcotest.test_case "RTHV017 weighted starves subscriber" `Quick
+      test_rthv017_weighted_starves_subscriber;
+    Alcotest.test_case "RTHV018 interval refutes closed form" `Quick
+      test_rthv018_interval_refutes_closed;
+    Alcotest.test_case "RTHV019 serialization ceiling" `Quick
+      test_rthv019_serialization_ceiling;
+    Alcotest.test_case "RTHV020 sustained demand" `Quick
+      test_rthv020_sustained_demand;
     Alcotest.test_case "weighted plans linted on effective slots" `Quick
       test_weighted_plan_linted_on_effective_slots;
     Alcotest.test_case "eq. (13) helper" `Quick test_c_bh_eff_eq13;
@@ -345,6 +499,9 @@ let suite =
       test_example_scenarios_error_free;
     Alcotest.test_case "demo_bad fires every rule" `Quick
       test_demo_bad_fires_every_rule;
+    Alcotest.test_case "scenario rule lists derived from linter" `Quick
+      test_scenario_rules_derived_from_linter;
     Alcotest.test_case "rules catalogue" `Quick test_rules_catalogue;
+    Alcotest.test_case "diagnostic dedupe" `Quick test_diagnostic_dedupe;
     Alcotest.test_case "diagnostic JSON" `Quick test_diagnostic_json;
   ]

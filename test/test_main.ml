@@ -40,6 +40,10 @@ let () =
       ("obs.span", Test_span.suite);
       ("check.lint", Test_lint.suite);
       ("check.trace_oracle", Test_trace_oracle.suite);
+      ("check.absint", Test_absint.suite);
+      ("check.codec", Test_codec.suite);
+      ("check.witness", Test_witness.suite);
+      ("check.certify", Test_certify.suite);
       ("core.admission", Test_admission.suite);
       ("core.slot_plan", Test_slot_plan.suite);
       ("analysis.bound", Test_bound.suite);
