@@ -22,7 +22,14 @@
 
    Rows present only in the baseline fail the diff (a silently dropped
    bench is a lost regression gate); rows only in the current file are
-   reported as informational. *)
+   reported as informational.
+
+   The optional "profile" section (per-phase totals of the 15000-IRQ
+   simulation under the hierarchical profiler, see bench/main.ml) is gated
+   with the same rules, keyed by phase path: per-phase wall-clock with the
+   relative --ratio and per-phase minor words with the slack/ratio pair
+   (the simulation is deterministic, so phase words are reproducible to
+   the word).  A baseline without a profile section skips the check. *)
 
 module Json = Rthv_obs.Json
 
@@ -59,15 +66,38 @@ let load path =
         | Some (Json.List rows) -> rows
         | _ -> fail "%s: missing micro array" path
       in
-      List.filter_map
-        (fun r ->
-          match
-            (string_field "name" r, number (member "ns_per_run" r),
-             number (member "minor_words_per_run" r))
-          with
-          | Some name, Some ns, Some words -> Some (name, { ns; words })
-          | _ -> None)
-        rows
+      let micro =
+        List.filter_map
+          (fun r ->
+            match
+              (string_field "name" r, number (member "ns_per_run" r),
+               number (member "minor_words_per_run" r))
+            with
+            | Some name, Some ns, Some words -> Some (name, { ns; words })
+            | _ -> None)
+          rows
+      in
+      (* Older baselines predate the profile section: absent means empty,
+         and an empty baseline gates nothing. *)
+      let profile_rows =
+        match member "profile" doc with
+        | Some (Json.List rows) -> rows
+        | Some _ -> fail "%s: profile is not an array" path
+        | None -> []
+      in
+      let profile =
+        List.filter_map
+          (fun r ->
+            match
+              (string_field "path" r, number (member "total_ns" r),
+               number (member "words" r))
+            with
+            | Some p, Some ns, Some words ->
+                Some ("profile:" ^ p, { ns; words })
+            | _ -> None)
+          profile_rows
+      in
+      (micro, profile)
 
 let () =
   let ratio = ref 5.0 in
@@ -98,35 +128,40 @@ let () =
           "usage: diff BASELINE.json CURRENT.json [--ratio R] [--words-slack \
            W] [--words-ratio WR]"
   in
-  let baseline = load baseline_path and current = load current_path in
+  let baseline_micro, baseline_profile = load baseline_path in
+  let current_micro, current_profile = load current_path in
   let failures = ref 0 in
+  let compare_rows baseline current =
+    List.iter
+      (fun (name, b) ->
+        match List.assoc_opt name current with
+        | None ->
+            incr failures;
+            Printf.printf "%-48s MISSING from %s\n" name current_path
+        | Some c ->
+            let r = if b.ns > 0.0 then c.ns /. b.ns else Float.infinity in
+            let time_bad = r > !ratio in
+            let words_bad =
+              c.words > b.words +. !words_slack
+              && c.words > b.words *. !words_ratio
+            in
+            if time_bad || words_bad then incr failures;
+            Printf.printf "%-48s %12.1f %12.1f %7.2fx%s%s\n" name b.ns c.ns r
+              (if time_bad then "  TIME REGRESSION" else "")
+              (if words_bad then
+                 Printf.sprintf "  ALLOC REGRESSION (%.1f -> %.1f words)"
+                   b.words c.words
+               else ""))
+      baseline;
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name baseline) then
+          Printf.printf "%-48s (new, not in baseline)\n" name)
+      current
+  in
   Printf.printf "%-48s %12s %12s %8s\n" "benchmark" "base ns" "curr ns" "ratio";
-  List.iter
-    (fun (name, b) ->
-      match List.assoc_opt name current with
-      | None ->
-          incr failures;
-          Printf.printf "%-48s MISSING from %s\n" name current_path
-      | Some c ->
-          let r = if b.ns > 0.0 then c.ns /. b.ns else Float.infinity in
-          let time_bad = r > !ratio in
-          let words_bad =
-            c.words > b.words +. !words_slack
-            && c.words > b.words *. !words_ratio
-          in
-          if time_bad || words_bad then incr failures;
-          Printf.printf "%-48s %12.1f %12.1f %7.2fx%s%s\n" name b.ns c.ns r
-            (if time_bad then "  TIME REGRESSION" else "")
-            (if words_bad then
-               Printf.sprintf "  ALLOC REGRESSION (%.1f -> %.1f words)"
-                 b.words c.words
-             else ""))
-    baseline;
-  List.iter
-    (fun (name, _) ->
-      if not (List.mem_assoc name baseline) then
-        Printf.printf "%-48s (new, not in baseline)\n" name)
-    current;
+  compare_rows baseline_micro current_micro;
+  compare_rows baseline_profile current_profile;
   if !failures > 0 then begin
     Printf.printf "\n%d regression(s) against %s (ratio > %.1fx or > %+.1f \
                    minor words and > %.2fx)\n"

@@ -1,0 +1,154 @@
+(* Append a bench run to the performance-trajectory log and print the
+   recent trend.
+
+   Usage:  dune exec bench/history.exe -- BENCH.json HISTORY.jsonl
+             [--label L] [--trend NAME]
+
+   Each invocation appends one JSONL line (schema rthv-bench-history/1)
+   summarising the rthv-bench/1 document: the label (CI passes the commit
+   SHA), job count, and the per-benchmark ns/words pairs of the micro and
+   profile sections.  The file is append-only — every CI run adds a point,
+   so the trajectory of any benchmark can be recovered with jq.
+
+   After appending, the recent trend of --trend (default: the 15000-IRQ
+   simulation bench) is printed as label/ns pairs over the last runs, so
+   the CI log itself shows the trajectory without downloading artifacts. *)
+
+module Json = Rthv_obs.Json
+
+let fail fmt = Format.kasprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let member name = function
+  | Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let number = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let string_field name doc =
+  match member name doc with Some (Json.String s) -> Some s | _ -> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+(* One {name: {ns, words}} object per section row, keyed as diff.exe keys
+   them so history entries and diff output use the same names. *)
+let section_obj ~key_field ~ns_field ~words_field rows =
+  Json.Obj
+    (List.filter_map
+       (fun r ->
+         match
+           (string_field key_field r, number (member ns_field r),
+            number (member words_field r))
+         with
+         | Some name, Some ns, Some words ->
+             Some
+               ( name,
+                 Json.Obj
+                   [ ("ns", Json.Float ns); ("words", Json.Float words) ] )
+         | _ -> None)
+       rows)
+
+let entry_of_bench ~label doc =
+  (match string_field "schema" doc with
+  | Some "rthv-bench/1" -> ()
+  | Some other -> fail "unsupported bench schema %s" other
+  | None -> fail "missing bench schema field");
+  let rows field =
+    match member field doc with Some (Json.List rows) -> rows | _ -> []
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "rthv-bench-history/1");
+      ("label", Json.String label);
+      ( "jobs",
+        match member "jobs" doc with Some (Json.Int n) -> Json.Int n | _ -> Json.Null );
+      ( "micro",
+        section_obj ~key_field:"name" ~ns_field:"ns_per_run"
+          ~words_field:"minor_words_per_run" (rows "micro") );
+      ( "profile",
+        section_obj ~key_field:"path" ~ns_field:"total_ns"
+          ~words_field:"words" (rows "profile") );
+    ]
+
+let history_entries path =
+  if not (Sys.file_exists path) then []
+  else
+    String.split_on_char '\n' (read_file path)
+    |> List.filter_map (fun line ->
+           if String.trim line = "" then None
+           else
+             match Json.parse line with Ok doc -> Some doc | Error _ -> None)
+
+let print_trend entries name =
+  let points =
+    List.filter_map
+      (fun e ->
+        match member "micro" e with
+        | Some micro -> (
+            match number (member "ns" (Option.value ~default:Json.Null (member name micro))) with
+            | Some ns ->
+                Some (Option.value ~default:"?" (string_field "label" e), ns)
+            | None -> None)
+        | None -> None)
+      entries
+  in
+  match points with
+  | [] -> Printf.printf "no history for %S yet\n" name
+  | _ ->
+      let recent =
+        let n = List.length points in
+        if n <= 10 then points
+        else List.filteri (fun i _ -> i >= n - 10) points
+      in
+      Printf.printf "trend of %s (last %d run(s)):\n" name
+        (List.length recent);
+      List.iter
+        (fun (label, ns) -> Printf.printf "  %-12s %14.1f ns\n" label ns)
+        recent
+
+let () =
+  let label = ref "local" in
+  let trend = ref "rthv hypervisor sim, 15000 IRQs (monitored)" in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--label" :: v :: rest ->
+        label := v;
+        parse rest
+    | "--trend" :: v :: rest ->
+        trend := v;
+        parse rest
+    | arg :: rest ->
+        files := arg :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let bench_path, history_path =
+    match List.rev !files with
+    | [ b; h ] -> (b, h)
+    | _ ->
+        fail
+          "usage: history BENCH.json HISTORY.jsonl [--label L] [--trend NAME]"
+  in
+  let doc =
+    match Json.parse (read_file bench_path) with
+    | Ok doc -> doc
+    | Error e -> fail "%s: %s" bench_path e
+  in
+  let entry = entry_of_bench ~label:!label doc in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history_path in
+  output_string oc (Json.to_string entry);
+  output_char oc '\n';
+  close_out oc;
+  let entries = history_entries history_path in
+  Printf.printf "appended run %S to %s (%d entr%s)\n" !label history_path
+    (List.length entries)
+    (if List.length entries = 1 then "y" else "ies");
+  print_trend entries !trend

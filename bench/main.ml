@@ -37,6 +37,7 @@ let ppf = Format.std_formatter
    timings, accumulated by whichever sections run. *)
 let json_micro : Json.t list ref = ref []
 let json_sweep : (string * Json.t) list ref = ref []
+let json_profile : Json.t list ref = ref []
 
 let banner title =
   Format.fprintf ppf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -217,15 +218,20 @@ let micro_bodies () : (string * (unit -> unit)) list =
            conforms_ts := !conforms_ts + 600;
            ignore (Monitor.conforms steady_monitor !conforms_ts))
   in
+  (* The queue is hoisted so the heap array is reused across the batch:
+     the bench measures the push/pop cycle itself, not the construction
+     and regrowth of a fresh queue every run (which used to dominate the
+     allocation column at 848 words/run). *)
+  let batch_queue = Rthv_engine.Event_queue.create () in
   let event_queue =
     ( "event_queue push+pop x100",
       fun () ->
-           let q = Rthv_engine.Event_queue.create () in
            for i = 0 to 99 do
-             Rthv_engine.Event_queue.push q ~time:(i * 7919 mod 1000) i
+             Rthv_engine.Event_queue.push batch_queue
+               ~time:(i * 7919 mod 1000) i
            done;
-           while not (Rthv_engine.Event_queue.is_empty q) do
-             ignore (Rthv_engine.Event_queue.pop q)
+           while not (Rthv_engine.Event_queue.is_empty batch_queue) do
+             ignore (Rthv_engine.Event_queue.pop batch_queue)
            done)
   in
   (* Steady-state queue at the simulator's typical occupancy: one push +
@@ -410,6 +416,42 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Phase profile: where the 15000-IRQ simulation spends its time       *)
+(* ------------------------------------------------------------------ *)
+
+(* One Figure-6-sized monitored run under the hierarchical profiler: the
+   per-phase wall-clock locates the hot loop's cost centres and the
+   per-phase minor words are exactly reproducible (the simulation is
+   deterministic and the profiler subtracts its own clock boxing), so
+   bench/diff.exe can gate them per phase. *)
+let profile_section () =
+  banner "Phase profile (15000-IRQ monitored simulation)";
+  let interarrivals =
+    Gen.exponential ~seed:1 ~mean:(Cycles.of_us 1544) ~count:15_000
+  in
+  let shaping = Config.Fixed_monitor (DF.d_min (Cycles.of_us 1544)) in
+  let prof = Rthv_obs.Prof.create () in
+  Rthv_obs.Prof.with_profiler prof (fun () ->
+      let sim = Hyp_sim.create (Params.config ~interarrivals ~shaping) in
+      Hyp_sim.run sim);
+  Format.fprintf ppf "%a" Rthv_obs.Prof.pp_table prof;
+  json_profile :=
+    List.rev_append
+      (List.rev_map
+         (fun (r : Rthv_obs.Prof.row) ->
+           Json.Obj
+             [
+               ("path", Json.String r.Rthv_obs.Prof.r_path);
+               ("calls", Json.Int r.Rthv_obs.Prof.r_calls);
+               ("total_ns", Json.Float r.Rthv_obs.Prof.r_total_ns);
+               ("self_ns", Json.Float r.Rthv_obs.Prof.r_self_ns);
+               ("words", Json.Float r.Rthv_obs.Prof.r_words);
+               ("self_words", Json.Float r.Rthv_obs.Prof.r_self_words);
+             ])
+         (Rthv_obs.Prof.rows prof))
+      !json_profile
+
+(* ------------------------------------------------------------------ *)
 (* Sweep engine wall-clock: sequential vs sharded Figure-6 grid        *)
 (* ------------------------------------------------------------------ *)
 
@@ -471,6 +513,7 @@ let sections =
     ("multi", multi);
     ("robustness", robustness);
     ("micro", micro);
+    ("profile", profile_section);
     ("sweep", sweep);
   ]
 
@@ -522,6 +565,7 @@ let () =
             ("schema", Json.String "rthv-bench/1");
             ("jobs", Json.Int (Par.default_jobs ()));
             ("micro", Json.List (List.rev !json_micro));
+            ("profile", Json.List (List.rev !json_profile));
             ("sweep", Json.Obj (List.rev !json_sweep));
           ]
       in

@@ -74,6 +74,33 @@ let metrics_out_format path =
       (Printf.sprintf "--metrics-out %S: expected a .json or .prom extension"
          path)
 
+(* --profile likewise: .json (rthv-profile/1 document) or .txt (hot-phase
+   table plus allocation waterfall). *)
+let profile_out_format path =
+  if Filename.check_suffix path ".json" then Ok `Json
+  else if Filename.check_suffix path ".txt" then Ok `Txt
+  else
+    Error
+      (Printf.sprintf "--profile %S: expected a .json or .txt extension" path)
+
+let write_profile ~path prof =
+  match profile_out_format path with
+  | Error msg ->
+      Format.eprintf "%s@." msg;
+      1
+  | Ok fmt ->
+      let rendered =
+        match fmt with
+        | `Json -> Rthv_obs.Json.to_string (Rthv_obs.Prof.to_json prof) ^ "\n"
+        | `Txt -> Format.asprintf "%a" Rthv_obs.Prof.pp_table prof
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc rendered);
+      Format.printf "wrote phase profile to %s@." path;
+      0
+
 let write_metrics ~path registry =
   match metrics_out_format path with
   | Error msg ->
@@ -97,7 +124,7 @@ let write_metrics ~path registry =
 
 let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
     monitor budget weighted_cycle_us strict_tdma show_histogram csv_out
-    vcd_out trace_out metrics_out trace =
+    vcd_out trace_out metrics_out profile_out trace =
   let partitions =
     List.mapi
       (fun i slot_us ->
@@ -162,11 +189,17 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
   in
   let sim = Hyp_sim.create ?trace config in
   let registry = Rthv_obs.Registry.create () in
-  (if metrics_out <> None then
-     let recorder = Rthv_obs.Recorder.create ~registry () in
-     Rthv_obs.Sink.with_sink (Rthv_obs.Recorder.sink recorder) (fun () ->
-         Hyp_sim.run sim)
-   else Hyp_sim.run sim);
+  let profiler = Option.map (fun _ -> Rthv_obs.Prof.create ()) profile_out in
+  let run_sim () =
+    if metrics_out <> None then
+      let recorder = Rthv_obs.Recorder.create ~registry () in
+      Rthv_obs.Sink.with_sink (Rthv_obs.Recorder.sink recorder) (fun () ->
+          Hyp_sim.run sim)
+    else Hyp_sim.run sim
+  in
+  (match profiler with
+  | Some p -> Rthv_obs.Prof.with_profiler p run_sim
+  | None -> run_sim ());
   let records = Hyp_sim.records sim in
   let stats = Hyp_sim.stats sim in
   let latencies = List.map Irq_record.latency_us records in
@@ -247,31 +280,47 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
     | None -> 0
     | Some path -> write_metrics ~path registry
   in
-  Stdlib.max trace_status metrics_status
+  let profile_status =
+    match (profile_out, profiler) with
+    | Some path, Some p -> write_profile ~path p
+    | _ -> 0
+  in
+  Stdlib.max (Stdlib.max trace_status metrics_status) profile_status
 
-let run_experiment metrics_out name =
+let run_experiment metrics_out profile_out name =
   let module Fig6 = Rthv_experiments.Fig6 in
   let ppf = Format.std_formatter in
-  (* The sweep drivers fold per-task registries deterministically, so the
-     exported metrics are byte-identical for any --jobs value. *)
+  (* The sweep drivers fold per-task registries (and absorb per-task phase
+     profiles) deterministically, so the exported metrics and profile are
+     byte-identical for any --jobs value. *)
   let registry = Rthv_obs.Registry.create () in
   let metrics = Option.map (fun _ -> registry) metrics_out in
+  let profiler = Option.map (fun _ -> Rthv_obs.Prof.create ()) profile_out in
+  (* Analysis runs in-process (no sweep), so its busy-window/abstract-
+     interpretation phases are captured by installing the profiler here. *)
+  let with_prof f =
+    match profiler with
+    | Some p -> Rthv_obs.Prof.with_profiler p f
+    | None -> f ()
+  in
   let status =
     match name with
-    | "fig6a" -> Fig6.print ppf (Fig6.run ?metrics Fig6.Unmonitored); 0
-    | "fig6b" -> Fig6.print ppf (Fig6.run ?metrics Fig6.Monitored); 0
-    | "fig6c" -> Fig6.print ppf (Fig6.run ?metrics Fig6.Monitored_conforming); 0
+    | "fig6a" -> Fig6.print ppf (Fig6.run ?metrics ?profiler Fig6.Unmonitored); 0
+    | "fig6b" -> Fig6.print ppf (Fig6.run ?metrics ?profiler Fig6.Monitored); 0
+    | "fig6c" ->
+        Fig6.print ppf (Fig6.run ?metrics ?profiler Fig6.Monitored_conforming);
+        0
     | "fig7" ->
-        let results = Rthv_experiments.Fig7.run_all ?metrics () in
+        let results = Rthv_experiments.Fig7.run_all ?metrics ?profiler () in
         List.iter (Rthv_experiments.Fig7.print ppf) results;
         0
     | "overhead" ->
         Rthv_experiments.Overhead.print ppf
-          (Rthv_experiments.Overhead.run ?metrics ());
+          (Rthv_experiments.Overhead.run ?metrics ?profiler ());
         0
     | "analysis" ->
         Rthv_experiments.Analysis_tables.print ppf
-          (Rthv_experiments.Analysis_tables.compute_all ());
+          (with_prof Rthv_experiments.Analysis_tables.compute_all);
         0
     | other ->
         Format.eprintf
@@ -281,16 +330,27 @@ let run_experiment metrics_out name =
   in
   if status <> 0 then status
   else
-    match metrics_out with
-    | None -> 0
-    | Some path -> write_metrics ~path registry
+    let metrics_status =
+      match metrics_out with
+      | None -> 0
+      | Some path -> write_metrics ~path registry
+    in
+    let profile_status =
+      match (profile_out, profiler) with
+      | Some path, Some p -> write_profile ~path p
+      | _ -> 0
+    in
+    Stdlib.max metrics_status profile_status
 
 let main jobs experiment slots subscriber c_th_us c_bh_us mean_us d_min_us
     count seed monitor budget weighted_cycle_us strict_tdma histogram csv_out
-    vcd_out trace_out metrics_out trace =
+    vcd_out trace_out metrics_out profile_out flight_dir trace =
   Option.iter Rthv_par.Par.set_default_jobs jobs;
+  Option.iter
+    (fun dir -> Rthv_core.Flight_recorder.enable ~dir ())
+    flight_dir;
   match experiment with
-  | Some name -> run_experiment metrics_out name
+  | Some name -> run_experiment metrics_out profile_out name
   | None ->
       if subscriber < 0 || subscriber >= List.length slots then begin
         Format.eprintf "subscriber %d out of range for %d partitions@."
@@ -304,7 +364,7 @@ let main jobs experiment slots subscriber c_th_us c_bh_us mean_us d_min_us
       else
         run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count
           seed monitor budget weighted_cycle_us strict_tdma histogram csv_out
-          vcd_out trace_out metrics_out trace
+          vcd_out trace_out metrics_out profile_out trace
 
 open Cmdliner
 
@@ -453,6 +513,31 @@ let metrics_out =
            text).  Works for custom simulations and canned experiments; \
            sweep metrics are byte-identical for any $(b,--jobs) value.")
 
+let profile_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Profile simulator phases (event dispatch, admission, boundary \
+           crossing, sink emit) and fixed-point iterations, writing the \
+           hierarchical hot-phase profile on exit; the extension picks the \
+           format ($(b,.json): rthv-profile/1 document, $(b,.txt): \
+           hot-phase table plus allocation waterfall).  Sweep profiles are \
+           merged deterministically and are byte-identical for any \
+           $(b,--jobs) value.")
+
+let flight_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dir" ] ~docv:"DIR"
+        ~doc:
+          "Enable the crash flight recorder: keep a bounded ring of recent \
+           scheduling events per simulation and dump it as JSONL under \
+           $(docv) on oracle violations or uncaught exceptions \
+           (equivalent to setting $(b,RTHV_FLIGHT_DIR)).")
+
 let trace_arg =
   Arg.(
     value
@@ -473,6 +558,6 @@ let cmd =
       const main $ jobs $ experiment $ slots $ subscriber $ c_th_us $ c_bh_us
       $ mean_us $ d_min_us $ count $ seed $ monitor $ budget
       $ weighted_cycle_us $ strict_tdma $ histogram $ csv_out $ vcd_out
-      $ trace_out $ metrics_out $ trace_arg)
+      $ trace_out $ metrics_out $ profile_out $ flight_dir $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

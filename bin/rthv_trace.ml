@@ -162,8 +162,12 @@ let write_output ~out render =
         ~finally:(fun () -> close_out oc)
         (fun () -> output_string oc (render ()))
 
-let main jobs source format out partition from_us to_us metrics capacity =
+let main jobs flight_dir source format out partition from_us to_us metrics
+    capacity =
   Option.iter Rthv_par.Par.set_default_jobs jobs;
+  Option.iter
+    (fun dir -> Rthv_core.Flight_recorder.enable ~dir ())
+    flight_dir;
   let registry = Obs.Registry.create () in
   let recorded =
     match source with
@@ -303,8 +307,20 @@ let jobs =
         ~doc:
           "Worker domains for any sharded sweeps (default: $(b,RTHV_JOBS) \
            or the machine's recommended domain count).  A single scenario \
-           recording is one simulation and always runs on one domain; the \
-           flag exists for parity with $(b,rthv_sim) and $(b,bench).")
+           recording is one simulation and always runs on one domain; \
+           $(b,profile --repeat) shards across domains.")
+
+let flight_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dir" ] ~docv:"DIR"
+        ~doc:
+          "Enable the crash flight recorder: keep a bounded ring of recent \
+           scheduling events per simulation and dump it as JSONL under \
+           $(docv) on oracle violations, uncaught exceptions or \
+           negative-headroom reports (equivalent to setting \
+           $(b,RTHV_FLIGHT_DIR)).")
 
 (* --- report: latency attribution against the analytic bounds ------------ *)
 
@@ -391,7 +407,10 @@ let print_report_json scenario rows verdict_for =
             ("rows", Obs.Json.List (List.map row_json rows));
           ]))
 
-let report_main scenario capacity json =
+let report_main flight_dir scenario capacity json =
+  Option.iter
+    (fun dir -> Rthv_core.Flight_recorder.enable ~dir ())
+    flight_dir;
   match Scenarios.find scenario with
   | None ->
       Format.eprintf "rthv_trace report: unknown scenario %S (available: %s)@."
@@ -424,17 +443,36 @@ let report_main scenario capacity json =
          worst case beyond its analytic bound is an analysis or simulator
          bug, so the report doubles as a check. *)
       let negative =
-        List.exists
+        List.filter
           (fun v ->
             match v.Rthv_check.Headroom.hv_headroom_us with
             | Some h -> h < 0.
             | None -> false)
           verdicts
       in
-      if negative then begin
+      if negative <> [] then begin
         Format.eprintf
           "rthv_trace report: measured worst case exceeds the analytic \
            bound@.";
+        (* Post-mortem: dump the scheduling-event ring of the offending run
+           so the tail leading up to the excess latency can be replayed
+           through --from-jsonl. *)
+        let detail =
+          String.concat ","
+            (List.map
+               (fun v ->
+                 Printf.sprintf "%s/%s" v.Rthv_check.Headroom.hv_source
+                   v.Rthv_check.Headroom.hv_class)
+               negative)
+        in
+        (match
+           Rthv_core.Flight_recorder.dump ~reason:"negative_headroom" ~detail
+             ()
+         with
+        | Some path ->
+            Format.eprintf "rthv_trace report: flight ring dumped to %s@."
+              path
+        | None -> ());
         1
       end
       else 0
@@ -459,18 +497,97 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc)
-    Term.(const report_main $ report_scenario $ capacity $ report_json)
+    Term.(
+      const report_main $ flight_dir $ report_scenario $ capacity
+      $ report_json)
+
+(* --- profile: hierarchical phase profile of a scenario run --------------- *)
+
+type profile_format = P_text | P_json | P_chrome
+
+let profile_main jobs scenario repeat format out =
+  Option.iter Rthv_par.Par.set_default_jobs jobs;
+  if repeat < 1 then begin
+    Format.eprintf "rthv_trace profile: --repeat must be >= 1@.";
+    1
+  end
+  else
+    match Scenarios.find scenario with
+    | None ->
+        Format.eprintf
+          "rthv_trace profile: unknown scenario %S (available: %s)@." scenario
+          (String.concat ", " (List.map fst Scenarios.all));
+        1
+    | Some build ->
+        let profiler = Obs.Prof.create () in
+        (* Every run — including a single one — goes through the sweep
+           engine's ?profile plumbing: per-task profiles are absorbed in
+           task-index order, so the aggregate is byte-identical for any
+           --jobs value. *)
+        ignore
+          (Rthv_par.Par.init ~profile:profiler repeat (fun _ ->
+               Hyp_sim.run (Hyp_sim.create (build ())))
+            : unit list);
+        write_output ~out (fun () ->
+            match format with
+            | P_text -> Format.asprintf "%a" Obs.Prof.pp_table profiler
+            | P_json ->
+                Obs.Json.to_string (Obs.Prof.to_json profiler) ^ "\n"
+            | P_chrome ->
+                Obs.Json.to_string (Obs.Prof.to_chrome profiler) ^ "\n");
+        if out <> "-" then
+          Format.printf "wrote phase profile of %d run(s) to %s@." repeat out;
+        0
+
+let profile_scenario =
+  Arg.(
+    value & opt string "quickstart"
+    & info [ "s"; "scenario" ] ~docv:"NAME"
+        ~doc:"Scenario to simulate under the profiler.")
+
+let profile_repeat =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat"; "r" ] ~docv:"N"
+        ~doc:
+          "Run the scenario N times (sharded across $(b,--jobs) domains) \
+           and merge the per-run profiles deterministically.")
+
+let profile_format =
+  Arg.(
+    value
+    & opt
+        (enum [ ("text", P_text); ("json", P_json); ("chrome", P_chrome) ])
+        P_text
+    & info [ "format"; "f" ] ~docv:"FMT"
+        ~doc:
+          "Profile rendering: $(b,text) (hot-phase table plus allocation \
+           waterfall), $(b,json) (rthv-profile/1 document) or $(b,chrome) \
+           (Trace Event JSON of the aggregate tree for Perfetto).")
+
+let profile_cmd =
+  let doc =
+    "simulate a scenario under the hierarchical phase profiler and print \
+     where simulated wall-clock and minor-heap allocation went"
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const profile_main $ jobs $ profile_scenario $ profile_repeat
+      $ profile_format $ out)
 
 let default_term =
   Term.(
-    const main $ jobs $ source $ format $ out $ partition $ from_us $ to_us
-    $ metrics $ capacity)
+    const main $ jobs $ flight_dir $ source $ format $ out $ partition
+    $ from_us $ to_us $ metrics $ capacity)
 
 let cmd =
   let doc =
     "record hypervisor simulation timelines and export them as Chrome \
      Trace JSON, JSONL or VCD with a metrics summary"
   in
-  Cmd.group ~default:default_term (Cmd.info "rthv_trace" ~doc) [ report_cmd ]
+  Cmd.group ~default:default_term
+    (Cmd.info "rthv_trace" ~doc)
+    [ report_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -29,14 +29,22 @@ val ceiling : Rthv_engine.Cycles.t
 (** Divergence ceiling for fixed-point iteration (a few simulated hours). *)
 
 val fixed_point :
+  ?steps:int ref ->
+  ?residual:Rthv_engine.Cycles.t ref ->
   q:int ->
   wcet:Rthv_engine.Cycles.t ->
   interference:(Rthv_engine.Cycles.t -> Rthv_engine.Cycles.t) ->
+  unit ->
   outcome
-(** [fixed_point ~q ~wcet ~interference] iterates
+(** [fixed_point ~q ~wcet ~interference ()] iterates
     [w := q*wcet + interference w] from [q*wcet] to convergence.
     [interference] must be monotone non-decreasing for the result to be the
-    least fixed point.  @raise Invalid_argument if [q < 1] or [wcet < 0]. *)
+    least fixed point.  When provided, [steps] receives the iteration count
+    and [residual] the final step's contraction [w - w'] (zero on an exact
+    fixed point; nonzero only when a non-monotone interference function
+    shrank the window) — {!response_time} aggregates these into the
+    [rthv_busy_window_*] gauges.  @raise Invalid_argument if [q < 1] or
+    [wcet < 0]. *)
 
 val response_time :
   wcet:Rthv_engine.Cycles.t ->

@@ -107,7 +107,10 @@ module Fix = struct
     equal : 'a -> 'a -> bool;
   }
 
+  let ph_solve = Rthv_obs.Prof.phase "absint_fix"
+
   let solve sys =
+    Rthv_obs.Prof.span (Rthv_obs.Prof.installed ()) ph_solve @@ fun () ->
     let values = Hashtbl.create 64 in
     List.iter (fun n -> Hashtbl.replace values n (sys.init n)) sys.nodes;
     let get n =
@@ -149,6 +152,13 @@ module Fix = struct
           (Option.value ~default:[] (Hashtbl.find_opt rdeps n))
       end
     done;
+    (* Convergence telemetry, mirroring the rthv_busy_window_* gauges. *)
+    if Rthv_obs.Sink.active () then begin
+      Rthv_obs.Sink.gauge "rthv_absint_steps" Rthv_obs.Labels.empty
+        (float_of_int !steps);
+      Rthv_obs.Sink.gauge "rthv_absint_nodes" Rthv_obs.Labels.empty
+        (float_of_int (List.length sys.nodes))
+    end;
     (get, !steps)
 end
 

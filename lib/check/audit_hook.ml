@@ -37,7 +37,22 @@ let install ?(fail = default_fail) ?(warn = default_warn) () =
        (fun config trace ->
          let spec = Trace_oracle.of_config config in
          let diags = Trace_oracle.audit spec trace in
-         if List.exists Diagnostic.is_error diags then fail diags
+         if List.exists Diagnostic.is_error diags then begin
+           (* Post-mortem first: persist the events that led to the
+              violation before the failure continuation (which typically
+              raises) unwinds. *)
+           let detail =
+             List.filter Diagnostic.is_error diags
+             |> List.map (fun d -> d.Diagnostic.code)
+             |> List.sort_uniq String.compare
+             |> String.concat ","
+           in
+           ignore
+             (Rthv_core.Flight_recorder.dump ~reason:"oracle_violation"
+                ~detail ()
+               : string option);
+           fail diags
+         end
          else begin
            (* A dropped-trace RTHV107 means the audit never ran — surface
               it instead of letting the skip pass as a clean verdict. *)

@@ -104,7 +104,12 @@ let create ?trace ?(policies = []) config =
     match (trace, !audit_hook) with
     | (Some _ as some), _ -> some
     | None, Some _ -> Some (Hyp_trace.create ~capacity:audit_trace_capacity ())
-    | None, None -> None
+    | None, None ->
+        (* No audit, but the flight recorder wants the last N events of
+           every run available for a post-mortem dump. *)
+        if Flight_recorder.enabled () then
+          Some (Hyp_trace.create ~capacity:(Flight_recorder.capacity ()) ())
+        else None
   in
   let t =
     {
@@ -112,6 +117,7 @@ let create ?trace ?(policies = []) config =
       config;
       boundary = config.Config.boundary;
       trace;
+      prof = Rthv_obs.Prof.disabled;
       tdma;
       ipc;
       guests;
@@ -292,15 +298,18 @@ let post_attribution t runner =
         && List.memq job.Rthv_rtos.Task.task t.activation_specs
       then t.live_aperiodic <- t.live_aperiodic - 1
   | Part_work (_, (Guest.Filler | Guest.Idle)) -> ());
-  (* Deliver all external events due now, in schedule order. *)
+  (* Deliver all external events due now, in schedule order.  [drop]
+     (not [pop]) keeps the loop allocation-free. *)
   let rec drain () =
     match Event_queue.peek t.events with
     | Some entry when entry.Event_queue.time <= t.now ->
         assert (entry.Event_queue.time = t.now);
-        ignore (Event_queue.pop t.events : event Event_queue.entry option);
+        Event_queue.drop t.events;
+        Prof.enter t.prof ph_dispatch;
         (match entry.Event_queue.payload with
         | Arrival s_idx -> Sim_route.handle_arrival t s_idx
         | Boundary -> Sim_boundary.handle_boundary t);
+        Prof.leave t.prof;
         drain ()
     | Some _ | None -> ()
   in
@@ -325,9 +334,24 @@ let default_horizon = Cycles.of_ms 3_600_000 (* one simulated hour *)
 
 let run ?(horizon = default_horizon) t =
   if not t.finished then begin
-    while (not (quiescent t)) && t.now < horizon do
-      step t
-    done;
+    (* Hoist the profiler lookup out of the step loop: every phase site
+       below reads [t.prof] (one load, predictable branch when off). *)
+    t.prof <- Prof.installed ();
+    (match t.trace with
+    | Some trace -> Flight_recorder.note_run trace
+    | None -> ());
+    (try
+       Prof.span t.prof ph_run (fun () ->
+           while (not (quiescent t)) && t.now < horizon do
+             step t
+           done)
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       ignore
+         (Flight_recorder.dump ~reason:"uncaught_exception"
+            ~detail:(Printexc.to_string e) ()
+           : string option);
+       Printexc.raise_with_backtrace e bt);
     close_slot_accounting t;
     if obs_active () then
       Sink.gauge "rthv_sim_time_us" Labels.empty (Cycles.to_us t.now);

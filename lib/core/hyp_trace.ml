@@ -23,35 +23,53 @@ type event =
 
 type entry = { time : Cycles.t; event : event }
 
+(* Parallel arrays instead of an [entry option array]: [record] writes a
+   plain int and an (already-allocated, caller-owned) event pointer, so the
+   ring itself allocates nothing at steady state — this is what lets the
+   flight recorder ride along on every run (see Flight_recorder) without
+   perturbing the allocation benchmarks.  Unwritten [events] slots hold a
+   shared dummy and are never read ([total] bounds every traversal). *)
 type t = {
-  buffer : entry option array;
+  times : int array;
+  events : event array;
   mutable next : int;  (* next write position *)
   mutable total : int;  (* events ever recorded *)
 }
 
+let dummy_event = Irq_coalesced { line = -1 }
+
 let create ?(capacity = 65_536) () =
   if capacity <= 0 then invalid_arg "Hyp_trace.create: capacity must be positive";
-  { buffer = Array.make capacity None; next = 0; total = 0 }
+  {
+    times = Array.make capacity 0;
+    events = Array.make capacity dummy_event;
+    next = 0;
+    total = 0;
+  }
+
+let capacity t = Array.length t.times
 
 let record t ~time event =
-  t.buffer.(t.next) <- Some { time; event };
-  t.next <- (t.next + 1) mod Array.length t.buffer;
+  let i = t.next in
+  t.times.(i) <- time;
+  t.events.(i) <- event;
+  let i = i + 1 in
+  t.next <- (if i = Array.length t.times then 0 else i);
   t.total <- t.total + 1
 
-let length t = Stdlib.min t.total (Array.length t.buffer)
+let length t = Stdlib.min t.total (Array.length t.times)
 let recorded t = t.total
-let dropped t = Stdlib.max 0 (t.total - Array.length t.buffer)
+let dropped t = Stdlib.max 0 (t.total - Array.length t.times)
 
 let to_list t =
-  let capacity = Array.length t.buffer in
+  let capacity = Array.length t.times in
   let n = length t in
   let start = if t.total <= capacity then 0 else t.next in
   let rec collect i acc =
     if i = n then List.rev acc
     else
-      match t.buffer.((start + i) mod capacity) with
-      | Some entry -> collect (i + 1) (entry :: acc)
-      | None -> collect (i + 1) acc
+      let j = (start + i) mod capacity in
+      collect (i + 1) ({ time = t.times.(j); event = t.events.(j) } :: acc)
   in
   collect 0 []
 

@@ -53,7 +53,13 @@ val create : ?capacity:int -> unit -> t
 (** Default capacity 65536 entries.  @raise Invalid_argument if
     non-positive. *)
 
+val capacity : t -> int
+
 val record : t -> time:Rthv_engine.Cycles.t -> event -> unit
+(** O(1) and allocation-free: the ring stores the timestamp and the
+    caller-allocated event value in parallel arrays, so steady-state
+    recording costs two stores (this is the flight-recorder property —
+    tracing can stay on for every run). *)
 
 val length : t -> int
 (** Entries currently retained. *)

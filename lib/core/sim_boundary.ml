@@ -23,7 +23,8 @@ let boundary_deferral t =
     | Some _ | None -> None
 
 let handle_boundary t =
-  match boundary_deferral t with
+  Prof.enter t.prof ph_boundary;
+  (match boundary_deferral t with
   | Some deferred ->
       t.bh_boundary_deferrals <- t.bh_boundary_deferrals + 1;
       trace_event t
@@ -58,4 +59,5 @@ let handle_boundary t =
       enqueue_hyp t ~label:"slot_switch" ~steals:false ~cost:t.c_ctx
         ~on_done:(fun () -> t.slot_switches <- t.slot_switches + 1);
       Event_queue.push t.events ~time:(Tdma.next_boundary t.tdma t.now)
-        Boundary
+        Boundary);
+  Prof.leave t.prof

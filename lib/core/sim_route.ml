@@ -13,6 +13,7 @@ open Sim_state
    admission predicate ran: admit the interposition or fall back to delayed
    handling. *)
 let monitor_done t src p =
+  Prof.enter t.prof ph_admission;
   p.p_decision <- t.now;
   let conforms = Admission.decide src.admission p.p_arrival in
   let subscriber = src.cfg.Config.subscriber in
@@ -63,7 +64,8 @@ let monitor_done t src p =
     p.p_class <- Irq_record.Delayed;
     t.n_delayed <- t.n_delayed + 1;
     decision `Denied
-  end
+  end;
+  Prof.leave t.prof
 
 let top_handler_done t src p =
   p.p_top_end <- t.now;

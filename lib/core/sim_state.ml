@@ -48,6 +48,11 @@ type t = {
   config : Config.t;
   boundary : Boundary_policy.t;
   trace : Hyp_trace.t option;
+  mutable prof : Rthv_obs.Prof.t;
+      (* The phase profiler for the current run, hoisted out of the step
+         loop: [Hyp_sim.run] refreshes it from [Prof.installed] once per
+         run, so every instrumentation site below is one field load plus a
+         predictable branch when profiling is off. *)
   tdma : Tdma.t;
   ipc : Ipc.t;
   guests : Guest.t array;
@@ -121,8 +126,18 @@ let trace_event t event = trace_event_at t t.now event
 module Sink = Rthv_obs.Sink
 module Labels = Rthv_obs.Labels
 module Span = Rthv_obs.Span
+module Prof = Rthv_obs.Prof
 
 let obs_active = Sink.active
+
+(* Profiled phases of the stepping loop (see DESIGN "Profiling"): the drain
+   loop's event dispatch, the admission decision, boundary handling, and
+   the sink-emission work on IRQ completion. *)
+let ph_run = Prof.phase "run"
+let ph_dispatch = Prof.phase "dispatch"
+let ph_admission = Prof.phase "admission"
+let ph_boundary = Prof.phase "boundary"
+let ph_sink_emit = Prof.phase "sink_emit"
 
 let obs_count name = Sink.incr name Labels.empty 1
 
@@ -216,8 +231,10 @@ let finalize_completion t (item : Irq_queue.item) =
         (Hyp_trace.Bottom_handler_done
            { irq = p.p_irq; partition = p.p_source.cfg.Config.subscriber });
       if obs_active () then begin
+        Prof.enter t.prof ph_sink_emit;
         obs_irq_completed t p;
-        obs_span t p
+        obs_span t p;
+        Prof.leave t.prof
       end;
       (* uC/OS pattern: the bottom handler posts to an application task. *)
       match p.p_source.cfg.Config.activates with

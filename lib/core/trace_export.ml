@@ -394,6 +394,14 @@ let entry_of_jsonl line =
   let* event = event_of_json json in
   Ok { Hyp_trace.time; event }
 
+(* Flight-recorder dumps (see Flight_recorder) prefix the event stream with
+   an {"ev":"meta", ...} header; it carries no trace entry, so re-import
+   skips it rather than failing on the unknown kind. *)
+let is_meta_line json =
+  match Json.member "ev" json with
+  | Some (Json.String "meta") -> true
+  | _ -> false
+
 let entries_of_jsonl_string contents =
   let lines = String.split_on_char '\n' contents in
   let rec loop lineno acc = function
@@ -401,9 +409,12 @@ let entries_of_jsonl_string contents =
     | line :: rest ->
         if String.trim line = "" then loop (lineno + 1) acc rest
         else (
-          match entry_of_jsonl line with
-          | Ok entry -> loop (lineno + 1) (entry :: acc) rest
-          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+          match Json.parse line with
+          | Ok json when is_meta_line json -> loop (lineno + 1) acc rest
+          | Ok _ | Error _ -> (
+              match entry_of_jsonl line with
+              | Ok entry -> loop (lineno + 1) (entry :: acc) rest
+              | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)))
   in
   loop 1 [] lines
 

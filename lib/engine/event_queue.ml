@@ -85,6 +85,17 @@ let pop t =
     Some top
   end
 
+let drop t =
+  if t.size > 0 then begin
+    if Rthv_obs.Sink.active () then
+      Rthv_obs.Sink.incr "rthv_event_queue_ops_total" op_pop 1;
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end
+  end
+
 let clear t = t.size <- 0
 
 let to_sorted_list t =

@@ -31,6 +31,11 @@ val peek_time : 'a t -> Cycles.t option
 val pop : 'a t -> 'a entry option
 (** Remove and return the earliest entry. *)
 
+val drop : 'a t -> unit
+(** Remove the earliest entry without returning it (no-op when empty).
+    Unlike {!pop} this allocates nothing — the simulator's drain loop pairs
+    it with {!peek} so steady-state event delivery stays allocation-free. *)
+
 val clear : 'a t -> unit
 
 val to_sorted_list : 'a t -> 'a entry list

@@ -102,9 +102,9 @@ let assemble scenario per_load =
   }
 
 let run ?(seed = Params.default_seed) ?(count_per_load = Params.irqs_per_load)
-    ?(loads = Params.loads) ?pool ?metrics scenario =
+    ?(loads = Params.loads) ?pool ?metrics ?profiler scenario =
   let per_load =
-    Rthv_par.Par.mapi ?pool ?metrics
+    Rthv_par.Par.mapi ?pool ?metrics ?profile:profiler
       (fun i load ->
         run_load
           ~seed:(Rthv_par.Par.derive_seed ~base:seed ~index:i)
@@ -116,7 +116,7 @@ let run ?(seed = Params.default_seed) ?(count_per_load = Params.irqs_per_load)
 let scenarios = [ Unmonitored; Monitored; Monitored_conforming ]
 
 let run_all ?(seed = Params.default_seed)
-    ?(count_per_load = Params.irqs_per_load) ?pool ?metrics () =
+    ?(count_per_load = Params.irqs_per_load) ?pool ?metrics ?profiler () =
   (* Flatten the scenario x load grid into one sweep so all nine
      simulations shard across the pool at once (the 1 %-load runs simulate
      ~10x longer than the 10 % ones; chunked claiming balances them).  The
@@ -129,7 +129,7 @@ let run_all ?(seed = Params.default_seed)
       scenarios
   in
   let runs =
-    Rthv_par.Par.map ?pool ?metrics
+    Rthv_par.Par.map ?pool ?metrics ?profile:profiler
       (fun (scenario, i, load) ->
         ( scenario,
           run_load

@@ -39,6 +39,7 @@ val run :
   ?loads:float list ->
   ?pool:Rthv_par.Par.pool ->
   ?metrics:Rthv_obs.Registry.t ->
+  ?profiler:Rthv_obs.Prof.t ->
   scenario ->
   result
 (** Defaults: the paper's seed-reproducible 5000 IRQs at each of
@@ -51,6 +52,7 @@ val run_all :
   ?count_per_load:int ->
   ?pool:Rthv_par.Par.pool ->
   ?metrics:Rthv_obs.Registry.t ->
+  ?profiler:Rthv_obs.Prof.t ->
   unit ->
   result list
 (** Figures 6a, 6b and 6c in order; all nine scenario x load simulations

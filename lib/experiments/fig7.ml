@@ -78,11 +78,11 @@ let run ?(seed = Params.default_seed) ?(profile = Ecu_trace.default_profile)
     run_stats = Hyp_sim.stats sim;
   }
 
-let run_all ?seed ?profile ?pool ?metrics () =
+let run_all ?seed ?profile ?pool ?metrics ?profiler () =
   (* The four bound specs replay the same trace independently: one sweep
      task per graph.  Each task derives nothing from its index — the seed is
      shared, as in the sequential code — so any job count is byte-identical. *)
-  Rthv_par.Par.map ?pool ?metrics
+  Rthv_par.Par.map ?pool ?metrics ?profile:profiler
     (fun spec -> run ?seed ?profile spec)
     [ Unbounded; Load_fraction 0.25; Load_fraction 0.125; Load_fraction 0.0625 ]
 

@@ -47,6 +47,7 @@ val run_all :
   ?profile:Rthv_workload.Ecu_trace.profile ->
   ?pool:Rthv_par.Par.pool ->
   ?metrics:Rthv_obs.Registry.t ->
+  ?profiler:Rthv_obs.Prof.t ->
   unit ->
   result list
 (** The paper's four graphs, a-d, as one sharded sweep (byte-identical at

@@ -77,9 +77,9 @@ let measure_load ~seed ~count load =
   }
 
 let run ?(seed = Params.default_seed) ?(count_per_load = Params.irqs_per_load)
-    ?(loads = Params.loads) ?pool ?metrics () =
+    ?(loads = Params.loads) ?pool ?metrics ?profiler () =
   let per_load =
-    Rthv_par.Par.mapi ?pool ?metrics
+    Rthv_par.Par.mapi ?pool ?metrics ?profile:profiler
       (fun i load ->
         measure_load
           ~seed:(Rthv_par.Par.derive_seed ~base:seed ~index:i)

@@ -48,6 +48,7 @@ val run :
   ?loads:float list ->
   ?pool:Rthv_par.Par.pool ->
   ?metrics:Rthv_obs.Registry.t ->
+  ?profiler:Rthv_obs.Prof.t ->
   unit ->
   t
 (** Each load's baseline/monitored pair is one sweep task, seeded

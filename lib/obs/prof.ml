@@ -1,0 +1,469 @@
+(* Phase names are interned process-wide behind a mutex: [phase] runs once
+   per name at module initialisation, after which the dense int id is safe
+   to use from any domain (reads go through the atomic so a racing intern
+   on another domain is published safely). *)
+
+type phase = int
+
+let intern_mutex = Mutex.create ()
+let intern_names : string array Atomic.t = Atomic.make [||]
+
+let phase name =
+  Mutex.protect intern_mutex (fun () ->
+      let names = Atomic.get intern_names in
+      let n = Array.length names in
+      let rec find i =
+        if i >= n then -1
+        else if String.equal names.(i) name then i
+        else find (i + 1)
+      in
+      match find 0 with
+      | -1 ->
+          Atomic.set intern_names (Array.append names [| name |]);
+          n
+      | i -> i)
+
+let phase_name p = (Atomic.get intern_names).(p)
+
+(* The calling-context tree is struct-of-arrays: parallel int/float arrays
+   indexed by node id, with node 0 the synthetic root.  Mixed int/float
+   record fields would box every float update; flat [float array]s keep the
+   enabled-path updates allocation-free.  Children hang off
+   [n_first_child]/[n_sibling] (prepend order — snapshots sort by name, so
+   encounter order never leaks into output). *)
+type t = {
+  mutable p_on : bool;
+  p_clock : unit -> float;
+  (* nodes *)
+  mutable n_count : int;
+  mutable n_phase : int array;
+  mutable n_parent : int array;
+  mutable n_first_child : int array;
+  mutable n_sibling : int array;
+  mutable n_calls : int array;
+  mutable n_total_ns : float array;
+  mutable n_child_ns : float array;
+  mutable n_words : float array;
+  mutable n_child_words : float array;
+  (* open-scope stack *)
+  mutable s_node : int array;
+  mutable s_start_ns : float array;
+  mutable s_start_words : float array;
+  mutable s_child_scopes : int array;
+  mutable p_depth : int;
+  mutable p_cur : int;
+  (* minor words allocated by one enter/leave pair itself (clock boxing);
+     measured at [create] and charged against the enclosing scope. *)
+  mutable p_scope_overhead_words : float;
+}
+
+let initial_nodes = 16
+let initial_stack = 16
+
+let make_raw ~on clock =
+  {
+    p_on = on;
+    p_clock = clock;
+    n_count = 1;
+    n_phase = Array.make initial_nodes (-1);
+    n_parent = Array.make initial_nodes (-1);
+    n_first_child = Array.make initial_nodes (-1);
+    n_sibling = Array.make initial_nodes (-1);
+    n_calls = Array.make initial_nodes 0;
+    n_total_ns = Array.make initial_nodes 0.;
+    n_child_ns = Array.make initial_nodes 0.;
+    n_words = Array.make initial_nodes 0.;
+    n_child_words = Array.make initial_nodes 0.;
+    s_node = Array.make initial_stack 0;
+    s_start_ns = Array.make initial_stack 0.;
+    s_start_words = Array.make initial_stack 0.;
+    s_child_scopes = Array.make initial_stack 0;
+    p_depth = 0;
+    p_cur = 0;
+    p_scope_overhead_words = 0.;
+  }
+
+let disabled = make_raw ~on:false (fun () -> 0.)
+let enabled t = t.p_on
+let depth t = t.p_depth
+
+let grow_int a = Array.append a (Array.make (Array.length a) 0)
+let grow_float a = Array.append a (Array.make (Array.length a) 0.)
+
+let grow_nodes t =
+  t.n_phase <- grow_int t.n_phase;
+  t.n_parent <- grow_int t.n_parent;
+  t.n_first_child <- grow_int t.n_first_child;
+  t.n_sibling <- grow_int t.n_sibling;
+  t.n_calls <- grow_int t.n_calls;
+  t.n_total_ns <- grow_float t.n_total_ns;
+  t.n_child_ns <- grow_float t.n_child_ns;
+  t.n_words <- grow_float t.n_words;
+  t.n_child_words <- grow_float t.n_child_words
+
+let grow_stack t =
+  t.s_node <- grow_int t.s_node;
+  t.s_start_ns <- grow_float t.s_start_ns;
+  t.s_start_words <- grow_float t.s_start_words;
+  t.s_child_scopes <- grow_int t.s_child_scopes
+
+let add_node t parent ph =
+  if t.n_count = Array.length t.n_phase then grow_nodes t;
+  let i = t.n_count in
+  t.n_count <- i + 1;
+  t.n_phase.(i) <- ph;
+  t.n_parent.(i) <- parent;
+  t.n_first_child.(i) <- -1;
+  t.n_sibling.(i) <- t.n_first_child.(parent);
+  t.n_calls.(i) <- 0;
+  t.n_total_ns.(i) <- 0.;
+  t.n_child_ns.(i) <- 0.;
+  t.n_words.(i) <- 0.;
+  t.n_child_words.(i) <- 0.;
+  t.n_first_child.(parent) <- i;
+  i
+
+let find_or_add_child t parent ph =
+  let rec scan i =
+    if i < 0 then add_node t parent ph
+    else if t.n_phase.(i) = ph then i
+    else scan t.n_sibling.(i)
+  in
+  scan t.n_first_child.(parent)
+
+let enter_on t ph =
+  let node = find_or_add_child t t.p_cur ph in
+  let d = t.p_depth in
+  if d = Array.length t.s_node then grow_stack t;
+  t.s_node.(d) <- node;
+  t.s_child_scopes.(d) <- 0;
+  (* Clock before words: the clock call's own boxing lands outside this
+     scope's allocation window (it is charged to the parent and calibrated
+     away there). *)
+  t.s_start_ns.(d) <- t.p_clock ();
+  t.s_start_words.(d) <- Gc.minor_words ();
+  t.p_depth <- d + 1;
+  t.p_cur <- node
+
+let leave_on t =
+  if t.p_depth > 0 then begin
+    (* Words before clock, mirroring [enter_on]: only user allocation falls
+       between the two words reads. *)
+    let end_words = Gc.minor_words () in
+    let end_ns = t.p_clock () in
+    let d = t.p_depth - 1 in
+    let node = t.s_node.(d) in
+    let dt = end_ns -. t.s_start_ns.(d) in
+    let dw =
+      end_words -. t.s_start_words.(d)
+      -. (float_of_int t.s_child_scopes.(d) *. t.p_scope_overhead_words)
+    in
+    let dw = if dw > 0. then dw else 0. in
+    let dt = if dt > 0. then dt else 0. in
+    t.n_calls.(node) <- t.n_calls.(node) + 1;
+    t.n_total_ns.(node) <- t.n_total_ns.(node) +. dt;
+    t.n_words.(node) <- t.n_words.(node) +. dw;
+    let parent = t.n_parent.(node) in
+    t.n_child_ns.(parent) <- t.n_child_ns.(parent) +. dt;
+    t.n_child_words.(parent) <- t.n_child_words.(parent) +. dw;
+    if d > 0 then t.s_child_scopes.(d - 1) <- t.s_child_scopes.(d - 1) + 1;
+    t.p_depth <- d;
+    t.p_cur <- parent
+  end
+
+let[@inline] enter t ph = if t.p_on then enter_on t ph
+let[@inline] leave t = if t.p_on then leave_on t
+
+let span t ph f =
+  if not t.p_on then f ()
+  else begin
+    enter_on t ph;
+    match f () with
+    | v ->
+        leave_on t;
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        leave_on t;
+        Printexc.raise_with_backtrace e bt
+  end
+
+let reset t =
+  t.n_count <- 1;
+  t.n_first_child.(0) <- -1;
+  t.n_calls.(0) <- 0;
+  t.n_total_ns.(0) <- 0.;
+  t.n_child_ns.(0) <- 0.;
+  t.n_words.(0) <- 0.;
+  t.n_child_words.(0) <- 0.;
+  t.p_depth <- 0;
+  t.p_cur <- 0
+
+let calibration_phase = phase "_prof_calibrate"
+
+(* One enter/leave pair allocates only the clock-result boxes, a fixed
+   (deterministic) number of words on a given build; measure it instead of
+   hard-coding the boxing layout of the compiler in use. *)
+let calibrate t =
+  enter_on t calibration_phase;
+  leave_on t;
+  let rounds = 64 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to rounds do
+    enter_on t calibration_phase;
+    leave_on t
+  done;
+  let w1 = Gc.minor_words () in
+  t.p_scope_overhead_words <- (w1 -. w0) /. float_of_int rounds;
+  reset t
+
+let default_clock () = Int64.to_float (Monotonic_clock.now ())
+
+let create ?(clock = default_clock) () =
+  let t = make_raw ~on:true clock in
+  calibrate t;
+  t
+
+let spawn t =
+  let s = make_raw ~on:true t.p_clock in
+  calibrate s;
+  s
+
+(* Domain-local installation, mirroring [Sink]. *)
+type slot = { mutable installed : t }
+
+let slot_key = Domain.DLS.new_key (fun () -> { installed = disabled })
+let install t = (Domain.DLS.get slot_key).installed <- t
+let uninstall () = (Domain.DLS.get slot_key).installed <- disabled
+let installed () = (Domain.DLS.get slot_key).installed
+
+let with_profiler t f =
+  let slot = Domain.DLS.get slot_key in
+  let previous = slot.installed in
+  slot.installed <- t;
+  Fun.protect ~finally:(fun () -> slot.installed <- previous) f
+
+(* Snapshots: preorder DFS, children sorted by phase name. *)
+
+type row = {
+  r_path : string;
+  r_name : string;
+  r_depth : int;
+  r_calls : int;
+  r_total_ns : float;
+  r_self_ns : float;
+  r_words : float;
+  r_self_words : float;
+}
+
+let sorted_children t node =
+  let rec collect acc i =
+    if i < 0 then acc else collect (i :: acc) (t.n_sibling.(i))
+  in
+  collect [] t.n_first_child.(node)
+  |> List.sort (fun a b ->
+         String.compare (phase_name t.n_phase.(a)) (phase_name t.n_phase.(b)))
+
+let rows t =
+  let out = ref [] in
+  let rec visit node path depth =
+    let name = phase_name t.n_phase.(node) in
+    let path = if path = "" then name else path ^ "/" ^ name in
+    let self_ns = t.n_total_ns.(node) -. t.n_child_ns.(node) in
+    let self_words = t.n_words.(node) -. t.n_child_words.(node) in
+    out :=
+      {
+        r_path = path;
+        r_name = name;
+        r_depth = depth;
+        r_calls = t.n_calls.(node);
+        r_total_ns = t.n_total_ns.(node);
+        r_self_ns = (if self_ns > 0. then self_ns else 0.);
+        r_words = t.n_words.(node);
+        r_self_words = (if self_words > 0. then self_words else 0.);
+      }
+      :: !out;
+    List.iter (fun c -> visit c path (depth + 1)) (sorted_children t node)
+  in
+  List.iter (fun c -> visit c "" 1) (sorted_children t 0);
+  List.rev !out
+
+let absorb ~into src =
+  let rec visit src_node into_node =
+    List.iter
+      (fun c ->
+        let ph = src.n_phase.(c) in
+        let dst = find_or_add_child into into_node ph in
+        into.n_calls.(dst) <- into.n_calls.(dst) + src.n_calls.(c);
+        into.n_total_ns.(dst) <- into.n_total_ns.(dst) +. src.n_total_ns.(c);
+        into.n_child_ns.(dst) <- into.n_child_ns.(dst) +. src.n_child_ns.(c);
+        into.n_words.(dst) <- into.n_words.(dst) +. src.n_words.(c);
+        into.n_child_words.(dst) <-
+          into.n_child_words.(dst) +. src.n_child_words.(c);
+        visit c dst)
+      (sorted_children src src_node)
+  in
+  into.n_child_ns.(0) <- into.n_child_ns.(0) +. src.n_child_ns.(0);
+  into.n_child_words.(0) <- into.n_child_words.(0) +. src.n_child_words.(0);
+  visit 0 0
+
+(* Rendering *)
+
+let row_json r =
+  Json.Obj
+    [
+      ("path", Json.String r.r_path);
+      ("depth", Json.Int r.r_depth);
+      ("calls", Json.Int r.r_calls);
+      ("total_ns", Json.Float r.r_total_ns);
+      ("self_ns", Json.Float r.r_self_ns);
+      ("words", Json.Float r.r_words);
+      ("self_words", Json.Float r.r_self_words);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String "rthv-profile/1");
+      ("rows", Json.List (List.map row_json (rows t)));
+    ]
+
+let of_json doc =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Json.member "schema" doc with
+    | Some (Json.String "rthv-profile/1") -> Ok ()
+    | _ -> Error "profile: expected schema rthv-profile/1"
+  in
+  let* rows =
+    match Json.member "rows" doc with
+    | Some (Json.List l) -> Ok l
+    | _ -> Error "profile: missing rows"
+  in
+  let field name conv j =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "profile row: bad field %S" name)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | j :: rest ->
+        let* path = field "path" Json.to_str j in
+        let* depth = field "depth" Json.to_int j in
+        let* calls = field "calls" Json.to_int j in
+        let* total_ns = field "total_ns" Json.to_float j in
+        let* self_ns = field "self_ns" Json.to_float j in
+        let* words = field "words" Json.to_float j in
+        let* self_words = field "self_words" Json.to_float j in
+        let name =
+          match String.rindex_opt path '/' with
+          | None -> path
+          | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+        in
+        go
+          ({
+             r_path = path;
+             r_name = name;
+             r_depth = depth;
+             r_calls = calls;
+             r_total_ns = total_ns;
+             r_self_ns = self_ns;
+             r_words = words;
+             r_self_words = self_words;
+           }
+           :: acc)
+          rest
+  in
+  go [] rows
+
+let pp_table ppf t =
+  let rows = rows t in
+  let name_width =
+    List.fold_left
+      (fun w r -> max w (((r.r_depth - 1) * 2) + String.length r.r_name))
+      5 rows
+  in
+  Format.fprintf ppf "%-*s %10s %12s %12s %14s %14s@." name_width "phase"
+    "calls" "total ms" "self ms" "words" "self words";
+  List.iter
+    (fun r ->
+      let indent = String.make ((r.r_depth - 1) * 2) ' ' in
+      Format.fprintf ppf "%-*s %10d %12.3f %12.3f %14.0f %14.0f@." name_width
+        (indent ^ r.r_name) r.r_calls (r.r_total_ns /. 1e6)
+        (r.r_self_ns /. 1e6) r.r_words r.r_self_words)
+    rows;
+  (* Allocation-attribution waterfall: which phase's own code allocates. *)
+  let alloc =
+    List.filter (fun r -> r.r_self_words > 0.) rows
+    |> List.sort (fun a b ->
+           match compare b.r_self_words a.r_self_words with
+           | 0 -> String.compare a.r_path b.r_path
+           | c -> c)
+  in
+  if alloc <> [] then begin
+    let path_width =
+      List.fold_left (fun w r -> max w (String.length r.r_path)) 4 alloc
+    in
+    let max_words =
+      List.fold_left (fun m r -> Float.max m r.r_self_words) 1. alloc
+    in
+    Format.fprintf ppf "@.allocation attribution (self words)@.";
+    List.iter
+      (fun r ->
+        let bar =
+          int_of_float (Float.round (40. *. r.r_self_words /. max_words))
+        in
+        Format.fprintf ppf "  %-*s %14.0f  %s@." path_width r.r_path
+          r.r_self_words
+          (String.make (max bar 1) '#'))
+      alloc
+  end
+
+let to_chrome t =
+  let events = ref [] in
+  let emit j = events := j :: !events in
+  emit
+    (Json.Obj
+       [
+         ("name", Json.String "thread_name");
+         ("ph", Json.String "M");
+         ("pid", Json.Int 0);
+         ("tid", Json.Int 0);
+         ( "args",
+           Json.Obj [ ("name", Json.String "rthv profile (aggregate)") ] );
+       ]);
+  (* Synthetic timeline: each node becomes one complete slice of its total
+     duration, children laid out sequentially from the parent's start so
+     nesting is visually exact even though times are aggregates. *)
+  let rec visit node start_ns =
+    let children = sorted_children t node in
+    let cursor = ref start_ns in
+    List.iter
+      (fun c ->
+        let dur = t.n_total_ns.(c) in
+        emit
+          (Json.Obj
+             [
+               ("name", Json.String (phase_name t.n_phase.(c)));
+               ("ph", Json.String "X");
+               ("ts", Json.Float (!cursor /. 1e3));
+               ("dur", Json.Float (dur /. 1e3));
+               ("pid", Json.Int 0);
+               ("tid", Json.Int 0);
+               ( "args",
+                 Json.Obj
+                   [
+                     ("calls", Json.Int t.n_calls.(c));
+                     ("words", Json.Float t.n_words.(c));
+                   ] );
+             ]);
+        visit c !cursor;
+        cursor := !cursor +. dur)
+      children
+  in
+  visit 0 0.;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+    ]

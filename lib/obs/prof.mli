@@ -1,0 +1,130 @@
+(** Hierarchical phase profiler.
+
+    A profiler instance aggregates a calling-context tree: each node is a
+    phase (an interned name) reached through a unique chain of enclosing
+    phases, and accumulates call count, wall-clock nanoseconds and minor-heap
+    words for every [enter]/[leave] pair executed while it is installed.
+
+    The design constraints mirror {!Sink}:
+
+    - {b Zero cost when disabled.}  Instrumentation sites hold the instance
+      in a local (hoisted out of the hot loop via {!installed}, which
+      returns {!disabled} when nothing is installed) and [enter]/[leave]
+      compile to one load and one predictable branch — no allocation, no
+      clock read.
+    - {b Allocation-free when enabled}, at steady state: node storage is
+      struct-of-arrays (int/float arrays), so scope bookkeeping allocates
+      only when a phase chain is seen for the first time (node creation) or
+      the stack deepens past its high-water mark.  The unavoidable per-scope
+      boxing of the clock value is measured once at {!create} and subtracted
+      from the attributed words, so reported allocation is the user code's
+      own.
+    - {b Deterministic merge.}  {!absorb} folds one instance into another by
+      phase path, independent of encounter order, so per-worker profiles
+      merged in task-index order are byte-identical at any job count (see
+      [Rthv_par.Par]'s [?profile]).
+
+    Phase names are interned process-wide: {!phase} is called once at module
+    initialisation and the returned id is a dense int usable from any
+    domain. *)
+
+type phase = private int
+(** An interned phase name. *)
+
+val phase : string -> phase
+(** Intern a phase name (thread-safe; idempotent per name). *)
+
+val phase_name : phase -> string
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A fresh, enabled profiler.  [clock] returns monotonic nanoseconds and
+    defaults to the process monotonic clock; tests substitute a fake.  The
+    per-scope allocation overhead of the clock itself is calibrated here and
+    subtracted from attributed words. *)
+
+val disabled : t
+(** The shared inert instance: [enter]/[leave]/[span] on it are no-ops.
+    This is what {!installed} returns when no profiler is installed, so hot
+    loops can hold an instance unconditionally. *)
+
+val enabled : t -> bool
+
+val spawn : t -> t
+(** A fresh enabled instance sharing [t]'s clock (and calibration inputs) —
+    used for per-task profiles that are later {!absorb}ed into [t]. *)
+
+(** {2 Domain-local installation}
+
+    Like {!Sink}, the installed profiler is domain-local: installing on a
+    worker domain affects only that domain, and fresh domains start with
+    {!disabled}. *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+
+val installed : unit -> t
+(** The profiler installed on this domain, or {!disabled}.  Hot loops call
+    this once per run and stash the result. *)
+
+val with_profiler : t -> (unit -> 'a) -> 'a
+(** Install for the duration of the callback, restoring the previous
+    instance (even on exceptions). *)
+
+(** {2 Scopes} *)
+
+val enter : t -> phase -> unit
+val leave : t -> unit
+(** [enter]/[leave] must nest properly.  [leave] on an empty stack is a
+    no-op (so a recorder that missed the opening [enter] cannot crash the
+    host). *)
+
+val span : t -> phase -> (unit -> 'a) -> 'a
+(** [span t ph f] = [enter t ph; f ()] with [leave] on both return and
+    exception. *)
+
+val depth : t -> int
+(** Current open-scope depth (0 at rest). *)
+
+(** {2 Snapshots} *)
+
+type row = {
+  r_path : string;  (** ["run/dispatch/boundary"] — phase chain from root. *)
+  r_name : string;  (** Leaf phase name. *)
+  r_depth : int;  (** Chain length; top-level phases are depth 1. *)
+  r_calls : int;
+  r_total_ns : float;  (** Inclusive wall-clock. *)
+  r_self_ns : float;  (** Exclusive: total minus instrumented children. *)
+  r_words : float;  (** Inclusive minor words (clock overhead subtracted). *)
+  r_self_words : float;
+}
+
+val rows : t -> row list
+(** Preorder over the context tree, children sorted by phase name — a
+    deterministic function of the aggregate, not of encounter order. *)
+
+val reset : t -> unit
+(** Zero all accumulators and drop the tree (keeps clock + calibration). *)
+
+val absorb : into:t -> t -> unit
+(** Merge [t]'s tree into [into] by phase path, summing accumulators.
+    [t] is left untouched. *)
+
+(** {2 Rendering} *)
+
+val to_json : t -> Json.t
+(** [{"schema":"rthv-profile/1","rows":[...]}] with one object per {!rows}
+    entry. *)
+
+val of_json : Json.t -> (row list, string) result
+(** Re-read the rows of a [rthv-profile/1] document (for diffing and the
+    bench gate). *)
+
+val pp_table : Format.formatter -> t -> unit
+(** Hot-phase table (tree-indented, sorted children) followed by an
+    allocation-attribution waterfall over self-words. *)
+
+val to_chrome : t -> Json.t
+(** Chrome Trace Event JSON: the aggregate tree rendered as one synthetic
+    timeline of nested complete ("X") slices, loadable in Perfetto. *)

@@ -19,10 +19,39 @@ let record_span reg sp =
         "rthv_irq_component_us" v)
     (Span.components sp)
 
+(* HELP texts for the simulator's metric families, stamped into the
+   registry at recorder creation so every Prometheus exposition of a
+   recorded run is self-describing. *)
+let default_help =
+  [
+    ("rthv_irq_completed_total", "IRQs completed, by source and handling class.");
+    ("rthv_irq_latency_us", "IRQ activation-to-completion latency in microseconds.");
+    ("rthv_irq_spans_total", "Per-IRQ causal spans recorded.");
+    ("rthv_irq_component_us", "Per-IRQ latency component in microseconds, by causal component.");
+    ("rthv_monitor_decisions_total", "Monitor admission decisions, by verdict.");
+    ("rthv_interpositions_total", "Interposed bottom-handler executions started.");
+    ("rthv_irq_coalesced_total", "IRQs coalesced onto an already-pending activation.");
+    ("rthv_slot_switches_total", "TDMA slot switches.");
+    ("rthv_boundary_crossings_total", "Interpositions that crossed a slot boundary.");
+    ("rthv_bh_boundary_deferrals_total", "Bottom handlers deferred at a slot boundary.");
+    ("rthv_stolen_slot_us", "Slot time stolen by interposition per slot, in microseconds.");
+    ("rthv_sim_time_us", "Total simulated time in microseconds.");
+    ("rthv_engine_events_total", "Discrete events dispatched by the engine.");
+    ("rthv_event_queue_ops_total", "Event-queue operations, by op.");
+    ("rthv_busy_window_iterations", "Fixed-point iterations of the last busy-window analysis.");
+    ("rthv_busy_window_residual_cycles", "Final residual of the last busy-window fixed point, in cycles.");
+    ("rthv_busy_window_q_max", "Activations in the last closed busy period.");
+    ("rthv_absint_steps", "Abstract-interpretation solver steps of the last run.");
+    ("rthv_absint_nodes", "Constraint-system nodes of the last abstract-interpretation run.");
+    ("rthv_latency_bound_us", "Analytic worst-case latency bound in microseconds, by source and class.");
+    ("rthv_bound_headroom_us", "Analytic bound minus observed worst case, in microseconds.");
+  ]
+
 let create ?registry () =
   let reg =
     match registry with Some r -> r | None -> Registry.create ()
   in
+  List.iter (fun (name, doc) -> Registry.set_help reg name doc) default_help;
   let r_sink =
     {
       Sink.incr = (fun name labels n -> Registry.incr reg ~labels name n);

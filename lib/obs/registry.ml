@@ -1,8 +1,16 @@
 type key = { k_name : string; k_labels : Labels.t }
 
-type t = { table : (key, Metric.value) Hashtbl.t }
+(* [help] maps metric name (not series key: HELP is per metric family in
+   the exposition format) to its documentation string. *)
+type t = {
+  table : (key, Metric.value) Hashtbl.t;
+  help : (string, string) Hashtbl.t;
+}
 
-let create () = { table = Hashtbl.create 64 }
+let create () = { table = Hashtbl.create 64; help = Hashtbl.create 16 }
+
+let set_help t name doc = if doc <> "" then Hashtbl.replace t.help name doc
+let help t name = Hashtbl.find_opt t.help name
 
 let get_or_register t ~labels name ~make ~select =
   let key = { k_name = name; k_labels = labels } in
@@ -77,6 +85,10 @@ let cardinality t = Hashtbl.length t.table
    {!Quantile.merge}.  Iterating the sorted snapshot — not the hash table —
    keeps the result independent of insertion order on the source side. *)
 let merge ~into src =
+  Hashtbl.iter
+    (fun name doc ->
+      if not (Hashtbl.mem into.help name) then Hashtbl.add into.help name doc)
+    src.help;
   List.iter
     (fun { name; labels; value } ->
       let key = { k_name = name; k_labels = labels } in
@@ -158,14 +170,33 @@ let row_json { name; labels; value } =
 let to_json t = Json.List (List.map row_json (snapshot t))
 
 (* Prometheus exposition format.  Series of the same metric name share one
-   TYPE comment; histograms expand into _bucket/_sum/_count, summaries into
-   quantile-labelled samples plus _sum/_count. *)
+   HELP (when registered) and one TYPE comment; histograms expand into
+   _bucket/_sum/_count, summaries into quantile-labelled samples plus
+   _sum/_count. *)
+
+(* HELP text escaping per the exposition format: backslash and newline. *)
+let escape_help doc =
+  let buf = Buffer.create (String.length doc) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    doc;
+  Buffer.contents buf
+
 let to_prometheus t =
   let buf = Buffer.create 1024 in
   let typed = Hashtbl.create 16 in
   let type_comment name kind =
     if not (Hashtbl.mem typed name) then begin
       Hashtbl.add typed name ();
+      (match Hashtbl.find_opt t.help name with
+      | Some doc ->
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" name (escape_help doc))
+      | None -> ());
       Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
     end
   in

@@ -34,6 +34,14 @@ val observe_summary : t -> ?labels:Labels.t -> string -> float -> unit
 
 val find : t -> ?labels:Labels.t -> string -> Metric.value option
 
+val set_help : t -> string -> string -> unit
+(** [set_help t name doc] documents the metric family [name] (all series
+    sharing the name): the Prometheus exposition emits it as the family's
+    [# HELP] line, newline/backslash-escaped.  Idempotent; the last call
+    wins; the empty string is ignored. *)
+
+val help : t -> string -> string option
+
 (** {2 Snapshot and export} *)
 
 type row = { name : string; labels : Labels.t; value : Metric.value }
@@ -48,9 +56,10 @@ val merge : into:t -> t -> unit
     [src] untouched): counters add, gauges take the source value
     (last-writer when folding in order), histogram bins add (bounds must
     match), summaries merge deterministically via {!Quantile.merge}.
-    Series missing from [into] are deep-copied in.  Merging per-task
-    registries in task-index order yields the same exposition bytes at any
-    worker count — see {!Rthv_par.Par}.
+    Series missing from [into] are deep-copied in, and help texts missing
+    from [into] are adopted.  Merging per-task registries in task-index
+    order yields the same exposition bytes at any worker count — see
+    {!Rthv_par.Par}.
     @raise Invalid_argument on a kind clash or histogram-bound mismatch. *)
 
 val pp : Format.formatter -> t -> unit
@@ -60,5 +69,6 @@ val to_json : t -> Json.t
 (** An array of objects: [{"name", "labels", "kind", ...kind fields}]. *)
 
 val to_prometheus : t -> string
-(** Prometheus exposition text format: [# TYPE] comments, histogram
+(** Prometheus exposition text format: [# HELP] (for families documented
+    via {!set_help}) and [# TYPE] comments, histogram
     [_bucket]/[_sum]/[_count] expansion, summary [quantile] labels. *)

@@ -16,9 +16,18 @@ let noop =
 (* The installed sink is domain-local: installing from a worker domain
    affects only that domain, so parallel sweep tasks can each record into
    their own registry without racing (see Rthv_par.Par's [?metrics]).
-   Fresh domains start with the no-op sink.  The mutable record keeps the
-   hot-path check at one DLS lookup plus one field read. *)
+   Fresh domains start with the no-op sink.
+
+   [installed_count] counts domains with a real sink, process-wide.  The
+   common case is zero sinks anywhere, so [active] and the dispatchers
+   check the plain atomic load first — one read of an immutable location
+   plus a predictable branch — and only fall through to the (costlier) DLS
+   lookup when some domain actually has telemetry on.  A domain that dies
+   without [uninstall] leaves the count high; that only costs the fast
+   path, never correctness, since the DLS check still gates dispatch. *)
 type state = { mutable s_current : t; mutable s_enabled : bool }
+
+let installed_count = Atomic.make 0
 
 let state_key =
   Domain.DLS.new_key (fun () -> { s_current = noop; s_enabled = false })
@@ -27,36 +36,45 @@ let state () = Domain.DLS.get state_key
 
 let install sink =
   let st = state () in
+  let was = st.s_enabled in
   st.s_current <- sink;
-  st.s_enabled <- not (sink == noop)
+  st.s_enabled <- not (sink == noop);
+  if st.s_enabled && not was then Atomic.incr installed_count
+  else if was && not st.s_enabled then Atomic.decr installed_count
 
-let uninstall () =
-  let st = state () in
-  st.s_current <- noop;
-  st.s_enabled <- false
+let uninstall () = install noop
 
-let active () = (state ()).s_enabled
+let[@inline] any_installed () = Atomic.get installed_count > 0
+let[@inline] active () = any_installed () && (state ()).s_enabled
 
 let with_sink sink f =
   let previous = (state ()).s_current in
   install sink;
   Fun.protect ~finally:(fun () -> install previous) f
 
-let incr name labels n =
-  let st = state () in
-  if st.s_enabled then st.s_current.incr name labels n
+let[@inline] incr name labels n =
+  if any_installed () then begin
+    let st = state () in
+    if st.s_enabled then st.s_current.incr name labels n
+  end
 
-let gauge name labels v =
-  let st = state () in
-  if st.s_enabled then st.s_current.gauge name labels v
+let[@inline] gauge name labels v =
+  if any_installed () then begin
+    let st = state () in
+    if st.s_enabled then st.s_current.gauge name labels v
+  end
 
-let observe name labels x =
-  let st = state () in
-  if st.s_enabled then st.s_current.observe name labels x
+let[@inline] observe name labels x =
+  if any_installed () then begin
+    let st = state () in
+    if st.s_enabled then st.s_current.observe name labels x
+  end
 
-let span sp =
-  let st = state () in
-  if st.s_enabled then st.s_current.span sp
+let[@inline] span sp =
+  if any_installed () then begin
+    let st = state () in
+    if st.s_enabled then st.s_current.span sp
+  end
 
 let tee a b =
   {

@@ -31,7 +31,10 @@ val install : t -> unit
 val uninstall : unit -> unit
 
 val active : unit -> bool
-(** True iff a sink other than {!noop} is installed on this domain. *)
+(** True iff a sink other than {!noop} is installed on this domain.  When no
+    sink is installed on {e any} domain — the common case — this is a single
+    atomic load and a predictable branch; the domain-local lookup only runs
+    while telemetry is on somewhere. *)
 
 val with_sink : t -> (unit -> 'a) -> 'a
 (** Install for the duration of the callback, restoring the previous sink

@@ -96,6 +96,7 @@ let parallel pool n =
 module Registry = Rthv_obs.Registry
 module Recorder = Rthv_obs.Recorder
 module Sink = Rthv_obs.Sink
+module Prof = Rthv_obs.Prof
 
 (* Per-task metric isolation: task [i] records into its own registry
    through a domain-locally installed recorder sink, and the registries are
@@ -103,7 +104,7 @@ module Sink = Rthv_obs.Sink
    The fold structure is identical at every job count — sequential included
    — so the merged registry's exposition output is byte-identical whatever
    [--jobs] says. *)
-let instrumented metrics n task =
+let with_metrics metrics n task =
   match metrics with
   | None -> (task, ignore)
   | Some into ->
@@ -115,13 +116,34 @@ let instrumented metrics n task =
       let finish () = Array.iter (fun reg -> Registry.merge ~into reg) regs in
       (task', finish)
 
+(* Same scheme for phase profiles: task [i] runs under its own spawned
+   profiler instance, absorbed into [into] in task-index order.  [absorb]
+   merges by phase path, so the aggregate tree is independent of which
+   domain ran which task. *)
+let with_profile profile n task =
+  match profile with
+  | None -> (task, ignore)
+  | Some into ->
+      let profs = Array.init n (fun _ -> Prof.spawn into) in
+      let task' i = Prof.with_profiler profs.(i) (fun () -> task i) in
+      let finish () = Array.iter (fun p -> Prof.absorb ~into p) profs in
+      (task', finish)
+
+let instrumented metrics profile n task =
+  let task, finish_metrics = with_metrics metrics n task in
+  let task, finish_profile = with_profile profile n task in
+  ( task,
+    fun () ->
+      finish_metrics ();
+      finish_profile () )
+
 (* Index order 0..n-1 guaranteed (List.init's evaluation order is not). *)
 let build_in_order n task =
   let rec go i acc = if i = n then List.rev acc else go (i + 1) (task i :: acc) in
   go 0 []
 
-let run ?metrics pool n task =
-  let task, finish = instrumented metrics n task in
+let run ?metrics ?profile pool n task =
+  let task, finish = instrumented metrics profile n task in
   let out =
     if not (parallel pool n) then build_in_order n task
     else Array.to_list (run_tasks ~jobs:pool.pool_jobs n task)
@@ -129,31 +151,34 @@ let run ?metrics pool n task =
   finish ();
   out
 
-let mapi ?pool ?metrics f xs =
+let plain metrics profile = Option.is_none metrics && Option.is_none profile
+
+let mapi ?pool ?metrics ?profile f xs =
   let pool = resolve pool in
   let n = List.length xs in
-  if Option.is_none metrics && not (parallel pool n) then List.mapi f xs
+  if plain metrics profile && not (parallel pool n) then List.mapi f xs
   else begin
     let input = Array.of_list xs in
-    run ?metrics pool n (fun i -> f i input.(i))
+    run ?metrics ?profile pool n (fun i -> f i input.(i))
   end
 
-let map ?pool ?metrics f xs = mapi ?pool ?metrics (fun _ x -> f x) xs
+let map ?pool ?metrics ?profile f xs =
+  mapi ?pool ?metrics ?profile (fun _ x -> f x) xs
 
-let init ?pool ?metrics n f =
+let init ?pool ?metrics ?profile n f =
   if n < 0 then invalid_arg "Par.init";
   let pool = resolve pool in
-  if Option.is_none metrics && not (parallel pool n) then List.init n f
-  else run ?metrics pool n f
+  if plain metrics profile && not (parallel pool n) then List.init n f
+  else run ?metrics ?profile pool n f
 
-let map_array ?pool ?metrics f input =
+let map_array ?pool ?metrics ?profile f input =
   let pool = resolve pool in
   let n = Array.length input in
-  if Option.is_none metrics && not (parallel pool n) then Array.map f input
-  else Array.of_list (run ?metrics pool n (fun i -> f input.(i)))
+  if plain metrics profile && not (parallel pool n) then Array.map f input
+  else Array.of_list (run ?metrics ?profile pool n (fun i -> f input.(i)))
 
-let map_reduce ?pool ?metrics ~map:f ~reduce ~init xs =
+let map_reduce ?pool ?metrics ?profile ~map:f ~reduce ~init xs =
   let pool = resolve pool in
-  if Option.is_none metrics && not (parallel pool (List.length xs)) then
+  if plain metrics profile && not (parallel pool (List.length xs)) then
     List.fold_left (fun acc x -> reduce acc (f x)) init xs
-  else List.fold_left reduce init (map ~pool ?metrics f xs)
+  else List.fold_left reduce init (map ~pool ?metrics ?profile f xs)

@@ -39,7 +39,14 @@
     task's duration), and the per-task registries are folded into the given
     registry {e in task-index order} once all tasks have finished.  The fold
     structure is identical at every job count, so the merged registry's
-    exposition output is byte-identical whatever [--jobs] says. *)
+    exposition output is byte-identical whatever [--jobs] says.
+
+    [?profile] applies the same scheme to phase profiles: each task runs
+    under its own [Rthv_obs.Prof.spawn] of the given profiler (installed
+    domain-locally for the task's duration) and the per-task trees are
+    [absorb]ed into it in task-index order, merging by phase path — the
+    aggregate profile is a deterministic function of the tasks, not of the
+    job count. *)
 
 type pool
 (** A job-count handle.  Workers are spawned per call and joined before the
@@ -74,14 +81,21 @@ val derive_seed : base:int -> index:int -> int
     identical tasks. *)
 
 val map :
-  ?pool:pool -> ?metrics:Rthv_obs.Registry.t -> ('a -> 'b) -> 'a list -> 'b list
+  ?pool:pool ->
+  ?metrics:Rthv_obs.Registry.t ->
+  ?profile:Rthv_obs.Prof.t ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** Order-preserving parallel [List.map].  With [?metrics], each task's
     telemetry is captured in a private registry and deterministically
-    merged (task-index order) into the given one — see the module caveat. *)
+    merged (task-index order) into the given one; [?profile] does the same
+    for phase profiles — see the module caveat. *)
 
 val mapi :
   ?pool:pool ->
   ?metrics:Rthv_obs.Registry.t ->
+  ?profile:Rthv_obs.Prof.t ->
   (int -> 'a -> 'b) ->
   'a list ->
   'b list
@@ -89,16 +103,27 @@ val mapi :
     sweeps. *)
 
 val init :
-  ?pool:pool -> ?metrics:Rthv_obs.Registry.t -> int -> (int -> 'a) -> 'a list
+  ?pool:pool ->
+  ?metrics:Rthv_obs.Registry.t ->
+  ?profile:Rthv_obs.Prof.t ->
+  int ->
+  (int -> 'a) ->
+  'a list
 (** Parallel [List.init].  @raise Invalid_argument on negative length. *)
 
 val map_array :
-  ?pool:pool -> ?metrics:Rthv_obs.Registry.t -> ('a -> 'b) -> 'a array -> 'b array
+  ?pool:pool ->
+  ?metrics:Rthv_obs.Registry.t ->
+  ?profile:Rthv_obs.Prof.t ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** Order-preserving parallel [Array.map]. *)
 
 val map_reduce :
   ?pool:pool ->
   ?metrics:Rthv_obs.Registry.t ->
+  ?profile:Rthv_obs.Prof.t ->
   map:('a -> 'b) ->
   reduce:('acc -> 'b -> 'acc) ->
   init:'acc ->

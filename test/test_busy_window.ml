@@ -6,7 +6,7 @@ let us = Testutil.us
 let no_interference _dt = 0
 
 let test_fixed_point_no_interference () =
-  match BW.fixed_point ~q:3 ~wcet:(us 10) ~interference:no_interference with
+  match BW.fixed_point ~q:3 ~wcet:(us 10) ~interference:no_interference () with
   | BW.Converged w -> Testutil.check_cycles "W = q*C" (us 30) w
   | BW.Diverged -> Alcotest.fail "unexpected divergence"
 
@@ -15,14 +15,14 @@ let test_fixed_point_with_interferer () =
      of 1us).  W(1) = 2 + ceil(W/4)*1 -> W = 3. *)
   let interferer_eta dt = AC.eta_plus (AC.periodic ~period_us:4) dt in
   let interference dt = interferer_eta dt * us 1 in
-  match BW.fixed_point ~q:1 ~wcet:(us 2) ~interference with
+  match BW.fixed_point ~q:1 ~wcet:(us 2) ~interference () with
   | BW.Converged w -> Testutil.check_cycles "textbook busy window" (us 3) w
   | BW.Diverged -> Alcotest.fail "unexpected divergence"
 
 let test_divergence_on_overload () =
   (* Interference grows faster than time: guaranteed overload. *)
   let interference dt = dt + 1 in
-  match BW.fixed_point ~q:1 ~wcet:1 ~interference with
+  match BW.fixed_point ~q:1 ~wcet:1 ~interference () with
   | BW.Diverged -> ()
   | BW.Converged w -> Alcotest.failf "expected divergence, got %d" w
 
@@ -80,10 +80,10 @@ let test_multi_activation_busy_period () =
 let test_invalid_args () =
   Alcotest.check_raises "q < 1"
     (Invalid_argument "Busy_window.fixed_point: q < 1") (fun () ->
-      ignore (BW.fixed_point ~q:0 ~wcet:1 ~interference:no_interference));
+      ignore (BW.fixed_point ~q:0 ~wcet:1 ~interference:no_interference ()));
   Alcotest.check_raises "negative wcet"
     (Invalid_argument "Busy_window.fixed_point: negative wcet") (fun () ->
-      ignore (BW.fixed_point ~q:1 ~wcet:(-1) ~interference:no_interference))
+      ignore (BW.fixed_point ~q:1 ~wcet:(-1) ~interference:no_interference ()))
 
 let test_utilisation () =
   Testutil.close "utilisation sums rate*wcet" 0.75
@@ -94,7 +94,7 @@ let test_utilisation () =
 let prop_fixed_point_is_fixed (q, wcet, period, c_i) =
   let curve = AC.periodic ~period_us:period in
   let interference dt = AC.eta_plus curve dt * c_i in
-  match BW.fixed_point ~q ~wcet ~interference with
+  match BW.fixed_point ~q ~wcet ~interference () with
   | BW.Diverged -> true
   | BW.Converged w -> w = (q * wcet) + interference w
 

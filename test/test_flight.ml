@@ -1,0 +1,198 @@
+(* Crash flight recorder: ring wraparound, allocation-free recording, and
+   the post-mortem dump paths (oracle violation, uncaught exception) with
+   re-import through the standard JSONL loader. *)
+
+module Cycles = Rthv_engine.Cycles
+module Config = Rthv_core.Config
+module Hyp_sim = Rthv_core.Hyp_sim
+module Hyp_trace = Rthv_core.Hyp_trace
+module Admission = Rthv_core.Admission
+module FR = Rthv_core.Flight_recorder
+module Trace_export = Rthv_core.Trace_export
+module DF = Rthv_analysis.Distance_fn
+module Gen = Rthv_workload.Gen
+
+(* Ring wraparound: record k events into a capacity-c ring; the last
+   min(c, k) survive in order, and the totals account for every event. *)
+let prop_ring_wraparound (cap, k) =
+  let t = Hyp_trace.create ~capacity:cap () in
+  for i = 0 to k - 1 do
+    Hyp_trace.record t ~time:i (Hyp_trace.Irq_coalesced { line = i })
+  done;
+  let kept = Stdlib.min cap k in
+  Hyp_trace.capacity t = cap
+  && Hyp_trace.length t = kept
+  && Hyp_trace.recorded t = k
+  && Hyp_trace.dropped t = k - kept
+  &&
+  let entries = Hyp_trace.to_list t in
+  List.length entries = kept
+  && List.for_all2
+       (fun e i ->
+         e.Hyp_trace.time = i
+         &&
+         match e.Hyp_trace.event with
+         | Hyp_trace.Irq_coalesced { line } -> line = i
+         | _ -> false)
+       entries
+       (List.init kept (fun j -> k - kept + j))
+
+let test_record_allocation_free () =
+  let t = Hyp_trace.create ~capacity:64 () in
+  let ev = Hyp_trace.Irq_coalesced { line = 7 } in
+  (* Warm past the high-water mark, then steady-state records are two
+     array stores. *)
+  for i = 0 to 127 do
+    Hyp_trace.record t ~time:i ev
+  done;
+  let before = Gc.minor_words () in
+  for i = 0 to 999 do
+    Hyp_trace.record t ~time:i ev
+  done;
+  let after = Gc.minor_words () in
+  Testutil.close "steady-state record allocates nothing" 0. (after -. before)
+
+(* A directory path that does not exist yet: the recorder creates it on
+   first dump. *)
+let fresh_dir () =
+  let path = Filename.temp_file "rthv-flight" ".d" in
+  Sys.remove path;
+  path
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* A monitored source whose arrivals violate d_min, driven by an admit-all
+   override: the trace oracle derives RTHV102 from the declared shaping,
+   the audit hook dumps the flight ring, then raises Audit_failure. *)
+let violating_run () =
+  let d_min = Cycles.of_us 3_000 in
+  let config =
+    Config.make
+      ~partitions:
+        [
+          Config.partition ~name:"a" ~slot_us:5_000 ();
+          Config.partition ~name:"b" ~slot_us:5_000 ();
+        ]
+      ~sources:
+        [
+          Config.source ~name:"nic" ~line:0 ~subscriber:1 ~c_th_us:5
+            ~c_bh_us:40
+            ~interarrivals:
+              (Gen.constant ~period:(Cycles.of_us 500) ~count:50)
+            ~shaping:(Config.Fixed_monitor (DF.d_min d_min)) ()
+        ]
+      ()
+  in
+  let admit_all =
+    Admission.custom ~name:"admit-all"
+      ~decide:(fun _ -> true)
+      ~commit:(fun _ -> ())
+      ()
+  in
+  let sim = Hyp_sim.create ~policies:[ ("nic", admit_all) ] config in
+  Hyp_sim.run sim
+
+let test_dump_on_oracle_violation () =
+  let dir = fresh_dir () in
+  FR.enable ~capacity:256 ~dir ();
+  Fun.protect ~finally:FR.disable (fun () ->
+      Alcotest.(check bool) "suite audit hook installed" true
+        (Rthv_check.Audit_hook.installed ());
+      (match violating_run () with
+      | () -> Alcotest.fail "expected Audit_failure"
+      | exception Rthv_check.Audit_hook.Audit_failure diags ->
+          Alcotest.(check bool) "diagnostics reported" true (diags <> []));
+      match FR.last_dump () with
+      | None -> Alcotest.fail "no flight dump written"
+      | Some path ->
+          Alcotest.(check bool) "dump file exists" true
+            (Sys.file_exists path);
+          Alcotest.(check bool) "reason in filename" true
+            (contains ~needle:"oracle_violation" path);
+          let ic = open_in path in
+          let meta = input_line ic in
+          close_in ic;
+          Alcotest.(check bool) "meta line carries schema" true
+            (contains ~needle:"rthv-flight/1" meta);
+          Alcotest.(check bool) "meta line carries an RTHV code" true
+            (contains ~needle:"RTHV1" meta);
+          (* The dump must re-import through the standard loader (the meta
+             line is skipped), so rthv_trace --from-jsonl can replay it. *)
+          (match Trace_export.load_jsonl ~path with
+          | Ok entries ->
+              Alcotest.(check bool) "re-imports with events" true
+                (List.length entries > 0)
+          | Error msg -> Alcotest.failf "re-import failed: %s" msg))
+
+let test_dump_on_uncaught_exception () =
+  let dir = fresh_dir () in
+  FR.enable ~dir ();
+  Fun.protect ~finally:FR.disable (fun () ->
+      let calls = ref 0 in
+      let exploding =
+        Admission.custom ~name:"exploding"
+          ~decide:(fun _ ->
+            incr calls;
+            if !calls > 3 then failwith "injected fault";
+            true)
+          ~commit:(fun _ -> ())
+          ()
+      in
+      let config =
+        Config.make
+          ~partitions:
+            [
+              Config.partition ~name:"a" ~slot_us:5_000 ();
+              Config.partition ~name:"b" ~slot_us:5_000 ();
+            ]
+          ~sources:
+            [
+              Config.source ~name:"nic" ~line:0 ~subscriber:1 ~c_th_us:5
+                ~c_bh_us:40
+                ~interarrivals:
+                  (Gen.constant ~period:(Cycles.of_us 2_000) ~count:50)
+                ~shaping:Config.No_shaping ()
+            ]
+          ()
+      in
+      (match
+         Hyp_sim.run (Hyp_sim.create ~policies:[ ("nic", exploding) ] config)
+       with
+      | () -> Alcotest.fail "expected the injected fault to escape"
+      | exception Failure msg ->
+          Alcotest.(check string) "fault propagated" "injected fault" msg);
+      match FR.last_dump () with
+      | None -> Alcotest.fail "no flight dump written"
+      | Some path ->
+          Alcotest.(check bool) "reason in filename" true
+            (contains ~needle:"uncaught_exception" path);
+          let ic = open_in path in
+          let meta = input_line ic in
+          close_in ic;
+          Alcotest.(check bool) "detail carries the exception" true
+            (contains ~needle:"injected fault" meta))
+
+let test_disabled_recorder_dumps_nothing () =
+  FR.disable ();
+  let before = FR.last_dump () in
+  Alcotest.(check bool) "dump returns None when disabled" true
+    (FR.dump ~reason:"test" () = None);
+  Alcotest.(check bool) "last_dump unchanged" true (FR.last_dump () = before)
+
+let suite =
+  [
+    Testutil.qtest "ring wraparound keeps the last capacity entries"
+      QCheck2.Gen.(pair (1 -- 32) (0 -- 100))
+      prop_ring_wraparound;
+    Alcotest.test_case "steady-state record is allocation-free" `Quick
+      test_record_allocation_free;
+    Alcotest.test_case "oracle violation dumps a replayable ring" `Quick
+      test_dump_on_oracle_violation;
+    Alcotest.test_case "uncaught exception dumps the ring" `Quick
+      test_dump_on_uncaught_exception;
+    Alcotest.test_case "disabled recorder never dumps" `Quick
+      test_disabled_recorder_dumps_nothing;
+  ]

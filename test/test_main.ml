@@ -38,6 +38,8 @@ let () =
       ("obs", Test_obs.suite);
       ("obs.merge", Test_obs_merge.suite);
       ("obs.span", Test_span.suite);
+      ("obs.prof", Test_prof.suite);
+      ("core.flight", Test_flight.suite);
       ("check.lint", Test_lint.suite);
       ("check.trace_oracle", Test_trace_oracle.suite);
       ("check.absint", Test_absint.suite);

@@ -168,6 +168,49 @@ let test_prometheus_exposition () =
       "h_count 1";
     ]
 
+(* HELP lines: emitted once per documented family, before its TYPE line,
+   with exposition-format escaping; merge adopts missing help texts; and
+   the recorder stamps its default documentation. *)
+let test_prometheus_help_lines () =
+  let index hay needle =
+    let hl = String.length hay and nl = String.length needle in
+    let rec scan i =
+      if i + nl > hl then None
+      else if String.sub hay i nl = needle then Some i
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let r = Registry.create () in
+  Registry.set_help r "total" "Counted things, with a \\ and\na newline.";
+  Registry.incr r "total" 1;
+  Registry.set_gauge r "undocumented" 2.;
+  let text = Registry.to_prometheus r in
+  let help_at =
+    match
+      index text "# HELP total Counted things, with a \\\\ and\\na newline.\n"
+    with
+    | Some i -> i
+    | None -> Alcotest.failf "missing escaped HELP line in:\n%s" text
+  in
+  (match index text "# TYPE total counter" with
+  | Some type_at ->
+      Alcotest.(check bool) "HELP precedes TYPE" true (help_at < type_at)
+  | None -> Alcotest.fail "missing TYPE line");
+  Alcotest.(check bool) "undocumented family has no HELP" true
+    (index text "# HELP undocumented" = None);
+  (* Merge adopts help texts missing from the destination. *)
+  let into = Registry.create () in
+  Registry.merge ~into r;
+  Alcotest.(check (option string))
+    "merge carries help"
+    (Registry.help r "total")
+    (Registry.help into "total");
+  (* The recorder self-documents the simulator's families. *)
+  let rec_reg = Obs.Recorder.registry (Obs.Recorder.create ()) in
+  Alcotest.(check bool) "recorder stamps default help" true
+    (Registry.help rec_reg "rthv_irq_latency_us" <> None)
+
 let test_registry_json_parses () =
   let r = Registry.create () in
   Registry.incr r "c" 1;
@@ -246,6 +289,8 @@ let suite =
       test_registry_labels_are_distinct_series;
     Alcotest.test_case "prometheus exposition" `Quick
       test_prometheus_exposition;
+    Alcotest.test_case "prometheus HELP lines" `Quick
+      test_prometheus_help_lines;
     Alcotest.test_case "registry JSON parses" `Quick test_registry_json_parses;
     Alcotest.test_case "sink install/uninstall" `Quick test_sink_switch;
     Alcotest.test_case "recorder collects simulator metrics" `Quick
