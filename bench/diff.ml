@@ -97,7 +97,17 @@ let load path =
             | _ -> None)
           profile_rows
       in
-      (micro, profile)
+      (* Sweep speedups, keyed by sweep name; absent in older files. *)
+      let sweep =
+        match member "sweep" doc with
+        | Some (Json.Obj entries) ->
+            List.filter_map
+              (fun (name, v) ->
+                Option.map (fun s -> (name, s)) (number (member "speedup" v)))
+              entries
+        | _ -> []
+      in
+      (micro, profile, sweep)
 
 let () =
   let ratio = ref 5.0 in
@@ -128,8 +138,8 @@ let () =
           "usage: diff BASELINE.json CURRENT.json [--ratio R] [--words-slack \
            W] [--words-ratio WR]"
   in
-  let baseline_micro, baseline_profile = load baseline_path in
-  let current_micro, current_profile = load current_path in
+  let baseline_micro, baseline_profile, _ = load baseline_path in
+  let current_micro, current_profile, current_sweep = load current_path in
   let failures = ref 0 in
   let compare_rows baseline current =
     List.iter
@@ -162,6 +172,16 @@ let () =
   Printf.printf "%-48s %12s %12s %8s\n" "benchmark" "base ns" "curr ns" "ratio";
   compare_rows baseline_micro current_micro;
   compare_rows baseline_profile current_profile;
+  (* A parallel sweep slower than sequential is machine-dependent (a
+     one-core CI runner cannot speed anything up), so it warns rather than
+     fails — the warning keeps the signal visible in the log. *)
+  List.iter
+    (fun (name, speedup) ->
+      if speedup < 1.0 then
+        Printf.printf
+          "%-48s WARNING: parallel sweep slower than sequential (%.2fx)\n"
+          ("sweep:" ^ name) speedup)
+    current_sweep;
   if !failures > 0 then begin
     Printf.printf "\n%d regression(s) against %s (ratio > %.1fx or > %+.1f \
                    minor words and > %.2fx)\n"

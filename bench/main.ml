@@ -313,6 +313,26 @@ let micro_bodies () : (string * (unit -> unit)) list =
                in
                Hyp_sim.run sim))
   in
+  (* Batched trace capture: the same simulation with a bounded ring whose
+     spill hook streams every event into the columnar store writer
+     (Trace_store), pricing the array-store + amortized-block-encode path
+     against the recorder sink's per-event label/hashtable work.  Ring,
+     writer and (unlinked) temp file are hoisted so the row measures the
+     steady state, not construction. *)
+  let sim_tracestore =
+    let path = Filename.temp_file "rthv_bench" ".rts" in
+    let writer = Rthv_core.Trace_store.Writer.create path in
+    (try Sys.remove path with Sys_error _ -> ());
+    let ring = Rthv_core.Hyp_trace.create ~capacity:4096 () in
+    Rthv_core.Hyp_trace.set_spill ring (fun ~time event ->
+        Rthv_core.Trace_store.Writer.add writer ~time event);
+    ( "hypervisor sim, 200 IRQs (tracestore sink)",
+      fun () ->
+           let sim =
+             Hyp_sim.create ~trace:ring (Params.config ~interarrivals ~shaping)
+           in
+           Hyp_sim.run sim)
+  in
   let sink_disabled =
     ( "obs guarded incr x1000 (no sink)",
       fun () ->
@@ -344,6 +364,7 @@ let micro_bodies () : (string * (unit -> unit)) list =
     sim_throughput;
     sim_15k;
     sim_observed;
+    sim_tracestore;
     sink_disabled;
     sink_recorder;
   ]
@@ -413,7 +434,34 @@ let micro () =
               ]
             :: !json_micro
       | None, _ -> Format.fprintf ppf "  %-48s (no estimate)@." name)
-    (List.sort compare rows)
+    (List.sort compare rows);
+  (* Derived sink-overhead ratios: how much a 200-IRQ run slows down under
+     each instrumentation path, relative to the uninstrumented monitored
+     run.  The ns column is the time ratio, the words column the
+     allocation ratio — both dimensionless, both gated by diff.exe like
+     any other row. *)
+  let lookup name = (estimate times name, List.assoc_opt name allocs) in
+  let ratio_row label num den =
+    match (lookup num, lookup den) with
+    | (Some n_ns, Some n_w), (Some d_ns, Some d_w) when d_ns > 0. && d_w > 0.
+      ->
+        let ns = n_ns /. d_ns and words = n_w /. d_w in
+        Format.fprintf ppf "  %-48s %12.2f  %15.2f@." label ns words;
+        json_micro :=
+          Json.Obj
+            [
+              ("name", Json.String label);
+              ("ns_per_run", Json.Float ns);
+              ("minor_words_per_run", Json.Float words);
+            ]
+          :: !json_micro
+    | _ -> Format.fprintf ppf "  %-48s (no estimate)@." label
+  in
+  let monitored = "rthv hypervisor sim, 200 IRQs (monitored)" in
+  ratio_row "rthv sink_overhead_ratio (recorder/monitored)"
+    "rthv hypervisor sim, 200 IRQs (recorder sink)" monitored;
+  ratio_row "rthv sink_overhead_ratio (tracestore/monitored)"
+    "rthv hypervisor sim, 200 IRQs (tracestore sink)" monitored
 
 (* ------------------------------------------------------------------ *)
 (* Phase profile: where the 15000-IRQ simulation spends its time       *)
@@ -486,6 +534,11 @@ let sweep () =
       "  ERROR: parallel results differ from sequential results@.";
     exit 1
   end;
+  if speedup < 1. then
+    Format.fprintf ppf
+      "  WARNING: parallel sweep slower than sequential (%.2fx) — more \
+       jobs than schedulable cores?@."
+      speedup;
   json_sweep :=
     ( "fig6",
       Json.Obj

@@ -59,10 +59,11 @@ let build_interarrivals ~trace ~seed ~mean_us ~d_min_us ~count =
 let trace_out_format path =
   if Filename.check_suffix path ".jsonl" then Ok `Jsonl
   else if Filename.check_suffix path ".json" then Ok `Chrome
+  else if Filename.check_suffix path ".rts" then Ok `Store
   else
     Error
-      (Printf.sprintf "--trace-out %S: expected a .json or .jsonl extension"
-         path)
+      (Printf.sprintf
+         "--trace-out %S: expected a .json, .jsonl or .rts extension" path)
 
 (* --metrics-out likewise: .json (registry JSON) or .prom (Prometheus
    exposition text). *)
@@ -124,7 +125,7 @@ let write_metrics ~path registry =
 
 let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
     monitor budget weighted_cycle_us strict_tdma show_histogram csv_out
-    vcd_out trace_out metrics_out profile_out trace =
+    vcd_out trace_out metrics_out profile_out slo trace =
   let partitions =
     List.mapi
       (fun i slot_us ->
@@ -187,15 +188,37 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
     | None, None -> None
     | _ -> Some (Rthv_core.Hyp_trace.create ())
   in
+  (* A .rts trace-out streams through the ring's spill hook into the
+     batched columnar writer while the run is going, so the store is
+     complete even when the bounded ring wraps — the million-event path. *)
+  let store_writer =
+    match (trace_out, trace) with
+    | Some path, Some tr when Filename.check_suffix path ".rts" ->
+        let w = Rthv_core.Trace_store.Writer.create path in
+        Rthv_core.Hyp_trace.set_spill tr (fun ~time event ->
+            Rthv_core.Trace_store.Writer.add w ~time event);
+        Some w
+    | _ -> None
+  in
   let sim = Hyp_sim.create ?trace config in
   let registry = Rthv_obs.Registry.create () in
   let profiler = Option.map (fun _ -> Rthv_obs.Prof.create ()) profile_out in
+  let slo_t =
+    if slo then Some (Rthv_check.Slo.create ~registry config) else None
+  in
   let run_sim () =
-    if metrics_out <> None then
-      let recorder = Rthv_obs.Recorder.create ~registry () in
-      Rthv_obs.Sink.with_sink (Rthv_obs.Recorder.sink recorder) (fun () ->
-          Hyp_sim.run sim)
-    else Hyp_sim.run sim
+    let sinks =
+      (if metrics_out <> None then
+         [ Rthv_obs.Recorder.sink (Rthv_obs.Recorder.create ~registry ()) ]
+       else [])
+      @ match slo_t with Some t -> [ Rthv_check.Slo.sink t ] | None -> []
+    in
+    match sinks with
+    | [] -> Hyp_sim.run sim
+    | s :: rest ->
+        Rthv_obs.Sink.with_sink
+          (List.fold_left Rthv_obs.Sink.tee s rest)
+          (fun () -> Hyp_sim.run sim)
   in
   (match profiler with
   | Some p -> Rthv_obs.Prof.with_profiler p run_sim
@@ -255,6 +278,13 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
     match (trace_out, trace) with
     | Some path, Some trace -> (
         match trace_out_format path with
+        | Ok `Store ->
+            let w = Option.get store_writer in
+            Rthv_core.Trace_store.Writer.close w;
+            Format.printf "wrote %d trace events to %s (store)@."
+              (Rthv_core.Trace_store.Writer.events_written w)
+              path;
+            0
         | Ok `Jsonl ->
             Rthv_core.Trace_export.save_jsonl ~path trace;
             Format.printf "wrote %d trace events to %s (jsonl)@."
@@ -285,7 +315,21 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
     | Some path, Some p -> write_profile ~path p
     | _ -> 0
   in
-  Stdlib.max (Stdlib.max trace_status metrics_status) profile_status
+  let slo_status =
+    match slo_t with
+    | None -> 0
+    | Some t ->
+        Format.printf "%a@." Rthv_check.Slo.pp t;
+        if Rthv_check.Slo.ok t then 0
+        else begin
+          Format.eprintf
+            "rthv_sim: observed latency exceeds an analytic bound@.";
+          1
+        end
+  in
+  Stdlib.max
+    (Stdlib.max (Stdlib.max trace_status metrics_status) profile_status)
+    slo_status
 
 let run_experiment metrics_out profile_out name =
   let module Fig6 = Rthv_experiments.Fig6 in
@@ -344,13 +388,19 @@ let run_experiment metrics_out profile_out name =
 
 let main jobs experiment slots subscriber c_th_us c_bh_us mean_us d_min_us
     count seed monitor budget weighted_cycle_us strict_tdma histogram csv_out
-    vcd_out trace_out metrics_out profile_out flight_dir trace =
+    vcd_out trace_out metrics_out profile_out slo flight_dir trace =
   Option.iter Rthv_par.Par.set_default_jobs jobs;
   Option.iter
     (fun dir -> Rthv_core.Flight_recorder.enable ~dir ())
     flight_dir;
   match experiment with
-  | Some name -> run_experiment metrics_out profile_out name
+  | Some name ->
+      if slo then begin
+        Format.eprintf "--slo applies to custom simulations, not canned \
+                        experiments@.";
+        1
+      end
+      else run_experiment metrics_out profile_out name
   | None ->
       if subscriber < 0 || subscriber >= List.length slots then begin
         Format.eprintf "subscriber %d out of range for %d partitions@."
@@ -364,7 +414,7 @@ let main jobs experiment slots subscriber c_th_us c_bh_us mean_us d_min_us
       else
         run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count
           seed monitor budget weighted_cycle_us strict_tdma histogram csv_out
-          vcd_out trace_out metrics_out profile_out trace
+          vcd_out trace_out metrics_out profile_out slo trace
 
 open Cmdliner
 
@@ -527,6 +577,18 @@ let profile_out =
            merged deterministically and are byte-identical for any \
            $(b,--jobs) value.")
 
+let slo =
+  Arg.(
+    value & flag
+    & info [ "slo" ]
+        ~doc:
+          "Stream every IRQ latency sample through the SLO gauges while \
+           the simulation runs (observed-vs-bound burn per source x \
+           class), print the verdict table on exit and exit non-zero if \
+           any sample exceeded its analytic bound.  With \
+           $(b,--metrics-out) the burn gauges land in the exported \
+           registry.")
+
 let flight_dir =
   Arg.(
     value
@@ -558,6 +620,6 @@ let cmd =
       const main $ jobs $ experiment $ slots $ subscriber $ c_th_us $ c_bh_us
       $ mean_us $ d_min_us $ count $ seed $ monitor $ budget
       $ weighted_cycle_us $ strict_tdma $ histogram $ csv_out $ vcd_out
-      $ trace_out $ metrics_out $ profile_out $ flight_dir $ trace_arg)
+      $ trace_out $ metrics_out $ profile_out $ slo $ flight_dir $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

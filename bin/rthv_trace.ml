@@ -22,12 +22,15 @@ module Config = Rthv_core.Config
 module Hyp_sim = Rthv_core.Hyp_sim
 module Hyp_trace = Rthv_core.Hyp_trace
 module Trace_export = Rthv_core.Trace_export
+module Trace_store = Rthv_core.Trace_store
+module Trace_query = Rthv_core.Trace_query
 module Vcd_export = Rthv_core.Vcd_export
 module Obs = Rthv_obs
 module Scenarios = Rthv_check.Scenarios
+module Slo = Rthv_check.Slo
 
-type source = Scenario of string | From_jsonl of string
-type format = Chrome | Jsonl | Vcd
+type source = Scenario of string | From_jsonl of string | From_store of string
+type format = Chrome | Jsonl | Vcd | Store
 type metrics = M_text | M_json | M_prometheus | M_none
 
 (* --- recording ---------------------------------------------------------- *)
@@ -162,8 +165,8 @@ let write_output ~out render =
         ~finally:(fun () -> close_out oc)
         (fun () -> output_string oc (render ()))
 
-let main jobs flight_dir source format out partition from_us to_us metrics
-    capacity =
+let main jobs flight_dir source format out to_store partition from_us to_us
+    metrics capacity =
   Option.iter Rthv_par.Par.set_default_jobs jobs;
   Option.iter
     (fun dir -> Rthv_core.Flight_recorder.enable ~dir ())
@@ -176,33 +179,67 @@ let main jobs flight_dir source format out partition from_us to_us metrics
         match Trace_export.load_jsonl ~path with
         | Ok entries -> Ok (entries, None, None)
         | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+    | From_store path -> (
+        match Trace_store.read_entries path with
+        | Ok entries -> Ok (entries, None, None)
+        | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
   in
   match recorded with
   | Error msg ->
       Format.eprintf "rthv_trace: %s@." msg;
       1
-  | Ok (entries, partition_names, lines) ->
+  | Ok (entries, partition_names, lines) -> (
       let total = List.length entries in
       let entries = apply_filters ~partition ~from_us ~to_us ~lines entries in
       count_trace_events registry entries;
       let trace = Trace_export.trace_of_entries entries in
-      (match format with
-      | Chrome ->
-          write_output ~out (fun () ->
-              Trace_export.chrome_string ?partition_names trace ^ "\n")
-      | Jsonl -> write_output ~out (fun () -> Trace_export.jsonl_string trace)
-      | Vcd -> write_output ~out (fun () -> Vcd_export.to_string trace));
-      (* Keep the export stream clean: the summary shares stdout only when
-         the export went to a file. *)
-      let ppf =
-        if out = "-" then Format.err_formatter else Format.std_formatter
-      in
-      if out <> "-" then
-        Format.fprintf ppf "wrote %d event(s) to %s (%d before filtering)@."
-          (List.length entries) out total;
-      print_summary ppf metrics registry;
-      Format.pp_print_flush ppf ();
-      0
+      let fail = ref None in
+      (* --to-store always writes the binary store; the -o export then only
+         runs when it targets a real file, so a bare --to-store does not
+         spray an unwanted JSON document over stdout. *)
+      Option.iter
+        (fun path -> ignore (Trace_store.write_entries path entries : int))
+        to_store;
+      (if to_store = None || out <> "-" then
+         match format with
+         | Chrome ->
+             write_output ~out (fun () ->
+                 Trace_export.chrome_string ?partition_names trace ^ "\n")
+         | Jsonl ->
+             write_output ~out (fun () -> Trace_export.jsonl_string trace)
+         | Vcd -> write_output ~out (fun () -> Vcd_export.to_string trace)
+         | Store ->
+             if out = "-" then
+               fail :=
+                 Some
+                   "--format store is binary; pass -o FILE (or use \
+                    --to-store FILE)"
+             else ignore (Trace_store.write_entries out entries : int));
+      match !fail with
+      | Some msg ->
+          Format.eprintf "rthv_trace: %s@." msg;
+          1
+      | None ->
+          (* Keep the export stream clean: the summary shares stdout only
+             when the export went to a file. *)
+          let export_to_stdout = to_store = None && out = "-" in
+          let ppf =
+            if export_to_stdout then Format.err_formatter
+            else Format.std_formatter
+          in
+          Option.iter
+            (fun path ->
+              Format.fprintf ppf
+                "wrote %d event(s) to store %s (%d before filtering)@."
+                (List.length entries) path total)
+            to_store;
+          if out <> "-" then
+            Format.fprintf ppf
+              "wrote %d event(s) to %s (%d before filtering)@."
+              (List.length entries) out total;
+          print_summary ppf metrics registry;
+          Format.pp_print_flush ppf ();
+          0)
 
 open Cmdliner
 
@@ -226,25 +263,57 @@ let source =
             "Re-export a previously recorded JSONL trace instead of \
              simulating.")
   in
-  let combine scenario from_jsonl =
-    match (scenario, from_jsonl) with
-    | Some _, Some _ ->
-        `Error (true, "--scenario and --from-jsonl are mutually exclusive")
-    | None, Some path -> `Ok (From_jsonl path)
-    | Some name, None -> `Ok (Scenario name)
-    | None, None -> `Ok (Scenario "quickstart")
+  let from_store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-store" ] ~docv:"FILE"
+          ~doc:
+            "Re-export a previously recorded binary trace store \
+             (rthv-tracestore/1) instead of simulating.")
   in
-  Term.(ret (const combine $ scenario $ from_jsonl))
+  let combine scenario from_jsonl from_store =
+    match (scenario, from_jsonl, from_store) with
+    | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+        `Error
+          ( true,
+            "--scenario, --from-jsonl and --from-store are mutually \
+             exclusive" )
+    | None, Some path, None -> `Ok (From_jsonl path)
+    | None, None, Some path -> `Ok (From_store path)
+    | Some name, None, None -> `Ok (Scenario name)
+    | None, None, None -> `Ok (Scenario "quickstart")
+  in
+  Term.(ret (const combine $ scenario $ from_jsonl $ from_store))
 
 let format =
   Arg.(
     value
-    & opt (enum [ ("chrome", Chrome); ("jsonl", Jsonl); ("vcd", Vcd) ]) Chrome
+    & opt
+        (enum
+           [
+             ("chrome", Chrome);
+             ("jsonl", Jsonl);
+             ("vcd", Vcd);
+             ("store", Store);
+           ])
+        Chrome
     & info [ "format"; "f" ] ~docv:"FMT"
         ~doc:
           "Export format: $(b,chrome) (Trace Event JSON for \
-           Perfetto/chrome://tracing), $(b,jsonl) (one event per line) or \
-           $(b,vcd) (GTKWave waveform).")
+           Perfetto/chrome://tracing), $(b,jsonl) (one event per line), \
+           $(b,vcd) (GTKWave waveform) or $(b,store) (binary \
+           rthv-tracestore/1 columnar store; requires $(b,-o FILE)).")
+
+let to_store =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "to-store" ] ~docv:"FILE"
+        ~doc:
+          "Additionally write the (filtered) events as a binary \
+           rthv-tracestore/1 store — the input of $(b,rthv_trace query).  \
+           When $(b,-o) is left at stdout the regular export is skipped.")
 
 let out =
   Arg.(
@@ -576,18 +645,233 @@ let profile_cmd =
       const profile_main $ jobs $ profile_scenario $ profile_repeat
       $ profile_format $ out)
 
+(* --- query: streaming aggregation over a binary trace store -------------- *)
+
+let parse_kinds = function
+  | None -> Ok None
+  | Some spec ->
+      let names =
+        String.split_on_char ',' spec
+        |> List.map String.trim
+        |> List.filter (fun n -> n <> "")
+      in
+      let rec conv acc = function
+        | [] -> Ok (Some (List.rev acc))
+        | n :: tl -> (
+            match Trace_store.kind_of_name n with
+            | Some k -> conv (k :: acc) tl
+            | None ->
+                Error
+                  (Printf.sprintf "unknown event kind %S (known: %s)" n
+                     (String.concat ", " Trace_store.kind_names)))
+      in
+      conv [] names
+
+let scenario_config = function
+  | None -> Ok None
+  | Some name -> (
+      match Scenarios.find name with
+      | Some build -> Ok (Some (build ()))
+      | None ->
+          Error
+            (Printf.sprintf "unknown scenario %S (available: %s)" name
+               (String.concat ", " (List.map fst Scenarios.all))))
+
+let source_of_line config line =
+  List.find_opt (fun (s : Config.source) -> s.Config.line = line)
+    config.Config.sources
+
+let query_main store agg group_by from_us to_us partition kinds scenario slo
+    json =
+  let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v in
+  let result =
+    let* kinds = parse_kinds kinds in
+    let* config = scenario_config scenario in
+    let* () =
+      if slo && agg <> Trace_query.Latency then
+        Error "--slo needs latency samples; pass --agg latency"
+      else if slo && config = None then
+        Error "--slo needs the analytic bounds; pass --scenario NAME"
+      else Ok ()
+    in
+    let filter =
+      {
+        Trace_store.from_time = Option.map Cycles.of_us from_us;
+        to_time = Option.map Cycles.of_us to_us;
+        kinds;
+        partition;
+      }
+    in
+    let line_partition =
+      Option.map
+        (fun config line ->
+          Option.map
+            (fun (s : Config.source) -> s.Config.subscriber)
+            (source_of_line config line))
+        config
+    in
+    let line_source =
+      Option.map
+        (fun config line ->
+          Option.map
+            (fun (s : Config.source) -> s.Config.name)
+            (source_of_line config line))
+        config
+    in
+    let slo_t =
+      if slo then Option.map (fun config -> Slo.create config) config
+      else None
+    in
+    let on_sample =
+      Option.map
+        (fun t ~source ~cls ~partition:_ ~latency_us ->
+          Slo.observe t ~source ~cls ~latency_us)
+        slo_t
+    in
+    let* q =
+      match
+        Trace_query.run ?filter:(Some filter) ?line_partition ?line_source
+          ?on_sample ~agg ~group_by store
+      with
+      | q -> Ok q
+      | exception Invalid_argument msg -> Error msg
+      | exception Obs.Tracestore.Corrupt msg ->
+          Error (Printf.sprintf "%s: %s" store msg)
+      | exception Sys_error msg -> Error msg
+    in
+    Ok (q, slo_t)
+  in
+  match result with
+  | Error msg ->
+      Format.eprintf "rthv_trace query: %s@." msg;
+      1
+  | Ok (q, slo_t) -> (
+      if json then
+        print_endline (Obs.Json.to_string (Trace_query.to_json ~store q))
+      else Format.printf "%a@." Trace_query.pp q;
+      match slo_t with
+      | None -> 0
+      | Some t ->
+          if json then
+            print_endline (Obs.Json.to_string (Slo.to_json t))
+          else Format.printf "%a@." Slo.pp t;
+          if Slo.ok t then 0
+          else begin
+            Format.eprintf
+              "rthv_trace query: observed latency exceeds an analytic \
+               bound@.";
+            1
+          end)
+
+let query_store =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "store" ] ~docv:"FILE"
+        ~doc:"The binary trace store (rthv-tracestore/1) to aggregate.")
+
+let query_agg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("count", Trace_query.Count);
+             ("rate", Trace_query.Rate);
+             ("latency", Trace_query.Latency);
+           ])
+        Trace_query.Count
+    & info [ "agg"; "a" ] ~docv:"AGG"
+        ~doc:
+          "Aggregation: $(b,count) (matching events), $(b,rate) (events \
+           per second of matched span) or $(b,latency) (per-IRQ \
+           activation-to-completion percentiles via the shared P2 \
+           digests).")
+
+let query_group_by =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("none", Trace_query.By_none);
+             ("partition", Trace_query.By_partition);
+             ("kind", Trace_query.By_kind);
+             ("class", Trace_query.By_class);
+             ("source", Trace_query.By_source);
+           ])
+        Trace_query.By_none
+    & info [ "group-by"; "g" ] ~docv:"KEY"
+        ~doc:
+          "Group rows by $(b,partition), $(b,kind) (count/rate), \
+           $(b,class) or $(b,source) (latency); $(b,none) aggregates \
+           everything into one row.")
+
+let query_kinds =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "kind"; "k" ] ~docv:"NAMES"
+        ~doc:
+          "Comma-separated event kinds to keep (JSONL $(b,ev) names, e.g. \
+           $(b,irq_raised,monitor_decision)); ignored by the latency \
+           aggregation, which always scans its classification set.")
+
+let query_scenario =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "scenario" ] ~docv:"NAME"
+        ~doc:
+          "Scenario the store was recorded from: supplies the line-to-\
+           partition and line-to-source maps (names instead of \
+           $(b,line<N>)) and, with $(b,--slo), the analytic latency \
+           bounds.")
+
+let query_slo =
+  Arg.(
+    value & flag
+    & info [ "slo" ]
+        ~doc:
+          "Stream every latency sample through the SLO gauges \
+           (observed-vs-bound burn, per source x class) and exit non-zero \
+           if any sample exceeded its equations-(11)/(12)/(16) bound.  \
+           Requires $(b,--agg latency) and $(b,--scenario).")
+
+let query_json =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the rthv-query/1 document (and the rthv-slo/1 document \
+           under $(b,--slo)) instead of text tables.")
+
+let query_cmd =
+  let doc =
+    "aggregate a binary trace store in one streaming pass: counts, rates \
+     or latency percentiles with block-index pushdown, optionally gated \
+     by the analytic latency bounds"
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(
+      const query_main $ query_store $ query_agg $ query_group_by $ from_us
+      $ to_us $ partition $ query_kinds $ query_scenario $ query_slo
+      $ query_json)
+
 let default_term =
   Term.(
-    const main $ jobs $ flight_dir $ source $ format $ out $ partition
-    $ from_us $ to_us $ metrics $ capacity)
+    const main $ jobs $ flight_dir $ source $ format $ out $ to_store
+    $ partition $ from_us $ to_us $ metrics $ capacity)
 
 let cmd =
   let doc =
     "record hypervisor simulation timelines and export them as Chrome \
-     Trace JSON, JSONL or VCD with a metrics summary"
+     Trace JSON, JSONL, VCD or a binary trace store, with a metrics \
+     summary and a streaming query engine"
   in
   Cmd.group ~default:default_term
     (Cmd.info "rthv_trace" ~doc)
-    [ report_cmd; profile_cmd ]
+    [ report_cmd; profile_cmd; query_cmd ]
 
 let () = exit (Cmd.eval' cmd)

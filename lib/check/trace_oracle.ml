@@ -561,6 +561,9 @@ let audit spec trace =
     ]
   else audit_entries spec (Hyp_trace.to_list trace)
 
+let audit_store spec path =
+  Result.map (audit_entries spec) (Rthv_core.Trace_store.read_entries path)
+
 let invariants =
   [
     ("RTHV101", "trace timestamps go backwards");

@@ -98,6 +98,12 @@ val audit : spec -> Rthv_core.Hyp_trace.t -> Diagnostic.t list
     is a single [RTHV107] warning and nothing else is checked — a skipped
     audit is a blind spot, not mere trivia, so {!Audit_hook} surfaces it. *)
 
+val audit_store : spec -> string -> (Diagnostic.t list, string) result
+(** Audit the event stream of a binary trace store
+    ({!Rthv_core.Trace_store}): archived certification evidence replays
+    through the oracle without a JSONL detour.  IO and corruption problems
+    come back as [Error msg]. *)
+
 type measurement = {
   m_horizon : Rthv_engine.Cycles.t;  (** Last trace timestamp. *)
   m_service : Rthv_engine.Cycles.t array;

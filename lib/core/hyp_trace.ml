@@ -34,6 +34,7 @@ type t = {
   events : event array;
   mutable next : int;  (* next write position *)
   mutable total : int;  (* events ever recorded *)
+  mutable spill : (time:Cycles.t -> event -> unit) option;
 }
 
 let dummy_event = Irq_coalesced { line = -1 }
@@ -45,9 +46,12 @@ let create ?(capacity = 65_536) () =
     events = Array.make capacity dummy_event;
     next = 0;
     total = 0;
+    spill = None;
   }
 
 let capacity t = Array.length t.times
+let set_spill t f = t.spill <- Some f
+let clear_spill t = t.spill <- None
 
 let record t ~time event =
   let i = t.next in
@@ -55,7 +59,8 @@ let record t ~time event =
   t.events.(i) <- event;
   let i = i + 1 in
   t.next <- (if i = Array.length t.times then 0 else i);
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  match t.spill with None -> () | Some f -> f ~time event
 
 let length t = Stdlib.min t.total (Array.length t.times)
 let recorded t = t.total

@@ -59,7 +59,18 @@ val record : t -> time:Rthv_engine.Cycles.t -> event -> unit
 (** O(1) and allocation-free: the ring stores the timestamp and the
     caller-allocated event value in parallel arrays, so steady-state
     recording costs two stores (this is the flight-recorder property —
-    tracing can stay on for every run). *)
+    tracing can stay on for every run).  When a {!set_spill} hook is
+    installed it is invoked after the store, adding one field load and a
+    branch to the unhooked path. *)
+
+val set_spill : t -> (time:Rthv_engine.Cycles.t -> event -> unit) -> unit
+(** Install a per-record spill hook: every {!record} also hands the entry
+    to [f] before the ring can overwrite it.  This is how a bounded ring
+    streams an unbounded run into {!Trace_store.Writer} — the ring keeps
+    its flight-recorder tail, the hook keeps the full history.  The hook
+    must not record into the same trace. *)
+
+val clear_spill : t -> unit
 
 val length : t -> int
 (** Entries currently retained. *)

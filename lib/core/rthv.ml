@@ -37,5 +37,7 @@ module Hyp_sim = Hyp_sim
 module Hyp_trace = Hyp_trace
 module Vcd_export = Vcd_export
 module Trace_export = Trace_export
+module Trace_store = Trace_store
+module Trace_query = Trace_query
 module Irq_record = Irq_record
 module Obs = Rthv_obs

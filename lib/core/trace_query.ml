@@ -1,0 +1,352 @@
+module Cycles = Rthv_engine.Cycles
+module Quantile = Rthv_obs.Quantile
+module Json = Rthv_obs.Json
+module Tracestore = Rthv_obs.Tracestore
+
+type agg = Count | Rate | Latency
+type group_by = By_none | By_partition | By_kind | By_class | By_source
+
+type group = {
+  g_key : string;
+  g_count : int;
+  g_digest : Quantile.t option;
+}
+
+type t = {
+  q_agg : agg;
+  q_group_by : group_by;
+  q_stats : Tracestore.stats;
+  q_matched : int;
+  q_span_us : float;
+  q_groups : group list;
+}
+
+let agg_name = function Count -> "count" | Rate -> "rate" | Latency -> "latency"
+
+let agg_of_name = function
+  | "count" -> Some Count
+  | "rate" -> Some Rate
+  | "latency" -> Some Latency
+  | _ -> None
+
+let group_by_name = function
+  | By_none -> "none"
+  | By_partition -> "partition"
+  | By_kind -> "kind"
+  | By_class -> "class"
+  | By_source -> "source"
+
+let group_by_of_name = function
+  | "none" -> Some By_none
+  | "partition" -> Some By_partition
+  | "kind" -> Some By_kind
+  | "class" -> Some By_class
+  | "source" -> Some By_source
+  | _ -> None
+
+let class_names = [ "direct"; "interposed"; "delayed"; "unknown" ]
+
+let class_name = function
+  | 0 -> "direct"
+  | 1 -> "interposed"
+  | 2 -> "delayed"
+  | _ -> "unknown"
+
+(* --- group accumulation --------------------------------------------------- *)
+
+(* Group keys sort numerically when they parse as ints (partitions), and
+   lexically otherwise, so "10" lands after "2" in partition tables. *)
+let compare_keys a b =
+  match (int_of_string_opt a, int_of_string_opt b) with
+  | Some x, Some y -> compare x y
+  | _ -> compare a b
+
+type bucket = { mutable count : int; digest : Quantile.t option }
+
+let groups_of_table table =
+  Hashtbl.fold (fun key b acc -> (key, b) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare_keys a b)
+  |> List.map (fun (g_key, b) ->
+         { g_key; g_count = b.count; g_digest = b.digest })
+
+let bucket table ~digests key =
+  match Hashtbl.find_opt table key with
+  | Some b -> b
+  | None ->
+      let b =
+        {
+          count = 0;
+          digest = (if digests then Some (Quantile.create ()) else None);
+        }
+      in
+      Hashtbl.add table key b;
+      b
+
+(* --- count / rate -------------------------------------------------------- *)
+
+(* Partitions named directly by a row; an event touching two partitions
+   counts in both groups, and line-keyed events group under their line's
+   subscriber when a map is given and under "unattributed" otherwise. *)
+let count_keys ~line_partition ~kind ~a ~b emit =
+  match kind with
+  | 0 ->
+      emit (string_of_int a);
+      if b <> a then emit (string_of_int b)
+  | 1 | 7 -> emit (string_of_int a)
+  | 5 | 8 | 9 -> emit (string_of_int b)
+  | 6 -> emit (string_of_int a)
+  | _ -> (
+      let line = if kind = 10 then a else b in
+      match line_partition with
+      | None -> emit "unattributed"
+      | Some f -> (
+          match f line with
+          | Some p -> emit (string_of_int p)
+          | None -> emit "unattributed"))
+
+let run_count ?filter ?line_partition ~group_by path =
+  (match group_by with
+  | By_none | By_partition | By_kind -> ()
+  | By_class | By_source ->
+      invalid_arg "Trace_query: group-by class/source needs --agg latency");
+  let table = Hashtbl.create 16 in
+  let matched = ref 0 in
+  let t_lo = ref max_int and t_hi = ref min_int in
+  let stats =
+    Trace_store.scan ?filter ?line_partition path
+      ~f:(fun ~time ~kind ~a ~b ~c:_ ~d:_ ->
+        incr matched;
+        if time < !t_lo then t_lo := time;
+        if time > !t_hi then t_hi := time;
+        match group_by with
+        | By_none -> ()
+        | By_kind ->
+            let bk = bucket table ~digests:false (Trace_store.kind_name kind) in
+            bk.count <- bk.count + 1
+        | By_partition ->
+            count_keys ~line_partition ~kind ~a ~b (fun key ->
+                let bk = bucket table ~digests:false key in
+                bk.count <- bk.count + 1)
+        | By_class | By_source -> assert false)
+  in
+  let span_us =
+    if !matched >= 2 then Cycles.to_us (!t_hi - !t_lo) else 0.
+  in
+  let groups =
+    match group_by with
+    | By_none ->
+        [ { g_key = "all"; g_count = !matched; g_digest = None } ]
+    | _ -> groups_of_table table
+  in
+  (stats, !matched, span_us, groups)
+
+(* --- latency ------------------------------------------------------------- *)
+
+(* Per-instance state while streaming: allocated once per live IRQ, freed
+   at completion, so memory tracks in-flight instances, not store size. *)
+type pending = {
+  raise_time : int;
+  p_line : int;
+  mutable owner_at_top : int;  (* -1 until the top handler ran *)
+  mutable cls : int;  (* -1 until classified *)
+}
+
+(* The kinds the classifier needs: slot_switch, irq_raised, top_handler,
+   monitor_decision, bottom_handler_done. *)
+let latency_kinds = [ 0; 2; 3; 4; 9 ]
+
+let run_latency ?(filter = Trace_store.no_filter) ?line_source ?on_sample
+    ~group_by path =
+  (match group_by with
+  | By_none | By_partition | By_class | By_source -> ()
+  | By_kind ->
+      invalid_arg "Trace_query: group-by kind needs --agg count or rate");
+  let scan_filter =
+    {
+      Trace_store.from_time = filter.Trace_store.from_time;
+      to_time = filter.Trace_store.to_time;
+      kinds = Some latency_kinds;
+      (* The classifier needs the global slot_switch stream, so the
+         partition filter applies to completed samples, not scanned
+         events. *)
+      partition = None;
+    }
+  in
+  let source_of_line line =
+    match line_source with
+    | Some f -> (
+        match f line with Some s -> s | None -> Printf.sprintf "line%d" line)
+    | None -> Printf.sprintf "line%d" line
+  in
+  let pending : (int, pending) Hashtbl.t = Hashtbl.create 64 in
+  let table = Hashtbl.create 16 in
+  (* Partition 0 owns the first slot at t=0 (simulator invariant); a
+     truncated store starts with unknown ownership until the first
+     slot_switch, which at worst turns early direct samples into
+     "unknown"-class ones. *)
+  let owner = ref 0 in
+  let samples = ref 0 in
+  let t_lo = ref max_int and t_hi = ref min_int in
+  let stats =
+    Trace_store.scan ~filter:scan_filter path
+      ~f:(fun ~time ~kind ~a ~b ~c:_ ~d ->
+        match kind with
+        | 0 -> owner := b
+        | 2 ->
+            Hashtbl.replace pending a
+              { raise_time = time; p_line = b; owner_at_top = -1; cls = -1 }
+        | 3 -> (
+            match Hashtbl.find_opt pending a with
+            | Some p -> p.owner_at_top <- !owner
+            | None -> ())
+        | 4 -> (
+            match Hashtbl.find_opt pending a with
+            | Some p ->
+                p.cls <- (match d with 0 -> 1 | 1 -> 2 | _ -> 0)
+                (* Admitted -> interposed, Denied -> delayed,
+                   Fallback_direct -> direct *)
+            | None -> ())
+        | 9 -> (
+            match Hashtbl.find_opt pending a with
+            | None -> ()
+            | Some p ->
+                Hashtbl.remove pending a;
+                let cls =
+                  if p.cls >= 0 then p.cls
+                  else if p.owner_at_top < 0 then -1
+                  else if p.owner_at_top = b then 0
+                  else 2
+                in
+                let keep =
+                  match filter.Trace_store.partition with
+                  | None -> true
+                  | Some q -> q = b
+                in
+                if keep then begin
+                  incr samples;
+                  if p.raise_time < !t_lo then t_lo := p.raise_time;
+                  if time > !t_hi then t_hi := time;
+                  let latency_us = Cycles.to_us (time - p.raise_time) in
+                  let source = source_of_line p.p_line in
+                  let cls_name = class_name cls in
+                  (match on_sample with
+                  | Some f ->
+                      f ~source ~cls:cls_name ~partition:b ~latency_us
+                  | None -> ());
+                  let key =
+                    match group_by with
+                    | By_none -> "all"
+                    | By_partition -> string_of_int b
+                    | By_class -> cls_name
+                    | By_source -> source
+                    | By_kind -> assert false
+                  in
+                  let bk = bucket table ~digests:true key in
+                  bk.count <- bk.count + 1;
+                  match bk.digest with
+                  | Some dg -> Quantile.observe dg latency_us
+                  | None -> ()
+                end)
+        | _ -> ())
+  in
+  let span_us = if !samples >= 2 then Cycles.to_us (!t_hi - !t_lo) else 0. in
+  (stats, !samples, span_us, groups_of_table table)
+
+let run ?filter ?line_partition ?line_source ?on_sample ~agg ~group_by path =
+  let stats, matched, span_us, groups =
+    match agg with
+    | Count | Rate -> run_count ?filter ?line_partition ~group_by path
+    | Latency -> run_latency ?filter ?line_source ?on_sample ~group_by path
+  in
+  {
+    q_agg = agg;
+    q_group_by = group_by;
+    q_stats = stats;
+    q_matched = matched;
+    q_span_us = span_us;
+    q_groups = groups;
+  }
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let rate_per_s t count =
+  if t.q_span_us > 0. then float_of_int count /. (t.q_span_us /. 1e6)
+  else 0.
+
+let digest_fields dg =
+  let q p = Option.value ~default:Float.nan (Quantile.quantile dg p) in
+  [
+    ("mean_us", Json.Float (Option.value ~default:Float.nan (Quantile.mean dg)));
+    ("p50_us", Json.Float (q 0.5));
+    ("p95_us", Json.Float (q 0.95));
+    ("p99_us", Json.Float (q 0.99));
+    ("p999_us", Json.Float (q 0.999));
+    ( "max_us",
+      Json.Float (Option.value ~default:Float.nan (Quantile.max_value dg)) );
+  ]
+
+let to_json ?store t =
+  let group g =
+    Json.Obj
+      (("key", Json.String g.g_key)
+      :: ("count", Json.Int g.g_count)
+      :: (match t.q_agg with
+         | Rate -> [ ("rate_per_s", Json.Float (rate_per_s t g.g_count)) ]
+         | Count -> []
+         | Latency -> (
+             match g.g_digest with Some dg -> digest_fields dg | None -> [])))
+  in
+  Json.Obj
+    ([
+       ("schema", Json.String "rthv-query/1");
+     ]
+    @ (match store with
+      | Some s -> [ ("store", Json.String s) ]
+      | None -> [])
+    @ [
+        ("aggregation", Json.String (agg_name t.q_agg));
+        ("group_by", Json.String (group_by_name t.q_group_by));
+        ("blocks", Json.Int t.q_stats.Tracestore.s_blocks);
+        ("blocks_scanned", Json.Int t.q_stats.Tracestore.s_blocks_scanned);
+        ("rows_scanned", Json.Int t.q_stats.Tracestore.s_rows);
+        ("matched", Json.Int t.q_matched);
+        ("span_us", Json.Float t.q_span_us);
+        ("groups", Json.List (List.map group t.q_groups));
+      ])
+
+let pp ppf t =
+  Format.fprintf ppf "-- %s by %s: %d matched over %.1f us (%d/%d blocks) --@."
+    (agg_name t.q_agg)
+    (group_by_name t.q_group_by)
+    t.q_matched t.q_span_us t.q_stats.Tracestore.s_blocks_scanned
+    t.q_stats.Tracestore.s_blocks;
+  match t.q_agg with
+  | Count ->
+      List.iter
+        (fun g -> Format.fprintf ppf "%-24s %10d@." g.g_key g.g_count)
+        t.q_groups
+  | Rate ->
+      Format.fprintf ppf "%-24s %10s %12s@." "group" "count" "events/s";
+      List.iter
+        (fun g ->
+          Format.fprintf ppf "%-24s %10d %12.1f@." g.g_key g.g_count
+            (rate_per_s t g.g_count))
+        t.q_groups
+  | Latency ->
+      Format.fprintf ppf "%-24s %8s %10s %10s %10s %10s %10s@." "group" "count"
+        "mean_us" "p50_us" "p99_us" "p99.9_us" "max_us";
+      List.iter
+        (fun g ->
+          match g.g_digest with
+          | None -> Format.fprintf ppf "%-24s %8d@." g.g_key g.g_count
+          | Some dg ->
+              let q p =
+                Option.value ~default:Float.nan (Quantile.quantile dg p)
+              in
+              Format.fprintf ppf
+                "%-24s %8d %10.1f %10.1f %10.1f %10.1f %10.1f@." g.g_key
+                g.g_count
+                (Option.value ~default:Float.nan (Quantile.mean dg))
+                (q 0.5) (q 0.99) (q 0.999)
+                (Option.value ~default:Float.nan (Quantile.max_value dg)))
+        t.q_groups

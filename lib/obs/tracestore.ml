@@ -1,0 +1,376 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let format_name = "rthv-tracestore/1"
+let magic = format_name ^ "\n"
+let default_block_events = 8192
+let max_kinds = 62
+
+(* --- varint / zigzag ----------------------------------------------------- *)
+
+(* LEB128 on the non-negative range; signed values go through the zigzag
+   map first so small magnitudes of either sign stay short.  OCaml ints are
+   63-bit, hence the asr 62 in the forward map. *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+let add_varint buf n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let byte = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+let add_zigzag buf n = add_varint buf (zigzag n)
+
+(* Decoding cursor over a [Bytes.t] slice. *)
+type cursor = { data : Bytes.t; mutable pos : int; limit : int }
+
+let read_varint cur =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if cur.pos >= cur.limit then corrupt "truncated varint";
+    let byte = Char.code (Bytes.unsafe_get cur.data cur.pos) in
+    cur.pos <- cur.pos + 1;
+    v := !v lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then continue := false
+    else if !shift > 62 then corrupt "varint overflows a 63-bit int"
+  done;
+  !v
+
+let read_zigzag cur = unzigzag (read_varint cur)
+
+let add_u32_le buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+(* --- writer -------------------------------------------------------------- *)
+
+let check_arities arities =
+  if Array.length arities = 0 || Array.length arities > max_kinds then
+    invalid_arg "Tracestore: kind count must be in 1..62";
+  Array.iter
+    (fun a ->
+      if a < 0 || a > 4 then invalid_arg "Tracestore: arity must be in 0..4")
+    arities
+
+module Writer = struct
+  type t = {
+    oc : out_channel;
+    arities : int array;
+    block_events : int;
+    times : int array;
+    kinds : int array;
+    col_a : int array;
+    col_b : int array;
+    col_c : int array;
+    col_d : int array;
+    scratch : Buffer.t;
+    header : Buffer.t;
+    mutable count : int;  (* rows buffered in the current block *)
+    mutable min_time : int;
+    mutable max_time : int;
+    mutable kind_mask : int;
+    mutable pmask : int;
+    mutable written : int;
+    mutable blocks : int;
+  }
+
+  let create ?(block_events = default_block_events) ~arities oc =
+    if block_events <= 0 then
+      invalid_arg "Tracestore.Writer.create: block_events must be positive";
+    check_arities arities;
+    output_string oc magic;
+    output_char oc (Char.chr (Array.length arities));
+    Array.iter (fun a -> output_char oc (Char.chr a)) arities;
+    {
+      oc;
+      arities = Array.copy arities;
+      block_events;
+      times = Array.make block_events 0;
+      kinds = Array.make block_events 0;
+      col_a = Array.make block_events 0;
+      col_b = Array.make block_events 0;
+      col_c = Array.make block_events 0;
+      col_d = Array.make block_events 0;
+      scratch = Buffer.create (block_events * 4);
+      header = Buffer.create 64;
+      count = 0;
+      min_time = max_int;
+      max_time = min_int;
+      kind_mask = 0;
+      pmask = 0;
+      written = 0;
+      blocks = 0;
+    }
+
+  let flush_block w =
+    if w.count > 0 then begin
+      let n = w.count in
+      Buffer.clear w.header;
+      add_varint w.header n;
+      add_zigzag w.header w.min_time;
+      add_zigzag w.header w.max_time;
+      add_varint w.header w.kind_mask;
+      add_varint w.header w.pmask;
+      Buffer.clear w.scratch;
+      (* Time column: deltas against the previous row, the first against
+         the block's min; zigzag because a ring truncation or an unordered
+         source may hand us non-monotone times. *)
+      let prev = ref w.min_time in
+      for i = 0 to n - 1 do
+        add_zigzag w.scratch (w.times.(i) - !prev);
+        prev := w.times.(i)
+      done;
+      for i = 0 to n - 1 do
+        Buffer.add_char w.scratch (Char.unsafe_chr w.kinds.(i))
+      done;
+      let column col j =
+        for i = 0 to n - 1 do
+          if w.arities.(w.kinds.(i)) > j then add_zigzag w.scratch col.(i)
+        done
+      in
+      column w.col_a 0;
+      column w.col_b 1;
+      column w.col_c 2;
+      column w.col_d 3;
+      let lengths = Buffer.create 8 in
+      add_u32_le lengths (Buffer.length w.header);
+      Buffer.output_buffer w.oc lengths;
+      Buffer.output_buffer w.oc w.header;
+      Buffer.clear lengths;
+      add_u32_le lengths (Buffer.length w.scratch);
+      Buffer.output_buffer w.oc lengths;
+      Buffer.output_buffer w.oc w.scratch;
+      w.blocks <- w.blocks + 1;
+      w.count <- 0;
+      w.min_time <- max_int;
+      w.max_time <- min_int;
+      w.kind_mask <- 0;
+      w.pmask <- 0
+    end
+
+  let append w ~time ~kind ~pmask ~a ~b ~c ~d =
+    if kind < 0 || kind >= Array.length w.arities then
+      invalid_arg "Tracestore.Writer.append: kind out of range";
+    let i = w.count in
+    w.times.(i) <- time;
+    w.kinds.(i) <- kind;
+    w.col_a.(i) <- a;
+    w.col_b.(i) <- b;
+    w.col_c.(i) <- c;
+    w.col_d.(i) <- d;
+    if time < w.min_time then w.min_time <- time;
+    if time > w.max_time then w.max_time <- time;
+    w.kind_mask <- w.kind_mask lor (1 lsl kind);
+    w.pmask <- w.pmask lor pmask;
+    w.count <- i + 1;
+    w.written <- w.written + 1;
+    if w.count = w.block_events then flush_block w
+
+  let events_written w = w.written
+  let blocks_written w = w.blocks
+end
+
+let with_file_writer ?block_events ~arities path f =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let w = Writer.create ?block_events ~arities oc in
+      let v = f w in
+      Writer.flush_block w;
+      v)
+
+(* --- reading ------------------------------------------------------------- *)
+
+type filter = {
+  t_min : int option;
+  t_max : int option;
+  kind_mask : int option;
+  pmask : int option;
+}
+
+let pass_all = { t_min = None; t_max = None; kind_mask = None; pmask = None }
+
+type stats = {
+  s_blocks : int;
+  s_blocks_scanned : int;
+  s_rows : int;
+  s_matched : int;
+}
+
+let read_header ic =
+  let m = Bytes.create (String.length magic) in
+  (try really_input ic m 0 (String.length magic)
+   with End_of_file -> corrupt "missing %s magic" format_name);
+  if Bytes.to_string m <> magic then corrupt "bad magic (not a %s file)" format_name;
+  let n_kinds =
+    try Char.code (input_char ic) with End_of_file -> corrupt "truncated header"
+  in
+  if n_kinds = 0 || n_kinds > max_kinds then
+    corrupt "kind count %d out of range" n_kinds;
+  Array.init n_kinds (fun _ ->
+      let a =
+        try Char.code (input_char ic)
+        with End_of_file -> corrupt "truncated arity table"
+      in
+      if a > 4 then corrupt "arity %d out of range" a;
+      a)
+
+let arities path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_header ic)
+
+(* A 4-byte little-endian length, or None at a clean end of file. *)
+let read_u32_le_opt ic =
+  match input_char ic with
+  | exception End_of_file -> None
+  | c0 ->
+      let b = Bytes.create 3 in
+      (try really_input ic b 0 3
+       with End_of_file -> corrupt "truncated block length");
+      Some
+        (Char.code c0
+        lor (Char.code (Bytes.get b 0) lsl 8)
+        lor (Char.code (Bytes.get b 1) lsl 16)
+        lor (Char.code (Bytes.get b 2) lsl 24))
+
+(* Reusable decode buffers, grown on demand: a scan over a million events
+   touches every block with the same six arrays. *)
+type scratch = {
+  mutable cap : int;
+  mutable times : int array;
+  mutable kinds : int array;
+  mutable cols : int array array;  (* 4 columns *)
+  mutable bytes : Bytes.t;
+}
+
+let ensure_rows sc n =
+  if n > sc.cap then begin
+    let cap = Stdlib.max n (2 * sc.cap) in
+    sc.cap <- cap;
+    sc.times <- Array.make cap 0;
+    sc.kinds <- Array.make cap 0;
+    sc.cols <- Array.init 4 (fun _ -> Array.make cap 0)
+  end
+
+let ensure_bytes sc n =
+  if Bytes.length sc.bytes < n then
+    sc.bytes <- Bytes.create (Stdlib.max n (2 * Bytes.length sc.bytes))
+
+let scan ?(filter = pass_all) path ~f =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let arities = read_header ic in
+      let n_kinds = Array.length arities in
+      let sc =
+        {
+          cap = 0;
+          times = [||];
+          kinds = [||];
+          cols = [||];
+          bytes = Bytes.create 0;
+        }
+      in
+      let blocks = ref 0
+      and scanned = ref 0
+      and rows = ref 0
+      and matched = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match read_u32_le_opt ic with
+        | None -> continue := false
+        | Some header_len ->
+            incr blocks;
+            ensure_bytes sc header_len;
+            (try really_input ic sc.bytes 0 header_len
+             with End_of_file -> corrupt "truncated block header");
+            let cur = { data = sc.bytes; pos = 0; limit = header_len } in
+            let n = read_varint cur in
+            let min_time = read_zigzag cur in
+            let max_time = read_zigzag cur in
+            let kind_mask = read_varint cur in
+            let block_pmask = read_varint cur in
+            let body_len =
+              match read_u32_le_opt ic with
+              | Some l -> l
+              | None -> corrupt "missing block body"
+            in
+            let skip =
+              (match filter.t_min with Some t -> max_time < t | None -> false)
+              || (match filter.t_max with Some t -> min_time > t | None -> false)
+              || (match filter.kind_mask with
+                 | Some m -> m land kind_mask = 0
+                 | None -> false)
+              || match filter.pmask with
+                 | Some m -> m land block_pmask = 0
+                 | None -> false
+            in
+            if skip then seek_in ic (pos_in ic + body_len)
+            else begin
+              incr scanned;
+              rows := !rows + n;
+              if n < 0 then corrupt "negative row count";
+              ensure_rows sc n;
+              ensure_bytes sc body_len;
+              (try really_input ic sc.bytes 0 body_len
+               with End_of_file -> corrupt "truncated block body");
+              let cur = { data = sc.bytes; pos = 0; limit = body_len } in
+              let prev = ref min_time in
+              for i = 0 to n - 1 do
+                let t = !prev + read_zigzag cur in
+                sc.times.(i) <- t;
+                prev := t
+              done;
+              for i = 0 to n - 1 do
+                if cur.pos >= cur.limit then corrupt "truncated kind column";
+                let k = Char.code (Bytes.unsafe_get cur.data cur.pos) in
+                cur.pos <- cur.pos + 1;
+                if k >= n_kinds then corrupt "kind %d out of range" k;
+                sc.kinds.(i) <- k
+              done;
+              for j = 0 to 3 do
+                let col = sc.cols.(j) in
+                for i = 0 to n - 1 do
+                  if arities.(sc.kinds.(i)) > j then col.(i) <- read_zigzag cur
+                  else col.(i) <- 0
+                done
+              done;
+              if cur.pos <> cur.limit then corrupt "trailing bytes in block body";
+              let kmask =
+                match filter.kind_mask with Some m -> m | None -> -1
+              in
+              let lo = match filter.t_min with Some t -> t | None -> min_int in
+              let hi = match filter.t_max with Some t -> t | None -> max_int in
+              let ca = sc.cols.(0)
+              and cb = sc.cols.(1)
+              and cc = sc.cols.(2)
+              and cd = sc.cols.(3) in
+              for i = 0 to n - 1 do
+                let t = sc.times.(i) and k = sc.kinds.(i) in
+                if t >= lo && t <= hi && kmask land (1 lsl k) <> 0 then begin
+                  incr matched;
+                  f ~time:t ~kind:k ~a:ca.(i) ~b:cb.(i) ~c:cc.(i) ~d:cd.(i)
+                end
+              done
+            end
+      done;
+      {
+        s_blocks = !blocks;
+        s_blocks_scanned = !scanned;
+        s_rows = !rows;
+        s_matched = !matched;
+      })

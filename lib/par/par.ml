@@ -52,6 +52,12 @@ let resolve = function Some pool -> pool | None -> default_pool ()
    join, so the post-join scan re-raises the lowest-index failure
    deterministically. *)
 let run_tasks ~jobs n f =
+  (* Never run more domains than the hardware can schedule: an oversized
+     --jobs (or RTHV_JOBS) on a small machine would make the domains thrash
+     one core and the "parallel" sweep run slower than the sequential path.
+     The clamp is unobservable in the results — which domain computes an
+     index is already unspecified. *)
+  let jobs = Stdlib.min jobs (Domain.recommended_domain_count ()) in
   let results = Array.make n None in
   let chunk = Stdlib.max 1 (n / (jobs * 8)) in
   let cursor = Atomic.make 0 in

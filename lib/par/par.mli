@@ -55,6 +55,11 @@ type pool
 val create : ?jobs:int -> unit -> pool
 (** [create ~jobs ()] makes a pool running at most [jobs] domains (including
     the caller, which participates as a worker).  Default: {!default_jobs}.
+    At execution time the spawned-domain count is additionally clamped to
+    [Domain.recommended_domain_count ()]: an oversized [jobs] on a small
+    machine would thrash one core and run slower than sequential, and the
+    clamp cannot change results (which domain computes an index is already
+    unspecified).
     @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : pool -> int

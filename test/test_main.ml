@@ -35,6 +35,8 @@ let () =
       ("core.hyp_trace", Test_hyp_trace.suite);
       ("core.vcd_export", Test_vcd_export.suite);
       ("core.trace_export", Test_trace_export.suite);
+      ("core.tracestore", Test_tracestore.suite);
+      ("core.trace_query", Test_trace_query.suite);
       ("obs", Test_obs.suite);
       ("obs.merge", Test_obs_merge.suite);
       ("obs.span", Test_span.suite);
@@ -42,6 +44,7 @@ let () =
       ("core.flight", Test_flight.suite);
       ("check.lint", Test_lint.suite);
       ("check.trace_oracle", Test_trace_oracle.suite);
+      ("check.slo", Test_slo.suite);
       ("check.absint", Test_absint.suite);
       ("check.codec", Test_codec.suite);
       ("check.witness", Test_witness.suite);
