@@ -29,7 +29,14 @@
    with the same rules, keyed by phase path: per-phase wall-clock with the
    relative --ratio and per-phase minor words with the slack/ratio pair
    (the simulation is deterministic, so phase words are reproducible to
-   the word).  A baseline without a profile section skips the check. *)
+   the word).  A baseline without a profile section skips the check.
+
+   The "fastforward" section's rows (15k-IRQ step/ff, 1M-IRQ streaming)
+   are gated like micro rows.  Two further hard gates: a sweep row whose
+   pool ran >1 effective domains FAILS below 1.0x (parallel slower than
+   sequential is a real regression once Par's single-core fallback is
+   ruled out), and the step-over-ff speedup FAILS below 0.9x (the
+   event-compressed engine must not lose to the step reference). *)
 
 module Json = Rthv_obs.Json
 
@@ -97,17 +104,51 @@ let load path =
             | _ -> None)
           profile_rows
       in
-      (* Sweep speedups, keyed by sweep name; absent in older files. *)
+      (* Sweep speedups, keyed by sweep name; absent in older files.  Each
+         carries the pool's post-clamp domain count (absent in older files:
+         assume real parallelism so the gate stays armed). *)
       let sweep =
         match member "sweep" doc with
         | Some (Json.Obj entries) ->
             List.filter_map
               (fun (name, v) ->
-                Option.map (fun s -> (name, s)) (number (member "speedup" v)))
+                match number (member "speedup" v) with
+                | None -> None
+                | Some s ->
+                    let effective =
+                      match number (member "effective_jobs" v) with
+                      | Some e -> int_of_float e
+                      | None -> 2
+                    in
+                    Some (name, s, effective))
               entries
         | _ -> []
       in
-      (micro, profile, sweep)
+      (* Fast-forward engine rows (15k step/ff, 1M streaming) are gated
+         like micro rows; the step-over-ff speedup is gated separately. *)
+      let ff_rows, ff_speedup =
+        match member "fastforward" doc with
+        | Some (Json.Obj _ as ff) ->
+            let rows =
+              match member "rows" ff with
+              | Some (Json.List rows) ->
+                  List.filter_map
+                    (fun r ->
+                      match
+                        ( string_field "name" r,
+                          number (member "ns_per_run" r),
+                          number (member "minor_words_per_run" r) )
+                      with
+                      | Some name, Some ns, Some words ->
+                          Some ("fastforward:" ^ name, { ns; words })
+                      | _ -> None)
+                    rows
+              | _ -> []
+            in
+            (rows, number (member "speedup_step_over_ff" ff))
+        | _ -> ([], None)
+      in
+      (micro, profile, sweep, ff_rows, ff_speedup)
 
 let () =
   let ratio = ref 5.0 in
@@ -138,8 +179,12 @@ let () =
           "usage: diff BASELINE.json CURRENT.json [--ratio R] [--words-slack \
            W] [--words-ratio WR]"
   in
-  let baseline_micro, baseline_profile, _ = load baseline_path in
-  let current_micro, current_profile, current_sweep = load current_path in
+  let baseline_micro, baseline_profile, _, baseline_ff, _ =
+    load baseline_path
+  in
+  let current_micro, current_profile, current_sweep, current_ff, ff_speedup =
+    load current_path
+  in
   let failures = ref 0 in
   let compare_rows baseline current =
     List.iter
@@ -172,16 +217,38 @@ let () =
   Printf.printf "%-48s %12s %12s %8s\n" "benchmark" "base ns" "curr ns" "ratio";
   compare_rows baseline_micro current_micro;
   compare_rows baseline_profile current_profile;
-  (* A parallel sweep slower than sequential is machine-dependent (a
-     one-core CI runner cannot speed anything up), so it warns rather than
-     fails — the warning keeps the signal visible in the log. *)
+  compare_rows baseline_ff current_ff;
+  (* A parallel sweep must beat sequential whenever the pool actually ran
+     more than one domain — Par skips the fan-out machinery below that, so
+     any sub-1.0x speedup with real parallelism is a regression, not
+     machine noise.  On a single schedulable core (effective_jobs <= 1)
+     both timings run the identical sequential path and the "speedup" is
+     pure noise around 1.0x, so the gate disarms. *)
   List.iter
-    (fun (name, speedup) ->
+    (fun (name, speedup, effective_jobs) ->
       if speedup < 1.0 then
-        Printf.printf
-          "%-48s WARNING: parallel sweep slower than sequential (%.2fx)\n"
-          ("sweep:" ^ name) speedup)
+        if effective_jobs > 1 then begin
+          incr failures;
+          Printf.printf
+            "%-48s SWEEP REGRESSION: parallel slower than sequential \
+             (%.2fx at %d domains)\n"
+            ("sweep:" ^ name) speedup effective_jobs
+        end
+        else
+          Printf.printf
+            "%-48s note: single core, sequential path both sides (%.2fx)\n"
+            ("sweep:" ^ name) speedup)
     current_sweep;
+  (* The event-compressed engine must never run materially slower than the
+     step reference on the same binary; 0.9 absorbs wall-clock noise
+     between the two timed loops. *)
+  (match ff_speedup with
+  | Some s when s < 0.9 ->
+      incr failures;
+      Printf.printf
+        "%-48s FF REGRESSION: fast-forward slower than step (%.2fx)\n"
+        "fastforward:speedup" s
+  | _ -> ());
   if !failures > 0 then begin
     Printf.printf "\n%d regression(s) against %s (ratio > %.1fx or > %+.1f \
                    minor words and > %.2fx)\n"

@@ -8,6 +8,7 @@
      rthv_sim --experiment fig6b                            # paper experiment *)
 
 module Cycles = Rthv_engine.Cycles
+module Fast_forward = Rthv_engine.Fast_forward
 module Config = Rthv_core.Config
 module Hyp_sim = Rthv_core.Hyp_sim
 module Irq_record = Rthv_core.Irq_record
@@ -40,6 +41,15 @@ let monitor_kind_conv =
     | Monitor_budget -> Format.fprintf ppf "budget"
     | Monitor_combo -> Format.fprintf ppf "combo"
   in
+  Cmdliner.Arg.conv (parse, print)
+
+let mode_conv =
+  let parse s =
+    match Fast_forward.of_string s with
+    | Ok m -> Ok m
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf m = Format.pp_print_string ppf (Fast_forward.to_string m) in
   Cmdliner.Arg.conv (parse, print)
 
 let build_interarrivals ~trace ~seed ~mean_us ~d_min_us ~count =
@@ -84,7 +94,7 @@ let profile_out_format path =
     Error
       (Printf.sprintf "--profile %S: expected a .json or .txt extension" path)
 
-let write_profile ~path prof =
+let write_profile ~mode ~path prof =
   match profile_out_format path with
   | Error msg ->
       Format.eprintf "%s@." msg;
@@ -92,7 +102,22 @@ let write_profile ~path prof =
   | Ok fmt ->
       let rendered =
         match fmt with
-        | `Json -> Rthv_obs.Json.to_string (Rthv_obs.Prof.to_json prof) ^ "\n"
+        | `Json ->
+            (* Stamp the engine mode into the rthv-profile/1 document so a
+               saved profile says which stepping engine produced it
+               (Prof.of_json ignores unknown keys). *)
+            let doc =
+              match Rthv_obs.Prof.to_json prof with
+              | Rthv_obs.Json.Obj fields ->
+                  Rthv_obs.Json.Obj
+                    (fields
+                    @ [
+                        ( "mode",
+                          Rthv_obs.Json.String (Fast_forward.to_string mode) );
+                      ])
+              | other -> other
+            in
+            Rthv_obs.Json.to_string doc ^ "\n"
         | `Txt -> Format.asprintf "%a" Rthv_obs.Prof.pp_table prof
       in
       let oc = open_out path in
@@ -123,8 +148,8 @@ let write_metrics ~path registry =
         path;
       0
 
-let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
-    monitor budget weighted_cycle_us strict_tdma show_histogram csv_out
+let run_custom ~mode slots subscriber c_th_us c_bh_us mean_us d_min_us count
+    seed monitor budget weighted_cycle_us strict_tdma show_histogram csv_out
     vcd_out trace_out metrics_out profile_out slo trace =
   let partitions =
     List.mapi
@@ -200,7 +225,7 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
         Some w
     | _ -> None
   in
-  let sim = Hyp_sim.create ?trace config in
+  let sim = Hyp_sim.create ?trace ~mode config in
   let registry = Rthv_obs.Registry.create () in
   let profiler = Option.map (fun _ -> Rthv_obs.Prof.create ()) profile_out in
   let slo_t =
@@ -295,7 +320,13 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
             let partition_names =
               Array.of_list (List.map (fun (p : Config.partition) -> p.Config.pname) partitions)
             in
-            Rthv_core.Trace_export.save_chrome ~partition_names ~path trace;
+            Rthv_core.Trace_export.save_chrome
+              ~metadata:
+                [
+                  ( "mode",
+                    Rthv_obs.Json.String (Fast_forward.to_string mode) );
+                ]
+              ~partition_names ~path trace;
             Format.printf "wrote %d trace events to %s (chrome)@."
               (Rthv_core.Hyp_trace.length trace)
               path;
@@ -312,7 +343,7 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
   in
   let profile_status =
     match (profile_out, profiler) with
-    | Some path, Some p -> write_profile ~path p
+    | Some path, Some p -> write_profile ~mode ~path p
     | _ -> 0
   in
   let slo_status =
@@ -331,7 +362,7 @@ let run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count seed
     (Stdlib.max (Stdlib.max trace_status metrics_status) profile_status)
     slo_status
 
-let run_experiment metrics_out profile_out name =
+let run_experiment ~mode metrics_out profile_out name =
   let module Fig6 = Rthv_experiments.Fig6 in
   let ppf = Format.std_formatter in
   (* The sweep drivers fold per-task registries (and absorb per-task phase
@@ -381,15 +412,19 @@ let run_experiment metrics_out profile_out name =
     in
     let profile_status =
       match (profile_out, profiler) with
-      | Some path, Some p -> write_profile ~path p
+      | Some path, Some p -> write_profile ~mode ~path p
       | _ -> 0
     in
     Stdlib.max metrics_status profile_status
 
-let main jobs experiment slots subscriber c_th_us c_bh_us mean_us d_min_us
-    count seed monitor budget weighted_cycle_us strict_tdma histogram csv_out
-    vcd_out trace_out metrics_out profile_out slo flight_dir trace =
+let main jobs mode experiment slots subscriber c_th_us c_bh_us mean_us
+    d_min_us count seed monitor budget weighted_cycle_us strict_tdma histogram
+    csv_out vcd_out trace_out metrics_out profile_out slo flight_dir trace =
   Option.iter Rthv_par.Par.set_default_jobs jobs;
+  (* Canned experiments build their simulators internally, where the engine
+     defaults from RTHV_SIM_MODE — export the flag so every path (custom
+     run, experiment sweep, analysis) sees the same mode. *)
+  Unix.putenv Fast_forward.env_var (Fast_forward.to_string mode);
   Option.iter
     (fun dir -> Rthv_core.Flight_recorder.enable ~dir ())
     flight_dir;
@@ -400,7 +435,7 @@ let main jobs experiment slots subscriber c_th_us c_bh_us mean_us d_min_us
                         experiments@.";
         1
       end
-      else run_experiment metrics_out profile_out name
+      else run_experiment ~mode metrics_out profile_out name
   | None ->
       if subscriber < 0 || subscriber >= List.length slots then begin
         Format.eprintf "subscriber %d out of range for %d partitions@."
@@ -412,9 +447,9 @@ let main jobs experiment slots subscriber c_th_us c_bh_us mean_us d_min_us
         1
       end
       else
-        run_custom slots subscriber c_th_us c_bh_us mean_us d_min_us count
-          seed monitor budget weighted_cycle_us strict_tdma histogram csv_out
-          vcd_out trace_out metrics_out profile_out slo trace
+        run_custom ~mode slots subscriber c_th_us c_bh_us mean_us d_min_us
+          count seed monitor budget weighted_cycle_us strict_tdma histogram
+          csv_out vcd_out trace_out metrics_out profile_out slo trace
 
 open Cmdliner
 
@@ -437,6 +472,19 @@ let jobs =
            or the machine's recommended domain count; 1 forces the \
            sequential path).  Results are byte-identical for any value.  \
            Custom single-scenario simulations always run on one domain.")
+
+let mode =
+  Arg.(
+    value
+    & opt mode_conv (Fast_forward.default ())
+    & info [ "mode" ] ~docv:"step|ff"
+        ~doc:
+          "Stepping engine: $(b,ff) (fast-forward, event-compressed — jumps \
+           idle and intra-segment spans, the default) or $(b,step) (the \
+           reference cycle-stepped loop).  Both produce byte-identical \
+           observables; $(b,step) exists as the oracle.  The default \
+           honours $(b,RTHV_SIM_MODE); the flag overrides it and is \
+           exported to canned experiments.")
 
 let slots =
   Arg.(
@@ -617,7 +665,8 @@ let cmd =
   Cmd.v
     (Cmd.info "rthv_sim" ~doc)
     Term.(
-      const main $ jobs $ experiment $ slots $ subscriber $ c_th_us $ c_bh_us
+      const main $ jobs $ mode $ experiment $ slots $ subscriber $ c_th_us
+      $ c_bh_us
       $ mean_us $ d_min_us $ count $ seed $ monitor $ budget
       $ weighted_cycle_us $ strict_tdma $ histogram $ csv_out $ vcd_out
       $ trace_out $ metrics_out $ profile_out $ slo $ flight_dir $ trace_arg)

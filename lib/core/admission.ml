@@ -33,12 +33,14 @@ let never () =
   }
 
 let of_monitor m =
+  (* Eta-expanded: a partial application of a 2-ary function would route
+     every per-IRQ call through the runtime's currying trampoline. *)
   {
     name = "monitor";
     active = true;
-    decide = Monitor.check m;
-    commit = Monitor.admit m;
-    observe = Monitor.note_arrival m;
+    decide = (fun ts -> Monitor.check m ts);
+    commit = (fun ts -> Monitor.admit m ts);
+    observe = (fun ts -> Monitor.note_arrival m ts);
     checks = (fun () -> Monitor.checked_count m);
     monitor = Some m;
   }
@@ -64,8 +66,8 @@ let of_throttle th =
   {
     name = "bucket";
     active = true;
-    decide = Throttle.check th;
-    commit = Throttle.admit th;
+    decide = (fun ts -> Throttle.check th ts);
+    commit = (fun ts -> Throttle.admit th ts);
     observe = ignore_ts;
     checks = (fun () -> Throttle.checked_count th);
     monitor = None;

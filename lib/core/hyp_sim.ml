@@ -1,14 +1,24 @@
 (* Façade over the policy-core layers: construction ({!Admission},
    {!Slot_plan}, {!Boundary_policy} instances from a {!Config}), the
-   cycle-accurate stepping engine, and the public read API.  Routing
+   event-compressed stepping engines, and the public read API.  Routing
    decisions live in {!Sim_route}, boundary handling in {!Sim_boundary},
-   state and accounting in {!Sim_state}, statistics in {!Sim_stats}. *)
+   state and accounting in {!Sim_state}, statistics in {!Sim_stats}.
+
+   Two engines share every decision helper and therefore every observable
+   (trace records, statistics, telemetry): the reference [Step] engine
+   re-resolves the execution context (hypervisor ring / interposition /
+   slot owner) on every segment, while the default [Fast_forward] engine
+   drains hypervisor bursts inline and keeps the per-segment machinery out
+   of the loop.  Both jump segment-to-segment over the packed
+   {!Rthv_engine.Event_arena}; neither allocates on the per-IRQ path. *)
 
 module Cycles = Rthv_engine.Cycles
-module Event_queue = Rthv_engine.Event_queue
+module Event_arena = Rthv_engine.Event_arena
+module Fast_forward = Rthv_engine.Fast_forward
 module Guest = Rthv_rtos.Guest
 module Ipc = Rthv_rtos.Ipc
 module Irq_queue = Rthv_rtos.Irq_queue
+module Task = Rthv_rtos.Task
 module Platform = Rthv_hw.Platform
 module Intc = Rthv_hw.Intc
 open Sim_state
@@ -45,7 +55,7 @@ let audit_trace_capacity = 1 lsl 20
 let set_audit_hook hook = audit_hook := hook
 let audit_hook_installed () = Option.is_some !audit_hook
 
-let create ?trace ?(policies = []) config =
+let create ?trace ?(policies = []) ?mode ?(retain = true) config =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Hyp_sim.create: " ^ msg));
@@ -58,6 +68,7 @@ let create ?trace ?(policies = []) config =
              config.Config.sources)
       then invalid_arg ("Hyp_sim.create: policy for unknown source " ^ name))
     policies;
+  let mode = match mode with Some m -> m | None -> Fast_forward.default () in
   let platform = config.Config.platform in
   let plan = Config.slot_plan config in
   let tdma = Slot_plan.tdma plan in
@@ -74,6 +85,7 @@ let create ?trace ?(policies = []) config =
              ~ipc ~policy:p.Config.policy ~name:p.Config.pname ())
          config.Config.partitions)
   in
+  if not retain then Array.iter (fun g -> Guest.set_retain g false) guests;
   let sources =
     Array.of_list
       (List.mapi
@@ -111,10 +123,12 @@ let create ?trace ?(policies = []) config =
           Some (Hyp_trace.create ~capacity:(Flight_recorder.capacity ()) ())
         else None
   in
+  let hq_cap = 16 in
   let t =
     {
       platform;
       config;
+      mode;
       boundary = config.Config.boundary;
       trace;
       prof = Rthv_obs.Prof.disabled;
@@ -124,16 +138,24 @@ let create ?trace ?(policies = []) config =
       sources;
       source_by_line;
       intc;
-      events = Event_queue.create ();
-      hyp = Queue.create ();
-      pending = Hashtbl.create 64;
+      events = Event_arena.create ();
+      hq_kind = Array.make hq_cap K_slot_switch;
+      hq_remaining = Array.make hq_cap 0;
+      hq_started = Array.make hq_cap false;
+      hq_irq = Array.make hq_cap (-1);
+      hq_head = 0;
+      hq_len = 0;
+      pending_by_irq = Array.make 64 dummy_pending;
       c_mon = Platform.monitor_cost platform;
       c_sched = Platform.sched_manip_cost platform;
       c_ctx = Platform.ctx_switch_cost platform;
       now = 0;
-      interposition = None;
+      ip_target = -1;
+      ip_budget = 0;
       interposition_pending = false;
+      retain_records = retain;
       records = [];
+      n_completed = 0;
       next_irq_id = 0;
       slot_owner = 0;
       slot_end;
@@ -158,7 +180,7 @@ let create ?trace ?(policies = []) config =
     }
   in
   Intc.set_handler intc (Sim_route.deliver t);
-  Event_queue.push t.events ~time:(Tdma.next_boundary tdma 0) Boundary;
+  Event_arena.push t.events ~time:(Tdma.next_boundary tdma 0) ev_boundary;
   Array.iter
     (fun src ->
       let distances = src.cfg.Config.interarrivals in
@@ -166,7 +188,7 @@ let create ?trace ?(policies = []) config =
         match src.cfg.Config.arrival_mode with
         | Config.Reprogram ->
             src.next_arrival <- 1;
-            Event_queue.push t.events ~time:distances.(0) (Arrival src.s_idx);
+            Event_arena.push t.events ~time:distances.(0) src.s_idx;
             t.scheduled_arrivals <- t.scheduled_arrivals + 1
         | Config.Absolute ->
             (* Trace replay: schedule every raise up front at its absolute
@@ -175,7 +197,7 @@ let create ?trace ?(policies = []) config =
             Array.iter
               (fun d ->
                 time := Cycles.( + ) !time d;
-                Event_queue.push t.events ~time:!time (Arrival src.s_idx);
+                Event_arena.push t.events ~time:!time src.s_idx;
                 t.scheduled_arrivals <- t.scheduled_arrivals + 1)
               distances;
             src.next_arrival <- Array.length distances
@@ -183,154 +205,183 @@ let create ?trace ?(policies = []) config =
     sources;
   t
 
-type runner =
-  | Hyp_work of hyp_item
-  | Interp_work of interposition * Irq_queue.item
-  | Part_work of int * Guest.demand
-
-let rec current_runner t =
-  if not (Queue.is_empty t.hyp) then Hyp_work (Queue.peek t.hyp)
-  else
-    match t.interposition with
-    | Some ip -> (
-        let guest = t.guests.(ip.target) in
-        match Irq_queue.peek (Guest.queue guest) with
-        | Some item when ip.budget_left > 0 -> Interp_work (ip, item)
-        | Some _ | None ->
-            (* Queue drained (or budget already zero): return to the slot
-               owner. *)
-            let reason =
-              if ip.budget_left > 0 then `Queue_empty else `Budget_exhausted
-            in
-            end_interposition t ~reason;
-            current_runner t)
-    | None ->
-        let owner = t.slot_owner in
-        let guest = t.guests.(owner) in
-        Guest.advance_to guest t.now;
-        Part_work (owner, Guest.demand guest)
-
-let segment_end t runner =
-  let next_event =
-    match Event_queue.peek_time t.events with
-    | Some time -> time
-    | None -> assert false (* a Boundary event is always scheduled *)
-  in
-  let candidate =
-    match runner with
-    | Hyp_work item -> Cycles.( + ) t.now item.remaining
-    | Interp_work (ip, item) ->
-        Cycles.( + ) t.now (Cycles.min item.Irq_queue.remaining ip.budget_left)
-    | Part_work (owner, demand) ->
-        let guest = t.guests.(owner) in
-        let release_bound =
-          match Guest.next_release guest with
-          | Some r -> Cycles.min r t.slot_end
-          | None -> t.slot_end
-        in
-        (match demand with
-        | Guest.Bottom_handler item ->
-            Cycles.min
-              (Cycles.( + ) t.now item.Irq_queue.remaining)
-              release_bound
-        | Guest.Task_job job ->
-            Cycles.min (Cycles.( + ) t.now job.Rthv_rtos.Task.remaining) release_bound
-        | Guest.Filler | Guest.Idle -> release_bound)
-  in
-  Cycles.min candidate next_event
-
 (* First cycle ever attributed to this instance's bottom handler: record
-   the span timestamp and trace event at the segment start.  [attribute]
-   is the first action after [t.now] advances, so the retro-dated start
-   time is still >= every previously recorded trace timestamp. *)
+   the span timestamp and trace event at the segment start.  This runs as
+   the first action after [t.now] advances, so the retro-dated start time
+   is still >= every previously recorded trace timestamp. *)
 let note_bh_start t (item : Irq_queue.item) elapsed =
-  if item.Irq_queue.remaining = item.Irq_queue.total then
-    match Hashtbl.find_opt t.pending item.Irq_queue.irq with
-    | Some p when p.p_bh_start < 0 ->
-        let start = Cycles.( - ) t.now elapsed in
-        p.p_bh_start <- start;
+  if item.Irq_queue.remaining = item.Irq_queue.total then begin
+    let p = pending_get t item.Irq_queue.irq in
+    if p.p_irq = item.Irq_queue.irq && p.p_bh_start < 0 then begin
+      let start = Cycles.( - ) t.now elapsed in
+      p.p_bh_start <- start;
+      if tracing t then
         trace_event_at t start
           (Hyp_trace.Bottom_handler_start
              { irq = p.p_irq; partition = p.p_source.cfg.Config.subscriber })
-    | Some _ | None -> ()
+    end
+  end
 
-let attribute t runner elapsed =
-  match runner with
-  | Hyp_work item ->
-      if not item.started then begin
-        item.started <- true;
-        item.on_start (Cycles.( - ) t.now elapsed)
-      end;
-      item.remaining <- Cycles.( - ) item.remaining elapsed;
-      if item.steals then steal t elapsed
-  | Interp_work (ip, item) ->
-      note_bh_start t item elapsed;
-      ip.budget_left <- Cycles.( - ) ip.budget_left elapsed;
-      steal t elapsed;
-      Guest.consume t.guests.(ip.target) ~now:t.now ~elapsed
-        (Guest.Bottom_handler item)
-  | Part_work (owner, demand) ->
-      (match demand with
-      | Guest.Bottom_handler item -> note_bh_start t item elapsed
-      | Guest.Task_job _ | Guest.Filler | Guest.Idle -> ());
-      Guest.consume t.guests.(owner) ~now:t.now ~elapsed demand
+(* Deliver all external events due now, in schedule order. *)
+let drain t =
+  while Event_arena.head_time t.events <= t.now do
+    assert (Event_arena.head_time t.events = t.now);
+    let payload = Event_arena.head_payload t.events in
+    Event_arena.drop t.events;
+    Prof.enter t.prof ph_dispatch;
+    if payload = ev_boundary then Sim_boundary.handle_boundary t
+    else Sim_route.handle_arrival t payload;
+    Prof.leave t.prof
+  done
 
-let post_attribution t runner =
-  (match runner with
-  | Hyp_work item ->
-      if item.remaining = 0 then begin
-        ignore (Queue.pop t.hyp : hyp_item);
-        item.on_done ()
-      end
-  | Interp_work (ip, item) ->
-      if item.Irq_queue.remaining = 0 then finalize_completion t item;
-      if ip.budget_left = 0 then begin
-        match t.interposition with
-        | Some active when active == ip ->
-            end_interposition t ~reason:`Budget_exhausted
-        | Some _ | None -> ()
-      end
-  | Part_work (_, Guest.Bottom_handler item) ->
-      if item.Irq_queue.remaining = 0 then finalize_completion t item
-  | Part_work (_, Guest.Task_job job) ->
-      if
-        job.Rthv_rtos.Task.remaining = 0
-        && List.memq job.Rthv_rtos.Task.task t.activation_specs
-      then t.live_aperiodic <- t.live_aperiodic - 1
-  | Part_work (_, (Guest.Filler | Guest.Idle)) -> ());
-  (* Deliver all external events due now, in schedule order.  [drop]
-     (not [pop]) keeps the loop allocation-free. *)
-  let rec drain () =
-    match Event_queue.peek t.events with
-    | Some entry when entry.Event_queue.time <= t.now ->
-        assert (entry.Event_queue.time = t.now);
-        Event_queue.drop t.events;
-        Prof.enter t.prof ph_dispatch;
-        (match entry.Event_queue.payload with
-        | Arrival s_idx -> Sim_route.handle_arrival t s_idx
-        | Boundary -> Sim_boundary.handle_boundary t);
-        Prof.leave t.prof;
-        drain ()
-    | Some _ | None -> ()
+(* One segment of the hypervisor work item at the ring head: run it until
+   it finishes or the next external event, whichever comes first. *)
+let hyp_item_step t =
+  let i = t.hq_head in
+  let kind = t.hq_kind.(i) in
+  let irq = t.hq_irq.(i) in
+  let p = if irq >= 0 then pending_get t irq else dummy_pending in
+  let remaining = t.hq_remaining.(i) in
+  let seg_end =
+    let fin = Cycles.( + ) t.now remaining in
+    let ne = Event_arena.head_time t.events in
+    if fin < ne then fin else ne
   in
-  drain ()
-
-let step t =
-  let runner = current_runner t in
-  let seg_end = segment_end t runner in
   assert (seg_end >= t.now);
   let elapsed = Cycles.( - ) seg_end t.now in
   t.now <- seg_end;
-  attribute t runner elapsed;
-  post_attribution t runner
+  if not t.hq_started.(i) then begin
+    t.hq_started.(i) <- true;
+    Sim_route.hyp_start t kind p (Cycles.( - ) t.now elapsed)
+  end;
+  let remaining' = Cycles.( - ) remaining elapsed in
+  t.hq_remaining.(i) <- remaining';
+  if k_steals kind then steal t elapsed;
+  if remaining' = 0 then begin
+    hyp_pop t;
+    Sim_route.hyp_done t kind p
+  end;
+  drain t
+
+(* The three-way context resolution the reference engine performs per
+   segment: hypervisor ring first, then a live interposition, then the
+   slot owner. *)
+let rec step t =
+  if t.hq_len > 0 then hyp_item_step t
+  else if t.ip_target >= 0 then interp_step t
+  else partition_step t
+
+and interp_step t =
+  let guest = t.guests.(t.ip_target) in
+  let queue = Guest.queue guest in
+  if Irq_queue.is_empty queue || t.ip_budget <= 0 then begin
+    (* Queue drained (or budget already zero): return to the slot owner. *)
+    let reason =
+      if t.ip_budget > 0 then `Queue_empty else `Budget_exhausted
+    in
+    end_interposition t ~reason;
+    step t
+  end
+  else begin
+    let item = Irq_queue.head queue in
+    let seg_end =
+      let work = Cycles.min item.Irq_queue.remaining t.ip_budget in
+      let fin = Cycles.( + ) t.now work in
+      let ne = Event_arena.head_time t.events in
+      if fin < ne then fin else ne
+    in
+    assert (seg_end >= t.now);
+    let elapsed = Cycles.( - ) seg_end t.now in
+    t.now <- seg_end;
+    note_bh_start t item elapsed;
+    t.ip_budget <- Cycles.( - ) t.ip_budget elapsed;
+    steal t elapsed;
+    Guest.consume_bottom guest ~elapsed item;
+    if item.Irq_queue.remaining = 0 then finalize_completion t item;
+    if t.ip_budget = 0 && t.ip_target >= 0 then
+      end_interposition t ~reason:`Budget_exhausted;
+    drain t
+  end
+
+and partition_step t =
+  let owner = t.slot_owner in
+  let guest = t.guests.(owner) in
+  let release_bound =
+    if not (Guest.has_tasks guest) then t.slot_end
+    else begin
+      Guest.advance_to guest t.now;
+      match Guest.next_release guest with
+      | Some r -> Cycles.min r t.slot_end
+      | None -> t.slot_end
+    end
+  in
+  let ne = Event_arena.head_time t.events in
+  let queue = Guest.queue guest in
+  if not (Irq_queue.is_empty queue) then begin
+    let item = Irq_queue.head queue in
+    let seg_end =
+      let fin = Cycles.( + ) t.now item.Irq_queue.remaining in
+      Cycles.min (Cycles.min fin release_bound) ne
+    in
+    assert (seg_end >= t.now);
+    let elapsed = Cycles.( - ) seg_end t.now in
+    t.now <- seg_end;
+    note_bh_start t item elapsed;
+    Guest.consume_bottom guest ~elapsed item;
+    if item.Irq_queue.remaining = 0 then finalize_completion t item;
+    drain t
+  end
+  else
+    match Guest.pick_ready guest with
+    | Some job ->
+        let seg_end =
+          let fin = Cycles.( + ) t.now job.Task.remaining in
+          Cycles.min (Cycles.min fin release_bound) ne
+        in
+        assert (seg_end >= t.now);
+        let elapsed = Cycles.( - ) seg_end t.now in
+        t.now <- seg_end;
+        Guest.consume_task guest ~now:t.now ~elapsed job;
+        if
+          job.Task.remaining = 0
+          && List.memq job.Task.task t.activation_specs
+        then t.live_aperiodic <- t.live_aperiodic - 1;
+        drain t
+    | None ->
+        let seg_end = Cycles.min release_bound ne in
+        assert (seg_end >= t.now);
+        let elapsed = Cycles.( - ) seg_end t.now in
+        t.now <- seg_end;
+        if Guest.busy_loop guest then Guest.consume_filler guest ~elapsed
+        else Guest.consume_idle guest ~elapsed;
+        drain t
 
 let quiescent t =
   t.scheduled_arrivals = 0 && t.live_irqs = 0 && t.live_aperiodic = 0
-  && Queue.is_empty t.hyp
-  && t.interposition = None
+  && hyp_is_empty t && t.ip_target < 0
   && not t.interposition_pending
 
 let default_horizon = Cycles.of_ms 3_600_000 (* one simulated hour *)
+
+(* Reference engine: one full context resolution per segment. *)
+let run_step t horizon =
+  while (not (quiescent t)) && t.now < horizon do
+    step t
+  done
+
+(* Fast-forward engine: identical observable behaviour (same helpers, same
+   event order), but hypervisor bursts drain inline — nothing can preempt
+   hypervisor-context work, so while the ring is non-empty the next runner
+   is already known and the outer quiescence/context checks are skipped. *)
+let run_fast t horizon =
+  while (not (quiescent t)) && t.now < horizon do
+    if t.hq_len > 0 then
+      while t.hq_len > 0 && t.now < horizon do
+        hyp_item_step t
+      done
+    else if t.ip_target >= 0 then interp_step t
+    else partition_step t
+  done
 
 let run ?(horizon = default_horizon) t =
   if not t.finished then begin
@@ -342,9 +393,9 @@ let run ?(horizon = default_horizon) t =
     | None -> ());
     (try
        Prof.span t.prof ph_run (fun () ->
-           while (not (quiescent t)) && t.now < horizon do
-             step t
-           done)
+           match t.mode with
+           | Fast_forward.Step -> run_step t horizon
+           | Fast_forward.Fast_forward -> run_fast t horizon)
      with e ->
        let bt = Printexc.get_raw_backtrace () in
        ignore
@@ -368,6 +419,7 @@ let records t =
 
 let stats t = Sim_stats.assemble t
 
+let mode t = t.mode
 let guest t i = t.guests.(i)
 let ipc t = t.ipc
 let port t name = Ipc.find t.ipc name

@@ -68,7 +68,12 @@ type stats = Sim_stats.t = {
 }
 
 val create :
-  ?trace:Hyp_trace.t -> ?policies:(string * Admission.t) list -> Config.t -> t
+  ?trace:Hyp_trace.t ->
+  ?policies:(string * Admission.t) list ->
+  ?mode:Rthv_engine.Fast_forward.mode ->
+  ?retain:bool ->
+  Config.t ->
+  t
 (** [?trace] attaches a hypervisor event trace buffer; every scheduling
     decision (slot switches, deferrals, top handlers, monitor decisions,
     interpositions, completions) is recorded into it.  When an audit hook is
@@ -84,8 +89,23 @@ val create :
     from the configuration: a run whose real policy is an override should
     not be audited against shaping-derived rules unless the override is at
     least as strict as the declared shaping.
+
+    [?mode] selects the stepping engine (see {!Rthv_engine.Fast_forward}):
+    the reference [Step] engine or the default [Fast_forward] engine.  Both
+    produce byte-identical traces, records, statistics and telemetry — the
+    golden and differential test suites enforce it; the default is
+    {!Rthv_engine.Fast_forward.default}, which honours the [RTHV_SIM_MODE]
+    environment variable.
+
+    [?retain] (default [true]): when [false], per-IRQ completion records
+    (and the guests' completion lists) are not accumulated — streaming runs
+    over millions of IRQs keep O(1) memory.  {!records} then returns [[]];
+    {!stats} is unaffected (completion counts are maintained separately).
     @raise Invalid_argument if [Config.validate] fails or a policy names an
     unknown source. *)
+
+val mode : t -> Rthv_engine.Fast_forward.mode
+(** The stepping engine this simulation was created with. *)
 
 val set_audit_hook : (Config.t -> Hyp_trace.t -> unit) option -> unit
 (** Install (or clear) the global post-run audit hook.  While installed,

@@ -3,7 +3,7 @@
    including the bounded spill of an interposition crossing the boundary. *)
 
 module Cycles = Rthv_engine.Cycles
-module Event_queue = Rthv_engine.Event_queue
+module Event_arena = Rthv_engine.Event_arena
 module Irq_queue = Rthv_rtos.Irq_queue
 module Guest = Rthv_rtos.Guest
 open Sim_state
@@ -13,51 +13,57 @@ open Sim_state
    Returns the new deferred boundary time, or None to switch now. *)
 let boundary_deferral t =
   if not (Boundary_policy.defers t.boundary) then None
-  else if Option.is_some t.interposition then None
+  else if t.ip_target >= 0 then None
   else
-    match Irq_queue.peek (Guest.queue t.guests.(t.slot_owner)) with
-    | Some item
-      when item.Irq_queue.remaining > 0
-           && item.Irq_queue.remaining < item.Irq_queue.total ->
-        Some (Cycles.( + ) t.now item.Irq_queue.remaining)
-    | Some _ | None -> None
+    let queue = Guest.queue t.guests.(t.slot_owner) in
+    if Irq_queue.is_empty queue then None
+    else
+      let item = Irq_queue.head queue in
+      if
+        item.Irq_queue.remaining > 0
+        && item.Irq_queue.remaining < item.Irq_queue.total
+      then Some (Cycles.( + ) t.now item.Irq_queue.remaining)
+      else None
 
 let handle_boundary t =
   Prof.enter t.prof ph_boundary;
   (match boundary_deferral t with
   | Some deferred ->
       t.bh_boundary_deferrals <- t.bh_boundary_deferrals + 1;
-      trace_event t
-        (Hyp_trace.Boundary_deferred { owner = t.slot_owner; until = deferred });
+      if tracing t then
+        trace_event t
+          (Hyp_trace.Boundary_deferred
+             { owner = t.slot_owner; until = deferred });
       if obs_active () then obs_count "rthv_bh_boundary_deferrals_total";
       (* Keep the old owner in place; extend its slot to the deferred check
          so execution can proceed, and re-examine then. *)
       t.slot_end <- deferred;
-      Event_queue.push t.events ~time:deferred Boundary
+      Event_arena.push t.events ~time:deferred ev_boundary
   | None ->
       (* A running interposition is NOT cut at the boundary: its budget
          bounds the overrun by C_BH, so worst-case latency of conforming
          interrupts stays independent of the TDMA cycle (Section 5's
          claim).  The spill is charged to the incoming slot's owner as
          stolen time. *)
-      (match t.interposition with
-      | Some ip ->
-          t.boundary_crossings <- t.boundary_crossings + 1;
+      if t.ip_target >= 0 then begin
+        t.boundary_crossings <- t.boundary_crossings + 1;
+        if tracing t then
           trace_event t
-            (Hyp_trace.Interposition_crossed_boundary { target = ip.target });
-          if obs_active () then obs_count "rthv_boundary_crossings_total"
-      | None -> ());
+            (Hyp_trace.Interposition_crossed_boundary { target = t.ip_target });
+        if obs_active () then obs_count "rthv_boundary_crossings_total"
+      end;
       close_slot_accounting t;
       let previous_owner = t.slot_owner in
       let owner, _slot_start, slot_end = Tdma.slot_bounds_at t.tdma t.now in
-      trace_event t
-        (Hyp_trace.Slot_switch
-           { from_partition = previous_owner; to_partition = owner });
+      if tracing t then
+        trace_event t
+          (Hyp_trace.Slot_switch
+             { from_partition = previous_owner; to_partition = owner });
       if obs_active () then obs_count "rthv_slot_switches_total";
       t.slot_owner <- owner;
       t.slot_end <- slot_end;
-      enqueue_hyp t ~label:"slot_switch" ~steals:false ~cost:t.c_ctx
-        ~on_done:(fun () -> t.slot_switches <- t.slot_switches + 1);
-      Event_queue.push t.events ~time:(Tdma.next_boundary t.tdma t.now)
-        Boundary);
+      enqueue_hyp t K_slot_switch ~cost:t.c_ctx dummy_pending;
+      Event_arena.push t.events
+        ~time:(Tdma.next_boundary t.tdma t.now)
+        ev_boundary);
   Prof.leave t.prof

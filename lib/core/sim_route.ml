@@ -1,7 +1,13 @@
 (* Top-handler routing: delivery of a raised line, the paid admission check
    and the direct / interposed / delayed classification.  All policy
    questions are delegated to the source's {!Admission} policy — this layer
-   never looks inside it. *)
+   never looks inside it.
+
+   Hypervisor work items carry a {!Sim_state.hyp_kind} instead of [on_done]
+   closures; {!hyp_done} is the single dispatcher that runs each kind's
+   continuation when its cost has been fully attributed.  This keeps the
+   per-IRQ chain (top handler -> monitor -> sched manip -> ctx switches)
+   allocation-free. *)
 
 module Cycles = Rthv_engine.Cycles
 module Irq_queue = Rthv_rtos.Irq_queue
@@ -12,12 +18,11 @@ open Sim_state
 (* Decision point of the modified top handler (Figure 4b), reached after the
    admission predicate ran: admit the interposition or fall back to delayed
    handling. *)
-let monitor_done t src p =
-  Prof.enter t.prof ph_admission;
-  p.p_decision <- t.now;
-  let conforms = Admission.decide src.admission p.p_arrival in
-  let subscriber = src.cfg.Config.subscriber in
-  let decision verdict =
+(* Record one monitor verdict (trace + telemetry); top-level so the hot
+   path allocates no closure, and guarded so untraced runs do not build the
+   event value. *)
+let record_decision t src p verdict =
+  if tracing t then
     trace_event t
       (Hyp_trace.Monitor_decision
          {
@@ -26,13 +31,18 @@ let monitor_done t src p =
            arrival = p.p_arrival;
            verdict;
          });
-    if obs_active () then obs_monitor_decision src verdict
-  in
+  if obs_active () then obs_monitor_decision src verdict
+
+let monitor_done t src p =
+  Prof.enter t.prof ph_admission;
+  p.p_decision <- t.now;
+  let conforms = Admission.decide src.admission p.p_arrival in
+  let subscriber = src.cfg.Config.subscriber in
   if t.slot_owner = subscriber then begin
     (* The subscriber's slot opened between the arrival and the monitoring
        decision: the queued event is processed right away in its own slot —
        direct handling, no interposition machinery needed. *)
-    decision `Fallback_direct;
+    record_decision t src p `Fallback_direct;
     p.p_class <- Irq_record.Direct;
     t.n_direct <- t.n_direct + 1
   end
@@ -42,35 +52,22 @@ let monitor_done t src p =
     p.p_class <- Irq_record.Interposed;
     t.n_interposed <- t.n_interposed + 1;
     t.interposition_pending <- true;
-    decision `Admitted;
-    enqueue_hyp t ~label:"sched_manip" ~steals:true ~cost:t.c_sched
-      ~on_done:(fun () ->
-        enqueue_hyp t ~label:"ctx_to" ~steals:true ~cost:t.c_ctx
-          ~on_done:(fun () ->
-            t.interposition_switches <- t.interposition_switches + 1;
-            t.interpositions_started <- t.interpositions_started + 1;
-            trace_event t
-              (Hyp_trace.Interposition_start
-                 { irq = p.p_irq; target = subscriber });
-            if obs_active () then
-              Sink.incr "rthv_interpositions_total"
-                (Labels.of_int "partition" subscriber)
-                1;
-            t.interposition <-
-              Some { target = subscriber; budget_left = src.cfg.Config.c_bh }))
+    record_decision t src p `Admitted;
+    enqueue_hyp t K_sched_manip ~cost:t.c_sched p
   end
   else begin
     t.denials <- t.denials + 1;
     p.p_class <- Irq_record.Delayed;
     t.n_delayed <- t.n_delayed + 1;
-    decision `Denied
+    record_decision t src p `Denied
   end;
   Prof.leave t.prof
 
 let top_handler_done t src p =
   p.p_top_end <- t.now;
-  trace_event t
-    (Hyp_trace.Top_handler_run { irq = p.p_irq; line = src.cfg.Config.line });
+  if tracing t then
+    trace_event t
+      (Hyp_trace.Top_handler_run { irq = p.p_irq; line = src.cfg.Config.line });
   Intc.ack t.intc src.cfg.Config.line;
   (* The paper's experiment setup: the trigger timer is reprogrammed with the
      next pre-generated interarrival from within the top handler. *)
@@ -94,9 +91,38 @@ let top_handler_done t src p =
     p.p_class <- Irq_record.Delayed;
     t.n_delayed <- t.n_delayed + 1
   end
-  else
-    enqueue_hyp t ~label:"monitor" ~steals:false ~cost:t.c_mon
-      ~on_done:(fun () -> monitor_done t src p)
+  else enqueue_hyp t K_monitor ~cost:t.c_mon p
+
+(* Continuation of a finished hypervisor work item — what used to be its
+   [on_done] closure.  [p] is [dummy_pending] for the kinds that carry no
+   IRQ (K_ctx_back, K_slot_switch). *)
+let hyp_done t kind (p : pending_irq) =
+  match kind with
+  | K_top_handler -> top_handler_done t p.p_source p
+  | K_monitor -> monitor_done t p.p_source p
+  | K_sched_manip -> enqueue_hyp t K_ctx_to ~cost:t.c_ctx p
+  | K_ctx_to ->
+      let subscriber = p.p_source.cfg.Config.subscriber in
+      t.interposition_switches <- t.interposition_switches + 1;
+      t.interpositions_started <- t.interpositions_started + 1;
+      if tracing t then
+        trace_event t
+          (Hyp_trace.Interposition_start { irq = p.p_irq; target = subscriber });
+      if obs_active () then
+        Sink.incr "rthv_interpositions_total"
+          (Labels.of_int "partition" subscriber)
+          1;
+      t.ip_target <- subscriber;
+      t.ip_budget <- p.p_source.cfg.Config.c_bh
+  | K_ctx_back ->
+      t.interposition_switches <- t.interposition_switches + 1;
+      t.interposition_pending <- false
+  | K_slot_switch -> t.slot_switches <- t.slot_switches + 1
+
+(* First-cycle hook of a hypervisor work item — what used to be its
+   [on_start] closure.  Only the top handler observes its start time. *)
+let hyp_start _t kind (p : pending_irq) time =
+  match kind with K_top_handler -> p.p_top_start <- time | _ -> ()
 
 (* Interrupt-controller delivery: the hardware IRQ preempts partition code
    and enters the hypervisor's top handler. *)
@@ -119,12 +145,11 @@ let deliver t line =
           p_bh_start = -1;
         }
       in
-      Hashtbl.add t.pending irq p;
-      trace_event t (Hyp_trace.Irq_raised { irq; line = src.cfg.Config.line });
-      enqueue_hyp_with_start t ~label:"top_handler" ~steals:false
-        ~cost:src.cfg.Config.c_th
-        ~on_start:(fun time -> p.p_top_start <- time)
-        ~on_done:(fun () -> top_handler_done t src p)
+      pending_add t irq p;
+      if tracing t then
+        trace_event t
+          (Hyp_trace.Irq_raised { irq; line = src.cfg.Config.line });
+      enqueue_hyp t K_top_handler ~cost:src.cfg.Config.c_th p
 
 let handle_arrival t s_idx =
   t.scheduled_arrivals <- t.scheduled_arrivals - 1;
@@ -134,7 +159,7 @@ let handle_arrival t s_idx =
     (* The non-counting pending flag is already set: this raise coalesces
        into the earlier one and is lost.  Intc counts it; the trace makes
        it visible on the timeline. *)
-    trace_event t (Hyp_trace.Irq_coalesced { line });
+    if tracing t then trace_event t (Hyp_trace.Irq_coalesced { line });
     if obs_active () then
       Sink.incr "rthv_irq_coalesced_total" (Labels.of_int "line" line) 1
   end;

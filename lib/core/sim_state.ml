@@ -1,27 +1,27 @@
 (* Runtime state of the hypervisor simulation plus the accounting helpers
    shared by the routing ({!Sim_route}), boundary ({!Sim_boundary}) and
    stepping ({!Hyp_sim}) layers.  This module owns the mutable world; the
-   layers above it own the decisions. *)
+   layers above it own the decisions.
+
+   The hot-path containers are allocation-free by construction: external
+   events live in a packed {!Rthv_engine.Event_arena} (int payloads, no
+   boxed entries), hypervisor work items live in a pooled ring of parallel
+   arrays tagged by {!hyp_kind} (no records, no closures), and in-flight
+   IRQ state is found by indexing the IRQ id into a growing array instead
+   of hashing. *)
 
 module Cycles = Rthv_engine.Cycles
-module Event_queue = Rthv_engine.Event_queue
+module Event_arena = Rthv_engine.Event_arena
+module Fast_forward = Rthv_engine.Fast_forward
 module Guest = Rthv_rtos.Guest
 module Ipc = Rthv_rtos.Ipc
 module Irq_queue = Rthv_rtos.Irq_queue
 module Platform = Rthv_hw.Platform
 module Intc = Rthv_hw.Intc
 
-(* Hypervisor-context work item: highest priority, FIFO, non-preemptible. *)
-type hyp_item = {
-  label : string;
-  steals : bool;  (* counts towards eq.-(14) interference on the slot owner *)
-  mutable remaining : Cycles.t;
-  mutable started : bool;
-  on_start : Cycles.t -> unit;
-  on_done : unit -> unit;
-}
-
-type interposition = { target : int; mutable budget_left : Cycles.t }
+(* External-event payload encoding for the packed arena: a slot boundary is
+   [-1], an arrival is the (non-negative) source index. *)
+let ev_boundary = -1
 
 type runtime_source = {
   cfg : Config.source;
@@ -41,11 +41,63 @@ type pending_irq = {
   mutable p_class : Irq_record.classification;
 }
 
-type event = Arrival of int | Boundary
+(* Hypervisor-context work items: highest priority, FIFO, non-preemptible.
+   Each kind identifies the continuation that used to be an [on_done]
+   closure; the IRQ kinds carry their in-flight IRQ (whose [p_source] is
+   the source), the others need no context. *)
+type hyp_kind =
+  | K_top_handler  (* modified top handler; completion routes the IRQ *)
+  | K_monitor  (* paid admission check (C_MON) *)
+  | K_sched_manip  (* scheduler manipulation before an interposition *)
+  | K_ctx_to  (* context switch into the interposed partition *)
+  | K_ctx_back  (* context switch back to the slot owner *)
+  | K_slot_switch  (* TDMA partition switch at a slot boundary *)
+
+(* Which items count towards the eq.-(14) interference on the slot owner. *)
+let k_steals = function
+  | K_sched_manip | K_ctx_to | K_ctx_back -> true
+  | K_top_handler | K_monitor | K_slot_switch -> false
+
+(* Shared placeholder for ring slots whose kind carries no IRQ
+   (K_ctx_back, K_slot_switch) and for completed [pending_by_irq] slots.
+   Never dispatched on, never mutated. *)
+let dummy_source_cfg : Config.source =
+  {
+    Config.name = "";
+    line = 0;
+    subscriber = 0;
+    c_th = 1;
+    c_bh = 1;
+    interarrivals = [||];
+    arrival_mode = Config.Reprogram;
+    shaping = Config.No_shaping;
+    activates = None;
+  }
+
+let dummy_source =
+  {
+    cfg = dummy_source_cfg;
+    s_idx = -1;
+    admission = Admission.of_shaping ~cycle:1 Config.No_shaping;
+    next_arrival = 0;
+  }
+
+let dummy_pending =
+  {
+    p_irq = -1;
+    p_source = dummy_source;
+    p_arrival = 0;
+    p_top_start = 0;
+    p_top_end = 0;
+    p_decision = 0;
+    p_bh_start = 0;
+    p_class = Irq_record.Delayed;
+  }
 
 type t = {
   platform : Platform.t;
   config : Config.t;
+  mode : Fast_forward.mode;
   boundary : Boundary_policy.t;
   trace : Hyp_trace.t option;
   mutable prof : Rthv_obs.Prof.t;
@@ -59,16 +111,37 @@ type t = {
   sources : runtime_source array;
   source_by_line : runtime_source option array;
   intc : Intc.t;
-  events : event Event_queue.t;
-  hyp : hyp_item Queue.t;
-  pending : (int, pending_irq) Hashtbl.t;
+  events : Event_arena.t;
+  (* Hypervisor work-item ring: parallel arrays, power-of-two capacity,
+     FIFO between [hq_head] and [hq_head + hq_len) modulo capacity.  The
+     IRQ context is stored as its id ([-1] for the kinds carrying none) and
+     resolved through [pending_by_irq] on dispatch — an all-int ring incurs
+     no write barriers and nothing for the GC to scan.  Every item
+     referencing an IRQ runs before that IRQ finalizes (its bottom handler
+     cannot execute while hypervisor work is queued), so the id is always
+     resolvable when the item is dispatched. *)
+  mutable hq_kind : hyp_kind array;
+  mutable hq_remaining : Cycles.t array;
+  mutable hq_started : bool array;
+  mutable hq_irq : int array;
+  mutable hq_head : int;
+  mutable hq_len : int;
+  (* In-flight IRQs indexed by IRQ id ([dummy_pending] once completed). *)
+  mutable pending_by_irq : pending_irq array;
   c_mon : Cycles.t;
   c_sched : Cycles.t;
   c_ctx : Cycles.t;
   mutable now : Cycles.t;
-  mutable interposition : interposition option;
+  (* Live interposition, unboxed: [ip_target] is the partition running the
+     interposed bottom handler, or [-1] when none is in flight.  At most one
+     exists at a time, so two int fields replace an option record on the
+     per-segment hot path. *)
+  mutable ip_target : int;
+  mutable ip_budget : Cycles.t;
   mutable interposition_pending : bool;
+  retain_records : bool;
   mutable records : Irq_record.t list;  (* newest first *)
+  mutable n_completed : int;
   mutable next_irq_id : int;
   mutable slot_owner : int;
   mutable slot_end : Cycles.t;
@@ -92,23 +165,59 @@ type t = {
   mutable finished : bool;
 }
 
-let enqueue_hyp t ~label ~steals ~cost ~on_done =
-  if cost < 0 then invalid_arg "Hyp_sim: negative hypervisor work";
-  Queue.push
-    {
-      label;
-      steals;
-      remaining = cost;
-      started = false;
-      on_start = (fun _ -> ());
-      on_done;
-    }
-    t.hyp
+(* --- hypervisor work ring ---------------------------------------------- *)
 
-let enqueue_hyp_with_start t ~label ~steals ~cost ~on_start ~on_done =
-  Queue.push
-    { label; steals; remaining = cost; started = false; on_start; on_done }
-    t.hyp
+let hyp_is_empty t = t.hq_len = 0
+
+let hyp_grow t =
+  let cap = Array.length t.hq_kind in
+  let cap' = cap * 2 in
+  let kind' = Array.make cap' K_slot_switch in
+  let remaining' = Array.make cap' 0 in
+  let started' = Array.make cap' false in
+  let irq' = Array.make cap' (-1) in
+  for i = 0 to t.hq_len - 1 do
+    let j = (t.hq_head + i) land (cap - 1) in
+    kind'.(i) <- t.hq_kind.(j);
+    remaining'.(i) <- t.hq_remaining.(j);
+    started'.(i) <- t.hq_started.(j);
+    irq'.(i) <- t.hq_irq.(j)
+  done;
+  t.hq_kind <- kind';
+  t.hq_remaining <- remaining';
+  t.hq_started <- started';
+  t.hq_irq <- irq';
+  t.hq_head <- 0
+
+let enqueue_hyp t kind ~cost (p : pending_irq) =
+  if cost < 0 then invalid_arg "Hyp_sim: negative hypervisor work";
+  if t.hq_len = Array.length t.hq_kind then hyp_grow t;
+  let i = (t.hq_head + t.hq_len) land (Array.length t.hq_kind - 1) in
+  t.hq_kind.(i) <- kind;
+  t.hq_remaining.(i) <- cost;
+  t.hq_started.(i) <- false;
+  t.hq_irq.(i) <- p.p_irq;
+  t.hq_len <- t.hq_len + 1
+
+let hyp_pop t =
+  t.hq_head <- (t.hq_head + 1) land (Array.length t.hq_kind - 1);
+  t.hq_len <- t.hq_len - 1
+
+(* --- in-flight IRQ table ------------------------------------------------ *)
+
+let pending_add t irq p =
+  let cap = Array.length t.pending_by_irq in
+  if irq >= cap then begin
+    let cap' = Stdlib.max (cap * 2) (irq + 1) in
+    let grown = Array.make cap' dummy_pending in
+    Array.blit t.pending_by_irq 0 grown 0 cap;
+    t.pending_by_irq <- grown
+  end;
+  t.pending_by_irq.(irq) <- p
+
+(* The in-flight record of [irq], or [dummy_pending] (p_irq = -1) if the
+   IRQ already completed. *)
+let pending_get t irq = t.pending_by_irq.(irq)
 
 let trace_event_at t time event =
   match t.trace with
@@ -116,6 +225,10 @@ let trace_event_at t time event =
   | None -> ()
 
 let trace_event t event = trace_event_at t t.now event
+
+(* Guard for hot call sites: constructing the event value itself allocates,
+   so untraced runs skip even that. *)
+let tracing t = match t.trace with Some _ -> true | None -> false
 
 (* --- telemetry ----------------------------------------------------------
    Every site is guarded by [Sink.active] so the default no-op sink costs a
@@ -206,54 +319,54 @@ let close_slot_accounting t =
   t.stolen_in_slot <- 0
 
 let finalize_completion t (item : Irq_queue.item) =
-  match Hashtbl.find_opt t.pending item.Irq_queue.irq with
-  | None ->
-      (* Completion must be unique: items are dropped from the queue the
-         moment their work reaches zero. *)
-      assert false
-  | Some p ->
-      let record =
-        {
-          Irq_record.irq = p.p_irq;
-          source = p.p_source.cfg.Config.name;
-          line = p.p_source.cfg.Config.line;
-          arrival = p.p_arrival;
-          top_start = p.p_top_start;
-          top_end = p.p_top_end;
-          classification = p.p_class;
-          completion = t.now;
-        }
-      in
-      t.records <- record :: t.records;
-      Hashtbl.remove t.pending p.p_irq;
-      t.live_irqs <- t.live_irqs - 1;
-      trace_event t
-        (Hyp_trace.Bottom_handler_done
-           { irq = p.p_irq; partition = p.p_source.cfg.Config.subscriber });
-      if obs_active () then begin
-        Prof.enter t.prof ph_sink_emit;
-        obs_irq_completed t p;
-        obs_span t p;
-        Prof.leave t.prof
-      end;
-      (* uC/OS pattern: the bottom handler posts to an application task. *)
-      match p.p_source.cfg.Config.activates with
-      | Some spec ->
-          t.live_aperiodic <- t.live_aperiodic + 1;
-          Guest.release_aperiodic
-            t.guests.(p.p_source.cfg.Config.subscriber)
-            ~spec ~now:t.now
-      | None -> ()
+  let p = pending_get t item.Irq_queue.irq in
+  (* Completion must be unique: items are dropped from the queue the
+     moment their work reaches zero. *)
+  assert (p.p_irq = item.Irq_queue.irq);
+  if t.retain_records then begin
+    let record =
+      {
+        Irq_record.irq = p.p_irq;
+        source = p.p_source.cfg.Config.name;
+        line = p.p_source.cfg.Config.line;
+        arrival = p.p_arrival;
+        top_start = p.p_top_start;
+        top_end = p.p_top_end;
+        classification = p.p_class;
+        completion = t.now;
+      }
+    in
+    t.records <- record :: t.records
+  end;
+  t.n_completed <- t.n_completed + 1;
+  t.pending_by_irq.(p.p_irq) <- dummy_pending;
+  t.live_irqs <- t.live_irqs - 1;
+  if tracing t then
+    trace_event t
+      (Hyp_trace.Bottom_handler_done
+         { irq = p.p_irq; partition = p.p_source.cfg.Config.subscriber });
+  if obs_active () then begin
+    Prof.enter t.prof ph_sink_emit;
+    obs_irq_completed t p;
+    obs_span t p;
+    Prof.leave t.prof
+  end;
+  (* uC/OS pattern: the bottom handler posts to an application task. *)
+  match p.p_source.cfg.Config.activates with
+  | Some spec ->
+      t.live_aperiodic <- t.live_aperiodic + 1;
+      Guest.release_aperiodic
+        t.guests.(p.p_source.cfg.Config.subscriber)
+        ~spec ~now:t.now
+  | None -> ()
 
 let end_interposition t ~reason =
-  (match t.interposition with
-  | Some ip ->
-      trace_event t (Hyp_trace.Interposition_end { target = ip.target; reason })
-  | None -> ());
-  t.interposition <- None;
-  enqueue_hyp t ~label:"ctx_back" ~steals:true ~cost:t.c_ctx ~on_done:(fun () ->
-      t.interposition_switches <- t.interposition_switches + 1;
-      t.interposition_pending <- false)
+  if t.ip_target >= 0 && tracing t then
+    trace_event t
+      (Hyp_trace.Interposition_end { target = t.ip_target; reason });
+  t.ip_target <- -1;
+  t.ip_budget <- 0;
+  enqueue_hyp t K_ctx_back ~cost:t.c_ctx dummy_pending
 
 let schedule_next_arrival t src =
   let distances = src.cfg.Config.interarrivals in
@@ -262,6 +375,6 @@ let schedule_next_arrival t src =
   then begin
     let d = distances.(src.next_arrival) in
     src.next_arrival <- src.next_arrival + 1;
-    Event_queue.push t.events ~time:(Cycles.( + ) t.now d) (Arrival src.s_idx);
+    Event_arena.push t.events ~time:(Cycles.( + ) t.now d) src.s_idx;
     t.scheduled_arrivals <- t.scheduled_arrivals + 1
   end

@@ -30,7 +30,7 @@ let assemble (s : Sim_state.t) =
       0 s.Sim_state.sources
   in
   {
-    completed_irqs = List.length s.Sim_state.records;
+    completed_irqs = s.Sim_state.n_completed;
     direct = s.Sim_state.n_direct;
     interposed = s.Sim_state.n_interposed;
     delayed = s.Sim_state.n_delayed;

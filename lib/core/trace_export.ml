@@ -44,7 +44,7 @@ let event ~ph ~ts ~tid ~name ?cat ?id ?(args = []) () =
       | None -> [])
     @ match args with [] -> [] | args -> [ ("args", Json.Obj args) ])
 
-let metadata ~name ~tid args =
+let meta_event ~name ~tid args =
   Json.Obj
     [
       ("name", Json.String name);
@@ -63,13 +63,13 @@ let reason_name = function
   | `Budget_exhausted -> "budget-exhausted"
   | `Queue_empty -> "queue-empty"
 
-let chrome_json ?partition_names trace =
+let chrome_json ?(metadata = []) ?partition_names trace =
   let entries = Hyp_trace.to_list trace in
   let events = ref [] in
   let emit e = events := e :: !events in
   let partitions = max_partition entries + 1 in
-  emit (metadata ~name:"process_name" ~tid:0 [ ("name", Json.String "rthv hypervisor") ]);
-  emit (metadata ~name:"thread_name" ~tid:hyp_tid [ ("name", Json.String "hypervisor") ]);
+  emit (meta_event ~name:"process_name" ~tid:0 [ ("name", Json.String "rthv hypervisor") ]);
+  emit (meta_event ~name:"thread_name" ~tid:hyp_tid [ ("name", Json.String "hypervisor") ]);
   for p = 0 to partitions - 1 do
     let label =
       match partition_names with
@@ -78,11 +78,11 @@ let chrome_json ?partition_names trace =
       | _ -> Printf.sprintf "partition %d" p
     in
     emit
-      (metadata ~name:"thread_name" ~tid:(tid_of_partition p)
+      (meta_event ~name:"thread_name" ~tid:(tid_of_partition p)
          [ ("name", Json.String label) ]);
     (* Render partitions in index order in the Perfetto track list. *)
     emit
-      (metadata ~name:"thread_sort_index" ~tid:(tid_of_partition p)
+      (meta_event ~name:"thread_sort_index" ~tid:(tid_of_partition p)
          [ ("sort_index", Json.Int (tid_of_partition p)) ])
   done;
   (* The simulation starts with partition 0 owning the first slot at t=0;
@@ -216,20 +216,22 @@ let chrome_json ?partition_names trace =
   close_interp ~reason:"trace-end" !last_time;
   close_slot !last_time;
   Json.Obj
-    [
-      ("traceEvents", Json.List (List.rev !events));
-      ("displayTimeUnit", Json.String "ns");
-    ]
+    ([
+       ("traceEvents", Json.List (List.rev !events));
+       ("displayTimeUnit", Json.String "ns");
+     ]
+    @
+    match metadata with [] -> [] | m -> [ ("metadata", Json.Obj m) ])
 
-let chrome_string ?partition_names trace =
-  Json.to_string (chrome_json ?partition_names trace)
+let chrome_string ?metadata ?partition_names trace =
+  Json.to_string (chrome_json ?metadata ?partition_names trace)
 
-let save_chrome ?partition_names ~path trace =
+let save_chrome ?metadata ?partition_names ~path trace =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (chrome_string ?partition_names trace);
+      output_string oc (chrome_string ?metadata ?partition_names trace);
       output_char oc '\n')
 
 (* --- JSONL --------------------------------------------------------------- *)

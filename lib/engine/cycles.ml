@@ -12,10 +12,13 @@ let of_ms n = n * 1000 * cycles_per_us
 let of_instr n = n
 let to_us t = float_of_int t /. float_of_int cycles_per_us
 let to_us_int t = t / cycles_per_us
-let ( + ) = Stdlib.( + )
-let ( - ) = Stdlib.( - )
-let ( * ) = Stdlib.( * )
-let min = Stdlib.min
-let max = Stdlib.max
-let compare = Stdlib.compare
+(* Monomorphic (and eta-expanded) so every call compiles to the int
+   primitive — the [Stdlib] aliases would go through the polymorphic
+   runtime compare / a closure application on this hot path. *)
+let ( + ) (a : t) (b : t) : t = Stdlib.( + ) a b
+let ( - ) (a : t) (b : t) : t = Stdlib.( - ) a b
+let ( * ) (a : t) (n : int) : t = Stdlib.( * ) a n
+let min (a : t) (b : t) : t = if Stdlib.( <= ) a b then a else b
+let max (a : t) (b : t) : t = if Stdlib.( >= ) a b then a else b
+let compare (a : t) (b : t) = Int.compare a b
 let pp ppf t = Format.fprintf ppf "%.2fus" (to_us t)

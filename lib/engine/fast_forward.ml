@@ -1,0 +1,33 @@
+type mode = Step | Fast_forward
+
+let to_string = function Step -> "step" | Fast_forward -> "fast_forward"
+
+let of_string = function
+  | "step" -> Ok Step
+  | "fast_forward" | "fast-forward" | "ff" -> Ok Fast_forward
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown simulation mode %S (expected step, fast_forward or ff)"
+           other)
+
+let env_var = "RTHV_SIM_MODE"
+
+let of_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> None
+  | Some value -> (
+      match of_string value with
+      | Ok mode -> Some mode
+      | Error msg -> invalid_arg (env_var ^ ": " ^ msg))
+
+let default () = match of_env () with Some mode -> mode | None -> Fast_forward
+
+let pp ppf mode = Format.pp_print_string ppf (to_string mode)
+
+(* The compressed engine executes work in closed-form jumps instead of
+   uniform segments; each jump must stop at the next instant anything
+   observable can happen.  [jump_end] is that bound: the work's own
+   completion, clipped to the next scheduled event. *)
+let jump_end ~now ~remaining ~next_event : Cycles.t =
+  Cycles.min (Cycles.( + ) now remaining) next_event

@@ -1,0 +1,47 @@
+(** Event-compressed scheduling mode for the simulation core.
+
+    The simulation engine can run in two observationally equivalent modes:
+
+    - [Step]: the original engine.  Every scheduling decision re-derives
+      the current runner from scratch, executes exactly one contiguous
+      segment, and re-enters the dispatch loop — simple, and the reference
+      semantics for differential testing.
+    - [Fast_forward]: the event-compressed engine.  Work is executed in
+      closed-form jumps to the next event time (next queued arrival, next
+      slot boundary, work completion), idle TDMA slots are batched without
+      re-entering the generic dispatcher, and the hot path is
+      allocation-free (packed {!Event_arena} events, pooled hypervisor work
+      items).
+
+    The next-event-jump invariant: a jump may only skip a span in which no
+    queued event falls and no runnable work completes, so every trace
+    event, accounting update and statistics counter is produced at exactly
+    the same simulated time, in exactly the same order, as under [Step].
+    The golden-digest suite and a QCheck differential property hold the two
+    modes byte-identical. *)
+
+type mode = Step | Fast_forward
+
+val to_string : mode -> string
+
+val of_string : string -> (mode, string) result
+(** Accepts ["step"], ["fast_forward"], ["fast-forward"] and ["ff"]. *)
+
+val env_var : string
+(** ["RTHV_SIM_MODE"] — the environment override consulted by
+    {!default}. *)
+
+val of_env : unit -> mode option
+(** The mode selected by [RTHV_SIM_MODE], if set and non-empty.  Raises
+    [Invalid_argument] on an unrecognised value. *)
+
+val default : unit -> mode
+(** The mode a simulation runs in when the caller does not choose one:
+    [of_env], falling back to [Fast_forward]. *)
+
+val pp : Format.formatter -> mode -> unit
+
+val jump_end : now:Cycles.t -> remaining:Cycles.t -> next_event:Cycles.t -> Cycles.t
+(** [jump_end ~now ~remaining ~next_event] is the time at which the
+    current jump must stop: the work's completion instant clipped to the
+    next scheduled event, whichever comes first. *)

@@ -31,4 +31,11 @@ let program t ~delay =
 
 let is_armed t = Option.is_some t.armed
 let deadline t = Option.map snd t.armed
+
+(* The timer's next-event query: when will this device next do anything?
+   Identical to [deadline] today (a one-shot timer's only event is its
+   expiry), but named for the engine-facing contract — fast-forward jumps
+   are bounded by the earliest [next_fire_at] over all devices. *)
+let next_fire_at = deadline
+
 let timestamp ~sim = Simulator.now sim

@@ -26,6 +26,12 @@ val is_armed : t -> bool
 val deadline : t -> Rthv_engine.Cycles.t option
 (** Absolute expiry time of the armed timer, if armed. *)
 
+val next_fire_at : t -> Rthv_engine.Cycles.t option
+(** The device's next-event query: the earliest instant at which it can
+    affect the system — for a one-shot timer, exactly {!deadline}.  An
+    event-compressing engine may jump the clock to the minimum
+    [next_fire_at] over all devices without changing any observable. *)
+
 val timestamp : sim:Rthv_engine.Simulator.t -> Rthv_engine.Cycles.t
 (** Free-running timestamp counter: the current simulated time.  Matches the
     paper's second timer used by top and bottom handlers to measure IRQ

@@ -96,8 +96,16 @@ let run_tasks ~jobs n f =
       | None -> assert false)
     results
 
+let effective_jobs pool =
+  Stdlib.min pool.pool_jobs (Domain.recommended_domain_count ())
+
+(* The pool is only worth entering when it can actually run more than one
+   domain: on a machine where the hardware clamp reduces it to a single
+   worker the fan-out path would pay its slot array, atomic cursor and
+   per-result boxing for zero parallelism — the exact "parallel slower
+   than sequential" regression the sweep benchmark gates on. *)
 let parallel pool n =
-  pool.pool_jobs > 1 && n > 1 && not (Domain.DLS.get in_worker)
+  effective_jobs pool > 1 && n > 1 && not (Domain.DLS.get in_worker)
 
 module Registry = Rthv_obs.Registry
 module Recorder = Rthv_obs.Recorder

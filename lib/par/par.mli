@@ -64,6 +64,13 @@ val create : ?jobs:int -> unit -> pool
 
 val jobs : pool -> int
 
+val effective_jobs : pool -> int
+(** [jobs] after the hardware clamp: [min (jobs pool)
+    (Domain.recommended_domain_count ())].  When this is [1] the pool runs
+    the exact sequential code path — no slot arrays, no atomic cursor, no
+    domains — so an oversized job count on a small machine cannot regress
+    below the sequential wall-clock. *)
+
 val sequential : pool
 (** The [jobs = 1] pool: the exact pre-parallel code path. *)
 

@@ -28,6 +28,7 @@ type t = {
   mutable cpu_time : Cycles.t;
   mutable idle_time : Cycles.t;
   mutable horizon : Cycles.t;  (* last advance_to time, for monotonicity *)
+  mutable retain : bool;  (* keep completion lists (off for streaming runs) *)
 }
 
 let resolve_port ipc ~guest ~task = function
@@ -77,10 +78,14 @@ let create ?(tasks = []) ?(busy_loop = true) ?ipc ?(policy = Fixed_priority)
     cpu_time = 0;
     idle_time = 0;
     horizon = 0;
+    retain = true;
   }
 
 let name t = t.name
 let queue t = t.queue
+let busy_loop t = t.busy_loop
+let has_tasks t = Array.length t.tasks > 0
+let set_retain t retain = t.retain <- retain
 
 let release_aperiodic t ~spec ~now =
   let job =
@@ -101,6 +106,8 @@ let advance_to t time =
   if time < t.horizon then
     invalid_arg "Guest.advance_to: time must be non-decreasing";
   t.horizon <- time;
+  if Array.length t.tasks = 0 then ()
+  else
   Array.iter
     (fun state ->
       let rec release () =
@@ -123,6 +130,8 @@ let advance_to t time =
     t.tasks
 
 let next_release t =
+  if Array.length t.tasks = 0 then None
+  else
   Array.fold_left
     (fun acc state ->
       let due = release_time state state.next_index in
@@ -165,54 +174,66 @@ let demand t =
       | Some job -> Task_job job
       | None -> if t.busy_loop then Filler else Idle)
 
-let consume t ~now ~elapsed demand =
+let consume_bottom t ~elapsed item =
   if elapsed < 0 then invalid_arg "Guest.consume: negative elapsed";
+  if elapsed > item.Irq_queue.remaining then
+    invalid_arg "Guest.consume: over-attribution to bottom handler";
+  item.Irq_queue.remaining <- Cycles.( - ) item.Irq_queue.remaining elapsed;
+  t.cpu_time <- Cycles.( + ) t.cpu_time elapsed;
+  if item.Irq_queue.remaining = 0 then begin
+    let completed = Irq_queue.drop_head t.queue in
+    if t.retain then t.completed_bottom <- completed :: t.completed_bottom
+  end
+
+let consume_task t ~now ~elapsed job =
+  if elapsed < 0 then invalid_arg "Guest.consume: negative elapsed";
+  if elapsed > job.Task.remaining then
+    invalid_arg "Guest.consume: over-attribution to task job";
+  job.Task.remaining <- Cycles.( - ) job.Task.remaining elapsed;
+  t.cpu_time <- Cycles.( + ) t.cpu_time elapsed;
+  if job.Task.remaining = 0 then begin
+    t.ready <- List.filter (fun j -> j != job) t.ready;
+    let completion =
+      {
+        Task.job_task = job.Task.task.Task.name;
+        job_index = job.Task.index;
+        released = job.Task.release;
+        finished = now;
+      }
+    in
+    if t.retain then t.completions <- completion :: t.completions;
+    (* Hypervisor-mediated IPC: a completing job first drains its input
+       port, then publishes its own output. *)
+    let state =
+      Array.to_list t.tasks
+      |> List.find_opt (fun s -> s.spec == job.Task.task)
+    in
+    match state with
+    | None -> ()
+    | Some state ->
+        (match state.in_port with
+        | Some port -> ignore (Ipc.receive_all port ~now : Ipc.message list)
+        | None -> ());
+        (match state.out_port with
+        | Some port ->
+            ignore (Ipc.send port ~now ~sender:job.Task.task.Task.name : bool)
+        | None -> ())
+  end
+
+let consume_filler t ~elapsed =
+  if elapsed < 0 then invalid_arg "Guest.consume: negative elapsed";
+  t.cpu_time <- Cycles.( + ) t.cpu_time elapsed
+
+let consume_idle t ~elapsed =
+  if elapsed < 0 then invalid_arg "Guest.consume: negative elapsed";
+  t.idle_time <- Cycles.( + ) t.idle_time elapsed
+
+let consume t ~now ~elapsed demand =
   match demand with
-  | Bottom_handler item ->
-      if elapsed > item.Irq_queue.remaining then
-        invalid_arg "Guest.consume: over-attribution to bottom handler";
-      item.Irq_queue.remaining <- Cycles.( - ) item.Irq_queue.remaining elapsed;
-      t.cpu_time <- Cycles.( + ) t.cpu_time elapsed;
-      if item.Irq_queue.remaining = 0 then begin
-        let completed = Irq_queue.drop_head t.queue in
-        t.completed_bottom <- completed :: t.completed_bottom
-      end
-  | Task_job job ->
-      if elapsed > job.Task.remaining then
-        invalid_arg "Guest.consume: over-attribution to task job";
-      job.Task.remaining <- Cycles.( - ) job.Task.remaining elapsed;
-      t.cpu_time <- Cycles.( + ) t.cpu_time elapsed;
-      if job.Task.remaining = 0 then begin
-        t.ready <- List.filter (fun j -> j != job) t.ready;
-        let completion =
-          {
-            Task.job_task = job.Task.task.Task.name;
-            job_index = job.Task.index;
-            released = job.Task.release;
-            finished = now;
-          }
-        in
-        t.completions <- completion :: t.completions;
-        (* Hypervisor-mediated IPC: a completing job first drains its input
-           port, then publishes its own output. *)
-        let state =
-          Array.to_list t.tasks
-          |> List.find_opt (fun s -> s.spec == job.Task.task)
-        in
-        match state with
-        | None -> ()
-        | Some state ->
-            (match state.in_port with
-            | Some port -> ignore (Ipc.receive_all port ~now : Ipc.message list)
-            | None -> ());
-            (match state.out_port with
-            | Some port ->
-                ignore
-                  (Ipc.send port ~now ~sender:job.Task.task.Task.name : bool)
-            | None -> ())
-      end
-  | Filler -> t.cpu_time <- Cycles.( + ) t.cpu_time elapsed
-  | Idle -> t.idle_time <- Cycles.( + ) t.idle_time elapsed
+  | Bottom_handler item -> consume_bottom t ~elapsed item
+  | Task_job job -> consume_task t ~now ~elapsed job
+  | Filler -> consume_filler t ~elapsed
+  | Idle -> consume_idle t ~elapsed
 
 let take_completions t =
   let out = List.rev t.completions in

@@ -45,6 +45,20 @@ val name : t -> string
 val queue : t -> Irq_queue.t
 (** The partition's interrupt event queue (the hypervisor pushes here). *)
 
+val busy_loop : t -> bool
+(** Whether an otherwise-idle slot runs [Filler] (busy loop) or [Idle]. *)
+
+val has_tasks : t -> bool
+(** Whether the guest has any periodic task specs — when [false],
+    {!advance_to} is a no-op and {!next_release} is [None], so the
+    simulation skips the release machinery entirely.  (Aperiodic releases
+    do not affect either; they surface through {!pick_ready}.) *)
+
+val set_retain : t -> bool -> unit
+(** When set to [false], {!take_completions} and {!completed_bottom}
+    stop accumulating (always empty): streaming simulations over millions
+    of events opt out of per-event retention.  Defaults to [true]. *)
+
 val release_aperiodic : t -> spec:Task.spec -> now:Rthv_engine.Cycles.t -> unit
 (** Release one job of an event-triggered task (e.g. signalled by a bottom
     handler).  The spec's [period]/[offset] are ignored for releases — each
@@ -62,6 +76,23 @@ val next_release : t -> Rthv_engine.Cycles.t option
 
 val demand : t -> demand
 (** What the guest would execute right now given its current state. *)
+
+val pick_ready : t -> Task.job option
+(** The ready job the guest's policy would run now, if any — the
+    [Task_job] component of {!demand}, exposed so the simulation's
+    compressed engine can resolve demand without boxing it. *)
+
+val consume_bottom :
+  t -> elapsed:Rthv_engine.Cycles.t -> Irq_queue.item -> unit
+(** {!consume} specialised to the queue-head bottom handler; allocation
+    free.  The item must be the queue head. *)
+
+val consume_task :
+  t -> now:Rthv_engine.Cycles.t -> elapsed:Rthv_engine.Cycles.t -> Task.job -> unit
+
+val consume_filler : t -> elapsed:Rthv_engine.Cycles.t -> unit
+
+val consume_idle : t -> elapsed:Rthv_engine.Cycles.t -> unit
 
 val consume : t -> now:Rthv_engine.Cycles.t -> elapsed:Rthv_engine.Cycles.t -> demand -> unit
 (** Attribute [elapsed] cycles of CPU ending at absolute time [now] to the

@@ -37,6 +37,11 @@ val push : t -> item -> unit
 val peek : t -> item option
 (** Head of the queue (oldest pending event), without removing it. *)
 
+val head : t -> item
+(** Like {!peek} but without the [option] box, for allocation-free hot
+    paths.  @raise Queue.Empty when the queue is empty — guard with
+    {!is_empty}. *)
+
 val drop_head : t -> item
 (** Remove and return the head.  @raise Invalid_argument when empty or when
     the head still has remaining work (completion is the only legal reason

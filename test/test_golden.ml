@@ -16,6 +16,8 @@
    monitor. *)
 
 module Cycles = Rthv_engine.Cycles
+module Fast_forward = Rthv_engine.Fast_forward
+module Config = Rthv_core.Config
 module Hyp_sim = Rthv_core.Hyp_sim
 module Hyp_trace = Rthv_core.Hyp_trace
 module Irq_record = Rthv_core.Irq_record
@@ -25,6 +27,10 @@ module Admission = Rthv_core.Admission
 module Monitor = Rthv_core.Monitor
 module DF = Rthv_analysis.Distance_fn
 module Scenarios = Rthv_check.Scenarios
+module Headroom = Rthv_check.Headroom
+module Registry = Rthv_obs.Registry
+module Recorder = Rthv_obs.Recorder
+module Sink = Rthv_obs.Sink
 
 type golden = {
   g_completed : int;
@@ -54,7 +60,9 @@ let goldens =
     ("conformant", { g_completed = 2000; g_direct = 1016; g_interposed = 984; g_delayed = 0; g_slot_switches = 1099; g_interposition_switches = 1968; g_interpositions_started = 984; g_boundary_crossings = 9; g_bh_boundary_deferrals = 8; g_monitor_checks = 984; g_admissions = 984; g_denials = 0; g_coalesced = 0; g_stolen_total = [|27961047; 453921|]; g_stolen_slot_max = [|86631; 27918|]; g_sim_time = 1099134738; g_records_digest = "a0dfadd8f531159b40eb125b52a93cf8"; g_trace_digest = "44baa4188c612ad78923f2fa0dec9822"; g_trace_len = 12068 });
     ("avionics_ima", { g_completed = 5000; g_direct = 1479; g_interposed = 2286; g_delayed = 1235; g_slot_switches = 12403; g_interposition_switches = 4572; g_interpositions_started = 2286; g_boundary_crossings = 60; g_bh_boundary_deferrals = 11; g_monitor_checks = 2287; g_admissions = 2286; g_denials = 0; g_coalesced = 0; g_stolen_total = [|32850715; 33554708; 638617; 8112782|]; g_stolen_slot_max = [|32877; 32877; 32814; 32877|]; g_sim_time = 7442328812; g_records_digest = "bc9117829effe2e232ee32f41ac4170e"; g_trace_digest = "5519acd2a8e28d6f126ecf6905536704"; g_trace_len = 39333 });
     ("automotive_ecu", { g_completed = 10550; g_direct = 4509; g_interposed = 5115; g_delayed = 926; g_slot_switches = 6012; g_interposition_switches = 10230; g_interpositions_started = 5115; g_boundary_crossings = 42; g_bh_boundary_deferrals = 33; g_monitor_checks = 6043; g_admissions = 5115; g_denials = 926; g_coalesced = 0; g_stolen_total = [|117010795; 1167206; 39757854|]; g_stolen_slot_max = [|123508; 30574; 92631|]; g_sim_time = 5611417914; g_records_digest = "0964cad08bff5b73fefde2cd0784a54a"; g_trace_digest = "1f3da6dc10e7db3da9b91a2d01fc4881"; g_trace_len = 64560 });
+    ("mixed_policies", { g_completed = 3000; g_direct = 1281; g_interposed = 1405; g_delayed = 314; g_slot_switches = 948; g_interposition_switches = 2810; g_interpositions_started = 1405; g_boundary_crossings = 19; g_bh_boundary_deferrals = 7; g_monitor_checks = 2585; g_admissions = 1405; g_denials = 314; g_coalesced = 0; g_stolen_total = [|18745565; 15271615; 7637005|]; g_stolen_slot_max = [|106676; 89977; 90631|]; g_sim_time = 884860000; g_records_digest = "d3413dba10a4f9a7518f60aee4b56a04"; g_trace_digest = "f3d559b4c723fc08c34457dd0626e095"; g_trace_len = 17503 });
     ("demo_bad", { g_completed = 112; g_direct = 69; g_interposed = 29; g_delayed = 14; g_slot_switches = 105; g_interposition_switches = 58; g_interpositions_started = 29; g_boundary_crossings = 7; g_bh_boundary_deferrals = 0; g_monitor_checks = 43; g_admissions = 29; g_denials = 14; g_coalesced = 0; g_stolen_total = [|18153; 572031; 240139; 281110|]; g_stolen_slot_max = [|7138; 62877; 50877; 50877|]; g_sim_time = 16067005; g_records_digest = "df572018ba7787b43a91bbb5c1d05227"; g_trace_digest = "926475a22b8a0c9c877b053225b6859d"; g_trace_len = 661 });
+    ("demo_policy_bad", { g_completed = 1088; g_direct = 396; g_interposed = 618; g_delayed = 74; g_slot_switches = 485; g_interposition_switches = 1236; g_interpositions_started = 618; g_boundary_crossings = 4; g_bh_boundary_deferrals = 102; g_monitor_checks = 647; g_admissions = 618; g_denials = 29; g_coalesced = 0; g_stolen_total = [|9132276; 6808807; 466903|]; g_stolen_slot_max = [|239416; 230216; 39812|]; g_sim_time = 512891177; g_records_digest = "eb060affaa592ba5345c3a95ac3df476"; g_trace_digest = "49636ff2fc49afa38a76e8805cc64424"; g_trace_len = 6826 });
   ]
 
 let serialize_record (r : Irq_record.t) =
@@ -66,19 +74,23 @@ let serialize_record (r : Irq_record.t) =
 
 let digest s = Digest.to_hex (Digest.string s)
 
-let run_scenario name =
+let run_scenario ~mode name =
   let config =
     match Scenarios.find name with
     | Some f -> f ()
     | None -> Alcotest.failf "unknown scenario %s" name
   in
   let trace = Hyp_trace.create ~capacity:(1 lsl 20) () in
-  let sim = Hyp_sim.create ~trace config in
+  let sim = Hyp_sim.create ~trace ~mode config in
   Hyp_sim.run sim;
   (Hyp_sim.stats sim, Hyp_sim.records sim, trace)
 
-let check_golden name (g : golden) () =
-  let stats, records, trace = run_scenario name in
+(* Every scenario is checked against the SAME golden in BOTH engine modes:
+   the goldens were captured from the step (reference) engine, so a pass in
+   [Fast_forward] proves the compressed engine's observable behaviour —
+   stats, record stream, trace emission — is byte-identical to stepping. *)
+let check_golden ~mode name (g : golden) () =
+  let stats, records, trace = run_scenario ~mode name in
   let ci = Alcotest.(check int) in
   ci "completed" g.g_completed stats.Hyp_sim.completed_irqs;
   ci "direct" g.g_direct stats.Hyp_sim.direct;
@@ -109,6 +121,101 @@ let check_golden name (g : golden) () =
   Alcotest.(check string)
     "trace digest" g.g_trace_digest
     (digest (Format.asprintf "%a" Hyp_trace.pp trace))
+
+(* --- step / fast-forward differential ------------------------------------ *)
+
+(* Randomized configurations and workloads pushed through BOTH engine modes
+   must agree on every observable: the statistics record, the serialized
+   Irq_record stream, the pretty-printed hypervisor trace, and the bound
+   headroom report computed from the emitted latency summaries.  This is the
+   property the golden rows pin for the canonical scenarios, generalized to
+   arbitrary configurations. *)
+
+type diff_case = {
+  dc_slots_us : int list;  (* per-partition slot lengths *)
+  dc_sources : (int * int * int * int * int list * bool * int) list;
+      (* subscriber, c_th_us, c_bh_us, shaping selector, interarrivals_us,
+         absolute arrivals?, d_min_us *)
+  dc_defer : bool;
+}
+
+let diff_case_gen =
+  let open QCheck2.Gen in
+  let* n_parts = 2 -- 3 in
+  let* slots = list_repeat n_parts (200 -- 1_500) in
+  let* n_sources = 1 -- 3 in
+  let* sources =
+    list_repeat n_sources
+      (let* subscriber = 0 -- (n_parts - 1) in
+       let* c_th = 2 -- 10 in
+       let* c_bh = 20 -- 80 in
+       let* shaping = 0 -- 3 in
+       let* arrivals = list_size (10 -- 60) (150 -- 4_000) in
+       let* absolute = bool in
+       let* d_min = 300 -- 2_000 in
+       return (subscriber, c_th, c_bh, shaping, arrivals, absolute, d_min))
+  in
+  let* defer = bool in
+  return { dc_slots_us = slots; dc_sources = sources; dc_defer = defer }
+
+let diff_config (c : diff_case) =
+  let partitions =
+    List.mapi
+      (fun i slot_us ->
+        Config.partition ~name:(Printf.sprintf "p%d" i) ~slot_us ())
+      c.dc_slots_us
+  in
+  let sources =
+    List.mapi
+      (fun i (subscriber, c_th_us, c_bh_us, shaping, arrivals, absolute, d_min)
+         ->
+        let shaping =
+          match shaping with
+          | 0 -> Config.No_shaping
+          | 1 -> Config.Fixed_monitor (DF.d_min (Cycles.of_us d_min))
+          | 2 ->
+              Config.Token_bucket
+                { capacity = 2; refill = Cycles.of_us d_min }
+          | _ -> Config.Budgeted { per_cycle = 2 }
+        in
+        Config.source
+          ~name:(Printf.sprintf "s%d" i)
+          ~line:i ~subscriber ~c_th_us ~c_bh_us
+          ~interarrivals:
+            (Array.of_list (List.map Cycles.of_us arrivals))
+          ~arrival_mode:(if absolute then Config.Absolute else Config.Reprogram)
+          ~shaping ())
+      c.dc_sources
+  in
+  Config.make
+    ~finish_bh_at_boundary:c.dc_defer
+    ~partitions ~sources ()
+
+(* One run of a config under the given mode, with the full observability
+   stack attached, reduced to a comparable fingerprint. *)
+let diff_run mode config =
+  let registry = Registry.create () in
+  let recorder = Recorder.create ~registry () in
+  let trace = Hyp_trace.create ~capacity:(1 lsl 20) () in
+  let sim = Hyp_sim.create ~trace ~mode config in
+  Sink.with_sink (Recorder.sink recorder) (fun () -> Hyp_sim.run sim);
+  let stats = Hyp_sim.stats sim in
+  let records =
+    digest
+      (String.concat "\n" (List.map serialize_record (Hyp_sim.records sim)))
+  in
+  let trace_digest = digest (Format.asprintf "%a" Hyp_trace.pp trace) in
+  let headroom = Headroom.verdicts config registry in
+  (stats, records, trace_digest, headroom)
+
+let prop_modes_agree case =
+  let config = diff_config case in
+  match Config.validate config with
+  | Error _ -> QCheck2.assume_fail ()
+  | Ok () ->
+      let s1, r1, t1, h1 = diff_run Fast_forward.Step config in
+      let s2, r2, t2, h2 = diff_run Fast_forward.Fast_forward config in
+      s1 = s2 && String.equal r1 r2 && String.equal t1 t2 && h1 = h2
 
 (* --- seam properties ----------------------------------------------------- *)
 
@@ -204,12 +311,22 @@ let weighted_params_gen =
 let equal_weights_gen = QCheck2.Gen.(pair (1 -- 6) (1 -- 10_000))
 
 let suite =
-  List.map
+  List.concat_map
     (fun (name, g) ->
-      Alcotest.test_case (Printf.sprintf "golden: %s" name) `Slow
-        (check_golden name g))
+      [
+        Alcotest.test_case
+          (Printf.sprintf "golden: %s [step]" name)
+          `Slow
+          (check_golden ~mode:Fast_forward.Step name g);
+        Alcotest.test_case
+          (Printf.sprintf "golden: %s [ff]" name)
+          `Slow
+          (check_golden ~mode:Fast_forward.Fast_forward name g);
+      ])
     goldens
   @ [
+      Testutil.qtest ~count:60 "step == fast-forward (randomized configs)"
+        diff_case_gen prop_modes_agree;
       Testutil.qtest "static plan == Tdma" slots_gen prop_static_plan_is_tdma;
       Testutil.qtest "equal weights apportion uniformly" equal_weights_gen
         prop_equal_weights_uniform;

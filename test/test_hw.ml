@@ -69,6 +69,20 @@ let test_intc_bad_line () =
     (Invalid_argument "Intc: line 2 out of range") (fun () ->
       Intc.raise_line intc 2)
 
+let test_intc_any_pending () =
+  let intc = Intc.create ~lines:3 in
+  Intc.set_handler intc (fun _ -> ());
+  Alcotest.(check bool) "initially none" false (Intc.any_pending intc);
+  Intc.raise_line intc 1;
+  Alcotest.(check bool) "pending after raise" true (Intc.any_pending intc);
+  Intc.ack intc 1;
+  Alcotest.(check bool) "clear after ack" false (Intc.any_pending intc);
+  (* A masked raise still sets the flag — a jump over it would lose the
+     delivery a later unmask performs. *)
+  Intc.mask intc 2;
+  Intc.raise_line intc 2;
+  Alcotest.(check bool) "masked raise is pending" true (Intc.any_pending intc)
+
 let test_timer_fire_and_reprogram () =
   let sim = Simulator.create () in
   let intc = Intc.create ~lines:1 in
@@ -78,6 +92,9 @@ let test_timer_fire_and_reprogram () =
   Timer.program timer ~delay:100;
   Alcotest.(check bool) "armed" true (Timer.is_armed timer);
   Alcotest.(check (option int)) "deadline" (Some 100) (Timer.deadline timer);
+  Alcotest.(check (option int))
+    "next_fire_at = deadline" (Timer.deadline timer)
+    (Timer.next_fire_at timer);
   (* Reprogram before expiry: one-shot semantics replace the deadline. *)
   Timer.program timer ~delay:200;
   Simulator.run sim;
@@ -121,6 +138,7 @@ let suite =
     Alcotest.test_case "intc non-counting flags" `Quick test_intc_non_counting;
     Alcotest.test_case "intc masking" `Quick test_intc_masking;
     Alcotest.test_case "intc line validation" `Quick test_intc_bad_line;
+    Alcotest.test_case "intc any_pending" `Quick test_intc_any_pending;
     Alcotest.test_case "timer one-shot and reprogram" `Quick
       test_timer_fire_and_reprogram;
     Alcotest.test_case "timer cancel" `Quick test_timer_cancel;
